@@ -1,0 +1,50 @@
+// Ablation: kernel-power construction methods (S3) — closed-form binomial
+// in log space vs FFT repeated squaring — and the conv crossover policy.
+// Informs the defaults in poly::power and conv::Policy.
+
+#include "amopt/fft/convolution.hpp"
+#include "amopt/poly/poly_power.hpp"
+#include "bench_common.hpp"
+
+int main() {
+  using namespace amopt;
+  const int reps = static_cast<int>(env_long("AMOPT_BENCH_REPS", 3));
+
+  std::printf("# Ablation: kernel power construction (2-tap)\n");
+  std::printf("%-10s %16s %16s\n", "h", "closed-form", "fft-squaring");
+  const std::vector<double> taps2{0.49, 0.5};
+  for (std::int64_t h = 1 << 8; h <= (1 << 16); h *= 4) {
+    const double closed = bench::time_best(
+        [&] {
+          (void)poly::power_binomial(taps2[0], taps2[1],
+                                     static_cast<std::uint64_t>(h));
+        },
+        reps);
+    const double fft = bench::time_best(
+        [&] { (void)poly::power_fft(taps2, static_cast<std::uint64_t>(h)); },
+        reps);
+    std::printf("%-10lld %16.6f %16.6f\n", static_cast<long long>(h), closed,
+                fft);
+  }
+
+  std::printf("# Correlation path crossover (kernel width 65)\n");
+  std::printf("%-10s %16s %16s\n", "n", "direct", "fft");
+  const std::vector<double> kernel(65, 1.0 / 65.0);
+  for (std::size_t n = 1 << 8; n <= (1u << 16); n *= 4) {
+    const std::vector<double> in(n + kernel.size(), 1.0);
+    std::vector<double> out(n);
+    const double d = bench::time_best(
+        [&] {
+          conv::correlate_valid(in, kernel, out,
+                                {conv::Policy::Path::direct});
+        },
+        reps);
+    const double f = bench::time_best(
+        [&] {
+          conv::correlate_valid(in, kernel, out, {conv::Policy::Path::fft});
+        },
+        reps);
+    std::printf("%-10zu %16.6f %16.6f\n", n, d, f);
+  }
+  return 0;
+}

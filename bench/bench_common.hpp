@@ -1,0 +1,75 @@
+#pragma once
+// Shared harness for the figure/table reproduction binaries: the paper's
+// fixed option parameters, a repeat-and-take-best timing loop, and a
+// printer producing the same series the paper plots.
+//
+// Every binary accepts environment overrides so one build serves both CI
+// (small sweeps) and paper-scale runs:
+//   AMOPT_BENCH_MIN_T / AMOPT_BENCH_MAX_T  — sweep range (powers of two)
+//   AMOPT_BENCH_SLOW_MAX_T                 — cap for Θ(T^2) reference series
+//   AMOPT_BENCH_REPS                       — timing repetitions
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "amopt/common/env.hpp"
+#include "amopt/common/timer.hpp"
+#include "amopt/pricing/params.hpp"
+
+namespace amopt::bench {
+
+struct Sweep {
+  std::int64_t min_t;
+  std::int64_t max_t;
+  std::int64_t slow_max_t;  ///< largest T at which Θ(T^2) series still run
+  int reps;
+};
+
+/// The paper sweeps 2^11..2^19 (BOPM) / 2^17 (TOPM, BSM); default to a
+/// range that completes in seconds on one laptop core and let env vars
+/// scale it up.
+[[nodiscard]] inline Sweep sweep_from_env(std::int64_t def_min,
+                                          std::int64_t def_max,
+                                          std::int64_t def_slow_max) {
+  Sweep s;
+  s.min_t = env_long("AMOPT_BENCH_MIN_T", def_min);
+  s.max_t = env_long("AMOPT_BENCH_MAX_T", def_max);
+  s.slow_max_t = env_long("AMOPT_BENCH_SLOW_MAX_T", def_slow_max);
+  s.reps = static_cast<int>(env_long("AMOPT_BENCH_REPS", 3));
+  return s;
+}
+
+/// Best-of-reps wall time of `fn` in seconds (first call warms caches).
+[[nodiscard]] inline double time_best(const std::function<void()>& fn,
+                                      int reps) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    WallTimer t;
+    fn();
+    best = std::min(best, t.seconds());
+  }
+  return best;
+}
+
+inline void print_header(const char* title, const char* ylabel,
+                         const std::vector<std::string>& series) {
+  std::printf("# %s\n", title);
+  std::printf("%-10s", "T");
+  for (const auto& s : series) std::printf(" %16s", s.c_str());
+  std::printf("   (%s)\n", ylabel);
+}
+
+inline void print_row(std::int64_t T, const std::vector<double>& values) {
+  std::printf("%-10lld", static_cast<long long>(T));
+  for (double v : values) {
+    if (v < 0.0)
+      std::printf(" %16s", "-");
+    else
+      std::printf(" %16.6g", v);
+  }
+  std::printf("\n");
+}
+
+}  // namespace amopt::bench

@@ -1,0 +1,52 @@
+// Figure 10 (supplementary): energy consumption split by domain — package
+// (pkg) vs RAM — for the BOPM implementations.
+
+#include <functional>
+
+#include "amopt/baselines/baselines.hpp"
+#include "amopt/metrics/energy.hpp"
+#include "amopt/pricing/bopm.hpp"
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace amopt;
+
+metrics::EnergySample measure(metrics::EnergyMeter& meter,
+                              const std::function<void()>& fn) {
+  metrics::reset_counters();
+  meter.start();
+  fn();
+  return meter.stop();
+}
+
+}  // namespace
+
+int main() {
+  const auto spec = pricing::paper_spec();
+  const auto sweep = bench::sweep_from_env(1 << 11, 1 << 15, 1 << 13);
+  metrics::EnergyMeter meter;
+  std::printf("# energy source: %s\n",
+              meter.hardware_available() ? "RAPL (hardware)"
+                                         : "counter model (see DESIGN.md)");
+
+  bench::print_header("Figure 10 (BOPM): energy by domain", "joules",
+                      {"fft:pkg", "fft:RAM", "ql:pkg", "ql:RAM", "zb:pkg",
+                       "zb:RAM"});
+  for (std::int64_t T = sweep.min_t; T <= sweep.max_t; T *= 2) {
+    const auto fft = measure(
+        meter, [&] { (void)pricing::bopm::american_call_fft(spec, T); });
+    std::vector<double> row{fft.pkg_joules, fft.ram_joules, -1, -1, -1, -1};
+    if (T <= sweep.slow_max_t) {
+      const auto ql = measure(meter, [&] {
+        (void)baselines::quantlib_style_american_call(spec, T);
+      });
+      const auto zb = measure(
+          meter, [&] { (void)baselines::zubair_american_call(spec, T); });
+      row = {fft.pkg_joules, fft.ram_joules, ql.pkg_joules,
+             ql.ram_joules,  zb.pkg_joules,  zb.ram_joules};
+    }
+    bench::print_row(T, row);
+  }
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Figure 5(a): parallel running time of American call pricing under BOPM —
+// fft-bopm vs ql-bopm vs zb-bopm over a T sweep. The paper sweeps
+// T = 2^11..2^19 on 48 cores; defaults here finish in seconds on one core
+// and AMOPT_BENCH_MAX_T / AMOPT_BENCH_SLOW_MAX_T scale the sweep up.
+
+#include "amopt/baselines/baselines.hpp"
+#include "amopt/pricing/bopm.hpp"
+#include "bench_common.hpp"
+
+int main() {
+  using namespace amopt;
+  const auto spec = pricing::paper_spec();
+  const auto sweep = bench::sweep_from_env(1 << 11, 1 << 17, 1 << 14);
+
+  bench::print_header("Figure 5(a): BOPM American call, parallel running time",
+                      "seconds", {"fft-bopm", "ql-bopm", "zb-bopm"});
+  for (std::int64_t T = sweep.min_t; T <= sweep.max_t; T *= 2) {
+    const double fft = bench::time_best(
+        [&] { (void)pricing::bopm::american_call_fft(spec, T); }, sweep.reps);
+    double ql = -1.0, zb = -1.0;
+    if (T <= sweep.slow_max_t) {
+      ql = bench::time_best(
+          [&] { (void)baselines::quantlib_style_american_call(spec, T); },
+          sweep.reps);
+      zb = bench::time_best(
+          [&] { (void)baselines::zubair_american_call(spec, T); }, sweep.reps);
+    }
+    bench::print_row(T, {fft, ql, zb});
+  }
+  std::printf("# '-' entries: Theta(T^2) baselines skipped beyond "
+              "AMOPT_BENCH_SLOW_MAX_T=%lld\n",
+              static_cast<long long>(sweep.slow_max_t));
+  return 0;
+}

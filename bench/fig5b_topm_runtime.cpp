@@ -1,0 +1,26 @@
+// Figure 5(b): parallel running time of American call pricing under TOPM —
+// fft-topm vs vanilla-topm (the paper's own parallel looping reference).
+
+#include "amopt/pricing/topm.hpp"
+#include "bench_common.hpp"
+
+int main() {
+  using namespace amopt;
+  const auto spec = pricing::paper_spec();
+  const auto sweep = bench::sweep_from_env(1 << 11, 1 << 16, 1 << 13);
+
+  bench::print_header("Figure 5(b): TOPM American call, parallel running time",
+                      "seconds", {"fft-topm", "vanilla-topm"});
+  for (std::int64_t T = sweep.min_t; T <= sweep.max_t; T *= 2) {
+    const double fft = bench::time_best(
+        [&] { (void)pricing::topm::american_call_fft(spec, T); }, sweep.reps);
+    double van = -1.0;
+    if (T <= sweep.slow_max_t) {
+      van = bench::time_best(
+          [&] { (void)pricing::topm::american_call_vanilla_parallel(spec, T); },
+          sweep.reps);
+    }
+    bench::print_row(T, {fft, van});
+  }
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Figure 6: total energy consumption vs T for all three models. Reads RAPL
+// through sysfs powercap when available; otherwise reports the documented
+// counter-driven model (see metrics/energy.hpp and DESIGN.md) — either way
+// the series shows energy tracking the Θ(T^2) vs O(T log^2 T) work gap.
+
+#include <functional>
+
+#include "amopt/baselines/baselines.hpp"
+#include "amopt/metrics/energy.hpp"
+#include "amopt/pricing/bopm.hpp"
+#include "amopt/pricing/bsm_fdm.hpp"
+#include "amopt/pricing/topm.hpp"
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace amopt;
+
+double measure_joules(metrics::EnergyMeter& meter,
+                      const std::function<void()>& fn) {
+  metrics::reset_counters();
+  meter.start();
+  fn();
+  return meter.stop().total();
+}
+
+}  // namespace
+
+int main() {
+  const auto spec = pricing::paper_spec();
+  const auto sweep = bench::sweep_from_env(1 << 11, 1 << 15, 1 << 13);
+  metrics::EnergyMeter meter;
+  std::printf("# energy source: %s\n",
+              meter.hardware_available() ? "RAPL (hardware)"
+                                         : "counter model (see DESIGN.md)");
+
+  bench::print_header("Figure 6(a): BOPM total energy", "joules",
+                      {"fft-bopm", "ql-bopm", "zb-bopm"});
+  for (std::int64_t T = sweep.min_t; T <= sweep.max_t; T *= 2) {
+    const double fft = measure_joules(
+        meter, [&] { (void)pricing::bopm::american_call_fft(spec, T); });
+    double ql = -1.0, zb = -1.0;
+    if (T <= sweep.slow_max_t) {
+      ql = measure_joules(meter, [&] {
+        (void)baselines::quantlib_style_american_call(spec, T);
+      });
+      zb = measure_joules(
+          meter, [&] { (void)baselines::zubair_american_call(spec, T); });
+    }
+    bench::print_row(T, {fft, ql, zb});
+  }
+
+  bench::print_header("Figure 6(b): TOPM total energy", "joules",
+                      {"fft-topm", "vanilla-topm"});
+  for (std::int64_t T = sweep.min_t; T <= sweep.max_t; T *= 2) {
+    const double fft = measure_joules(
+        meter, [&] { (void)pricing::topm::american_call_fft(spec, T); });
+    double van = -1.0;
+    if (T <= sweep.slow_max_t)
+      van = measure_joules(meter, [&] {
+        (void)pricing::topm::american_call_vanilla_parallel(spec, T);
+      });
+    bench::print_row(T, {fft, van});
+  }
+
+  bench::print_header("Figure 6(c): BSM total energy", "joules",
+                      {"fft-bsm", "vanilla-bsm"});
+  for (std::int64_t T = sweep.min_t; T <= sweep.max_t; T *= 2) {
+    const double fft = measure_joules(
+        meter, [&] { (void)pricing::bsm::american_put_fft(spec, T); });
+    double van = -1.0;
+    if (T <= sweep.slow_max_t)
+      van = measure_joules(meter, [&] {
+        (void)pricing::bsm::american_put_vanilla_parallel(spec, T);
+      });
+    bench::print_row(T, {fft, van});
+  }
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Figure 7: L1 and L2 cache misses vs T for every implementation, via the
+// exact two-level LRU simulator (S9b/S9c; paper used PAPI counters — see
+// DESIGN.md). Simulation cost is a few hundred million tracked accesses at
+// the default cap; raise AMOPT_BENCH_MAX_T to push toward paper scale.
+
+#include "amopt/metrics/sim_kernels.hpp"
+#include "bench_common.hpp"
+
+int main() {
+  using namespace amopt;
+  using metrics::SimAlg;
+  const auto spec = pricing::paper_spec();
+  const auto sweep = bench::sweep_from_env(1 << 11, 1 << 13, 1 << 13);
+
+  const auto run = [&](const char* title,
+                       const std::vector<SimAlg>& algs) {
+    std::vector<std::string> names;
+    for (auto a : algs) names.emplace_back(metrics::to_string(a));
+    std::vector<std::string> both;
+    for (const auto& n : names) both.push_back(n + ":L1");
+    for (const auto& n : names) both.push_back(n + ":L2");
+    bench::print_header(title, "misses", both);
+    for (std::int64_t T = sweep.min_t; T <= sweep.max_t; T *= 2) {
+      std::vector<double> l1, l2;
+      for (auto a : algs) {
+        const auto stats = metrics::simulate_kernel(a, spec, T);
+        l1.push_back(static_cast<double>(stats.l1_misses));
+        l2.push_back(static_cast<double>(stats.l2_misses));
+      }
+      std::vector<double> row = l1;
+      row.insert(row.end(), l2.begin(), l2.end());
+      bench::print_row(T, row);
+    }
+  };
+
+  run("Figure 7(a)/(d): BOPM cache misses",
+      {SimAlg::bopm_fft, SimAlg::bopm_quantlib, SimAlg::bopm_zubair});
+  run("Figure 7(b)/(e): TOPM cache misses",
+      {SimAlg::topm_fft, SimAlg::topm_vanilla});
+  run("Figure 7(c)/(f): BSM cache misses",
+      {SimAlg::bsm_fft, SimAlg::bsm_vanilla});
+  return 0;
+}

@@ -1,0 +1,72 @@
+// google-benchmark microbenches for the FFT substrate: transform and
+// convolution throughput across sizes, and the packed-real two-for-one
+// pipeline the solvers rely on.
+
+#include <benchmark/benchmark.h>
+
+#include <complex>
+#include <random>
+#include <vector>
+
+#include "amopt/fft/convolution.hpp"
+#include "amopt/fft/fft.hpp"
+
+namespace {
+
+using amopt::fft::cplx;
+
+std::vector<cplx> random_complex(std::size_t n) {
+  std::mt19937 rng(123);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  std::vector<cplx> v(n);
+  for (auto& x : v) x = cplx{dist(rng), dist(rng)};
+  return v;
+}
+
+std::vector<double> random_real(std::size_t n) {
+  std::mt19937 rng(321);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  std::vector<double> v(n);
+  for (auto& x : v) x = dist(rng);
+  return v;
+}
+
+void BM_FftForward(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  auto data = random_complex(n);
+  const auto& plan = amopt::fft::plan_for(n);
+  for (auto _ : state) {
+    plan.forward(data.data());
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_FftForward)->RangeMultiplier(4)->Range(1 << 8, 1 << 20);
+
+void BM_ConvolveFull(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto a = random_real(n);
+  const auto b = random_real(n);
+  for (auto _ : state) {
+    auto c = amopt::conv::convolve_full(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_ConvolveFull)->RangeMultiplier(4)->Range(1 << 8, 1 << 18);
+
+void BM_CorrelateValid(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto in = random_real(2 * n);
+  const auto kernel = random_real(n);
+  std::vector<double> out(n + 1);
+  for (auto _ : state) {
+    amopt::conv::correlate_valid(in, kernel, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_CorrelateValid)->RangeMultiplier(4)->Range(1 << 8, 1 << 18);
+
+}  // namespace
+
+BENCHMARK_MAIN();

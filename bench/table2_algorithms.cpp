@@ -1,0 +1,33 @@
+// Table 2 (empirical): running time of the four algorithm families the
+// paper classifies — nested loop, cache-aware tiled, cache-oblivious
+// recursive, and the FFT algorithm — on the BOPM American call. The work
+// separation (Θ(T^2) vs O(T log^2 T)) shows directly in how each column
+// scales when T doubles.
+
+#include "amopt/baselines/baselines.hpp"
+#include "amopt/pricing/bopm.hpp"
+#include "bench_common.hpp"
+
+int main() {
+  using namespace amopt;
+  const auto spec = pricing::paper_spec();
+  const auto sweep = bench::sweep_from_env(1 << 11, 1 << 14, 1 << 14);
+
+  bench::print_header(
+      "Table 2 (empirical): BOPM algorithm families, running time", "seconds",
+      {"nested-loop", "tiled(zb)", "cache-obl", "fft"});
+  for (std::int64_t T = sweep.min_t; T <= sweep.max_t; T *= 2) {
+    const double nested = bench::time_best(
+        [&] { (void)pricing::bopm::american_call_vanilla(spec, T); },
+        sweep.reps);
+    const double tiled = bench::time_best(
+        [&] { (void)baselines::zubair_american_call(spec, T); }, sweep.reps);
+    const double cobl = bench::time_best(
+        [&] { (void)baselines::cache_oblivious_american_call(spec, T); },
+        sweep.reps);
+    const double fft = bench::time_best(
+        [&] { (void)pricing::bopm::american_call_fft(spec, T); }, sweep.reps);
+    bench::print_row(T, {nested, tiled, cobl, fft});
+  }
+  return 0;
+}

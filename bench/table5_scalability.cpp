@@ -1,0 +1,39 @@
+// Table 5: parallel running times (ms) for T = 2^15 as the core count p
+// varies — fft-bopm vs ql-bopm. The paper runs p in {1..48} on a 48-core
+// node; here p is capped by the machine (document the cap in the output so
+// single-core CI runs are self-explanatory).
+
+#include <vector>
+
+#include "amopt/baselines/baselines.hpp"
+#include "amopt/common/parallel.hpp"
+#include "amopt/pricing/bopm.hpp"
+#include "bench_common.hpp"
+
+int main() {
+  using namespace amopt;
+  const auto spec = pricing::paper_spec();
+  const std::int64_t T = env_long("AMOPT_BENCH_T", 1 << 15);
+  const int reps = static_cast<int>(env_long("AMOPT_BENCH_REPS", 3));
+  const int hw = hardware_threads();
+  std::printf("# Table 5: parallel run times (ms) for T = %lld\n",
+              static_cast<long long>(T));
+  std::printf("# machine exposes %d hardware thread(s); the paper used 48\n",
+              hw);
+  std::printf("%-8s %16s %16s\n", "p", "fft-bopm", "ql-bopm");
+
+  for (int p : std::vector<int>{1, 2, 4, 8, 16, 32, 48}) {
+    if (p > hw && p != 1) {
+      std::printf("%-8d %16s %16s   (exceeds hardware)\n", p, "-", "-");
+      continue;
+    }
+    ThreadScope scope(p);
+    const double fft = bench::time_best(
+        [&] { (void)pricing::bopm::american_call_fft(spec, T); }, reps);
+    const double ql = bench::time_best(
+        [&] { (void)baselines::quantlib_style_american_call(spec, T); },
+        reps);
+    std::printf("%-8d %16.3f %16.3f\n", p, fft * 1e3, ql * 1e3);
+  }
+  return 0;
+}

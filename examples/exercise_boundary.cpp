@@ -1,0 +1,69 @@
+// Extract and render the early-exercise (red/green) boundary — the object
+// the whole paper is about. Prints the boundary in asset-price terms for
+// the BOPM call and the BSM put, plus an ASCII sketch of the call's
+// space-time grid coloring.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include <amopt/amopt.hpp>
+
+int main(int argc, char** argv) {
+  using namespace amopt::pricing;
+  const OptionSpec spec = paper_spec();
+  const std::int64_t T = argc > 1 ? std::atoll(argv[1]) : 252;
+
+  // --- BOPM call boundary in price terms --------------------------------
+  const auto q = bopm_call_boundary_vanilla(spec, T);
+  std::printf("BOPM American call exercise boundary (T=%lld)\n",
+              static_cast<long long>(T));
+  std::printf("%-12s %-12s %s\n", "step i", "q_i", "boundary price");
+  for (std::int64_t i = T; i >= 0; i -= std::max<std::int64_t>(T / 16, 1)) {
+    const auto qi = q[static_cast<std::size_t>(i)];
+    if (qi < 0 || qi >= i) {
+      std::printf("%-12lld %-12lld (row %s)\n", static_cast<long long>(i),
+                  static_cast<long long>(qi), qi < 0 ? "all green" : "all red");
+      continue;
+    }
+    std::printf("%-12lld %-12lld %.4f\n", static_cast<long long>(i),
+                static_cast<long long>(qi),
+                bopm_cell_price(spec, T, i, qi + 1));
+  }
+
+  // --- ASCII sketch of the red/green grid --------------------------------
+  const int rows = 24, cols = 64;
+  std::printf("\nred (.) = continuation, green (#) = exercise; expiry at "
+              "top\n");
+  for (int r = 0; r < rows; ++r) {
+    const std::int64_t i = T - static_cast<std::int64_t>(
+                                   (static_cast<double>(r) / rows) * T);
+    const auto qi = q[static_cast<std::size_t>(std::clamp<std::int64_t>(
+        i, 0, T))];
+    std::string line(cols, ' ');
+    for (int c = 0; c < cols; ++c) {
+      const std::int64_t j =
+          static_cast<std::int64_t>((static_cast<double>(c) / cols) * (i + 1));
+      if (j > i) break;
+      line[static_cast<std::size_t>(c)] = (j <= qi) ? '.' : '#';
+    }
+    std::printf("  %s\n", line.c_str());
+  }
+
+  // --- BSM put boundary --------------------------------------------------
+  const std::int64_t Tb = std::min<std::int64_t>(T, 512);
+  const auto prm = derive_bsm(spec, Tb);
+  const auto f = bsm::exercise_boundary_vanilla(spec, Tb);
+  std::printf("\nBSM American put exercise boundary (T=%lld): price "
+              "B(tau) = K*exp(k_n * ds)\n",
+              static_cast<long long>(Tb));
+  std::printf("%-12s %-10s %s\n", "step n", "k_n", "B");
+  for (std::int64_t n = 0; n <= Tb; n += std::max<std::int64_t>(Tb / 8, 1)) {
+    const auto kn = f[static_cast<std::size_t>(n)];
+    std::printf("%-12lld %-10lld %.4f\n", static_cast<long long>(n),
+                static_cast<long long>(kn),
+                spec.K * std::exp(static_cast<double>(kn) * prm.ds));
+  }
+  return 0;
+}

@@ -1,0 +1,83 @@
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "amopt/baselines/baselines.hpp"
+#include "amopt/common/assert.hpp"
+#include "amopt/metrics/counters.hpp"
+
+namespace amopt::baselines {
+
+namespace {
+
+using pricing::BopmParams;
+using pricing::PowerTable;
+
+/// Frigo-Strumpen recursive trapezoid walk over the in-place array G, where
+/// slot j always holds the newest computed row of column j. "Time" t runs
+/// 1..T downward from expiry (row i = T - t). The nonlinear max() update is
+/// applied per point — the decomposition only needs locality, not
+/// linearity. Symmetric unit slopes over-approximate the actual {0,+1}
+/// dependency footprint, which is safe.
+struct Walker {
+  double s0, s1, S, K;
+  std::int64_t T;
+  const PowerTable* up;
+  std::vector<double>* G;
+
+  void point(std::int64_t t, std::int64_t x) const {
+    const std::int64_t i = T - t;
+    if (x < 0 || x > i) return;  // outside the lattice triangle
+    auto& g = *G;
+    const double lin = s0 * g[static_cast<std::size_t>(x)] +
+                       s1 * g[static_cast<std::size_t>(x + 1)];
+    const double pay = S * (*up)(2 * x - i) - K;
+    g[static_cast<std::size_t>(x)] = std::max(lin, pay);
+  }
+
+  // Classic walk1(t0, t1, x0, dx0, x1, dx1): the trapezoid
+  // { (t, x) : t0 <= t < t1, x0 + dx0*(t-t0) <= x < x1 + dx1*(t-t0) }.
+  void walk(std::int64_t t0, std::int64_t t1, std::int64_t x0,
+            std::int64_t dx0, std::int64_t x1, std::int64_t dx1) const {
+    const std::int64_t dt = t1 - t0;
+    if (dt == 1) {
+      for (std::int64_t x = x0; x < x1; ++x) point(t0, x);
+      return;
+    }
+    if (dt <= 0) return;
+    if (2 * (x1 - x0) + (dx1 - dx0) * dt >= 4 * dt) {
+      // Wide: space cut through the centre with slope -1.
+      const std::int64_t xm = (2 * (x0 + x1) + (2 + dx0 + dx1) * dt) / 4;
+      walk(t0, t1, x0, dx0, xm, -1);
+      walk(t0, t1, xm, -1, x1, dx1);
+    } else {
+      // Tall: time cut.
+      const std::int64_t s = dt / 2;
+      walk(t0, t0 + s, x0, dx0, x1, dx1);
+      walk(t0 + s, t1, x0 + dx0 * s, dx0, x1 + dx1 * s, dx1);
+    }
+  }
+};
+
+}  // namespace
+
+double cache_oblivious_american_call(const pricing::OptionSpec& spec,
+                                     std::int64_t T) {
+  AMOPT_EXPECTS(T >= 1);
+  const BopmParams prm = pricing::derive_bopm(spec, T);
+  const PowerTable up(prm.log_u, T);
+  std::vector<double> G(static_cast<std::size_t>(T + 2), 0.0);
+  for (std::int64_t j = 0; j <= T; ++j)
+    G[static_cast<std::size_t>(j)] =
+        std::max(0.0, spec.S * up(2 * j - T) - spec.K);
+
+  const Walker w{prm.s0, prm.s1, spec.S, spec.K, T, &up, &G};
+  w.walk(1, T + 1, 0, 0, T + 1, -1);
+
+  metrics::add_flops(3 * static_cast<std::uint64_t>(T) * (T + 1) / 2);
+  metrics::add_bytes(sizeof(double) * static_cast<std::uint64_t>(T) * (T + 1) /
+                     2);
+  return G[0];
+}
+
+}  // namespace amopt::baselines

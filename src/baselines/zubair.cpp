@@ -1,0 +1,118 @@
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "amopt/baselines/baselines.hpp"
+#include "amopt/common/assert.hpp"
+#include "amopt/metrics/counters.hpp"
+
+namespace amopt::baselines {
+
+namespace {
+
+using pricing::BopmParams;
+using pricing::OptionSpec;
+using pricing::PowerTable;
+
+// Split tiling for the right-leaning 2-point stencil, processed in-place in
+// one array where slot j always holds the newest computed row of column j.
+//
+// Per band of H rows [i0-1 .. i0-H]:
+//   pass 1 (parallel over tiles): left-aligned trapezoids — tile [lo, hi]
+//     computes at depth t the columns [lo, hi - t]; every read of column
+//     j+1 <= hi-t+1 sees exactly the one-row-newer value. The tile records
+//     the history of its leftmost column into a halo so the gap pass of the
+//     tile to its LEFT can read it.
+//   pass 2 (parallel over gaps): the inverted triangles [hi-t+1, hi] at
+//     depth t; reads of column hi+1 come from the halo recorded in pass 1.
+//
+// The per-tile working set is O(tile_width) and each band makes one pass
+// over the row, giving the Θ(T*M + (T^2/M) log ...) cache behaviour of
+// Table 2's cache-aware row.
+
+struct Band {
+  std::int64_t i0 = 0;  ///< top row (already computed)
+  std::int64_t H = 0;   ///< rows to produce: i0-1 .. i0-H
+};
+
+}  // namespace
+
+double zubair_american_call(const pricing::OptionSpec& spec, std::int64_t T,
+                            ZubairConfig cfg) {
+  AMOPT_EXPECTS(T >= 1);
+  AMOPT_EXPECTS(cfg.tile_width >= 2);
+  const BopmParams prm = pricing::derive_bopm(spec, T);
+  const PowerTable up(prm.log_u, T);  // the precomputed "probability" tables
+  const double s0 = prm.s0, s1 = prm.s1;
+  const auto payoff = [&](std::int64_t i, std::int64_t j) {
+    return spec.S * up(2 * j - i) - spec.K;
+  };
+
+  std::vector<double> G(static_cast<std::size_t>(T + 1));
+  for (std::int64_t j = 0; j <= T; ++j)
+    G[static_cast<std::size_t>(j)] = std::max(0.0, payoff(T, j));
+
+  const std::int64_t W = cfg.tile_width;
+  const std::int64_t n_tiles = (T + W) / W;  // tiles cover columns [0, T]
+  std::vector<std::vector<double>> halo(
+      static_cast<std::size_t>(n_tiles));  // halo[k][t] = col k*W at row i0-t
+
+  std::int64_t i0 = T;
+  while (i0 > 0) {
+    const std::int64_t H = std::min<std::int64_t>(W - 1, i0);
+
+    // ---- pass 1: left-aligned trapezoid per tile ----------------------
+#pragma omp parallel for schedule(dynamic) if (cfg.parallel)
+    for (std::int64_t k = 0; k < n_tiles; ++k) {
+      const std::int64_t lo = k * W;
+      const std::int64_t hi = std::min((k + 1) * W - 1, T);
+      auto& h = halo[static_cast<std::size_t>(k)];
+      // halo[k][t] = value of column lo at row i0-t. When the column is not
+      // updated at some depth (tile clipped by the triangle diagonal) its
+      // newest value simply persists — and the gap pass provably only reads
+      // entries from depths at which the update did run.
+      h.assign(static_cast<std::size_t>(H + 1),
+               G[static_cast<std::size_t>(lo)]);
+      if (lo > i0 - 1) continue;  // whole tile above the triangle diagonal
+      for (std::int64_t t = 1; t <= H; ++t) {
+        const std::int64_t i = i0 - t;
+        const std::int64_t jhi = std::min(hi - t, i);
+        for (std::int64_t j = lo; j <= jhi; ++j) {
+          const double lin = s0 * G[static_cast<std::size_t>(j)] +
+                             s1 * G[static_cast<std::size_t>(j + 1)];
+          G[static_cast<std::size_t>(j)] = std::max(lin, payoff(i, j));
+        }
+        h[static_cast<std::size_t>(t)] = G[static_cast<std::size_t>(lo)];
+      }
+    }
+
+    // ---- pass 2: gap triangles between consecutive tiles ---------------
+#pragma omp parallel for schedule(dynamic) if (cfg.parallel)
+    for (std::int64_t k = 0; k < n_tiles; ++k) {
+      const std::int64_t hi = std::min((k + 1) * W - 1, T);
+      if (hi >= T) continue;  // no tile to the right of the last one
+      const auto& h = halo[static_cast<std::size_t>(k + 1)];
+      for (std::int64_t t = 1; t <= H; ++t) {
+        const std::int64_t i = i0 - t;
+        const std::int64_t jlo = std::max(hi - t + 1, std::int64_t{0});
+        const std::int64_t jhi = std::min(hi, i);
+        for (std::int64_t j = jlo; j <= jhi; ++j) {
+          const double right =
+              (j + 1 <= hi) ? G[static_cast<std::size_t>(j + 1)]
+                            : h[static_cast<std::size_t>(t - 1)];
+          const double lin =
+              s0 * G[static_cast<std::size_t>(j)] + s1 * right;
+          G[static_cast<std::size_t>(j)] = std::max(lin, payoff(i, j));
+        }
+      }
+    }
+
+    i0 -= H;
+  }
+  metrics::add_flops(3 * static_cast<std::uint64_t>(T) * (T + 1) / 2);
+  metrics::add_bytes(sizeof(double) * static_cast<std::uint64_t>(T) * (T + 1) /
+                     2);
+  return G[0];
+}
+
+}  // namespace amopt::baselines

@@ -1,0 +1,204 @@
+#include "amopt/core/fdm_solver.hpp"
+
+#include <algorithm>
+
+#include "amopt/common/assert.hpp"
+#include "amopt/common/parallel.hpp"
+#include "amopt/fft/convolution.hpp"
+#include "amopt/metrics/counters.hpp"
+
+namespace amopt::core {
+
+FdmSolver::FdmSolver(stencil::LinearStencil st, const FdmGreen& green,
+                     SolverConfig cfg)
+    : kernels_(std::move(st)), green_(green), cfg_(cfg) {
+  AMOPT_EXPECTS(kernels_.stencil().taps.size() == 3);
+  AMOPT_EXPECTS(kernels_.stencil().left == -1);
+  AMOPT_EXPECTS(cfg_.base_case >= 1);
+}
+
+FdmRow FdmSolver::step_naive(const FdmRow& row, bool unbounded_scan) const {
+  AMOPT_EXPECTS(row.kr - row.f >= 2);
+  AMOPT_EXPECTS(static_cast<std::int64_t>(row.red.size()) == row.kr - row.f);
+  const std::span<const double> taps = kernels_.stencil().taps;
+  const double b = taps[0], c = taps[1], a = taps[2];
+  const auto value_at = [&](std::int64_t k) {
+    return k <= row.f ? green_.value(row.n, k)
+                      : row.red[static_cast<std::size_t>(k - row.f - 1)];
+  };
+  const auto linear_at = [&](std::int64_t k) {
+    return b * value_at(k - 1) + c * value_at(k) + a * value_at(k + 1);
+  };
+
+  FdmRow next;
+  next.n = row.n + 1;
+  next.kr = row.kr - 1;
+  // Discover the new boundary: scan left from f until the first cell where
+  // exercise still beats continuation (one probe suffices under Theorem
+  // 4.3's one-cell bound; unbounded_scan keeps going for the jump rows).
+  std::int64_t f_next = row.f;
+  std::vector<double> newly_red;  // values at k = f_next+1 .. row.f, reversed
+  // Safety floor: the scan provably terminates (deep ITM, continuation
+  // loses to exercise), but guard against pathological parameters anyway.
+  const std::int64_t floor_k =
+      unbounded_scan ? row.f - 8 * (row.kr - row.f) - 64 : row.f - 1;
+  while (f_next >= floor_k) {
+    const double lin = linear_at(f_next);
+    if (lin < green_.value(next.n, f_next)) break;  // still green: stop
+    newly_red.push_back(lin);
+    --f_next;
+  }
+  next.f = f_next;
+  next.red.resize(static_cast<std::size_t>(next.kr - next.f));
+  std::size_t t = 0;
+  for (auto it = newly_red.rbegin(); it != newly_red.rend(); ++it)
+    next.red[t++] = *it;
+  for (std::int64_t k = row.f + 1; k <= next.kr; ++k) {
+    const double lin = linear_at(k);
+    AMOPT_DEBUG_ASSERT(lin >= green_.value(next.n, k) - 1e-9);
+    next.red[t++] = lin;
+  }
+  metrics::add_flops(5 * static_cast<std::uint64_t>(next.kr - next.f));
+  metrics::add_bytes(static_cast<std::uint64_t>(next.kr - next.f) *
+                     sizeof(double));
+  return next;
+}
+
+std::int64_t FdmSolver::solve_base(std::int64_t n0, std::int64_t f0,
+                                   std::int64_t kr, std::int64_t L,
+                                   std::span<const double> in,
+                                   std::span<double> out) const {
+  const std::span<const double> taps = kernels_.stencil().taps;
+  const double b = taps[0], c = taps[1], a = taps[2];
+  std::vector<double> cur(in.begin(), in.end());
+  std::vector<double> nxt(cur.size());
+  std::int64_t f = f0;
+  std::int64_t kright = kr;
+  for (std::int64_t step = 0; step < L; ++step) {
+    const std::int64_t n = n0 + step;
+    const auto value_at = [&](std::int64_t k) {
+      return k <= f ? green_.value(n, k)
+                    : cur[static_cast<std::size_t>(k - f - 1)];
+    };
+    const std::int64_t kr_next = kright - 1;
+    const double lin_f =
+        b * value_at(f - 1) + c * value_at(f) + a * value_at(f + 1);
+    const bool f_goes_red = lin_f >= green_.value(n + 1, f);
+    const std::int64_t f_next = f_goes_red ? f - 1 : f;
+    std::size_t t = 0;
+    if (f_goes_red) nxt[t++] = lin_f;
+    for (std::int64_t k = f + 1; k <= kr_next; ++k) {
+      const double lin =
+          b * value_at(k - 1) + c * value_at(k) + a * value_at(k + 1);
+      AMOPT_DEBUG_ASSERT(lin >= green_.value(n + 1, k) - 1e-9);
+      nxt[t++] = lin;
+    }
+    cur.swap(nxt);
+    f = f_next;
+    kright = kr_next;
+  }
+  // Repack into the caller's base (f0 - L).
+  const std::int64_t base = f0 - L;
+  const std::int64_t count = kright - f;
+  std::copy_n(cur.begin(), static_cast<std::size_t>(count),
+              out.begin() + static_cast<std::ptrdiff_t>(f - base));
+  metrics::add_flops(5 * static_cast<std::uint64_t>(L) *
+                     static_cast<std::uint64_t>(kr - f0));
+  return f;
+}
+
+std::int64_t FdmSolver::solve(std::int64_t n0, std::int64_t f0,
+                              std::int64_t kr, std::int64_t L,
+                              std::span<const double> in,
+                              std::span<double> out) {
+  AMOPT_EXPECTS(L >= 1);
+  AMOPT_EXPECTS(kr - f0 >= 2 * L);
+  AMOPT_EXPECTS(static_cast<std::int64_t>(in.size()) == kr - f0);
+  AMOPT_EXPECTS(in.size() <= out.size());
+
+  if (L <= cfg_.base_case) return solve_base(n0, f0, kr, L, in, out);
+
+  const std::int64_t h = (L + 1) / 2;
+  const std::int64_t h2 = L - h;
+  AMOPT_ENSURES(h >= 1 && h2 >= 1);
+
+  // ---- first half: row n0 -> n0 + h -----------------------------------
+  // Strip sub-trapezoid on (f0, f0+2h]; conv on [f0+h+1, kr-h].
+  std::vector<double> strip_out(static_cast<std::size_t>(2 * h), 0.0);
+  std::vector<double> conv_out(
+      static_cast<std::size_t>(std::max<std::int64_t>(kr - f0 - 2 * h, 0)));
+  std::int64_t f_mid = f0;
+  const bool spawn = cfg_.parallel && h >= cfg_.task_cutoff;
+  const auto run_strip = [&] {
+    f_mid = solve(n0, f0, f0 + 2 * h, h,
+                  in.subspan(0, static_cast<std::size_t>(2 * h)), strip_out);
+  };
+  const auto run_conv = [&] {
+    if (conv_out.empty()) return;
+    const std::span<const double> kernel =
+        kernels_.power(static_cast<std::uint64_t>(h));
+    conv::correlate_valid(in, kernel, conv_out, cfg_.conv_policy);
+  };
+  if (spawn) {
+#pragma omp taskgroup
+    {
+#pragma omp task default(shared)
+      run_strip();
+#pragma omp task default(shared)
+      run_conv();
+    }
+  } else {
+    run_strip();
+    run_conv();
+  }
+
+  // Assemble the mid row over (f_mid, kr-h].
+  const std::int64_t mid_size = (kr - h) - f_mid;
+  std::vector<double> mid(static_cast<std::size_t>(mid_size));
+  {
+    // Strip buffer base is f0 - h; its cells (f_mid, f0+h] are valid.
+    const std::int64_t strip_base = f0 - h;
+    const std::int64_t n_strip = (f0 + h) - f_mid;
+    std::copy_n(strip_out.begin() +
+                    static_cast<std::ptrdiff_t>(f_mid - strip_base),
+                static_cast<std::size_t>(n_strip), mid.begin());
+    std::copy_n(conv_out.begin(), conv_out.size(),
+                mid.begin() + static_cast<std::ptrdiff_t>(n_strip));
+  }
+
+  // ---- second half: row n0 + h -> n0 + L ------------------------------
+  // Callee out base is f_mid - h2 >= f0 - L; shift into our out buffer.
+  const std::int64_t shift = (f_mid - h2) - (f0 - L);
+  AMOPT_ENSURES(shift >= 0);
+  return solve(n0 + h, f_mid, kr - h, h2, mid,
+               out.subspan(static_cast<std::size_t>(shift)));
+}
+
+FdmRow FdmSolver::advance(FdmRow row, std::int64_t L) {
+  AMOPT_EXPECTS(L >= 1);
+  AMOPT_EXPECTS(row.kr - row.f >= 2 * L);
+  AMOPT_EXPECTS(static_cast<std::int64_t>(row.red.size()) == row.kr - row.f);
+
+  FdmRow next;
+  next.n = row.n + L;
+  next.kr = row.kr - L;
+  std::vector<double> out(row.red.size(), 0.0);
+  std::int64_t f_new = row.f;
+  const auto run = [&] { f_new = solve(row.n, row.f, row.kr, L, row.red, out); };
+  if (cfg_.parallel && !in_parallel_region() && hardware_threads() > 1 &&
+      L >= cfg_.task_cutoff) {
+#pragma omp parallel
+#pragma omp single
+    run();
+  } else {
+    run();
+  }
+  next.f = f_new;
+  const std::int64_t base = row.f - L;
+  next.red.assign(out.begin() + static_cast<std::ptrdiff_t>(f_new - base),
+                  out.begin() +
+                      static_cast<std::ptrdiff_t>(next.kr - base));
+  return next;
+}
+
+}  // namespace amopt::core

@@ -1,0 +1,266 @@
+#include "amopt/core/lattice_solver.hpp"
+
+#include <algorithm>
+
+#include "amopt/common/assert.hpp"
+#include "amopt/common/parallel.hpp"
+#include "amopt/metrics/counters.hpp"
+
+namespace amopt::core {
+
+namespace {
+constexpr std::int64_t kMinWindowForRecursion = 4;
+}
+
+LatticeSolver::LatticeSolver(stencil::LinearStencil st,
+                             const LatticeGreen& green, SolverConfig cfg)
+    : kernels_(std::move(st)), green_(green), cfg_(cfg),
+      g_(kernels_.stencil().cone_growth()) {
+  AMOPT_EXPECTS(g_ >= 1);
+  AMOPT_EXPECTS(kernels_.stencil().left == 0);
+  AMOPT_EXPECTS(cfg_.base_case >= 1);
+}
+
+LatticeRow LatticeSolver::step_naive(const LatticeRow& row,
+                                     bool unbounded_scan) const {
+  AMOPT_EXPECTS(row.i >= 1);
+  AMOPT_EXPECTS(row.q < 0 ||
+                row.q == static_cast<std::int64_t>(row.red.size()) - 1);
+  const bool growing = cfg_.drift == BoundaryDrift::growing;
+  LatticeRow next;
+  next.i = row.i - 1;
+  next.q = -1;
+  if (row.q < 0 && !growing && !unbounded_scan) return next;  // stays green
+
+  const std::span<const double> taps = kernels_.stencil().taps;
+  const std::int64_t cap =
+      unbounded_scan ? row_width(next.i) : row.q + (growing ? 1 : 0);
+  const std::int64_t jmax = std::min(cap, row_width(next.i));
+  next.red.resize(
+      static_cast<std::size_t>(std::max<std::int64_t>(jmax + 1, 0)));
+  const auto value_at = [&](std::int64_t j) {
+    return j <= row.q ? row.red[static_cast<std::size_t>(j)]
+                      : green_.value(row.i, j);
+  };
+  for (std::int64_t j = 0; j <= jmax; ++j) {
+    double lin = 0.0;
+    for (std::size_t k = 0; k < taps.size(); ++k)
+      lin += taps[k] * value_at(j + static_cast<std::int64_t>(k));
+    next.red[static_cast<std::size_t>(j)] = lin;
+    if (lin >= green_.value(next.i, j)) next.q = j;
+  }
+  metrics::add_flops(2 * static_cast<std::uint64_t>(jmax + 1) * taps.size());
+  metrics::add_bytes(static_cast<std::uint64_t>(jmax + 1) * sizeof(double));
+  next.red.resize(static_cast<std::size_t>(next.q + 1));
+  return next;
+}
+
+void LatticeSolver::run_conv(std::span<const double> ext, std::int64_t h,
+                             std::span<double> out) {
+  const std::span<const double> kernel =
+      kernels_.power(static_cast<std::uint64_t>(h));
+  conv::correlate_valid(ext, kernel, out, cfg_.conv_policy);
+}
+
+std::int64_t LatticeSolver::solve_base(std::int64_t i0, std::int64_t jL,
+                                       std::int64_t q0, std::int64_t L,
+                                       std::span<const double> in,
+                                       std::span<double> out) const {
+  const bool growing = cfg_.drift == BoundaryDrift::growing;
+  const std::span<const double> taps = kernels_.stencil().taps;
+  std::vector<double> cur(in.begin(), in.end());
+  std::vector<double> nxt(in.size() + (growing ? static_cast<std::size_t>(L) : 0));
+  cur.resize(nxt.size());
+  std::int64_t qcur = q0;
+  for (std::int64_t step = 0; step < L; ++step) {
+    const std::int64_t i = i0 - step;   // row being consumed
+    const std::int64_t inext = i - 1;   // row being produced
+    if (qcur < jL && !growing) return jL - 1;  // all green from here down
+    const std::int64_t cap = growing ? std::max(qcur, jL - 1) + 1 : qcur;
+    const std::int64_t jmax = std::min(cap, row_width(inext));
+    std::int64_t qnext = jL - 1;
+    const auto value_at = [&](std::int64_t j) {
+      return (j <= qcur && j >= jL) ? cur[static_cast<std::size_t>(j - jL)]
+                                    : green_.value(i, j);
+    };
+    for (std::int64_t j = jL; j <= jmax; ++j) {
+      double lin = 0.0;
+      for (std::size_t k = 0; k < taps.size(); ++k)
+        lin += taps[k] * value_at(j + static_cast<std::int64_t>(k));
+      nxt[static_cast<std::size_t>(j - jL)] = lin;
+      if (lin >= green_.value(inext, j)) qnext = j;
+    }
+    AMOPT_DEBUG_ASSERT(growing ? (qnext >= qcur && qnext <= cap)
+                               : (qnext <= qcur && qnext >= qcur - 1 - jL));
+    metrics::add_flops(
+        2 *
+        static_cast<std::uint64_t>(std::max<std::int64_t>(jmax - jL + 1, 0)) *
+        taps.size());
+    cur.swap(nxt);
+    qcur = qnext;
+  }
+  if (qcur >= jL) {
+    std::copy_n(cur.begin(), static_cast<std::size_t>(qcur - jL + 1),
+                out.begin());
+  }
+  return qcur;
+}
+
+std::int64_t LatticeSolver::solve(std::int64_t i0, std::int64_t jL,
+                                  std::int64_t q0, std::int64_t L,
+                                  std::span<const double> in,
+                                  std::span<double> out) {
+  const bool growing = cfg_.drift == BoundaryDrift::growing;
+  AMOPT_EXPECTS(L >= 1 && i0 - L >= 0);
+  AMOPT_EXPECTS(growing ? q0 >= jL - 1 : q0 >= jL);
+  AMOPT_EXPECTS(static_cast<std::int64_t>(in.size()) == q0 - jL + 1);
+  AMOPT_EXPECTS(static_cast<std::int64_t>(out.size()) >=
+                q0 - jL + 1 + (growing ? L : 0));
+
+  if (L <= cfg_.base_case || q0 - jL + 1 <= kMinWindowForRecursion)
+    return solve_base(i0, jL, q0, L, in, out);
+
+  const std::int64_t h = (L + 1) / 2;
+  const std::int64_t h2 = L - h;
+  AMOPT_ENSURES(h >= 1 && h2 >= 1);
+
+  // Last provably-convolvable column at depth d below a row with boundary
+  // q: every cell of the cone must stay red while the boundary drifts.
+  const auto conv_safe = [&](std::int64_t q, std::int64_t d) {
+    return growing ? q - g_ * d : q - d - (g_ - 1) * (d - 1);
+  };
+
+  // ---- first half: row i0 -> row i0 - h --------------------------------
+  std::vector<double> mid(in.size() + (growing ? static_cast<std::size_t>(h) : 0));
+  std::int64_t q_mid = jL - 1;
+  const std::int64_t jC = conv_safe(q0, h);
+  if (jC >= jL) {
+    // Shrinking cones read g-1 green cells past the red prefix; growing
+    // cones stay inside it.
+    std::vector<double> ext;
+    const std::int64_t n_ext = growing ? 0 : g_ - 1;
+    ext.reserve(in.size() + static_cast<std::size_t>(n_ext));
+    ext.assign(in.begin(), in.end());
+    for (std::int64_t e = 1; e <= n_ext; ++e)
+      ext.push_back(green_.value(i0, q0 + e));
+
+    std::int64_t q_strip = jL - 1;
+    const bool spawn = cfg_.parallel && h >= cfg_.task_cutoff;
+    const auto conv_part = [&] {
+      run_conv(ext, h,
+               std::span<double>(mid).subspan(
+                   0, static_cast<std::size_t>(jC - jL + 1)));
+    };
+    const auto strip_part = [&] {
+      q_strip = solve(i0, jC + 1, q0, h,
+                      in.subspan(static_cast<std::size_t>(jC + 1 - jL)),
+                      std::span<double>(mid).subspan(
+                          static_cast<std::size_t>(jC + 1 - jL)));
+    };
+    if (spawn) {
+#pragma omp taskgroup
+      {
+#pragma omp task default(shared)
+        conv_part();
+#pragma omp task default(shared)
+        strip_part();
+      }
+    } else {
+      conv_part();
+      strip_part();
+    }
+    q_mid = std::max(q_strip, jC);  // conv cells are red by construction
+  } else {
+    q_mid = solve(i0, jL, q0, h, in, out);  // window too narrow: out=scratch
+    if (q_mid >= jL)
+      std::copy_n(out.begin(), static_cast<std::size_t>(q_mid - jL + 1),
+                  mid.begin());
+  }
+  if (q_mid < jL && !growing) return jL - 1;  // all green below (Lemma 2.4)
+
+  // ---- second half: row i0 - h -> row i0 - L ---------------------------
+  const std::int64_t im = i0 - h;
+  const std::int64_t jC2 = conv_safe(q_mid, h2);
+  const std::span<const double> mid_in(
+      mid.data(),
+      static_cast<std::size_t>(std::max<std::int64_t>(q_mid - jL + 1, 0)));
+  if (jC2 >= jL) {
+    std::vector<double> ext;
+    const std::int64_t n_ext = growing ? 0 : g_ - 1;
+    ext.reserve(mid_in.size() + static_cast<std::size_t>(n_ext));
+    ext.assign(mid_in.begin(), mid_in.end());
+    for (std::int64_t e = 1; e <= n_ext; ++e)
+      ext.push_back(green_.value(im, q_mid + e));
+
+    std::int64_t q_strip = jL - 1;
+    const bool spawn = cfg_.parallel && h2 >= cfg_.task_cutoff;
+    const auto conv_part = [&] {
+      run_conv(ext, h2,
+               out.subspan(0, static_cast<std::size_t>(jC2 - jL + 1)));
+    };
+    const auto strip_part = [&] {
+      q_strip = solve(im, jC2 + 1, q_mid, h2,
+                      mid_in.subspan(static_cast<std::size_t>(jC2 + 1 - jL)),
+                      out.subspan(static_cast<std::size_t>(jC2 + 1 - jL)));
+    };
+    if (spawn) {
+#pragma omp taskgroup
+      {
+#pragma omp task default(shared)
+        conv_part();
+#pragma omp task default(shared)
+        strip_part();
+      }
+    } else {
+      conv_part();
+      strip_part();
+    }
+    return std::max(q_strip, jC2);
+  }
+  return solve(im, jL, q_mid, h2, mid_in, out);
+}
+
+LatticeRow LatticeSolver::descend(LatticeRow top, std::int64_t i_stop) {
+  AMOPT_EXPECTS(i_stop >= 0 && top.i >= i_stop);
+  const bool growing = cfg_.drift == BoundaryDrift::growing;
+  LatticeRow row = std::move(top);
+  while (row.i > i_stop) {
+    if (row.q < 0) {
+      if (!growing) {
+        // Entirely green: stays green all the way down (Lemma 2.4 / A.2).
+        row.i = i_stop;
+        row.red.clear();
+        return row;
+      }
+      row = step_naive(row);  // red can reappear; probe one row at a time
+      continue;
+    }
+    const std::int64_t L_red = std::max<std::int64_t>((row.q + 1) / g_, 1);
+    const std::int64_t L = std::min(L_red, row.i - i_stop);
+    if (L <= cfg_.base_case) {
+      row = step_naive(row);
+      continue;
+    }
+    LatticeRow next;
+    next.i = row.i - L;
+    next.red.assign(row.red.size() + (growing ? static_cast<std::size_t>(L) : 0),
+                    0.0);
+    const auto run = [&] {
+      next.q = solve(row.i, 0, row.q, L, row.red, next.red);
+    };
+    if (cfg_.parallel && !in_parallel_region() && hardware_threads() > 1 &&
+        L >= cfg_.task_cutoff) {
+#pragma omp parallel
+#pragma omp single
+      run();
+    } else {
+      run();
+    }
+    next.red.resize(
+        static_cast<std::size_t>(std::max<std::int64_t>(next.q + 1, 0)));
+    row = std::move(next);
+  }
+  return row;
+}
+
+}  // namespace core

@@ -1,0 +1,144 @@
+#include "amopt/fft/convolution.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <complex>
+
+#include "amopt/common/aligned.hpp"
+#include "amopt/common/assert.hpp"
+#include "amopt/fft/fft.hpp"
+#include "amopt/metrics/counters.hpp"
+
+namespace amopt::conv {
+
+namespace {
+
+using fft::cplx;
+
+// Below this cost product the direct loop beats FFT setup (measured with
+// bench/micro_fft on the build machine; the exact value is uncritical).
+constexpr std::size_t kDirectCostThreshold = 1u << 14;
+
+[[nodiscard]] bool use_direct(std::size_t na, std::size_t nb, Policy policy) {
+  switch (policy.path) {
+    case Policy::Path::direct:
+      return true;
+    case Policy::Path::fft:
+      return false;
+    case Policy::Path::automatic:
+      break;
+  }
+  const std::size_t k = std::min(na, nb);
+  const std::size_t n = std::max(na, nb);
+  return k * n <= kDirectCostThreshold || k <= 8;
+}
+
+/// Cyclic convolution of a and b (zero-padded into size-n buffers, n a power
+/// of two >= na+nb-1) using one forward FFT: pack z = a + i*b, split the
+/// spectrum with conjugate symmetry, multiply, invert.
+void fft_convolve_into(std::span<const double> a, std::span<const double> b,
+                       double* out, std::size_t out_len) {
+  const std::size_t full = a.size() + b.size() - 1;
+  const std::size_t n = next_pow2(full);
+  aligned_vector<cplx> z(n, cplx{0.0, 0.0});
+  for (std::size_t i = 0; i < a.size(); ++i) z[i].real(a[i]);
+  for (std::size_t i = 0; i < b.size(); ++i) z[i].imag(b[i]);
+
+  const fft::Plan& plan = fft::plan_for(n);
+  plan.forward(z.data());
+
+  // Spectra: A[k] = (Z[k] + conj(Z[n-k]))/2, B[k] = (Z[k] - conj(Z[n-k]))/(2i)
+  // so C[k] = A[k]*B[k]; we overwrite z with C, handling the paired indices
+  // (k, n-k) together.
+  const auto product = [](cplx zk, cplx znk) {
+    const cplx ak = 0.5 * (zk + std::conj(znk));
+    const cplx bk = cplx{0.0, -0.5} * (zk - std::conj(znk));
+    return ak * bk;
+  };
+  const cplx z0 = z[0];
+  z[0] = cplx{z0.real() * z0.imag(), 0.0};
+  for (std::size_t k = 1, j = n - 1; k < j; ++k, --j) {
+    const cplx zk = z[k], zj = z[j];
+    const cplx ck = product(zk, zj);
+    const cplx cj = product(zj, zk);
+    z[k] = ck;
+    z[j] = cj;
+  }
+  if (n > 1) {
+    const cplx zm = z[n / 2];  // self-paired Nyquist bin
+    z[n / 2] = cplx{zm.real() * zm.imag(), 0.0};
+  }
+
+  plan.inverse(z.data());
+  for (std::size_t i = 0; i < out_len; ++i) out[i] = z[i].real();
+
+  // 2 complex FFTs' worth of work (one forward, one inverse) + pointwise.
+  const auto logn = static_cast<std::uint64_t>(
+      std::max<std::size_t>(1, static_cast<std::size_t>(std::bit_width(n)) - 1));
+  metrics::add_flops(2 * 5 * static_cast<std::uint64_t>(n) * logn + 6 * n);
+  metrics::add_bytes(2 * static_cast<std::uint64_t>(n) * sizeof(cplx) * logn);
+}
+
+}  // namespace
+
+std::vector<double> convolve_full_direct(std::span<const double> a,
+                                         std::span<const double> b) {
+  if (a.empty() || b.empty()) return {};
+  std::vector<double> c(a.size() + b.size() - 1, 0.0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double ai = a[i];
+    for (std::size_t j = 0; j < b.size(); ++j) c[i + j] += ai * b[j];
+  }
+  metrics::add_flops(2 * static_cast<std::uint64_t>(a.size()) * b.size());
+  metrics::add_bytes(static_cast<std::uint64_t>(c.size()) * sizeof(double));
+  return c;
+}
+
+void correlate_valid_direct(std::span<const double> in,
+                            std::span<const double> kernel,
+                            std::span<double> out) {
+  AMOPT_EXPECTS(!kernel.empty());
+  AMOPT_EXPECTS(in.size() >= out.size() + kernel.size() - 1);
+  for (std::size_t j = 0; j < out.size(); ++j) {
+    double acc = 0.0;
+    for (std::size_t m = 0; m < kernel.size(); ++m) acc += kernel[m] * in[j + m];
+    out[j] = acc;
+  }
+  metrics::add_flops(2 * static_cast<std::uint64_t>(out.size()) *
+                     kernel.size());
+  metrics::add_bytes(static_cast<std::uint64_t>(out.size()) * sizeof(double));
+}
+
+std::vector<double> convolve_full(std::span<const double> a,
+                                  std::span<const double> b, Policy policy) {
+  if (a.empty() || b.empty()) return {};
+  if (use_direct(a.size(), b.size(), policy)) return convolve_full_direct(a, b);
+  std::vector<double> c(a.size() + b.size() - 1);
+  fft_convolve_into(a, b, c.data(), c.size());
+  return c;
+}
+
+void correlate_valid(std::span<const double> in,
+                     std::span<const double> kernel, std::span<double> out,
+                     Policy policy) {
+  AMOPT_EXPECTS(!kernel.empty());
+  if (out.empty()) return;
+  AMOPT_EXPECTS(in.size() >= out.size() + kernel.size() - 1);
+  if (use_direct(in.size(), kernel.size(), policy)) {
+    correlate_valid_direct(in, kernel, out);
+    return;
+  }
+  // Correlation = convolution with the reversed kernel, shifted so that
+  // output index 0 lands on full-convolution index kernel.size()-1. Trim the
+  // input to the prefix actually referenced to keep the transform small.
+  std::vector<double> rev(kernel.rbegin(), kernel.rend());
+  const std::size_t needed_in = out.size() + kernel.size() - 1;
+  std::span<const double> in_used = in.subspan(0, needed_in);
+  const std::size_t full = in_used.size() + rev.size() - 1;
+  std::vector<double> c(full);
+  fft_convolve_into(in_used, rev, c.data(), c.size());
+  const std::size_t offset = kernel.size() - 1;
+  for (std::size_t j = 0; j < out.size(); ++j) out[j] = c[offset + j];
+}
+
+}  // namespace amopt::conv

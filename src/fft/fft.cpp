@@ -1,0 +1,108 @@
+#include "amopt/fft/fft.hpp"
+
+#include <cmath>
+#include <memory>
+#include <mutex>
+#include <numbers>
+#include <unordered_map>
+#include <utility>
+
+#include "amopt/common/assert.hpp"
+#include "amopt/common/parallel.hpp"
+
+namespace amopt::fft {
+
+namespace {
+
+// Below this size the parallel-for overhead of a stage exceeds its work;
+// transforms stay serial. Chosen conservatively; see bench/micro_fft.
+constexpr std::size_t kParallelThreshold = std::size_t{1} << 15;
+
+[[nodiscard]] std::size_t ilog2(std::size_t n) {
+  std::size_t l = 0;
+  while ((std::size_t{1} << l) < n) ++l;
+  return l;
+}
+
+}  // namespace
+
+Plan::Plan(std::size_t n) : n_(n), log2n_(ilog2(n)) {
+  AMOPT_EXPECTS(is_pow2(n));
+  // Twiddle layout: for each stage with half-size h, the h factors
+  // w_h^j = e^{-i pi j / h}, j in [0, h). Total: sum over stages = n-1.
+  twiddle_.resize(n_ > 1 ? n_ - 1 : 0);
+  for (std::size_t h = 1; h < n_; h <<= 1) {
+    const double theta = -std::numbers::pi / static_cast<double>(h);
+    cplx* w = twiddle_.data() + (h - 1);
+    for (std::size_t j = 0; j < h; ++j) {
+      const double a = theta * static_cast<double>(j);
+      w[j] = cplx{std::cos(a), std::sin(a)};
+    }
+  }
+  bitrev_.resize(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    std::size_t r = 0;
+    for (std::size_t b = 0; b < log2n_; ++b) r |= ((i >> b) & 1u) << (log2n_ - 1 - b);
+    bitrev_[i] = static_cast<std::uint32_t>(r);
+  }
+}
+
+void Plan::bit_reverse_permute(cplx* data) const {
+  for (std::size_t i = 0; i < n_; ++i) {
+    const std::size_t r = bitrev_[i];
+    if (i < r) std::swap(data[i], data[r]);
+  }
+}
+
+void Plan::transform(cplx* data, bool inverse) const {
+  if (n_ <= 1) return;
+  bit_reverse_permute(data);
+
+  const bool parallel = n_ >= kParallelThreshold && !in_parallel_region() &&
+                        hardware_threads() > 1;
+  for (std::size_t h = 1; h < n_; h <<= 1) {
+    const cplx* w = twiddle_.data() + (h - 1);
+    const std::size_t step = h << 1;
+    const auto butterfly_block = [&](std::size_t base) {
+      for (std::size_t j = 0; j < h; ++j) {
+        const cplx tw = inverse ? std::conj(w[j]) : w[j];
+        cplx& lo = data[base + j];
+        cplx& hi = data[base + j + h];
+        const cplx t = hi * tw;
+        hi = lo - t;
+        lo += t;
+      }
+    };
+    if (parallel) {
+#pragma omp parallel for schedule(static)
+      for (std::ptrdiff_t base = 0; base < static_cast<std::ptrdiff_t>(n_);
+           base += static_cast<std::ptrdiff_t>(step)) {
+        butterfly_block(static_cast<std::size_t>(base));
+      }
+    } else {
+      for (std::size_t base = 0; base < n_; base += step) butterfly_block(base);
+    }
+  }
+
+  if (inverse) {
+    const double inv_n = 1.0 / static_cast<double>(n_);
+    for (std::size_t i = 0; i < n_; ++i) data[i] *= inv_n;
+  }
+}
+
+const Plan& plan_for(std::size_t n) {
+  AMOPT_EXPECTS(is_pow2(n));
+  static std::mutex mu;
+  static std::unordered_map<std::size_t, std::unique_ptr<Plan>> cache;
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = cache.find(n);
+  if (it == cache.end()) {
+    it = cache.emplace(n, std::make_unique<Plan>(n)).first;
+  }
+  return *it->second;
+}
+
+void forward(std::span<cplx> data) { plan_for(data.size()).forward(data.data()); }
+void inverse(std::span<cplx> data) { plan_for(data.size()).inverse(data.data()); }
+
+}  // namespace amopt::fft

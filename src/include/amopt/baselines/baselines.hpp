@@ -1,0 +1,42 @@
+#pragma once
+// S8: the competitor algorithms of Table 2 / §5, re-implemented from their
+// published descriptions (Par-bin-ops is not vendorable offline; see
+// DESIGN.md "Faithfulness notes").
+//
+//  * quantlib_style_* ("ql-bopm"): QuantLib's CRR binomial engine structure
+//    — a lattice object queried per node through virtual calls, the
+//    underlying recomputed with pow() at every node, one-row-at-a-time
+//    rollback through a discretized-asset abstraction. Θ(T^2) work with the
+//    large constants the paper's Fig. 5(a) shows.
+//  * zubair_* ("zb-bopm"): Zubair & Mukkamala's cache-optimized scheme —
+//    precomputed power tables plus split tiling (parallelogram pass +
+//    gap-triangle pass per band) so each band's working set stays in cache.
+//    Θ(T^2) work, Table 2's "Tiled Loop (cache-aware)" row.
+//  * cache_oblivious_*: Frigo–Strumpen recursive space-time trapezoid
+//    decomposition, applied verbatim to the *nonlinear* stencil (legal: the
+//    max() update is still local). Table 2's "Recursive Tiling" row.
+//
+// All three price the American call under BOPM and agree with
+// pricing::bopm::american_call_vanilla to rounding error.
+
+#include <cstdint>
+
+#include "amopt/pricing/params.hpp"
+
+namespace amopt::baselines {
+
+[[nodiscard]] double quantlib_style_american_call(
+    const pricing::OptionSpec& spec, std::int64_t T, bool parallel = true);
+
+struct ZubairConfig {
+  std::int64_t tile_width = 1024;  ///< columns per L1-resident tile
+  bool parallel = true;
+};
+[[nodiscard]] double zubair_american_call(const pricing::OptionSpec& spec,
+                                          std::int64_t T,
+                                          ZubairConfig cfg = {});
+
+[[nodiscard]] double cache_oblivious_american_call(
+    const pricing::OptionSpec& spec, std::int64_t T);
+
+}  // namespace amopt::baselines

@@ -1,0 +1,42 @@
+#pragma once
+// Contract-checking macros in the spirit of the C++ Core Guidelines'
+// Expects/Ensures (I.6, I.8). Precondition checks stay on in release builds
+// unless AMOPT_NO_CONTRACTS is defined: the solvers in core/ rely on
+// structural invariants (boundary monotonicity, window margins) whose
+// violation would silently produce wrong prices.
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace amopt::detail {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "amopt: %s violated: %s at %s:%d\n", kind, expr, file,
+               line);
+  std::abort();
+}
+
+}  // namespace amopt::detail
+
+#if defined(AMOPT_NO_CONTRACTS)
+#define AMOPT_EXPECTS(cond) ((void)0)
+#define AMOPT_ENSURES(cond) ((void)0)
+#else
+#define AMOPT_EXPECTS(cond)                                                 \
+  ((cond) ? (void)0                                                         \
+          : ::amopt::detail::contract_failure("precondition", #cond,        \
+                                              __FILE__, __LINE__))
+#define AMOPT_ENSURES(cond)                                                 \
+  ((cond) ? (void)0                                                         \
+          : ::amopt::detail::contract_failure("postcondition", #cond,       \
+                                              __FILE__, __LINE__))
+#endif
+
+// Heavier checks (full-grid cross validation, O(n) scans inside hot loops)
+// compile away outside debug builds.
+#if defined(AMOPT_DEBUG_CHECKS)
+#define AMOPT_DEBUG_ASSERT(cond) AMOPT_EXPECTS(cond)
+#else
+#define AMOPT_DEBUG_ASSERT(cond) ((void)0)
+#endif

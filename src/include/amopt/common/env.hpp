@@ -1,0 +1,32 @@
+#pragma once
+// Environment-variable knobs used by the bench harness so that CI-scale and
+// paper-scale runs share one binary (e.g. AMOPT_BENCH_MAX_T=524288).
+
+#include <cstdlib>
+#include <string>
+
+namespace amopt {
+
+[[nodiscard]] inline long env_long(const char* name, long fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const long parsed = std::strtol(v, &end, 10);
+  return (end != nullptr && *end == '\0') ? parsed : fallback;
+}
+
+[[nodiscard]] inline double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  return (end != nullptr && *end == '\0') ? parsed : fallback;
+}
+
+[[nodiscard]] inline std::string env_string(const char* name,
+                                            const std::string& fallback) {
+  const char* v = std::getenv(name);
+  return (v == nullptr || *v == '\0') ? fallback : std::string(v);
+}
+
+}  // namespace amopt

@@ -1,0 +1,51 @@
+#pragma once
+// Thin OpenMP helpers. All parallelism in the library goes through OpenMP:
+// `parallel for` for the row sweeps of the vanilla pricers and the FFT
+// stages, tasks for the trapezoid recursion (matching the paper's work-span
+// analysis under a greedy scheduler).
+
+#if defined(_OPENMP)
+#include <omp.h>
+#endif
+
+namespace amopt {
+
+[[nodiscard]] inline int hardware_threads() {
+#if defined(_OPENMP)
+  return omp_get_max_threads();
+#else
+  return 1;
+#endif
+}
+
+/// Set the number of OpenMP threads used by subsequent parallel regions.
+inline void set_threads(int n) {
+#if defined(_OPENMP)
+  if (n > 0) omp_set_num_threads(n);
+#else
+  (void)n;
+#endif
+}
+
+[[nodiscard]] inline bool in_parallel_region() {
+#if defined(_OPENMP)
+  return omp_in_parallel() != 0;
+#else
+  return false;
+#endif
+}
+
+/// RAII guard that pins the OpenMP thread count for a scope (used by the
+/// Table 5 scalability bench) and restores the previous value on exit.
+class ThreadScope {
+ public:
+  explicit ThreadScope(int n) : saved_(hardware_threads()) { set_threads(n); }
+  ~ThreadScope() { set_threads(saved_); }
+  ThreadScope(const ThreadScope&) = delete;
+  ThreadScope& operator=(const ThreadScope&) = delete;
+
+ private:
+  int saved_;
+};
+
+}  // namespace amopt

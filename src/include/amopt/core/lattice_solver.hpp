@@ -1,0 +1,124 @@
+#pragma once
+// S5: the paper's nonlinear-stencil solver for lattice models (BOPM §2.3,
+// TOPM §3/A.3).
+//
+// Grid convention (paper Fig. 2b): row i in [0, T] holds cells j in
+// [0, g*i], where g = taps-1 is the cone growth rate (1 for binomial, 2 for
+// trinomial). Row T is expiry; backward induction computes row i from row
+// i+1. Every row is a contiguous *red* prefix [0, q_i] (continuation value,
+// the linear stencil applies) followed by a *green* suffix (exercise value,
+// a closed form of (i, j)). Corollary 2.7 / A.6: going down one row the
+// boundary q_i stays or moves one cell left.
+//
+// A trapezoid of height L is solved by (paper Fig. 3b):
+//   1. cells that are provably red at depth h = ceil(L/2) with their whole
+//      dependency cone red -> one correlation with the stencil's h-step
+//      kernel (FFT);
+//   2. the O(g*h)-wide strip around the boundary -> recursion;
+//   3. repeat both for the second half. Base case: naive loop with `max`,
+//      which *discovers* the boundary location.
+// Work O(L log^2 L), span O(L); the conv and the strip run as OpenMP tasks.
+//
+// Boundary-motion caveat (see DESIGN.md): the <=1-cell-per-step guarantee is
+// proved from row T-2 downward, so pricers naive-step the first two rows
+// before calling descend(). descend() itself only assumes the property holds
+// from `top.i` downward.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "amopt/fft/convolution.hpp"
+#include "amopt/stencil/kernel_cache.hpp"
+#include "amopt/stencil/linear_stencil.hpp"
+
+namespace amopt::core {
+
+/// Exercise-value oracle ("green" value) for lattice cells. Implementations
+/// must be callable for any 0 <= i <= T, 0 <= j <= g*i + g (the solver reads
+/// at most g-1 cells of green extension past a row's red prefix).
+class LatticeGreen {
+ public:
+  virtual ~LatticeGreen() = default;
+  [[nodiscard]] virtual double value(std::int64_t i, std::int64_t j) const = 0;
+};
+
+/// One grid row in boundary-compressed form: red values for j in [0, q],
+/// green cells implied by the oracle. q == -1 means the row is entirely
+/// green (then every row below it is too, by Lemma 2.4/A.2).
+struct LatticeRow {
+  std::int64_t i = 0;
+  std::int64_t q = -1;
+  std::vector<double> red;
+};
+
+/// Direction the red/green boundary moves as the backward induction walks
+/// DOWN the lattice (decreasing i):
+///  * shrinking — the call case (Corollary 2.7): q_i in [q_{i+1}-1, q_{i+1}];
+///  * growing   — the mirrored-put case (library extension, validated
+///    empirically in tests): q_i in [q_{i+1}, q_{i+1}+1].
+enum class BoundaryDrift { shrinking, growing };
+
+struct SolverConfig {
+  int base_case = 8;               ///< trapezoid height switch to naive
+  std::int64_t task_cutoff = 512;  ///< min height to spawn OpenMP tasks
+  bool parallel = true;
+  BoundaryDrift drift = BoundaryDrift::shrinking;
+  conv::Policy conv_policy{};
+};
+
+class LatticeSolver {
+ public:
+  LatticeSolver(stencil::LinearStencil st, const LatticeGreen& green,
+                SolverConfig cfg = {});
+
+  LatticeSolver(const LatticeSolver&) = delete;
+  LatticeSolver& operator=(const LatticeSolver&) = delete;
+
+  /// Full trapezoid descent from `top` to row `i_stop` (inclusive result).
+  /// Requires the boundary-motion property from row top.i downward.
+  [[nodiscard]] LatticeRow descend(LatticeRow top, std::int64_t i_stop);
+
+  /// One naive backward-induction step (row i -> row i-1), discovering the
+  /// new boundary. Used for the rows adjacent to expiry and as the
+  /// trapezoid base case. `unbounded_scan` evaluates every cell of the new
+  /// row instead of trusting the one-cell boundary-motion bound — required
+  /// for the first step off the expiry row in growing mode, where the
+  /// discrete boundary jumps (see DESIGN.md).
+  [[nodiscard]] LatticeRow step_naive(const LatticeRow& row,
+                                      bool unbounded_scan = false) const;
+
+  [[nodiscard]] std::int64_t cone_growth() const noexcept { return g_; }
+  [[nodiscard]] const SolverConfig& config() const noexcept { return cfg_; }
+
+ private:
+  /// Solve one trapezoid of height L over the column window [jL, q0]:
+  /// given red values of row i0 (in[k] = value at j = jL + k, k in
+  /// [0, q0-jL]), fill `out` with red values of row i0-L for j in
+  /// [jL, q_new] (same indexing) and return q_new (jL-1 if the window is
+  /// all green at that row). `in` and `out` must not alias;
+  /// out.size() >= in.size().
+  std::int64_t solve(std::int64_t i0, std::int64_t jL, std::int64_t q0,
+                     std::int64_t L, std::span<const double> in,
+                     std::span<double> out);
+
+  std::int64_t solve_base(std::int64_t i0, std::int64_t jL, std::int64_t q0,
+                          std::int64_t L, std::span<const double> in,
+                          std::span<double> out) const;
+
+  /// Correlate the h-step kernel over `ext` (input row extended by g-1
+  /// green cells) writing `n_out` provably-red cells.
+  void run_conv(std::span<const double> ext, std::int64_t h,
+                std::span<double> out);
+
+  [[nodiscard]] std::int64_t row_width(std::int64_t i) const noexcept {
+    return g_ * i;
+  }
+
+  stencil::KernelCache kernels_;
+  const LatticeGreen& green_;
+  SolverConfig cfg_;
+  std::int64_t g_;
+};
+
+}  // namespace amopt::core

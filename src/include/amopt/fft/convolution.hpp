@@ -1,0 +1,48 @@
+#pragma once
+// S2: linear convolution / correlation of real sequences.
+//
+// The nonlinear-stencil solvers need exactly one primitive from this file:
+// `correlate_valid`, which evaluates
+//
+//     out[j] = sum_m kernel[m] * in[j + m],   j in [0, out.size())
+//
+// i.e. the application of `h` pre-combined stencil steps (kernel = taps^h)
+// to a row segment whose dependency cones are fully inside the linear (red)
+// region. Small products are evaluated directly; large ones go through a
+// two-for-one packed real FFT (both operands transformed with a single
+// complex FFT).
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace amopt::conv {
+
+/// Crossover between the O(n*k) direct loop and the O(n log n) FFT path.
+/// Exposed so tests/benches can pin one path; `auto_threshold` restores the
+/// default behaviour.
+struct Policy {
+  enum class Path { automatic, direct, fft };
+  Path path = Path::automatic;
+};
+
+/// Full linear convolution, c[k] = sum_i a[i]*b[k-i]; result size
+/// a.size()+b.size()-1 (empty if either input is empty).
+[[nodiscard]] std::vector<double> convolve_full(std::span<const double> a,
+                                                std::span<const double> b,
+                                                Policy policy = {});
+
+/// Valid correlation (see file comment). Requires
+/// in.size() >= out.size() + kernel.size() - 1 and a non-empty kernel.
+void correlate_valid(std::span<const double> in,
+                     std::span<const double> kernel, std::span<double> out,
+                     Policy policy = {});
+
+/// Reference implementations (always direct); used as test oracles.
+[[nodiscard]] std::vector<double> convolve_full_direct(
+    std::span<const double> a, std::span<const double> b);
+void correlate_valid_direct(std::span<const double> in,
+                            std::span<const double> kernel,
+                            std::span<double> out);
+
+}  // namespace amopt::conv

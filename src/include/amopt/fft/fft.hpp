@@ -1,0 +1,56 @@
+#pragma once
+// S1: iterative radix-2 complex FFT with cached twiddle/bit-reversal plans.
+//
+// This is the computational substrate of the FFT-based linear-stencil
+// algorithm (Ahmad et al., SPAA 2021) that the paper's pricers call on every
+// trapezoid. Sizes are always powers of two here; the convolution layer
+// zero-pads. Stages of large transforms are parallelized with OpenMP
+// `parallel for` (span O(log n) stages), matching the
+// O(log l * log log l)-span FFT the paper assumes.
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "amopt/common/aligned.hpp"
+
+namespace amopt::fft {
+
+using cplx = std::complex<double>;
+
+/// Precomputed tables for one transform size. Plans are immutable after
+/// construction and safe to share across threads.
+class Plan {
+ public:
+  explicit Plan(std::size_t n);
+
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+
+  /// In-place forward transform (engineering sign convention, e^{-2pi i}).
+  void forward(cplx* data) const { transform(data, /*inverse=*/false); }
+  /// In-place inverse transform, including the 1/n normalization.
+  void inverse(cplx* data) const { transform(data, /*inverse=*/true); }
+
+ private:
+  void transform(cplx* data, bool inverse) const;
+  void bit_reverse_permute(cplx* data) const;
+
+  std::size_t n_;
+  std::size_t log2n_;
+  // Twiddles for the forward direction, one contiguous block per stage:
+  // stage s (half-size h = 1<<s) starts at offset h-1 and holds h factors.
+  aligned_vector<cplx> twiddle_;
+  std::vector<std::uint32_t> bitrev_;
+};
+
+/// Process-wide plan cache keyed by size (n must be a power of two).
+/// Thread-safe; plans are created once and reused.
+[[nodiscard]] const Plan& plan_for(std::size_t n);
+
+/// Convenience wrappers over the cached plans. `data.size()` must be a
+/// power of two.
+void forward(std::span<cplx> data);
+void inverse(std::span<cplx> data);
+
+}  // namespace amopt::fft

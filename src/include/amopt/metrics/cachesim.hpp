@@ -1,0 +1,92 @@
+#pragma once
+// S9b: two-level set-associative LRU cache simulator for the Fig. 7
+// reproduction (the paper used PAPI hardware counters; see DESIGN.md).
+// Geometry defaults to the paper's Skylake-SP node: L1D 32 KiB / 8-way,
+// L2 1 MiB / 16-way, 64-byte lines. An L1 miss counts as an L2 access
+// (exactly how the paper describes its Fig. 7 data).
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace amopt::metrics {
+
+struct CacheLevelConfig {
+  std::size_t size_bytes = 32 * 1024;
+  std::size_t line_bytes = 64;
+  std::size_t ways = 8;
+};
+
+struct CacheStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t l1_misses = 0;
+  std::uint64_t l2_misses = 0;
+};
+
+/// One set-associative LRU level.
+class CacheLevel {
+ public:
+  explicit CacheLevel(CacheLevelConfig cfg);
+  /// Returns true on hit; on miss the line is installed (LRU eviction).
+  bool access_line(std::uint64_t line_addr);
+  void clear();
+  [[nodiscard]] std::size_t sets() const noexcept { return n_sets_; }
+
+ private:
+  std::size_t n_sets_;
+  std::size_t ways_;
+  // tags_[set * ways + w], most-recently-used first; kEmpty = invalid.
+  std::vector<std::uint64_t> tags_;
+  static constexpr std::uint64_t kEmpty = ~std::uint64_t{0};
+};
+
+class CacheSim {
+ public:
+  CacheSim(CacheLevelConfig l1 = {},
+           CacheLevelConfig l2 = {1024 * 1024, 64, 16});
+
+  /// Touch `bytes` bytes starting at `addr` (every covered line counts as
+  /// one access per call).
+  void access(std::uint64_t addr, std::size_t bytes);
+
+  [[nodiscard]] const CacheStats& stats() const noexcept { return stats_; }
+  void reset_stats() { stats_ = {}; }
+  void clear();
+
+ private:
+  CacheLevel l1_;
+  CacheLevel l2_;
+  std::size_t line_bytes_;
+  CacheStats stats_;
+};
+
+/// std::vector wrapper whose element accesses drive a CacheSim with the
+/// element's real heap address (so buffer-to-buffer conflicts are modeled).
+template <class T>
+class SimVec {
+ public:
+  SimVec(CacheSim& sim, std::size_t n, T init = T{})
+      : sim_(&sim), data_(n, init) {}
+
+  T& operator[](std::size_t i) {
+    sim_->access(addr_of(i), sizeof(T));
+    return data_[i];
+  }
+  const T& operator[](std::size_t i) const {
+    sim_->access(addr_of(i), sizeof(T));
+    return data_[i];
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+  /// Raw (untracked) access for initialization code outside the measured
+  /// region.
+  T& raw(std::size_t i) { return data_[i]; }
+
+ private:
+  [[nodiscard]] std::uint64_t addr_of(std::size_t i) const {
+    return reinterpret_cast<std::uint64_t>(data_.data() + i);
+  }
+  CacheSim* sim_;
+  std::vector<T> data_;
+};
+
+}  // namespace amopt::metrics

@@ -1,0 +1,42 @@
+#pragma once
+// Lightweight operation counters. The energy model (metrics/energy.hpp)
+// converts these into joules when hardware RAPL counters are unavailable
+// (the usual case inside containers). Counting happens at block granularity
+// (one atomic add per convolution / per row sweep), so the overhead is
+// unmeasurable next to the work being counted.
+
+#include <atomic>
+#include <cstdint>
+
+namespace amopt::metrics {
+
+struct OpSnapshot {
+  std::uint64_t flops = 0;
+  std::uint64_t bytes = 0;  ///< estimated data movement to/from memory
+};
+
+namespace detail {
+struct OpCounters {
+  std::atomic<std::uint64_t> flops{0};
+  std::atomic<std::uint64_t> bytes{0};
+};
+OpCounters& instance();
+}  // namespace detail
+
+inline void add_flops(std::uint64_t n) {
+  detail::instance().flops.fetch_add(n, std::memory_order_relaxed);
+}
+inline void add_bytes(std::uint64_t n) {
+  detail::instance().bytes.fetch_add(n, std::memory_order_relaxed);
+}
+
+[[nodiscard]] OpSnapshot snapshot();
+void reset_counters();
+
+/// Difference helper: ops performed between two snapshots.
+[[nodiscard]] inline OpSnapshot delta(const OpSnapshot& before,
+                                      const OpSnapshot& after) {
+  return {after.flops - before.flops, after.bytes - before.bytes};
+}
+
+}  // namespace amopt::metrics

@@ -1,0 +1,38 @@
+#pragma once
+// Convenience facade over the whole library: one `price()` call selecting
+// model x right x style x engine. Examples and benches use this; tests
+// mostly call the underlying functions directly.
+
+#include <cstdint>
+#include <string_view>
+
+#include "amopt/core/lattice_solver.hpp"
+#include "amopt/pricing/params.hpp"
+
+namespace amopt::pricing {
+
+enum class Model { bopm, topm, bsm };
+enum class Right { call, put };
+enum class Style { american, european };
+enum class Engine {
+  fft,               ///< the paper's O(T log^2 T) algorithm
+  vanilla,           ///< Θ(T^2) serial loop (Figure 1)
+  vanilla_parallel,  ///< Θ(T^2) loop, OpenMP row-parallel
+  tiled,             ///< zb-bopm: cache-aware split tiling (BOPM call only)
+  cache_oblivious,   ///< Frigo-Strumpen recursion (BOPM call only)
+  quantlib           ///< ql-bopm: QuantLib-style rollback (BOPM call only)
+};
+
+[[nodiscard]] std::string_view to_string(Model m);
+[[nodiscard]] std::string_view to_string(Right r);
+[[nodiscard]] std::string_view to_string(Style s);
+[[nodiscard]] std::string_view to_string(Engine e);
+
+/// Price an option with `T` time steps. Throws std::invalid_argument for
+/// combinations without a meaningful implementation (see Engine comments).
+[[nodiscard]] double price(const OptionSpec& spec, std::int64_t T, Model model,
+                           Right right, Style style = Style::american,
+                           Engine engine = Engine::fft,
+                           core::SolverConfig cfg = {});
+
+}  // namespace amopt::pricing

@@ -1,0 +1,31 @@
+#pragma once
+// Bermudan options (one of the paper's "future work" items, §6): exercise
+// is allowed only at a given subset of the T lattice steps. Between
+// exercise dates the stencil is purely linear, so the whole gap collapses
+// into ONE kernel correlation; the nonlinearity is a pointwise max applied
+// at the m exercise dates. Total cost O(m * T log T) versus Θ(T^2) for the
+// rollback loop — the same FFT idea as the American solver but without
+// needing any boundary structure.
+
+#include <cstdint>
+#include <span>
+
+#include "amopt/pricing/params.hpp"
+
+namespace amopt::pricing::bermudan {
+
+enum class Right { call, put };
+
+/// `exercise_steps`: strictly increasing lattice steps in [0, T] at which
+/// early exercise is permitted (step T — expiry — is always exercisable and
+/// need not be listed). Empty => European.
+[[nodiscard]] double price_fft(const OptionSpec& spec, std::int64_t T,
+                               std::span<const std::int64_t> exercise_steps,
+                               Right right);
+
+/// Θ(T^2) rollback oracle with the same exercise schedule.
+[[nodiscard]] double price_vanilla(const OptionSpec& spec, std::int64_t T,
+                                   std::span<const std::int64_t> exercise_steps,
+                                   Right right);
+
+}  // namespace amopt::pricing::bermudan

@@ -1,0 +1,23 @@
+#pragma once
+// Closed-form Black-Scholes-Merton prices for European options (with
+// continuous dividend yield) and the perpetual American put. These are the
+// convergence anchors for the lattice/FDM pricers in tests and examples.
+
+#include "amopt/pricing/params.hpp"
+
+namespace amopt::pricing::bs {
+
+/// Standard normal CDF.
+[[nodiscard]] double norm_cdf(double x);
+
+[[nodiscard]] double european_call(const OptionSpec& spec);
+[[nodiscard]] double european_put(const OptionSpec& spec);
+
+/// Perpetual American put (infinite expiry, R > 0, Y = 0):
+/// V(S) = (K - S*) (S/S*)^(-gamma) for S >= S*, K - S below, with
+/// gamma = 2R/V^2 and S* = gamma K / (1 + gamma).
+[[nodiscard]] double perpetual_put(double S, double K, double R, double V);
+/// The perpetual put's optimal exercise boundary S*.
+[[nodiscard]] double perpetual_put_boundary(double K, double R, double V);
+
+}  // namespace amopt::pricing::bs

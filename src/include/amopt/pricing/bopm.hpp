@@ -1,0 +1,103 @@
+#pragma once
+// American (and European) option pricing under the Binomial Option Pricing
+// Model. `american_call_fft` is the paper's O(T log^2 T) algorithm (§2.3);
+// the vanilla variants are the Θ(T^2) Figure-1 loops used as correctness
+// oracles and as the reference series of the benchmarks.
+
+#include <cstdint>
+
+#include "amopt/core/lattice_solver.hpp"
+#include "amopt/pricing/params.hpp"
+
+namespace amopt::pricing::bopm {
+
+/// Green (exercise-value) oracle for the call lattice:
+/// value(i, j) = S * u^(2j-i) - K, backed by a precomputed power table.
+class CallGreen final : public core::LatticeGreen {
+ public:
+  CallGreen(const OptionSpec& spec, const BopmParams& prm)
+      : up_(prm.log_u, prm.T), S_(spec.S), K_(spec.K) {}
+  [[nodiscard]] double value(std::int64_t i, std::int64_t j) const override {
+    return S_ * up_(2 * j - i) - K_;
+  }
+
+ private:
+  PowerTable up_;
+  double S_, K_;
+};
+
+/// Expiry row in boundary-compressed form: red cells are the at/out-of-the-
+/// money nodes (value 0 = G^red by Definition 2.1), green cells the in-the-
+/// money payoffs.
+[[nodiscard]] core::LatticeRow expiry_row(const BopmParams& prm,
+                                          const core::LatticeGreen& green);
+
+// --- American call ------------------------------------------------------
+
+[[nodiscard]] double american_call_fft(const OptionSpec& spec, std::int64_t T,
+                                       core::SolverConfig cfg = {});
+[[nodiscard]] double american_call_vanilla(const OptionSpec& spec,
+                                           std::int64_t T);
+[[nodiscard]] double american_call_vanilla_parallel(const OptionSpec& spec,
+                                                    std::int64_t T);
+
+// --- American put -------------------------------------------------------
+
+/// Direct Θ(T^2) rollback on the put payoff (oracle).
+[[nodiscard]] double american_put_vanilla(const OptionSpec& spec,
+                                          std::int64_t T);
+/// Fast put via McDonald–Schroder put-call symmetry:
+/// P(S, K, R, Y) = C(K, S, Y, R). The symmetry is exact on the CRR lattice
+/// (the numeraire change maps path weights one-to-one), so this agrees with
+/// the direct rollback to rounding error; `american_put_fft_direct` below
+/// prices the put on its own lattice without the swap.
+[[nodiscard]] double american_put_fft(const OptionSpec& spec, std::int64_t T,
+                                      core::SolverConfig cfg = {});
+
+/// Direct fast put on the mirrored lattice (an extension beyond the paper,
+/// which treats calls only): reflecting j -> i - j maps the put grid onto a
+/// left-red/right-green lattice with the taps swapped, and the put's
+/// exercise region (low prices) becomes the green suffix. Agrees with
+/// `american_put_vanilla` to FFT rounding at every T.
+[[nodiscard]] double american_put_fft_direct(const OptionSpec& spec,
+                                             std::int64_t T,
+                                             core::SolverConfig cfg = {});
+
+/// Exercise-value oracle of the mirrored put lattice:
+/// value(i, j) = K - S * u^(i-2j).
+class MirroredPutGreen final : public core::LatticeGreen {
+ public:
+  MirroredPutGreen(const OptionSpec& spec, const BopmParams& prm)
+      : up_(prm.log_u, prm.T), S_(spec.S), K_(spec.K) {}
+  [[nodiscard]] double value(std::int64_t i, std::int64_t j) const override {
+    return K_ - S_ * up_(i - 2 * j);
+  }
+
+ private:
+  PowerTable up_;
+  double S_, K_;
+};
+
+// --- European (the linear special case; the paper's "simpler" problem) ---
+
+[[nodiscard]] double european_call_vanilla(const OptionSpec& spec,
+                                           std::int64_t T);
+/// One T-step kernel power + one dot product: O(T log T).
+[[nodiscard]] double european_call_fft(const OptionSpec& spec, std::int64_t T);
+[[nodiscard]] double european_put_vanilla(const OptionSpec& spec,
+                                          std::int64_t T);
+[[nodiscard]] double european_put_fft(const OptionSpec& spec, std::int64_t T);
+
+// --- Low-lattice nodes for Greeks (rows 0..2) -----------------------------
+
+struct LowNodes {
+  double g00 = 0, g10 = 0, g11 = 0, g20 = 0, g21 = 0, g22 = 0;
+  BopmParams prm;
+};
+/// Nodes of rows 0..2 of the American call lattice, computed with the FFT
+/// descent to row 2 and naive steps below. Requires T >= 2.
+[[nodiscard]] LowNodes american_call_nodes_fft(const OptionSpec& spec,
+                                               std::int64_t T,
+                                               core::SolverConfig cfg = {});
+
+}  // namespace amopt::pricing::bopm

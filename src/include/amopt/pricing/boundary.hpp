@@ -1,0 +1,27 @@
+#pragma once
+// Early-exercise (red/green) boundary extraction. These Θ(T^2) routines
+// exist for inspection, plotting (examples/exercise_boundary) and for the
+// tests that empirically validate the boundary-motion lemmas the fast
+// solver relies on (Corollary 2.7, Corollary A.6, Theorem 4.3).
+
+#include <cstdint>
+#include <vector>
+
+#include "amopt/pricing/params.hpp"
+
+namespace amopt::pricing {
+
+/// q_i (last red/continuation cell) for every BOPM call row i in [0, T];
+/// -1 where a row is entirely green.
+[[nodiscard]] std::vector<std::int64_t> bopm_call_boundary_vanilla(
+    const OptionSpec& spec, std::int64_t T);
+
+/// Same for the TOPM call lattice (row i spans [0, 2i]).
+[[nodiscard]] std::vector<std::int64_t> topm_call_boundary_vanilla(
+    const OptionSpec& spec, std::int64_t T);
+
+/// Asset price carried by BOPM cell (i, j): S * u^(2j - i).
+[[nodiscard]] double bopm_cell_price(const OptionSpec& spec, std::int64_t T,
+                                     std::int64_t i, std::int64_t j);
+
+}  // namespace amopt::pricing

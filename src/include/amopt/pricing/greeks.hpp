@@ -1,0 +1,33 @@
+#pragma once
+// Sensitivities of the American option price. Delta/gamma/theta come from
+// the low lattice nodes the FFT descent produces for free (rows 0..2);
+// vega/rho are central finite differences of the O(T log^2 T) pricer, so a
+// full Greek report still costs only O(T log^2 T).
+
+#include <cstdint>
+
+#include "amopt/core/lattice_solver.hpp"
+#include "amopt/pricing/params.hpp"
+
+namespace amopt::pricing {
+
+struct Greeks {
+  double price = 0.0;
+  double delta = 0.0;  ///< dV/dS
+  double gamma = 0.0;  ///< d2V/dS2
+  double theta = 0.0;  ///< dV/dt (per year, calendar decay)
+  double vega = 0.0;   ///< dV/dV(vol), per 1.0 of volatility
+  double rho = 0.0;    ///< dV/dR, per 1.0 of rate
+};
+
+[[nodiscard]] Greeks american_call_greeks_bopm(const OptionSpec& spec,
+                                               std::int64_t T,
+                                               core::SolverConfig cfg = {});
+
+/// Put Greeks via central finite differences of the fast put pricer
+/// (lattice nodes are not reusable across the put-call symmetry swap).
+[[nodiscard]] Greeks american_put_greeks_bopm(const OptionSpec& spec,
+                                              std::int64_t T,
+                                              core::SolverConfig cfg = {});
+
+}  // namespace amopt::pricing

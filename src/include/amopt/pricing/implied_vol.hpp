@@ -1,0 +1,38 @@
+#pragma once
+// Implied volatility for American options: invert price -> V with a
+// safeguarded Newton iteration (bisection fallback) on the O(T log^2 T)
+// pricer. This is the workload the paper's introduction motivates — rapid
+// recalibration as market quotes move — and it multiplies the pricer
+// speedup by the ~10 iterations the inversion needs.
+
+#include <cstdint>
+
+#include "amopt/pricing/params.hpp"
+
+namespace amopt::pricing {
+
+struct ImpliedVolResult {
+  double vol = 0.0;
+  int iterations = 0;
+  bool converged = false;
+};
+
+struct ImpliedVolConfig {
+  double tol = 1e-8;      ///< absolute price tolerance
+  double vol_lo = 1e-4;   ///< search bracket
+  double vol_hi = 5.0;
+  int max_iterations = 64;
+  std::int64_t T = 4096;  ///< lattice steps per evaluation
+};
+
+/// Volatility such that the American call under BOPM matches `target_price`.
+/// spec.V is ignored. Returns converged=false if the target lies outside
+/// the no-arbitrage range attainable on [vol_lo, vol_hi].
+[[nodiscard]] ImpliedVolResult american_call_implied_vol(
+    const OptionSpec& spec, double target_price, ImpliedVolConfig cfg = {});
+
+/// Same for the American put (direct mirrored-lattice pricer).
+[[nodiscard]] ImpliedVolResult american_put_implied_vol(
+    const OptionSpec& spec, double target_price, ImpliedVolConfig cfg = {});
+
+}  // namespace amopt::pricing

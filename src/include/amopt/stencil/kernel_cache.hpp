@@ -1,0 +1,42 @@
+#pragma once
+// Memoized stencil-kernel powers.
+//
+// The trapezoid recursion requests kernels for heights L/2, L/4, ... and the
+// top-level descent re-requests many of the same heights, so each pricing
+// call owns a KernelCache. The cache is safe to use from the solver's
+// parallel OpenMP tasks.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "amopt/stencil/linear_stencil.hpp"
+
+namespace amopt::stencil {
+
+class KernelCache {
+ public:
+  explicit KernelCache(LinearStencil st) : stencil_(std::move(st)) {}
+
+  KernelCache(const KernelCache&) = delete;
+  KernelCache& operator=(const KernelCache&) = delete;
+
+  [[nodiscard]] const LinearStencil& stencil() const noexcept {
+    return stencil_;
+  }
+
+  /// Coefficients of taps(x)^h. The returned span stays valid for the
+  /// lifetime of the cache (entries are never evicted).
+  [[nodiscard]] std::span<const double> power(std::uint64_t h);
+
+ private:
+  LinearStencil stencil_;
+  std::mutex mu_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<std::vector<double>>>
+      cache_;
+};
+
+}  // namespace amopt::stencil

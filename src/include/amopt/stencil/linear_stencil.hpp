@@ -1,0 +1,39 @@
+#pragma once
+// S4: linear 1D stencils and their multi-step application.
+//
+// A `LinearStencil` describes one backward-induction step
+//
+//     out[j] = sum_k taps[k] * in[j + left + k]
+//
+// (`left = 0` for the lattice models whose dependencies all lie to the
+// right; `left = -1` for the centered BSM finite-difference stencil).
+// Applying `h` steps over a region where the update stays linear is one
+// correlation with `poly::power(taps, h)`; `apply_steps_naive` is the
+// step-by-step oracle the tests compare against.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace amopt::stencil {
+
+struct LinearStencil {
+  std::vector<double> taps;  ///< at least one tap
+  int left = 0;              ///< offset of taps[0] relative to the output cell
+
+  [[nodiscard]] std::size_t width() const noexcept { return taps.size(); }
+  /// Cells of spatial support lost per step on each conceptual side.
+  [[nodiscard]] std::int64_t cone_growth() const noexcept {
+    return static_cast<std::int64_t>(taps.size()) - 1;
+  }
+};
+
+/// Apply `h` steps of `st` to `in`, shrinking the row by cone_growth() cells
+/// per step; returns the surviving centre. For `left = 0`, output index j
+/// corresponds to input index j; for centered stencils, output index j
+/// corresponds to input index j - h*left (callers track the offset).
+[[nodiscard]] std::vector<double> apply_steps_naive(const LinearStencil& st,
+                                                    std::span<const double> in,
+                                                    std::uint64_t h);
+
+}  // namespace amopt::stencil

@@ -1,0 +1,55 @@
+#include "amopt/metrics/cachesim.hpp"
+
+#include "amopt/common/assert.hpp"
+
+namespace amopt::metrics {
+
+CacheLevel::CacheLevel(CacheLevelConfig cfg)
+    : n_sets_(cfg.size_bytes / (cfg.line_bytes * cfg.ways)), ways_(cfg.ways),
+      tags_(n_sets_ * cfg.ways, kEmpty) {
+  AMOPT_EXPECTS(n_sets_ >= 1 && ways_ >= 1);
+  AMOPT_EXPECTS(cfg.size_bytes % (cfg.line_bytes * cfg.ways) == 0);
+}
+
+bool CacheLevel::access_line(std::uint64_t line_addr) {
+  const std::size_t set = static_cast<std::size_t>(line_addr) % n_sets_;
+  std::uint64_t* way = tags_.data() + set * ways_;
+  // MRU-first linear scan; associativities are 8/16 so this is fast.
+  for (std::size_t w = 0; w < ways_; ++w) {
+    if (way[w] == line_addr) {
+      // Move to front (LRU update).
+      for (std::size_t k = w; k > 0; --k) way[k] = way[k - 1];
+      way[0] = line_addr;
+      return true;
+    }
+  }
+  for (std::size_t k = ways_ - 1; k > 0; --k) way[k] = way[k - 1];
+  way[0] = line_addr;
+  return false;
+}
+
+void CacheLevel::clear() { tags_.assign(tags_.size(), kEmpty); }
+
+CacheSim::CacheSim(CacheLevelConfig l1, CacheLevelConfig l2)
+    : l1_(l1), l2_(l2), line_bytes_(l1.line_bytes) {
+  AMOPT_EXPECTS(l1.line_bytes == l2.line_bytes);
+}
+
+void CacheSim::access(std::uint64_t addr, std::size_t bytes) {
+  const std::uint64_t first = addr / line_bytes_;
+  const std::uint64_t last = (addr + (bytes == 0 ? 0 : bytes - 1)) / line_bytes_;
+  for (std::uint64_t line = first; line <= last; ++line) {
+    ++stats_.accesses;
+    if (!l1_.access_line(line)) {
+      ++stats_.l1_misses;
+      if (!l2_.access_line(line)) ++stats_.l2_misses;
+    }
+  }
+}
+
+void CacheSim::clear() {
+  l1_.clear();
+  l2_.clear();
+}
+
+}  // namespace amopt::metrics

@@ -1,0 +1,22 @@
+#include "amopt/metrics/counters.hpp"
+
+namespace amopt::metrics {
+
+detail::OpCounters& detail::instance() {
+  static OpCounters counters;
+  return counters;
+}
+
+OpSnapshot snapshot() {
+  auto& c = detail::instance();
+  return {c.flops.load(std::memory_order_relaxed),
+          c.bytes.load(std::memory_order_relaxed)};
+}
+
+void reset_counters() {
+  auto& c = detail::instance();
+  c.flops.store(0, std::memory_order_relaxed);
+  c.bytes.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace amopt::metrics

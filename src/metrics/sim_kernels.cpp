@@ -1,0 +1,428 @@
+#include "amopt/metrics/sim_kernels.hpp"
+
+#include <algorithm>
+#include <complex>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "amopt/common/aligned.hpp"
+#include "amopt/common/assert.hpp"
+#include "amopt/pricing/boundary.hpp"
+#include "amopt/pricing/bsm_fdm.hpp"
+
+namespace amopt::metrics {
+
+namespace {
+
+using pricing::OptionSpec;
+
+// ---------------------------------------------------------------------
+// Exact re-executions of the loop algorithms over SimVec.
+// ---------------------------------------------------------------------
+
+/// Nested-loop lattice rollback, in place (Figure 1 pattern). `g` = 1 for
+/// BOPM, 2 for TOPM (row width g*i, g+1 taps).
+void sim_lattice_vanilla(CacheSim& sim, std::int64_t T, std::int64_t g) {
+  SimVec<double> row(sim, static_cast<std::size_t>(g * T + g + 1), 1.0);
+  for (std::int64_t i = T - 1; i >= 0; --i) {
+    for (std::int64_t j = 0; j <= g * i; ++j) {
+      double lin = 0.0;
+      for (std::int64_t k = 0; k <= g; ++k)
+        lin += row[static_cast<std::size_t>(j + k)];
+      row[static_cast<std::size_t>(j)] = lin;  // payoff compare: no memory
+    }
+  }
+}
+
+/// QuantLib-style rollback: a fresh values vector per step (modeled as
+/// alternating buffers, which is what the allocator effectively yields).
+void sim_bopm_quantlib(CacheSim& sim, std::int64_t T) {
+  SimVec<double> a(sim, static_cast<std::size_t>(T + 1), 1.0);
+  SimVec<double> b(sim, static_cast<std::size_t>(T + 1), 1.0);
+  bool flip = false;
+  for (std::int64_t i = T - 1; i >= 0; --i) {
+    auto& cur = flip ? b : a;
+    auto& nxt = flip ? a : b;
+    for (std::int64_t j = 0; j <= i; ++j)
+      nxt[static_cast<std::size_t>(j)] = cur[static_cast<std::size_t>(j)] +
+                                         cur[static_cast<std::size_t>(j + 1)];
+    flip = !flip;
+  }
+}
+
+/// Zubair split tiling (pass 1 trapezoids + pass 2 gap triangles) with the
+/// power table tracked as memory traffic.
+void sim_bopm_zubair(CacheSim& sim, std::int64_t T, std::int64_t W) {
+  SimVec<double> G(sim, static_cast<std::size_t>(T + 2), 1.0);
+  SimVec<double> up(sim, static_cast<std::size_t>(2 * T + 9), 1.0);
+  const auto pay = [&](std::int64_t i, std::int64_t j) {
+    return up[static_cast<std::size_t>(2 * j - i + T + 4)];
+  };
+  const std::int64_t n_tiles = (T + W) / W;
+  std::vector<std::vector<double>> halo(static_cast<std::size_t>(n_tiles));
+  std::int64_t i0 = T;
+  while (i0 > 0) {
+    const std::int64_t H = std::min<std::int64_t>(W - 1, i0);
+    for (std::int64_t k = 0; k < n_tiles; ++k) {
+      const std::int64_t lo = k * W;
+      const std::int64_t hi = std::min((k + 1) * W - 1, T);
+      auto& h = halo[static_cast<std::size_t>(k)];
+      h.assign(static_cast<std::size_t>(H + 1), G[static_cast<std::size_t>(lo)]);
+      if (lo > i0 - 1) continue;
+      for (std::int64_t t = 1; t <= H; ++t) {
+        const std::int64_t i = i0 - t;
+        const std::int64_t jhi = std::min(hi - t, i);
+        for (std::int64_t j = lo; j <= jhi; ++j) {
+          const double lin = G[static_cast<std::size_t>(j)] +
+                             G[static_cast<std::size_t>(j + 1)];
+          G[static_cast<std::size_t>(j)] = std::max(lin, pay(i, j));
+        }
+        h[static_cast<std::size_t>(t)] = G[static_cast<std::size_t>(lo)];
+      }
+    }
+    for (std::int64_t k = 0; k < n_tiles; ++k) {
+      const std::int64_t hi = std::min((k + 1) * W - 1, T);
+      if (hi >= T) continue;
+      const auto& h = halo[static_cast<std::size_t>(k + 1)];
+      for (std::int64_t t = 1; t <= H; ++t) {
+        const std::int64_t i = i0 - t;
+        const std::int64_t jlo = std::max(hi - t + 1, std::int64_t{0});
+        const std::int64_t jhi = std::min(hi, i);
+        for (std::int64_t j = jlo; j <= jhi; ++j) {
+          const double right = (j + 1 <= hi)
+                                   ? G[static_cast<std::size_t>(j + 1)]
+                                   : h[static_cast<std::size_t>(t - 1)];
+          const double lin = G[static_cast<std::size_t>(j)] + right;
+          G[static_cast<std::size_t>(j)] = std::max(lin, pay(i, j));
+        }
+      }
+    }
+    i0 -= H;
+  }
+}
+
+/// In-place projection sweep of the BSM grid with the payoff table tracked.
+void sim_bsm_vanilla(CacheSim& sim, std::int64_t T) {
+  const std::int64_t width = 2 * T + 11;
+  SimVec<double> cur(sim, static_cast<std::size_t>(width), 1.0);
+  SimVec<double> pay(sim, static_cast<std::size_t>(width), 1.0);
+  for (std::int64_t n = 1; n <= T; ++n) {
+    for (std::int64_t t = n; t <= width - 1 - n; ++t) {
+      const double lin = cur[static_cast<std::size_t>(t - 1)] +
+                         cur[static_cast<std::size_t>(t)] +
+                         cur[static_cast<std::size_t>(t + 1)];
+      cur[static_cast<std::size_t>(t)] =
+          std::max(lin, pay[static_cast<std::size_t>(t)]);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// FFT trace replay.
+// ---------------------------------------------------------------------
+
+/// Replays the memory behaviour of one size-n in-place FFT (bit-reversal
+/// permutation, log n butterfly stages reading a twiddle table) over real
+/// heap addresses.
+class FftReplayer {
+ public:
+  explicit FftReplayer(CacheSim& sim) : sim_(sim) {}
+
+  /// One full convolution: pack, forward FFT, pointwise, inverse FFT,
+  /// unpack — the packed-real pipeline of conv::correlate_valid. The
+  /// twiddle tables are cached per size exactly like fft::plan_for, and the
+  /// work buffer is reused per size (the allocator hands freed blocks
+  /// straight back in the real code).
+  void convolution(std::size_t n_in, std::size_t n_kernel,
+                   std::size_t n_out) {
+    const std::size_t full = n_in + n_kernel - 1;
+    const std::size_t n = next_pow2(full);
+    SimVec<std::complex<double>>& z = cached(z_cache_, n);
+    SimVec<std::complex<double>>& tw = cached(tw_cache_, n);
+    // pack (reads of in/kernel arrays are owned by the caller's buffers;
+    // approximate with the writes into z, which dominate)
+    for (std::size_t i = 0; i < n_in; ++i) z[i] = {1.0, 0.0};
+    for (std::size_t i = 0; i < n_kernel; ++i)
+      z[i] += std::complex<double>{0.0, 1.0};
+    fft_pass(z, tw);  // forward
+    for (std::size_t k = 0; k < n / 2 + 1; ++k) {  // pointwise (paired bins)
+      (void)z[k];
+      (void)z[n - 1 - k];
+    }
+    fft_pass(z, tw);  // inverse
+    for (std::size_t i = 0; i < n_out; ++i) (void)z[i];  // unpack
+  }
+
+ private:
+  using Cache =
+      std::map<std::size_t, std::unique_ptr<SimVec<std::complex<double>>>>;
+
+  SimVec<std::complex<double>>& cached(Cache& cache, std::size_t n) {
+    auto it = cache.find(n);
+    if (it == cache.end())
+      it = cache.emplace(n, std::make_unique<SimVec<std::complex<double>>>(
+                                sim_, n))
+               .first;
+    return *it->second;
+  }
+
+  void fft_pass(SimVec<std::complex<double>>& z,
+                SimVec<std::complex<double>>& tw) {
+    const std::size_t n = z.size();
+    // bit-reversal permutation
+    for (std::size_t i = 0; i < n; ++i) {
+      std::size_t r = 0, x = i;
+      for (std::size_t m = n >> 1; m > 0; m >>= 1, x >>= 1) r = (r << 1) | (x & 1);
+      if (i < r) std::swap(z[i], z[r]);
+    }
+    for (std::size_t h = 1; h < n; h <<= 1) {
+      for (std::size_t base = 0; base < n; base += 2 * h) {
+        for (std::size_t j = 0; j < h; ++j) {
+          const std::complex<double> w = tw[h - 1 + j];
+          const std::complex<double> t = z[base + j + h] * w;
+          z[base + j + h] = z[base + j] - t;
+          z[base + j] += t;
+        }
+      }
+    }
+  }
+
+  CacheSim& sim_;
+  Cache z_cache_;
+  Cache tw_cache_;
+};
+
+/// Kernel-power construction traffic: closed form (table write) for 2-tap,
+/// FFT squaring chain for wider stencils. Heights are memoized per run,
+/// mirroring the solver's KernelCache.
+void replay_kernel_power(FftReplayer& fr, CacheSim& sim, std::int64_t taps,
+                         std::int64_t h, std::set<std::int64_t>& seen) {
+  if (!seen.insert(h).second) return;
+  const std::size_t len = static_cast<std::size_t>((taps - 1) * h + 1);
+  if (taps == 2) {
+    SimVec<double> kernel(sim, len);
+    for (std::size_t m = 0; m < len; ++m) kernel[m] = 1.0;
+    return;
+  }
+  // binary exponentiation: squarings of geometrically growing kernels
+  std::size_t cur = static_cast<std::size_t>(taps);
+  std::int64_t e = h;
+  while (e > 1) {
+    fr.convolution(cur, cur, 2 * cur - 1);
+    cur = 2 * cur - 1;
+    e >>= 1;
+  }
+}
+
+/// Trace replay of LatticeSolver::solve using the precomputed boundary.
+struct LatticeReplay {
+  CacheSim& sim;
+  FftReplayer& fr;
+  const std::vector<std::int64_t>& q;  // boundary per row
+  std::int64_t g;                      // cone growth
+  std::int64_t base_case;
+  std::set<std::int64_t> kernel_heights;
+  // Row buffers in the real solver come from an allocator that immediately
+  // reuses freed blocks; model that with one persistent scratch vector.
+  std::shared_ptr<SimVec<double>> scratch;
+
+  SimVec<double>& scratch_of(std::int64_t n) {
+    if (!scratch || scratch->size() < static_cast<std::size_t>(n))
+      scratch = std::make_shared<SimVec<double>>(
+          sim, static_cast<std::size_t>(n));
+    return *scratch;
+  }
+
+  void row_sweep(std::int64_t width) {
+    if (width <= 0) return;
+    SimVec<double>& cur = scratch_of(width + g);
+    for (std::int64_t j = 0; j < width; ++j) {
+      double acc = 0.0;
+      for (std::int64_t k = 0; k <= g; ++k)
+        acc += cur[static_cast<std::size_t>(j + k)];
+      cur[static_cast<std::size_t>(j)] = acc;
+    }
+  }
+
+  void solve(std::int64_t i0, std::int64_t jL, std::int64_t q0,
+             std::int64_t L) {
+    if (q0 < jL) return;
+    if (L <= base_case || q0 - jL + 1 <= 4) {
+      for (std::int64_t s = 0; s < L; ++s) row_sweep(q0 - jL + 1);
+      return;
+    }
+    const std::int64_t h = (L + 1) / 2;
+    const std::int64_t h2 = L - h;
+    const std::int64_t jC = q0 - h - (g - 1) * (h - 1);
+    if (jC >= jL) {
+      replay_kernel_power(fr, sim, g + 1, h, kernel_heights);
+      fr.convolution(static_cast<std::size_t>(q0 - jL + g),
+                     static_cast<std::size_t>(g * h + 1),
+                     static_cast<std::size_t>(jC - jL + 1));
+      solve(i0, jC + 1, q0, h);
+    } else {
+      solve(i0, jL, q0, h);
+    }
+    const std::int64_t q_mid = std::min(q[static_cast<std::size_t>(i0 - h)], q0);
+    if (q_mid < jL) return;
+    const std::int64_t jC2 = q_mid - h2 - (g - 1) * (h2 - 1);
+    if (jC2 >= jL) {
+      replay_kernel_power(fr, sim, g + 1, h2, kernel_heights);
+      fr.convolution(static_cast<std::size_t>(q_mid - jL + g),
+                     static_cast<std::size_t>(g * h2 + 1),
+                     static_cast<std::size_t>(jC2 - jL + 1));
+      solve(i0 - h, jC2 + 1, q_mid, h2);
+    } else {
+      solve(i0 - h, jL, q_mid, h2);
+    }
+  }
+
+  void descend() {
+    std::int64_t T = static_cast<std::int64_t>(q.size()) - 1;
+    row_sweep(g * T + 1);  // expiry payoff row
+    std::int64_t i = T;
+    while (i > std::max<std::int64_t>(T - 2, 0)) {  // pre-trapezoid rows
+      row_sweep(g * i + 1);
+      --i;
+    }
+    while (i > 0) {
+      const std::int64_t qi = q[static_cast<std::size_t>(i)];
+      if (qi < 0) return;
+      const std::int64_t L =
+          std::min(std::max<std::int64_t>((qi + 1) / g, 1), i);
+      if (L <= base_case) {
+        row_sweep(qi + 1);
+        i -= 1;
+        continue;
+      }
+      solve(i, 0, qi, L);
+      i -= L;
+    }
+  }
+};
+
+/// Trace replay of FdmSolver::advance using the precomputed boundary f[n].
+struct FdmReplay {
+  CacheSim& sim;
+  FftReplayer& fr;
+  const std::vector<std::int64_t>& f;
+  std::int64_t base_case;
+  std::set<std::int64_t> kernel_heights;
+  std::shared_ptr<SimVec<double>> scratch;
+
+  SimVec<double>& scratch_of(std::int64_t n) {
+    if (!scratch || scratch->size() < static_cast<std::size_t>(n))
+      scratch = std::make_shared<SimVec<double>>(
+          sim, static_cast<std::size_t>(n));
+    return *scratch;
+  }
+
+  void row_sweep(std::int64_t width) {
+    if (width <= 0) return;
+    SimVec<double>& cur = scratch_of(width + 2);
+    for (std::int64_t j = 0; j < width; ++j) {
+      cur[static_cast<std::size_t>(j)] = cur[static_cast<std::size_t>(j)] +
+                                         cur[static_cast<std::size_t>(j + 1)] +
+                                         cur[static_cast<std::size_t>(j + 2)];
+    }
+  }
+
+  void solve(std::int64_t n0, std::int64_t f0, std::int64_t kr,
+             std::int64_t L) {
+    if (L <= base_case) {
+      for (std::int64_t s = 0; s < L; ++s) row_sweep(kr - f0);
+      return;
+    }
+    const std::int64_t h = (L + 1) / 2;
+    const std::int64_t h2 = L - h;
+    solve(n0, f0, f0 + 2 * h, h);
+    replay_kernel_power(fr, sim, 3, h, kernel_heights);
+    if (kr - f0 - 2 * h > 0)
+      fr.convolution(static_cast<std::size_t>(kr - f0),
+                     static_cast<std::size_t>(2 * h + 1),
+                     static_cast<std::size_t>(kr - f0 - 2 * h));
+    const std::int64_t f_mid =
+        std::max(f[static_cast<std::size_t>(n0 + h)], f0 - h);
+    solve(n0 + h, f_mid, kr - h, h2);
+  }
+
+  void run(std::int64_t T, std::int64_t kr0) {
+    row_sweep(kr0);  // initial condition
+    std::int64_t n = 0, kr = kr0, remaining = T;
+    const std::int64_t tail = std::max<std::int64_t>(base_case, 8);
+    while (remaining > tail) {
+      std::int64_t L = (remaining + 1) / 2;
+      L = std::min(L, (kr - f[static_cast<std::size_t>(n)]) / 2);
+      solve(n, f[static_cast<std::size_t>(n)], kr, L);
+      n += L;
+      kr -= L;
+      remaining -= L;
+    }
+    while (remaining > 0) {
+      row_sweep(kr - f[static_cast<std::size_t>(n)]);
+      ++n;
+      --kr;
+      --remaining;
+    }
+  }
+};
+
+}  // namespace
+
+const char* to_string(SimAlg alg) {
+  switch (alg) {
+    case SimAlg::bopm_vanilla: return "bopm-vanilla";
+    case SimAlg::bopm_quantlib: return "ql-bopm";
+    case SimAlg::bopm_zubair: return "zb-bopm";
+    case SimAlg::bopm_fft: return "fft-bopm";
+    case SimAlg::topm_vanilla: return "vanilla-topm";
+    case SimAlg::topm_fft: return "fft-topm";
+    case SimAlg::bsm_vanilla: return "vanilla-bsm";
+    case SimAlg::bsm_fft: return "fft-bsm";
+  }
+  return "?";
+}
+
+CacheStats simulate_kernel(SimAlg alg, const OptionSpec& spec,
+                           std::int64_t T) {
+  AMOPT_EXPECTS(T >= 2);
+  CacheSim sim;
+  FftReplayer fr(sim);
+  switch (alg) {
+    case SimAlg::bopm_vanilla:
+      sim_lattice_vanilla(sim, T, 1);
+      break;
+    case SimAlg::bopm_quantlib:
+      sim_bopm_quantlib(sim, T);
+      break;
+    case SimAlg::bopm_zubair:
+      sim_bopm_zubair(sim, T, 1024);
+      break;
+    case SimAlg::bopm_fft: {
+      const auto q = pricing::bopm_call_boundary_vanilla(spec, T);
+      LatticeReplay{sim, fr, q, 1, 8}.descend();
+      break;
+    }
+    case SimAlg::topm_vanilla:
+      sim_lattice_vanilla(sim, T, 2);
+      break;
+    case SimAlg::topm_fft: {
+      const auto q = pricing::topm_call_boundary_vanilla(spec, T);
+      LatticeReplay{sim, fr, q, 2, 8}.descend();
+      break;
+    }
+    case SimAlg::bsm_vanilla:
+      sim_bsm_vanilla(sim, T);
+      break;
+    case SimAlg::bsm_fft: {
+      const auto f = pricing::bsm::exercise_boundary_vanilla(spec, T);
+      FdmReplay{sim, fr, f, 10}.run(T, 2 * T);
+      break;
+    }
+  }
+  return sim.stats();
+}
+
+}  // namespace amopt::metrics

@@ -1,0 +1,141 @@
+#include "amopt/poly/poly_power.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "amopt/common/assert.hpp"
+#include "amopt/fft/convolution.hpp"
+
+namespace amopt::poly {
+
+namespace {
+
+/// log(k!) for k in [0, n] with compensated (Kahan) summation; the absolute
+/// error stays O(sqrt(n)·eps), i.e. ~1e-12 relative on the exponentiated
+/// value even at h = 2^20.
+[[nodiscard]] std::vector<double> log_factorials(std::uint64_t n) {
+  std::vector<double> lf(n + 1, 0.0);
+  double sum = 0.0, comp = 0.0;
+  for (std::uint64_t k = 1; k <= n; ++k) {
+    const double term = std::log(static_cast<double>(k)) - comp;
+    const double next = sum + term;
+    comp = (next - sum) - term;
+    sum = next;
+    lf[k] = sum;
+  }
+  return lf;
+}
+
+}  // namespace
+
+std::vector<double> power_naive(std::span<const double> taps,
+                                std::uint64_t h) {
+  AMOPT_EXPECTS(!taps.empty());
+  std::vector<double> result{1.0};
+  for (std::uint64_t s = 0; s < h; ++s)
+    result = conv::convolve_full_direct(result, taps);
+  return result;
+}
+
+namespace {
+
+/// FFT products leave ~eps absolute noise on coefficients whose true value
+/// underflowed. For probability kernels (non-negative taps, mass <= 1) any
+/// coefficient below eps-scale relative to the peak is provably noise-or-
+/// negligible — but left in place it gets multiplied by exponentially large
+/// deep-in-the-money payoffs downstream. Clamp it to zero after every
+/// product, exactly like the closed-form binomial path underflows its tails.
+void clamp_kernel_noise(std::vector<double>& k) {
+  double peak = 0.0;
+  for (double x : k) peak = std::max(peak, std::abs(x));
+  const double floor = 1e-12 * peak;
+  for (double& x : k) {
+    if (std::abs(x) < floor) x = 0.0;
+    if (x < 0.0) x = 0.0;  // true coefficients are non-negative
+  }
+}
+
+}  // namespace
+
+std::vector<double> power_fft(std::span<const double> taps, std::uint64_t h) {
+  AMOPT_EXPECTS(!taps.empty());
+  bool probability_kernel = true;
+  for (double t : taps) probability_kernel &= (t >= 0.0);
+  std::vector<double> result{1.0};
+  std::vector<double> base(taps.begin(), taps.end());
+  std::uint64_t e = h;
+  while (e > 0) {
+    if (e & 1u) {
+      result = conv::convolve_full(result, base);
+      if (probability_kernel) clamp_kernel_noise(result);
+    }
+    e >>= 1;
+    if (e > 0) {
+      base = conv::convolve_full(base, base);
+      if (probability_kernel) clamp_kernel_noise(base);
+    }
+  }
+  return result;
+}
+
+std::vector<double> power_binomial(double a, double b, std::uint64_t h) {
+  if (h == 0) return {1.0};
+  std::vector<double> k(h + 1);
+  if (a == 0.0 && b == 0.0) return std::vector<double>(h + 1, 0.0);
+  if (a == 0.0) {
+    std::vector<double> only(h + 1, 0.0);
+    only[h] = std::pow(b, static_cast<double>(h));
+    return only;
+  }
+  if (b == 0.0) {
+    std::vector<double> only(h + 1, 0.0);
+    only[0] = std::pow(a, static_cast<double>(h));
+    return only;
+  }
+  AMOPT_EXPECTS(a > 0.0 && b > 0.0);
+  const std::vector<double> lf = log_factorials(h);
+  const double la = std::log(a), lb = std::log(b);
+  const double hd = static_cast<double>(h);
+  for (std::uint64_t m = 0; m <= h; ++m) {
+    const double md = static_cast<double>(m);
+    const double logc = lf[h] - lf[m] - lf[h - m];
+    k[m] = std::exp(logc + (hd - md) * la + md * lb);
+  }
+  return k;
+}
+
+std::vector<double> power_recurrence(std::span<const double> taps,
+                                     std::uint64_t h) {
+  AMOPT_EXPECTS(!taps.empty());
+  AMOPT_EXPECTS(taps[0] != 0.0);
+  const std::size_t d = taps.size() - 1;
+  if (h == 0) return {1.0};
+  const double n = static_cast<double>(h);
+  std::vector<double> q(d * h + 1, 0.0);
+  q[0] = std::pow(taps[0], n);
+  AMOPT_EXPECTS(q[0] != 0.0);  // caller must keep h small enough
+  // From P*Q' = n*P'*Q with Q = P^n:
+  //   k*q_k*p_0 = sum_{i=1..min(k,d)} ((n+1)*i - k) * p_i * q_{k-i}.
+  for (std::size_t k = 1; k < q.size(); ++k) {
+    double acc = 0.0;
+    const std::size_t imax = std::min(k, d);
+    for (std::size_t i = 1; i <= imax; ++i) {
+      acc += ((n + 1.0) * static_cast<double>(i) - static_cast<double>(k)) *
+             taps[i] * q[k - i];
+    }
+    q[k] = acc / (static_cast<double>(k) * taps[0]);
+  }
+  return q;
+}
+
+std::vector<double> power(std::span<const double> taps, std::uint64_t h) {
+  AMOPT_EXPECTS(!taps.empty());
+  if (h == 0) return {1.0};
+  if (taps.size() == 1)
+    return {std::pow(taps[0], static_cast<double>(h))};
+  if (taps.size() == 2 && taps[0] >= 0.0 && taps[1] >= 0.0)
+    return power_binomial(taps[0], taps[1], h);
+  return power_fft(taps, h);
+}
+
+}  // namespace amopt::poly

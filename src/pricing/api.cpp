@@ -1,0 +1,122 @@
+#include "amopt/pricing/api.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "amopt/baselines/baselines.hpp"
+#include "amopt/pricing/bopm.hpp"
+#include "amopt/pricing/bsm_fdm.hpp"
+#include "amopt/pricing/topm.hpp"
+
+namespace amopt::pricing {
+
+std::string_view to_string(Model m) {
+  switch (m) {
+    case Model::bopm: return "bopm";
+    case Model::topm: return "topm";
+    case Model::bsm: return "bsm";
+  }
+  return "?";
+}
+std::string_view to_string(Right r) {
+  return r == Right::call ? "call" : "put";
+}
+std::string_view to_string(Style s) {
+  return s == Style::american ? "american" : "european";
+}
+std::string_view to_string(Engine e) {
+  switch (e) {
+    case Engine::fft: return "fft";
+    case Engine::vanilla: return "vanilla";
+    case Engine::vanilla_parallel: return "vanilla-parallel";
+    case Engine::tiled: return "tiled";
+    case Engine::cache_oblivious: return "cache-oblivious";
+    case Engine::quantlib: return "quantlib";
+  }
+  return "?";
+}
+
+namespace {
+
+[[noreturn]] void unsupported(Model m, Right r, Style s, Engine e) {
+  throw std::invalid_argument(
+      std::string("amopt: unsupported combination ") +
+      std::string(to_string(m)) + "/" + std::string(to_string(r)) + "/" +
+      std::string(to_string(s)) + "/" + std::string(to_string(e)));
+}
+
+}  // namespace
+
+double price(const OptionSpec& spec, std::int64_t T, Model model, Right right,
+             Style style, Engine engine, core::SolverConfig cfg) {
+  if (style == Style::european) {
+    if (model == Model::bopm && right == Right::call)
+      return engine == Engine::fft ? bopm::european_call_fft(spec, T)
+                                   : bopm::european_call_vanilla(spec, T);
+    if (model == Model::bopm && right == Right::put)
+      return engine == Engine::fft ? bopm::european_put_fft(spec, T)
+                                   : bopm::european_put_vanilla(spec, T);
+    if (model == Model::topm && right == Right::call)
+      return engine == Engine::fft ? topm::european_call_fft(spec, T)
+                                   : topm::european_call_vanilla(spec, T);
+    if (model == Model::bsm && right == Right::put)
+      return bsm::european_put_fdm(spec, T);
+    unsupported(model, right, style, engine);
+  }
+
+  switch (model) {
+    case Model::bopm:
+      if (right == Right::call) {
+        switch (engine) {
+          case Engine::fft: return bopm::american_call_fft(spec, T, cfg);
+          case Engine::vanilla: return bopm::american_call_vanilla(spec, T);
+          case Engine::vanilla_parallel:
+            return bopm::american_call_vanilla_parallel(spec, T);
+          case Engine::tiled:
+            return baselines::zubair_american_call(spec, T);
+          case Engine::cache_oblivious:
+            return baselines::cache_oblivious_american_call(spec, T);
+          case Engine::quantlib:
+            return baselines::quantlib_style_american_call(spec, T);
+        }
+      } else {
+        switch (engine) {
+          case Engine::fft: return bopm::american_put_fft_direct(spec, T, cfg);
+          case Engine::vanilla: return bopm::american_put_vanilla(spec, T);
+          default: unsupported(model, right, style, engine);
+        }
+      }
+      break;
+    case Model::topm:
+      if (right == Right::call) {
+        switch (engine) {
+          case Engine::fft: return topm::american_call_fft(spec, T, cfg);
+          case Engine::vanilla: return topm::american_call_vanilla(spec, T);
+          case Engine::vanilla_parallel:
+            return topm::american_call_vanilla_parallel(spec, T);
+          default: unsupported(model, right, style, engine);
+        }
+      } else {
+        switch (engine) {
+          case Engine::fft: return topm::american_put_fft(spec, T, cfg);
+          case Engine::vanilla: return topm::american_put_vanilla(spec, T);
+          default: unsupported(model, right, style, engine);
+        }
+      }
+      break;
+    case Model::bsm:
+      if (right == Right::put) {
+        switch (engine) {
+          case Engine::fft: return bsm::american_put_fft(spec, T, cfg);
+          case Engine::vanilla: return bsm::american_put_vanilla(spec, T);
+          case Engine::vanilla_parallel:
+            return bsm::american_put_vanilla_parallel(spec, T);
+          default: unsupported(model, right, style, engine);
+        }
+      }
+      unsupported(model, right, style, engine);
+  }
+  unsupported(model, right, style, engine);
+}
+
+}  // namespace amopt::pricing

@@ -1,0 +1,53 @@
+#include "amopt/pricing/black_scholes.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "amopt/common/assert.hpp"
+
+namespace amopt::pricing::bs {
+
+double norm_cdf(double x) { return 0.5 * std::erfc(-x / std::numbers::sqrt2); }
+
+namespace {
+struct D12 {
+  double d1, d2;
+};
+[[nodiscard]] D12 d_terms(const OptionSpec& s) {
+  const double tau = s.expiry_years;
+  const double vs = s.V * std::sqrt(tau);
+  const double d1 =
+      (std::log(s.S / s.K) + (s.R - s.Y + 0.5 * s.V * s.V) * tau) / vs;
+  return {d1, d1 - vs};
+}
+}  // namespace
+
+double european_call(const OptionSpec& s) {
+  AMOPT_EXPECTS(s.S > 0 && s.K > 0 && s.V > 0 && s.expiry_years > 0);
+  const auto [d1, d2] = d_terms(s);
+  return s.S * std::exp(-s.Y * s.expiry_years) * norm_cdf(d1) -
+         s.K * std::exp(-s.R * s.expiry_years) * norm_cdf(d2);
+}
+
+double european_put(const OptionSpec& s) {
+  AMOPT_EXPECTS(s.S > 0 && s.K > 0 && s.V > 0 && s.expiry_years > 0);
+  const auto [d1, d2] = d_terms(s);
+  return s.K * std::exp(-s.R * s.expiry_years) * norm_cdf(-d2) -
+         s.S * std::exp(-s.Y * s.expiry_years) * norm_cdf(-d1);
+}
+
+double perpetual_put_boundary(double K, double R, double V) {
+  AMOPT_EXPECTS(K > 0 && R > 0 && V > 0);
+  const double gamma = 2.0 * R / (V * V);
+  return gamma * K / (1.0 + gamma);
+}
+
+double perpetual_put(double S, double K, double R, double V) {
+  AMOPT_EXPECTS(S > 0);
+  const double b = perpetual_put_boundary(K, R, V);
+  if (S <= b) return K - S;
+  const double gamma = 2.0 * R / (V * V);
+  return (K - b) * std::pow(S / b, -gamma);
+}
+
+}  // namespace amopt::pricing::bs

@@ -1,0 +1,292 @@
+#include "amopt/pricing/bopm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "amopt/common/assert.hpp"
+#include "amopt/metrics/counters.hpp"
+#include "amopt/poly/poly_power.hpp"
+
+namespace amopt::pricing::bopm {
+
+namespace {
+
+[[nodiscard]] double payoff_expiry(const core::LatticeGreen& green,
+                                   std::int64_t T, std::int64_t j) {
+  return std::max(0.0, green.value(T, j));
+}
+
+/// Largest j with S*u^(2j-T) <= K (the last red cell of the expiry row);
+/// -1 if even j = 0 is in the money. The green value is strictly increasing
+/// in j, so a binary search suffices.
+[[nodiscard]] std::int64_t expiry_boundary(const BopmParams& prm,
+                                           const core::LatticeGreen& green) {
+  const std::int64_t T = prm.T;
+  std::int64_t lo = -1, hi = T;  // invariant: green(lo) <= 0 < green(hi+1)
+  if (green.value(T, 0) > 0.0) return -1;
+  if (green.value(T, T) <= 0.0) return T;
+  while (hi - lo > 1) {
+    const std::int64_t mid = lo + (hi - lo) / 2;
+    (green.value(T, mid) <= 0.0 ? lo : hi) = mid;
+  }
+  return lo;
+}
+
+struct VanillaResult {
+  double price = 0.0;
+};
+
+template <bool kParallel, class Payoff>
+[[nodiscard]] double rollback_vanilla(const OptionSpec& spec, std::int64_t T,
+                                      const Payoff& payoff, bool american) {
+  if (T == 0) return std::max(0.0, payoff(0, 0));
+  const BopmParams prm = derive_bopm(spec, T);
+  std::vector<double> cur(static_cast<std::size_t>(T + 1));
+  for (std::int64_t j = 0; j <= T; ++j)
+    cur[static_cast<std::size_t>(j)] = std::max(0.0, payoff(T, j));
+  if constexpr (!kParallel) {
+    // In-place forward sweep: writing G[j] uses the old G[j], G[j+1].
+    for (std::int64_t i = T - 1; i >= 0; --i) {
+      for (std::int64_t j = 0; j <= i; ++j) {
+        const double lin = prm.s0 * cur[static_cast<std::size_t>(j)] +
+                           prm.s1 * cur[static_cast<std::size_t>(j + 1)];
+        cur[static_cast<std::size_t>(j)] =
+            american ? std::max(lin, payoff(i, j)) : lin;
+      }
+    }
+  } else {
+    std::vector<double> nxt(cur.size());
+    for (std::int64_t i = T - 1; i >= 0; --i) {
+#pragma omp parallel for schedule(static)
+      for (std::int64_t j = 0; j <= i; ++j) {
+        const double lin = prm.s0 * cur[static_cast<std::size_t>(j)] +
+                           prm.s1 * cur[static_cast<std::size_t>(j + 1)];
+        nxt[static_cast<std::size_t>(j)] =
+            american ? std::max(lin, payoff(i, j)) : lin;
+      }
+      cur.swap(nxt);
+    }
+  }
+  metrics::add_flops(3 * static_cast<std::uint64_t>(T) * (T + 1) / 2);
+  metrics::add_bytes(2 * sizeof(double) * static_cast<std::uint64_t>(T) *
+                     (T + 1) / 2);
+  return cur[0];
+}
+
+}  // namespace
+
+core::LatticeRow expiry_row(const BopmParams& prm,
+                            const core::LatticeGreen& green) {
+  core::LatticeRow row;
+  row.i = prm.T;
+  row.q = expiry_boundary(prm, green);
+  row.red.assign(static_cast<std::size_t>(std::max<std::int64_t>(row.q + 1, 0)),
+                 0.0);
+  return row;
+}
+
+double american_call_fft(const OptionSpec& spec, std::int64_t T,
+                         core::SolverConfig cfg) {
+  if (T == 0) return std::max(0.0, spec.S - spec.K);
+  // With Y <= 0 (and R >= 0) early exercise of a call is never optimal and
+  // the red/green boundary degenerates; the price is the European one,
+  // which the linear FFT path computes exactly.
+  if (spec.Y <= 0.0 && spec.R >= 0.0) return european_call_fft(spec, T);
+
+  const BopmParams prm = derive_bopm(spec, T);
+  const CallGreen green(spec, prm);
+  core::LatticeSolver solver({{prm.s0, prm.s1}, 0}, green, cfg);
+
+  core::LatticeRow row = expiry_row(prm, green);
+  // Corollary 2.7's <=1-cell motion is proved from row T-2 downward, and
+  // when R > Y the discrete boundary can jump RIGHT off the expiry row (the
+  // exercise threshold moves from K to ~(R/Y)K in one step): scan the first
+  // two rows in full (see DESIGN.md).
+  while (row.i > std::max<std::int64_t>(T - 2, 0))
+    row = solver.step_naive(row, /*unbounded_scan=*/true);
+  row = solver.descend(std::move(row), 0);
+  return row.q >= 0 ? row.red[0] : green.value(0, 0);
+}
+
+double american_call_vanilla(const OptionSpec& spec, std::int64_t T) {
+  const BopmParams prm = derive_bopm(spec, T);
+  const PowerTable up(prm.log_u, T);
+  const auto payoff = [&](std::int64_t i, std::int64_t j) {
+    return spec.S * up(2 * j - i) - spec.K;
+  };
+  return rollback_vanilla<false>(spec, T, payoff, /*american=*/true);
+}
+
+double american_call_vanilla_parallel(const OptionSpec& spec, std::int64_t T) {
+  const BopmParams prm = derive_bopm(spec, T);
+  const PowerTable up(prm.log_u, T);
+  const auto payoff = [&](std::int64_t i, std::int64_t j) {
+    return spec.S * up(2 * j - i) - spec.K;
+  };
+  return rollback_vanilla<true>(spec, T, payoff, /*american=*/true);
+}
+
+double american_put_vanilla(const OptionSpec& spec, std::int64_t T) {
+  const BopmParams prm = derive_bopm(spec, T);
+  const PowerTable up(prm.log_u, T);
+  const auto payoff = [&](std::int64_t i, std::int64_t j) {
+    return spec.K - spec.S * up(2 * j - i);
+  };
+  return rollback_vanilla<false>(spec, T, payoff, /*american=*/true);
+}
+
+double american_put_fft(const OptionSpec& spec, std::int64_t T,
+                        core::SolverConfig cfg) {
+  // McDonald-Schroder symmetry: P(S, K, R, Y) = C(K, S, Y, R) with the same
+  // volatility and expiry (exact on the CRR lattice as well: the lattice of
+  // the swapped problem mirrors the original one).
+  OptionSpec swapped = spec;
+  std::swap(swapped.S, swapped.K);
+  std::swap(swapped.R, swapped.Y);
+  return american_call_fft(swapped, T, cfg);
+}
+
+double american_put_fft_direct(const OptionSpec& spec, std::int64_t T,
+                               core::SolverConfig cfg) {
+  if (T == 0) return std::max(0.0, spec.K - spec.S);
+  // With R <= 0 early exercise of a put is never optimal (holding the
+  // discounted strike cannot lose); the price is the European one.
+  if (spec.R <= 0.0 && spec.Y >= 0.0) return european_put_fft(spec, T);
+
+  const BopmParams prm = derive_bopm(spec, T);
+  const MirroredPutGreen green(spec, prm);
+  // Mirrored children: j' = i - j swaps the up/down taps. The put's
+  // boundary GROWS rightward walking down the lattice (the exercise region
+  // shrinks backward in time), so the solver runs in growing mode.
+  cfg.drift = core::BoundaryDrift::growing;
+  core::LatticeSolver solver({{prm.s1, prm.s0}, 0}, green, cfg);
+
+  core::LatticeRow row;
+  row.i = T;
+  {  // expiry boundary: last j with K - S*u^(T-2j) <= 0; increasing in j.
+    if (green.value(T, 0) > 0.0) {
+      row.q = -1;
+    } else if (green.value(T, T) <= 0.0) {
+      row.q = T;
+    } else {
+      std::int64_t lo = 0, hi = T;
+      while (hi - lo > 1) {
+        const std::int64_t mid = lo + (hi - lo) / 2;
+        (green.value(T, mid) <= 0.0 ? lo : hi) = mid;
+      }
+      row.q = lo;
+    }
+  }
+  row.red.assign(static_cast<std::size_t>(std::max<std::int64_t>(row.q + 1, 0)),
+                 0.0);
+  // The discrete boundary jumps right on the first step off the expiry row
+  // (the same artifact as the call's, mirrored); scan the first two rows in
+  // full before trusting the one-cell motion bound.
+  while (row.i > std::max<std::int64_t>(T - 2, 0))
+    row = solver.step_naive(row, /*unbounded_scan=*/true);
+  row = solver.descend(std::move(row), 0);
+  return row.q >= 0 ? row.red[0] : green.value(0, 0);
+}
+
+double european_call_vanilla(const OptionSpec& spec, std::int64_t T) {
+  const BopmParams prm = derive_bopm(spec, T);
+  const PowerTable up(prm.log_u, T);
+  const auto payoff = [&](std::int64_t i, std::int64_t j) {
+    return spec.S * up(2 * j - i) - spec.K;
+  };
+  return rollback_vanilla<false>(spec, T, payoff, /*american=*/false);
+}
+
+double european_put_vanilla(const OptionSpec& spec, std::int64_t T) {
+  const BopmParams prm = derive_bopm(spec, T);
+  const PowerTable up(prm.log_u, T);
+  const auto payoff = [&](std::int64_t i, std::int64_t j) {
+    return spec.K - spec.S * up(2 * j - i);
+  };
+  return rollback_vanilla<false>(spec, T, payoff, /*american=*/false);
+}
+
+namespace {
+template <class Payoff>
+[[nodiscard]] double european_fft_impl(const OptionSpec& spec, std::int64_t T,
+                                       const Payoff& payoff) {
+  if (T == 0) return std::max(0.0, payoff(0, 0));
+  const BopmParams prm = derive_bopm(spec, T);
+  const std::vector<double> taps{prm.s0, prm.s1};
+  const std::vector<double> kernel =
+      poly::power(taps, static_cast<std::uint64_t>(T));
+  double acc = 0.0;
+  for (std::int64_t j = 0; j <= T; ++j)
+    acc += kernel[static_cast<std::size_t>(j)] * std::max(0.0, payoff(T, j));
+  return acc;
+}
+}  // namespace
+
+double european_call_fft(const OptionSpec& spec, std::int64_t T) {
+  const BopmParams prm = derive_bopm(spec, T);
+  const PowerTable up(prm.log_u, std::max<std::int64_t>(T, 1));
+  return european_fft_impl(spec, T, [&](std::int64_t i, std::int64_t j) {
+    return spec.S * up(2 * j - i) - spec.K;
+  });
+}
+
+double european_put_fft(const OptionSpec& spec, std::int64_t T) {
+  const BopmParams prm = derive_bopm(spec, T);
+  const PowerTable up(prm.log_u, std::max<std::int64_t>(T, 1));
+  return european_fft_impl(spec, T, [&](std::int64_t i, std::int64_t j) {
+    return spec.K - spec.S * up(2 * j - i);
+  });
+}
+
+LowNodes american_call_nodes_fft(const OptionSpec& spec, std::int64_t T,
+                                 core::SolverConfig cfg) {
+  AMOPT_EXPECTS(T >= 2);
+  const BopmParams prm = derive_bopm(spec, T);
+  const CallGreen green(spec, prm);
+  LowNodes nodes;
+  nodes.prm = prm;
+
+  if (spec.Y <= 0.0 && spec.R >= 0.0) {
+    // Linear everywhere: evaluate rows 0..2 with kernel powers.
+    const std::vector<double> taps{prm.s0, prm.s1};
+    const auto row_value = [&](std::int64_t i, std::int64_t j) {
+      const std::vector<double> kernel =
+          poly::power(taps, static_cast<std::uint64_t>(T - i));
+      double acc = 0.0;
+      for (std::size_t m = 0; m < kernel.size(); ++m)
+        acc += kernel[m] *
+               payoff_expiry(green, T, j + static_cast<std::int64_t>(m));
+      return acc;
+    };
+    nodes.g00 = row_value(0, 0);
+    nodes.g10 = row_value(1, 0);
+    nodes.g11 = row_value(1, 1);
+    nodes.g20 = row_value(2, 0);
+    nodes.g21 = row_value(2, 1);
+    nodes.g22 = row_value(2, 2);
+    return nodes;
+  }
+
+  core::LatticeSolver solver({{prm.s0, prm.s1}, 0}, green, cfg);
+  core::LatticeRow row = expiry_row(prm, green);
+  while (row.i > std::max<std::int64_t>(T - 2, 2))
+    row = solver.step_naive(row, /*unbounded_scan=*/true);
+  row = solver.descend(std::move(row), 2);
+
+  const auto value_at = [&](const core::LatticeRow& r, std::int64_t j) {
+    return j <= r.q ? r.red[static_cast<std::size_t>(j)]
+                    : green.value(r.i, j);
+  };
+  nodes.g20 = value_at(row, 0);
+  nodes.g21 = value_at(row, 1);
+  nodes.g22 = value_at(row, 2);
+  row = solver.step_naive(row);
+  nodes.g10 = value_at(row, 0);
+  nodes.g11 = value_at(row, 1);
+  row = solver.step_naive(row);
+  nodes.g00 = value_at(row, 0);
+  return nodes;
+}
+
+}  // namespace amopt::pricing::bopm

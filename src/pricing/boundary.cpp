@@ -1,0 +1,70 @@
+#include "amopt/pricing/boundary.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "amopt/common/assert.hpp"
+
+namespace amopt::pricing {
+
+std::vector<std::int64_t> bopm_call_boundary_vanilla(const OptionSpec& spec,
+                                                     std::int64_t T) {
+  AMOPT_EXPECTS(T >= 1);
+  const BopmParams prm = derive_bopm(spec, T);
+  const PowerTable up(prm.log_u, T);
+  const auto payoff = [&](std::int64_t i, std::int64_t j) {
+    return spec.S * up(2 * j - i) - spec.K;
+  };
+  std::vector<std::int64_t> q(static_cast<std::size_t>(T + 1), -1);
+  std::vector<double> row(static_cast<std::size_t>(T + 1));
+  for (std::int64_t j = 0; j <= T; ++j) {
+    row[static_cast<std::size_t>(j)] = std::max(0.0, payoff(T, j));
+    if (payoff(T, j) <= 0.0) q[static_cast<std::size_t>(T)] = j;
+  }
+  for (std::int64_t i = T - 1; i >= 0; --i) {
+    for (std::int64_t j = 0; j <= i; ++j) {
+      const double lin = prm.s0 * row[static_cast<std::size_t>(j)] +
+                         prm.s1 * row[static_cast<std::size_t>(j + 1)];
+      const double pay = payoff(i, j);
+      if (lin >= pay) q[static_cast<std::size_t>(i)] = j;
+      row[static_cast<std::size_t>(j)] = std::max(lin, pay);
+    }
+  }
+  return q;
+}
+
+std::vector<std::int64_t> topm_call_boundary_vanilla(const OptionSpec& spec,
+                                                     std::int64_t T) {
+  AMOPT_EXPECTS(T >= 1);
+  const TopmParams prm = derive_topm(spec, T);
+  const PowerTable up(prm.log_u, T);
+  const auto payoff = [&](std::int64_t i, std::int64_t j) {
+    return spec.S * up(j - i) - spec.K;
+  };
+  std::vector<std::int64_t> q(static_cast<std::size_t>(T + 1), -1);
+  std::vector<double> row(static_cast<std::size_t>(2 * T + 1));
+  for (std::int64_t j = 0; j <= 2 * T; ++j) {
+    row[static_cast<std::size_t>(j)] = std::max(0.0, payoff(T, j));
+    if (payoff(T, j) <= 0.0) q[static_cast<std::size_t>(T)] = j;
+  }
+  for (std::int64_t i = T - 1; i >= 0; --i) {
+    for (std::int64_t j = 0; j <= 2 * i; ++j) {
+      const double lin = prm.s0 * row[static_cast<std::size_t>(j)] +
+                         prm.s1 * row[static_cast<std::size_t>(j + 1)] +
+                         prm.s2 * row[static_cast<std::size_t>(j + 2)];
+      const double pay = payoff(i, j);
+      if (lin >= pay) q[static_cast<std::size_t>(i)] = j;
+      row[static_cast<std::size_t>(j)] = std::max(lin, pay);
+    }
+  }
+  return q;
+}
+
+double bopm_cell_price(const OptionSpec& spec, std::int64_t T, std::int64_t i,
+                       std::int64_t j) {
+  const BopmParams prm = derive_bopm(spec, T);
+  return spec.S * std::exp(static_cast<double>(2 * j - i) * prm.log_u);
+}
+
+}  // namespace amopt::pricing

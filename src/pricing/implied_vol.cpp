@@ -1,0 +1,92 @@
+#include "amopt/pricing/implied_vol.hpp"
+
+#include <cmath>
+#include <functional>
+
+#include "amopt/common/assert.hpp"
+#include "amopt/pricing/bopm.hpp"
+
+namespace amopt::pricing {
+
+namespace {
+
+/// Safeguarded Newton: secant steps clipped to a maintained bracket, with
+/// bisection whenever the step leaves it. Price is monotone increasing in
+/// volatility (vega > 0), so the bracket logic is straightforward.
+ImpliedVolResult invert(const std::function<double(double)>& price_of_vol,
+                        double target, const ImpliedVolConfig& cfg) {
+  ImpliedVolResult res;
+  double lo = cfg.vol_lo, hi = cfg.vol_hi;
+  double f_lo = price_of_vol(lo) - target;
+  double f_hi = price_of_vol(hi) - target;
+  res.iterations = 2;
+  if (f_lo > 0.0 || f_hi < 0.0) return res;  // target out of attainable range
+
+  double v = 0.5 * (lo + hi);
+  double f_prev = f_lo, v_prev = lo;
+  for (; res.iterations < cfg.max_iterations; ++res.iterations) {
+    const double f = price_of_vol(v) - target;
+    if (std::abs(f) <= cfg.tol) {
+      res.vol = v;
+      res.converged = true;
+      return res;
+    }
+    (f < 0.0 ? lo : hi) = v;
+    (f < 0.0 ? f_lo : f_hi) = f;
+    // Secant proposal; fall back to bisection when degenerate or outside.
+    double next = v - f * (v - v_prev) / (f - f_prev);
+    if (!(next > lo && next < hi) || !std::isfinite(next))
+      next = 0.5 * (lo + hi);
+    v_prev = v;
+    f_prev = f;
+    v = next;
+    if (hi - lo < 1e-12) break;
+  }
+  res.vol = v;
+  res.converged = std::abs(price_of_vol(v) - target) <= 10 * cfg.tol;
+  return res;
+}
+
+}  // namespace
+
+namespace {
+
+/// The CRR lattice needs V*sqrt(dt) > |R-Y|*dt for p in (0,1); lift the
+/// lower bracket above that validity floor.
+void clamp_bracket(const OptionSpec& spec, ImpliedVolConfig& cfg) {
+  const double dt = spec.expiry_years / static_cast<double>(cfg.T);
+  const double floor_vol = 2.0 * std::abs(spec.R - spec.Y) * std::sqrt(dt);
+  cfg.vol_lo = std::max(cfg.vol_lo, floor_vol);
+}
+
+}  // namespace
+
+ImpliedVolResult american_call_implied_vol(const OptionSpec& spec,
+                                           double target_price,
+                                           ImpliedVolConfig cfg) {
+  AMOPT_EXPECTS(cfg.vol_lo > 0.0 && cfg.vol_hi > cfg.vol_lo);
+  clamp_bracket(spec, cfg);
+  return invert(
+      [&](double v) {
+        OptionSpec s = spec;
+        s.V = v;
+        return bopm::american_call_fft(s, cfg.T);
+      },
+      target_price, cfg);
+}
+
+ImpliedVolResult american_put_implied_vol(const OptionSpec& spec,
+                                          double target_price,
+                                          ImpliedVolConfig cfg) {
+  AMOPT_EXPECTS(cfg.vol_lo > 0.0 && cfg.vol_hi > cfg.vol_lo);
+  clamp_bracket(spec, cfg);
+  return invert(
+      [&](double v) {
+        OptionSpec s = spec;
+        s.V = v;
+        return bopm::american_put_fft_direct(s, cfg.T);
+      },
+      target_price, cfg);
+}
+
+}  // namespace amopt::pricing

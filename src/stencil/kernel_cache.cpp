@@ -1,0 +1,22 @@
+#include "amopt/stencil/kernel_cache.hpp"
+
+#include "amopt/poly/poly_power.hpp"
+
+namespace amopt::stencil {
+
+std::span<const double> KernelCache::power(std::uint64_t h) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cache_.find(h);
+    if (it != cache_.end()) return *it->second;
+  }
+  // Compute outside the lock; a racing duplicate computation is harmless and
+  // the first inserted entry wins.
+  auto kernel =
+      std::make_unique<std::vector<double>>(poly::power(stencil_.taps, h));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = cache_.emplace(h, std::move(kernel));
+  return *it->second;
+}
+
+}  // namespace amopt::stencil

@@ -1,0 +1,28 @@
+#include "amopt/stencil/linear_stencil.hpp"
+
+#include "amopt/common/assert.hpp"
+
+namespace amopt::stencil {
+
+std::vector<double> apply_steps_naive(const LinearStencil& st,
+                                      std::span<const double> in,
+                                      std::uint64_t h) {
+  AMOPT_EXPECTS(!st.taps.empty());
+  const std::size_t g = st.taps.size() - 1;
+  AMOPT_EXPECTS(in.size() >= g * h + 1);
+  std::vector<double> cur(in.begin(), in.end());
+  for (std::uint64_t s = 0; s < h; ++s) {
+    const std::size_t n_out = cur.size() - g;
+    std::vector<double> next(n_out);
+    for (std::size_t j = 0; j < n_out; ++j) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < st.taps.size(); ++k)
+        acc += st.taps[k] * cur[j + k];
+      next[j] = acc;
+    }
+    cur = std::move(next);
+  }
+  return cur;
+}
+
+}  // namespace amopt::stencil

@@ -1,0 +1,85 @@
+// The Table-2 baselines (ql-bopm, zb-bopm, cache-oblivious) must price the
+// American call identically to the Figure-1 loop across sizes and
+// parameters — they are the reference series of Figs. 5-7.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "amopt/baselines/baselines.hpp"
+#include "amopt/pricing/bopm.hpp"
+
+namespace {
+
+using namespace amopt;
+using namespace amopt::pricing;
+
+class BaselineSizes : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(BaselineSizes, AllBaselinesMatchVanilla) {
+  const std::int64_t T = GetParam();
+  const OptionSpec spec = paper_spec();
+  const double ref = bopm::american_call_vanilla(spec, T);
+  EXPECT_NEAR(baselines::quantlib_style_american_call(spec, T, false), ref,
+              1e-9 * std::max(1.0, ref));
+  EXPECT_NEAR(baselines::zubair_american_call(spec, T), ref, 1e-10);
+  EXPECT_NEAR(baselines::cache_oblivious_american_call(spec, T), ref, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BaselineSizes,
+                         ::testing::Values(1, 2, 3, 7, 8, 63, 64, 65, 100,
+                                           511, 1000, 1024, 2047));
+
+TEST(Zubair, TileWidthDoesNotChangeTheAnswer) {
+  const OptionSpec spec = paper_spec();
+  const std::int64_t T = 700;
+  const double ref = bopm::american_call_vanilla(spec, T);
+  for (std::int64_t W : {2L, 3L, 16L, 100L, 512L, 4096L}) {
+    baselines::ZubairConfig cfg;
+    cfg.tile_width = W;
+    cfg.parallel = false;
+    EXPECT_NEAR(baselines::zubair_american_call(spec, T, cfg), ref, 1e-10)
+        << "W=" << W;
+  }
+}
+
+TEST(Zubair, ParallelAndSerialAgree) {
+  const OptionSpec spec = paper_spec();
+  const std::int64_t T = 900;
+  baselines::ZubairConfig serial;
+  serial.parallel = false;
+  baselines::ZubairConfig parallel;
+  parallel.parallel = true;
+  EXPECT_NEAR(baselines::zubair_american_call(spec, T, serial),
+              baselines::zubair_american_call(spec, T, parallel), 0.0);
+}
+
+TEST(QuantlibStyle, ParallelAndSerialAgree) {
+  const OptionSpec spec = paper_spec();
+  const std::int64_t T = 500;
+  EXPECT_NEAR(baselines::quantlib_style_american_call(spec, T, false),
+              baselines::quantlib_style_american_call(spec, T, true), 1e-12);
+}
+
+TEST(Baselines, DifferentMoneyness) {
+  for (double S : {60.0, 100.0, 170.0}) {
+    OptionSpec spec = paper_spec();
+    spec.S = S;
+    const std::int64_t T = 256;
+    const double ref = bopm::american_call_vanilla(spec, T);
+    EXPECT_NEAR(baselines::zubair_american_call(spec, T), ref, 1e-10)
+        << "S=" << S;
+    EXPECT_NEAR(baselines::cache_oblivious_american_call(spec, T), ref, 1e-10)
+        << "S=" << S;
+  }
+}
+
+TEST(Baselines, AgreeWithFftPricer) {
+  const OptionSpec spec = paper_spec();
+  const std::int64_t T = 1500;
+  const double fft = bopm::american_call_fft(spec, T);
+  EXPECT_NEAR(baselines::zubair_american_call(spec, T), fft, 1e-7);
+  EXPECT_NEAR(baselines::cache_oblivious_american_call(spec, T), fft, 1e-7);
+}
+
+}  // namespace

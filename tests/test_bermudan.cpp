@@ -1,0 +1,113 @@
+// Bermudan extension tests: the FFT gap-collapse pricer must match the
+// rollback oracle for arbitrary exercise schedules and interpolate between
+// the European (no dates) and American (all dates) endpoints.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "amopt/pricing/bermudan.hpp"
+#include "amopt/pricing/bopm.hpp"
+
+namespace {
+
+using namespace amopt;
+using namespace amopt::pricing;
+using bermudan::Right;
+
+std::vector<std::int64_t> random_schedule(std::int64_t T, std::size_t count,
+                                          unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<std::int64_t> dist(0, T - 1);
+  std::vector<std::int64_t> steps;
+  while (steps.size() < count) {
+    const std::int64_t s = dist(rng);
+    bool dup = false;
+    for (const auto x : steps) dup |= (x == s);
+    if (!dup) steps.push_back(s);
+  }
+  std::sort(steps.begin(), steps.end());
+  return steps;
+}
+
+class BermudanSchedules
+    : public ::testing::TestWithParam<std::pair<std::size_t, unsigned>> {};
+
+TEST_P(BermudanSchedules, FftMatchesVanillaRollback) {
+  const auto [count, seed] = GetParam();
+  const OptionSpec spec = paper_spec();
+  const std::int64_t T = 600;
+  const auto steps = random_schedule(T, count, seed);
+  for (const Right r : {Right::call, Right::put}) {
+    const double f = bermudan::price_fft(spec, T, steps, r);
+    const double v = bermudan::price_vanilla(spec, T, steps, r);
+    // FFT path noise scales with the largest expiry payoff (~S*u^T).
+    EXPECT_NEAR(f, v, 2e-6 * std::max(1.0, std::abs(v)))
+        << "right=" << (r == Right::call ? "C" : "P");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schedules, BermudanSchedules,
+    ::testing::Values(std::pair<std::size_t, unsigned>{1, 11},
+                      std::pair<std::size_t, unsigned>{4, 12},
+                      std::pair<std::size_t, unsigned>{12, 13},
+                      std::pair<std::size_t, unsigned>{40, 14},
+                      std::pair<std::size_t, unsigned>{100, 15}));
+
+TEST(Bermudan, NoDatesIsEuropean) {
+  const OptionSpec spec = paper_spec();
+  const std::int64_t T = 512;
+  EXPECT_NEAR(bermudan::price_fft(spec, T, {}, Right::call),
+              bopm::european_call_fft(spec, T), 2e-6);
+  EXPECT_NEAR(bermudan::price_fft(spec, T, {}, Right::put),
+              bopm::european_put_fft(spec, T), 2e-6);
+}
+
+TEST(Bermudan, AllDatesIsAmerican) {
+  const OptionSpec spec = paper_spec();
+  const std::int64_t T = 512;
+  std::vector<std::int64_t> all;
+  for (std::int64_t i = 0; i < T; ++i) all.push_back(i);
+  EXPECT_NEAR(bermudan::price_fft(spec, T, all, Right::call),
+              bopm::american_call_vanilla(spec, T), 2e-6);
+  EXPECT_NEAR(bermudan::price_fft(spec, T, all, Right::put),
+              bopm::american_put_vanilla(spec, T), 2e-6);
+}
+
+TEST(Bermudan, MoreDatesNeverHurt) {
+  // Value is monotone in the exercise schedule (superset => >=).
+  const OptionSpec spec = paper_spec();
+  const std::int64_t T = 400;
+  std::vector<std::int64_t> quarterly, monthly;
+  for (std::int64_t i = 100; i < T; i += 100) quarterly.push_back(i);
+  for (std::int64_t i = 25; i < T; i += 25) monthly.push_back(i);
+  for (const Right r : {Right::call, Right::put}) {
+    const double none = bermudan::price_fft(spec, T, {}, r);
+    const double q = bermudan::price_fft(spec, T, quarterly, r);
+    const double m = bermudan::price_fft(spec, T, monthly, r);
+    EXPECT_GE(q, none - 1e-6);
+    EXPECT_GE(m, q - 1e-6);
+  }
+}
+
+TEST(Bermudan, SandwichedBetweenEuropeanAndAmerican) {
+  const OptionSpec spec = paper_spec();
+  const std::int64_t T = 300;
+  const auto steps = random_schedule(T, 10, 99);
+  const double berm = bermudan::price_fft(spec, T, steps, Right::put);
+  EXPECT_GE(berm, bopm::european_put_fft(spec, T) - 1e-6);
+  EXPECT_LE(berm, bopm::american_put_vanilla(spec, T) + 1e-6);
+}
+
+TEST(Bermudan, TZero) {
+  OptionSpec spec = paper_spec();
+  spec.S = 150.0;
+  EXPECT_DOUBLE_EQ(bermudan::price_fft(spec, 0, {}, Right::call),
+                   150.0 - spec.K);
+}
+
+}  // namespace

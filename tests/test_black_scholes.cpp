@@ -1,0 +1,106 @@
+// Closed-form Black-Scholes tests: put-call parity, boundary behaviours,
+// known values, and the perpetual put's smooth-pasting conditions.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "amopt/pricing/black_scholes.hpp"
+
+namespace {
+
+using namespace amopt::pricing;
+
+TEST(NormCdf, KnownValues) {
+  EXPECT_NEAR(bs::norm_cdf(0.0), 0.5, 1e-15);
+  EXPECT_NEAR(bs::norm_cdf(1.0), 0.8413447460685429, 1e-12);
+  EXPECT_NEAR(bs::norm_cdf(-1.0), 1.0 - 0.8413447460685429, 1e-12);
+  EXPECT_NEAR(bs::norm_cdf(10.0), 1.0, 1e-15);
+  EXPECT_NEAR(bs::norm_cdf(-10.0), 0.0, 1e-15);
+}
+
+TEST(BlackScholes, PutCallParity) {
+  // C - P = S e^{-Y tau} - K e^{-R tau}
+  for (double S : {80.0, 100.0, 127.62}) {
+    for (double Y : {0.0, 0.0163, 0.04}) {
+      OptionSpec s;
+      s.S = S;
+      s.K = 100.0;
+      s.R = 0.03;
+      s.V = 0.25;
+      s.Y = Y;
+      s.expiry_years = 0.7;
+      const double lhs = bs::european_call(s) - bs::european_put(s);
+      const double rhs = S * std::exp(-Y * s.expiry_years) -
+                         s.K * std::exp(-s.R * s.expiry_years);
+      EXPECT_NEAR(lhs, rhs, 1e-10) << "S=" << S << " Y=" << Y;
+    }
+  }
+}
+
+TEST(BlackScholes, KnownTextbookValue) {
+  // Hull's classic example: S=42, K=40, R=10%, V=20%, tau=0.5:
+  // C ~ 4.76, P ~ 0.81.
+  OptionSpec s;
+  s.S = 42.0;
+  s.K = 40.0;
+  s.R = 0.10;
+  s.V = 0.20;
+  s.Y = 0.0;
+  s.expiry_years = 0.5;
+  EXPECT_NEAR(bs::european_call(s), 4.759422, 1e-5);
+  EXPECT_NEAR(bs::european_put(s), 0.808599, 1e-5);
+}
+
+TEST(BlackScholes, CallBoundsRespected) {
+  OptionSpec s;
+  s.S = 100.0;
+  s.K = 90.0;
+  s.R = 0.05;
+  s.V = 0.3;
+  s.expiry_years = 2.0;
+  const double c = bs::european_call(s);
+  EXPECT_GT(c, std::max(0.0, s.S * std::exp(-s.Y * 2.0) -
+                                 s.K * std::exp(-s.R * 2.0)));
+  EXPECT_LT(c, s.S);
+}
+
+TEST(BlackScholes, MonotoneInVolatility) {
+  OptionSpec s;
+  s.S = 100.0;
+  s.K = 105.0;
+  double prev = -1.0;
+  for (double v : {0.05, 0.1, 0.2, 0.4, 0.8}) {
+    s.V = v;
+    const double c = bs::european_call(s);
+    EXPECT_GT(c, prev);
+    prev = c;
+  }
+}
+
+TEST(PerpetualPut, ValueMatchesIntrinsicAtBoundary) {
+  const double K = 100.0, R = 0.04, V = 0.3;
+  const double b = bs::perpetual_put_boundary(K, R, V);
+  EXPECT_GT(b, 0.0);
+  EXPECT_LT(b, K);
+  EXPECT_NEAR(bs::perpetual_put(b, K, R, V), K - b, 1e-10);
+}
+
+TEST(PerpetualPut, SmoothPasting) {
+  // dV/dS must equal -1 at the boundary (smooth fit).
+  const double K = 100.0, R = 0.04, V = 0.3;
+  const double b = bs::perpetual_put_boundary(K, R, V);
+  const double h = 1e-5 * b;
+  const double deriv =
+      (bs::perpetual_put(b + h, K, R, V) - bs::perpetual_put(b, K, R, V)) / h;
+  EXPECT_NEAR(deriv, -1.0, 1e-3);
+}
+
+TEST(PerpetualPut, DominatesIntrinsicEverywhere) {
+  const double K = 100.0, R = 0.04, V = 0.3;
+  for (double S : {20.0, 50.0, 80.0, 100.0, 150.0, 300.0}) {
+    EXPECT_GE(bs::perpetual_put(S, K, R, V), std::max(0.0, K - S) - 1e-12);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,122 @@
+// Empirical validation of the red/green boundary lemmas the fast solver
+// rests on: Corollary 2.7 (BOPM), Corollary A.6 (TOPM), and the expiry-row
+// anomalies documented in DESIGN.md.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "amopt/pricing/boundary.hpp"
+#include "amopt/pricing/params.hpp"
+
+namespace {
+
+using namespace amopt;
+using namespace amopt::pricing;
+
+TEST(BopmBoundary, Corollary27HoldsBelowExpiry) {
+  // For i <= T-3 the two-sided bound q_{i+1}-1 <= q_i <= q_{i+1} is proved;
+  // we check it for every pair below the expiry row.
+  for (double Y : {0.0163, 0.05}) {
+    OptionSpec spec = paper_spec();
+    spec.Y = Y;
+    const std::int64_t T = 800;
+    const auto q = bopm_call_boundary_vanilla(spec, T);
+    for (std::int64_t i = 0; i + 1 <= T - 1; ++i) {
+      const auto qi = q[static_cast<std::size_t>(i)];
+      const auto qn = q[static_cast<std::size_t>(i + 1)];
+      if (qi < 0) {
+        // all-green rows may only appear below an all-green or q=0 row
+        EXPECT_LE(qn, 0) << "i=" << i;
+        continue;
+      }
+      EXPECT_LE(qi, qn) << "i=" << i << " Y=" << Y;
+      EXPECT_GE(qi, qn - 1) << "i=" << i << " Y=" << Y;
+    }
+  }
+}
+
+TEST(BopmBoundary, RedPrefixStructure) {
+  // Every row must be a red prefix followed by a green suffix; the oracle
+  // returns the last red index, so just sanity-check ranges.
+  const OptionSpec spec = paper_spec();
+  const std::int64_t T = 300;
+  const auto q = bopm_call_boundary_vanilla(spec, T);
+  ASSERT_EQ(q.size(), static_cast<std::size_t>(T + 1));
+  for (std::int64_t i = 0; i <= T; ++i) {
+    EXPECT_GE(q[static_cast<std::size_t>(i)], -1);
+    EXPECT_LE(q[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(BopmBoundary, ExpiryRowIsPayoffBoundary) {
+  const OptionSpec spec = paper_spec();
+  const std::int64_t T = 500;
+  const auto q = bopm_call_boundary_vanilla(spec, T);
+  const std::int64_t qT = q[static_cast<std::size_t>(T)];
+  // S*u^(2qT - T) <= K < S*u^(2(qT+1) - T)
+  EXPECT_LE(bopm_cell_price(spec, T, T, qT), spec.K * (1.0 + 1e-12));
+  EXPECT_GT(bopm_cell_price(spec, T, T, qT + 1), spec.K);
+}
+
+TEST(BopmBoundary, BoundaryPriceApproachesStrikeNearExpiry) {
+  // The exercise boundary in *price* terms sits near K at the row right
+  // below expiry when Y > R keeps it finite.
+  const OptionSpec spec = paper_spec();
+  const std::int64_t T = 2000;
+  const auto q = bopm_call_boundary_vanilla(spec, T);
+  const double p =
+      bopm_cell_price(spec, T, T - 1, q[static_cast<std::size_t>(T - 1)]);
+  EXPECT_GT(p, 0.5 * spec.K);
+  EXPECT_LT(p, 1.5 * spec.K);
+}
+
+TEST(BopmBoundary, ZeroYieldHasNoInteriorGreenCells) {
+  OptionSpec spec = paper_spec();
+  spec.Y = 0.0;
+  const std::int64_t T = 200;
+  const auto q = bopm_call_boundary_vanilla(spec, T);
+  // Every interior row is entirely red: q_i == i (whole row continuation).
+  for (std::int64_t i = 0; i < T; ++i)
+    EXPECT_EQ(q[static_cast<std::size_t>(i)], i) << "i=" << i;
+}
+
+TEST(TopmBoundary, CorollaryA6HoldsAwayFromTheDiagonal) {
+  const OptionSpec spec = paper_spec();
+  const std::int64_t T = 500;
+  const auto q = topm_call_boundary_vanilla(spec, T);
+  for (std::int64_t i = 0; i + 1 <= T - 1; ++i) {
+    const auto qi = q[static_cast<std::size_t>(i)];
+    const auto qn = q[static_cast<std::size_t>(i + 1)];
+    if (qi < 0) continue;
+    EXPECT_LE(qi, qn) << "i=" << i;
+    // Rows clipped by the lattice diagonal (entirely red, q == 2i) shrink
+    // by 2 cells/step — a domain effect Corollary A.6 does not cover and
+    // the solver does not rely on (clipped rows are fully red).
+    if (qi == 2 * i) continue;
+    EXPECT_GE(qi, qn - 1) << "i=" << i;
+  }
+}
+
+TEST(TopmBoundary, WithinRowRange) {
+  const OptionSpec spec = paper_spec();
+  const std::int64_t T = 200;
+  const auto q = topm_call_boundary_vanilla(spec, T);
+  for (std::int64_t i = 0; i <= T; ++i) {
+    EXPECT_GE(q[static_cast<std::size_t>(i)], -1);
+    EXPECT_LE(q[static_cast<std::size_t>(i)], 2 * i);
+  }
+}
+
+TEST(BopmBoundary, MovesWithMoneyness) {
+  // Raising the strike pushes the (index-space) boundary right at expiry.
+  OptionSpec lo = paper_spec();
+  OptionSpec hi = paper_spec();
+  hi.K = lo.K * 1.3;
+  const std::int64_t T = 400;
+  const auto qlo = bopm_call_boundary_vanilla(lo, T);
+  const auto qhi = bopm_call_boundary_vanilla(hi, T);
+  EXPECT_GT(qhi[static_cast<std::size_t>(T)], qlo[static_cast<std::size_t>(T)]);
+}
+
+}  // namespace

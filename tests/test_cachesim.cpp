@@ -1,0 +1,107 @@
+// Unit tests for the two-level set-associative LRU cache simulator (S9b).
+
+#include <gtest/gtest.h>
+
+#include "amopt/metrics/cachesim.hpp"
+
+namespace {
+
+using namespace amopt::metrics;
+
+TEST(CacheLevel, HitAfterMiss) {
+  CacheLevel l({1024, 64, 2});  // 8 sets, 2-way
+  EXPECT_FALSE(l.access_line(0));
+  EXPECT_TRUE(l.access_line(0));
+}
+
+TEST(CacheLevel, LruEvictionOrder) {
+  CacheLevel l({2 * 64, 64, 2});  // exactly 1 set, 2 ways
+  EXPECT_EQ(l.sets(), 1u);
+  EXPECT_FALSE(l.access_line(1));
+  EXPECT_FALSE(l.access_line(2));
+  EXPECT_TRUE(l.access_line(1));   // 1 becomes MRU
+  EXPECT_FALSE(l.access_line(3));  // evicts 2 (LRU)
+  EXPECT_TRUE(l.access_line(1));
+  EXPECT_FALSE(l.access_line(2));  // 2 was evicted
+}
+
+TEST(CacheLevel, SetIndexingSeparatesConflicts) {
+  CacheLevel l({4 * 64, 64, 1});  // 4 sets, direct-mapped
+  EXPECT_FALSE(l.access_line(0));
+  EXPECT_FALSE(l.access_line(1));  // different set: no conflict
+  EXPECT_TRUE(l.access_line(0));
+  EXPECT_FALSE(l.access_line(4));  // same set as 0: evicts it
+  EXPECT_FALSE(l.access_line(0));
+}
+
+TEST(CacheSim, CountsLineGranularity) {
+  CacheSim sim({1024, 64, 2}, {4096, 64, 4});
+  sim.access(0, 8);  // one line
+  EXPECT_EQ(sim.stats().accesses, 1u);
+  sim.access(60, 8);  // straddles two lines
+  EXPECT_EQ(sim.stats().accesses, 3u);
+}
+
+TEST(CacheSim, MissHierarchy) {
+  CacheSim sim({128, 64, 2}, {4096, 64, 4});  // tiny L1 (2 lines), bigger L2
+  // Touch 4 distinct lines, then re-touch them: L1 (2 lines) thrashes but
+  // L2 holds all 4.
+  for (int round = 0; round < 2; ++round)
+    for (std::uint64_t line = 0; line < 4; ++line) sim.access(line * 64, 8);
+  EXPECT_EQ(sim.stats().accesses, 8u);
+  EXPECT_EQ(sim.stats().l1_misses, 8u);  // 2-line L1 cannot hold 4 lines
+  EXPECT_EQ(sim.stats().l2_misses, 4u);  // only compulsory misses
+}
+
+TEST(CacheSim, SequentialScanMissesOncePerLine) {
+  CacheSim sim;  // default 32KiB/1MiB
+  const std::size_t n = 1000;
+  for (std::size_t i = 0; i < n; ++i)
+    sim.access(static_cast<std::uint64_t>(i * sizeof(double)), sizeof(double));
+  // 1000 doubles = 125 lines.
+  EXPECT_EQ(sim.stats().accesses, n);
+  EXPECT_EQ(sim.stats().l1_misses, 125u);
+  EXPECT_EQ(sim.stats().l2_misses, 125u);
+}
+
+TEST(CacheSim, WorkingSetFittingInL1NeverMissesAgain) {
+  CacheSim sim;
+  // 2 KiB working set « 32 KiB L1.
+  for (int round = 0; round < 10; ++round)
+    for (std::uint64_t a = 0; a < 2048; a += 8) sim.access(a, 8);
+  EXPECT_EQ(sim.stats().l1_misses, 32u);  // 2048/64 compulsory only
+}
+
+TEST(SimVec, TracksRealAddresses) {
+  CacheSim sim;
+  SimVec<double> v(sim, 64, 0.0);
+  v[0] = 1.0;
+  const auto after_first = sim.stats();
+  EXPECT_EQ(after_first.accesses, 1u);
+  EXPECT_EQ(after_first.l1_misses, 1u);
+  (void)v[1];  // same line (adjacent double, 64B line): hit
+  EXPECT_EQ(sim.stats().l1_misses, 1u);
+  EXPECT_EQ(sim.stats().accesses, 2u);
+  (void)v[8];  // next line: miss
+  EXPECT_EQ(sim.stats().l1_misses, 2u);
+}
+
+TEST(SimVec, RawAccessIsUntracked) {
+  CacheSim sim;
+  SimVec<double> v(sim, 8, 0.0);
+  v.raw(3) = 7.0;
+  EXPECT_EQ(sim.stats().accesses, 0u);
+  EXPECT_DOUBLE_EQ(v[3], 7.0);
+}
+
+TEST(CacheSim, ClearResetsTags) {
+  CacheSim sim;
+  sim.access(0, 8);
+  sim.access(0, 8);
+  EXPECT_EQ(sim.stats().l1_misses, 1u);
+  sim.clear();
+  sim.access(0, 8);
+  EXPECT_EQ(sim.stats().l1_misses, 2u);  // compulsory miss again
+}
+
+}  // namespace

@@ -1,0 +1,136 @@
+// Tests for S2: FFT and direct convolution/correlation agree with each
+// other and with hand-computed cases across a size sweep.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "amopt/fft/convolution.hpp"
+
+namespace {
+
+using namespace amopt;
+
+std::vector<double> random_vec(std::size_t n, unsigned seed,
+                               double lo = -1.0, double hi = 1.0) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> dist(lo, hi);
+  std::vector<double> v(n);
+  for (auto& x : v) x = dist(rng);
+  return v;
+}
+
+TEST(Convolution, HandComputedFull) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  const std::vector<double> b{4.0, 5.0};
+  const std::vector<double> expect{4.0, 13.0, 22.0, 15.0};
+  const auto direct = conv::convolve_full_direct(a, b);
+  ASSERT_EQ(direct.size(), expect.size());
+  for (std::size_t i = 0; i < expect.size(); ++i)
+    EXPECT_NEAR(direct[i], expect[i], 1e-12);
+  conv::Policy fft_only{conv::Policy::Path::fft};
+  const auto viafft = conv::convolve_full(a, b, fft_only);
+  ASSERT_EQ(viafft.size(), expect.size());
+  for (std::size_t i = 0; i < expect.size(); ++i)
+    EXPECT_NEAR(viafft[i], expect[i], 1e-12);
+}
+
+TEST(Convolution, EmptyInputsGiveEmptyResult) {
+  EXPECT_TRUE(conv::convolve_full({}, std::vector<double>{1.0}).empty());
+  EXPECT_TRUE(conv::convolve_full(std::vector<double>{1.0}, {}).empty());
+}
+
+struct ConvCase {
+  std::size_t na, nb;
+};
+
+class ConvolutionSizes : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(ConvolutionSizes, FftMatchesDirect) {
+  const auto [na, nb] = GetParam();
+  const auto a = random_vec(na, static_cast<unsigned>(na * 31 + nb));
+  const auto b = random_vec(nb, static_cast<unsigned>(nb * 17 + na));
+  const auto ref = conv::convolve_full_direct(a, b);
+  const auto got = conv::convolve_full(a, b, {conv::Policy::Path::fft});
+  ASSERT_EQ(ref.size(), got.size());
+  const double tol = 1e-12 * static_cast<double>(na + nb);
+  for (std::size_t i = 0; i < ref.size(); ++i)
+    EXPECT_NEAR(got[i], ref[i], tol) << "i=" << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, ConvolutionSizes,
+    ::testing::Values(ConvCase{1, 1}, ConvCase{1, 9}, ConvCase{2, 2},
+                      ConvCase{3, 8}, ConvCase{17, 17}, ConvCase{64, 3},
+                      ConvCase{100, 100}, ConvCase{255, 257},
+                      ConvCase{1024, 33}, ConvCase{5000, 5000}));
+
+class CorrelationSizes : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(CorrelationSizes, ValidCorrelationMatchesDirect) {
+  const auto [n_in, n_k] = GetParam();
+  if (n_in < n_k) GTEST_SKIP();
+  const auto in = random_vec(n_in, static_cast<unsigned>(n_in + 3 * n_k));
+  const auto kernel = random_vec(n_k, static_cast<unsigned>(n_k + 5));
+  const std::size_t n_out = n_in - n_k + 1;
+  std::vector<double> ref(n_out), got(n_out);
+  conv::correlate_valid_direct(in, kernel, ref);
+  conv::correlate_valid(in, kernel, got, {conv::Policy::Path::fft});
+  const double tol = 1e-12 * static_cast<double>(n_in);
+  for (std::size_t i = 0; i < n_out; ++i)
+    EXPECT_NEAR(got[i], ref[i], tol) << "i=" << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, CorrelationSizes,
+    ::testing::Values(ConvCase{1, 1}, ConvCase{9, 1}, ConvCase{9, 9},
+                      ConvCase{100, 7}, ConvCase{257, 129},
+                      ConvCase{1024, 1024}, ConvCase{4096, 513},
+                      ConvCase{10000, 2001}));
+
+TEST(Correlation, ShortOutputUsesInputPrefixOnly) {
+  // out.size() < in.size() - kernel.size() + 1 is allowed: the tail of the
+  // input must not influence the result.
+  const auto in = random_vec(64, 11);
+  auto in_garbled = in;
+  for (std::size_t i = 40; i < in_garbled.size(); ++i) in_garbled[i] = 1e9;
+  const auto kernel = random_vec(8, 12);
+  std::vector<double> a(20), b(20);
+  conv::correlate_valid(in, kernel, a, {conv::Policy::Path::fft});
+  conv::correlate_valid(in_garbled, kernel, b, {conv::Policy::Path::fft});
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_NEAR(a[i], b[i], 1e-6);
+}
+
+TEST(Correlation, AutomaticPolicyMatchesForcedPaths) {
+  const auto in = random_vec(2048, 21);
+  const auto kernel = random_vec(301, 22);
+  const std::size_t n_out = in.size() - kernel.size() + 1;
+  std::vector<double> d(n_out), f(n_out), a(n_out);
+  conv::correlate_valid(in, kernel, d, {conv::Policy::Path::direct});
+  conv::correlate_valid(in, kernel, f, {conv::Policy::Path::fft});
+  conv::correlate_valid(in, kernel, a, {});
+  for (std::size_t i = 0; i < n_out; ++i) {
+    EXPECT_NEAR(d[i], f[i], 1e-9);
+    EXPECT_NEAR(d[i], a[i], 1e-9);
+  }
+}
+
+TEST(Correlation, EmptyOutputIsNoop) {
+  const auto in = random_vec(16, 30);
+  const auto kernel = random_vec(4, 31);
+  std::vector<double> out;
+  conv::correlate_valid(in, kernel, out);  // must not crash
+  SUCCEED();
+}
+
+TEST(Convolution, CommutesUnderFft) {
+  const auto a = random_vec(100, 41);
+  const auto b = random_vec(37, 43);
+  const auto ab = conv::convolve_full(a, b, {conv::Policy::Path::fft});
+  const auto ba = conv::convolve_full(b, a, {conv::Policy::Path::fft});
+  ASSERT_EQ(ab.size(), ba.size());
+  for (std::size_t i = 0; i < ab.size(); ++i) EXPECT_NEAR(ab[i], ba[i], 1e-10);
+}
+
+}  // namespace

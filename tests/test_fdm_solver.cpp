@@ -1,0 +1,143 @@
+// Tests for S6, the FDM trapezoid solver: advance() must agree with pure
+// naive stepping, margins must be respected, and the boundary must obey
+// Theorem 4.3's one-cell bound after the initial jump rows.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "amopt/core/fdm_solver.hpp"
+#include "amopt/pricing/bsm_fdm.hpp"
+#include "amopt/pricing/params.hpp"
+
+namespace {
+
+using namespace amopt;
+using pricing::OptionSpec;
+
+struct FdmRig {
+  pricing::BsmParams prm;
+  core::FdmRow row0;
+};
+
+FdmRig make_setup(const OptionSpec& spec, std::int64_t T, std::int64_t kr0) {
+  FdmRig s;
+  s.prm = pricing::derive_bsm(spec, T);
+  s.row0.n = 0;
+  s.row0.f = 0;
+  s.row0.kr = kr0;
+  s.row0.red.assign(static_cast<std::size_t>(kr0), 0.0);
+  return s;
+}
+
+core::FdmRow naive_advance(core::FdmSolver& solver, core::FdmRow row,
+                           std::int64_t L, bool first_rows_unbounded) {
+  for (std::int64_t s = 0; s < L; ++s)
+    row = solver.step_naive(row, first_rows_unbounded && row.n < 2);
+  return row;
+}
+
+class FdmConfigs : public ::testing::TestWithParam<int> {};
+
+TEST_P(FdmConfigs, AdvanceMatchesNaiveStepping) {
+  const int base = GetParam();
+  const OptionSpec spec = pricing::paper_spec();
+  const std::int64_t T = 512;
+  FdmRig s = make_setup(spec, T, 2 * T + 8);
+  const pricing::bsm::PutGreen green(s.prm.ds, 8 * T);
+  core::SolverConfig cfg;
+  cfg.base_case = base;
+  core::FdmSolver fast({{s.prm.b, s.prm.c, s.prm.a}, -1}, green, cfg);
+  core::FdmSolver slow({{s.prm.b, s.prm.c, s.prm.a}, -1}, green, {});
+
+  // Jump rows first (Y > R in the paper spec).
+  core::FdmRow row = s.row0;
+  row = fast.step_naive(row, true);
+  row = fast.step_naive(row, true);
+
+  const std::int64_t L = (T - 2) / 2;
+  const core::FdmRow a = fast.advance(row, L);
+  const core::FdmRow b = naive_advance(slow, row, L, false);
+  EXPECT_EQ(a.n, b.n);
+  EXPECT_EQ(a.f, b.f);
+  EXPECT_EQ(a.kr, b.kr);
+  ASSERT_EQ(a.red.size(), b.red.size());
+  for (std::size_t t = 0; t < a.red.size(); ++t)
+    EXPECT_NEAR(a.red[t], b.red[t], 1e-10) << "t=" << t;
+}
+
+INSTANTIATE_TEST_SUITE_P(BaseCases, FdmConfigs,
+                         ::testing::Values(2, 4, 10, 32, 128));
+
+TEST(FdmSolver, RepeatedAdvanceMatchesOneBigAdvance) {
+  const OptionSpec spec = pricing::paper_spec();
+  const std::int64_t T = 300;
+  FdmRig s = make_setup(spec, T, 4 * T);
+  const pricing::bsm::PutGreen green(s.prm.ds, 8 * T);
+  core::FdmSolver solver({{s.prm.b, s.prm.c, s.prm.a}, -1}, green, {});
+
+  core::FdmRow row = s.row0;
+  row = solver.step_naive(row, true);
+  row = solver.step_naive(row, true);
+
+  core::FdmRow many = row;
+  for (std::int64_t L : {60L, 40L, 20L, 10L}) many = solver.advance(many, L);
+  const core::FdmRow once = solver.advance(row, 130);
+  EXPECT_EQ(many.n, once.n);
+  EXPECT_EQ(many.f, once.f);
+  EXPECT_EQ(many.kr, once.kr);
+  ASSERT_EQ(many.red.size(), once.red.size());
+  for (std::size_t t = 0; t < many.red.size(); ++t)
+    EXPECT_NEAR(many.red[t], once.red[t], 1e-10);
+}
+
+TEST(FdmSolver, BoundaryObeysTheorem43AfterJumpRows) {
+  // After the first two rows, 0 <= f_n - f_{n+1} <= 1 must hold: this is
+  // the paper's Theorem 4.3 (requires the monotone scheme a,b,c >= 0,
+  // guaranteed by derive_bsm).
+  for (double Y : {0.0, 0.0163, 0.05}) {
+    OptionSpec spec = pricing::paper_spec();
+    spec.Y = Y;
+    const std::int64_t T = 400;
+    FdmRig s = make_setup(spec, T, 2 * T + 8);
+    const pricing::bsm::PutGreen green(s.prm.ds, 8 * T);
+    core::FdmSolver solver({{s.prm.b, s.prm.c, s.prm.a}, -1}, green, {});
+    core::FdmRow row = s.row0;
+    row = solver.step_naive(row, true);
+    row = solver.step_naive(row, true);
+    std::int64_t prev_f = row.f;
+    for (std::int64_t n = row.n; n < T; ++n) {
+      row = solver.step_naive(row);
+      EXPECT_LE(row.f, prev_f) << "Y=" << Y << " n=" << n;
+      EXPECT_GE(row.f, prev_f - 1) << "Y=" << Y << " n=" << n;
+      prev_f = row.f;
+    }
+  }
+}
+
+TEST(FdmSolver, SchemeIsMonotone) {
+  const OptionSpec spec = pricing::paper_spec();
+  for (std::int64_t T : {16L, 256L, 4096L}) {
+    const auto prm = pricing::derive_bsm(spec, T);
+    EXPECT_GE(prm.a, 0.0);
+    EXPECT_GE(prm.b, 0.0);
+    EXPECT_GE(prm.c, 0.0);
+    EXPECT_LE(prm.a + prm.b + prm.c, 1.0 + 1e-12);  // sub-stochastic
+  }
+}
+
+TEST(FdmSolver, InitialBoundaryJumpMatchesTheory) {
+  // With Y > R the discrete boundary after one step sits near
+  // ln(R/Y)/ds (see DESIGN.md); with Y <= R it stays at 0 or drops by O(1).
+  OptionSpec spec = pricing::paper_spec();  // Y = 10 * R
+  const std::int64_t T = 1000;
+  FdmRig s = make_setup(spec, T, 2 * T + 8);
+  const pricing::bsm::PutGreen green(s.prm.ds, 8 * T);
+  core::FdmSolver solver({{s.prm.b, s.prm.c, s.prm.a}, -1}, green, {});
+  const core::FdmRow row1 = solver.step_naive(s.row0, true);
+  const double expected_k = std::log(spec.R / spec.Y) / s.prm.ds;
+  EXPECT_NEAR(static_cast<double>(row1.f), expected_k,
+              std::abs(expected_k) * 0.05 + 3.0);
+}
+
+}  // namespace

@@ -1,0 +1,140 @@
+// Unit and property tests for the radix-2 FFT substrate (S1).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <random>
+#include <vector>
+
+#include "amopt/fft/fft.hpp"
+
+namespace {
+
+using amopt::fft::cplx;
+
+std::vector<cplx> random_signal(std::size_t n, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  std::vector<cplx> v(n);
+  for (auto& x : v) x = cplx{dist(rng), dist(rng)};
+  return v;
+}
+
+/// O(n^2) reference DFT.
+std::vector<cplx> dft_reference(const std::vector<cplx>& in) {
+  const std::size_t n = in.size();
+  std::vector<cplx> out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    cplx acc{0.0, 0.0};
+    for (std::size_t j = 0; j < n; ++j) {
+      const double a = -2.0 * std::numbers::pi * static_cast<double>(k * j) /
+                       static_cast<double>(n);
+      acc += in[j] * cplx{std::cos(a), std::sin(a)};
+    }
+    out[k] = acc;
+  }
+  return out;
+}
+
+class FftRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftRoundTrip, InverseRecoversInput) {
+  const std::size_t n = GetParam();
+  std::vector<cplx> v = random_signal(n, 42 + static_cast<unsigned>(n));
+  const std::vector<cplx> orig = v;
+  amopt::fft::forward(v);
+  amopt::fft::inverse(v);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(v[i].real(), orig[i].real(), 1e-11) << "i=" << i;
+    EXPECT_NEAR(v[i].imag(), orig[i].imag(), 1e-11) << "i=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PowersOfTwo, FftRoundTrip,
+                         ::testing::Values(1, 2, 4, 8, 16, 64, 256, 1024,
+                                           4096, 1u << 16));
+
+class FftVsDft : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftVsDft, MatchesReferenceDft) {
+  const std::size_t n = GetParam();
+  std::vector<cplx> v = random_signal(n, 7 + static_cast<unsigned>(n));
+  const std::vector<cplx> ref = dft_reference(v);
+  amopt::fft::forward(v);
+  for (std::size_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(v[k].real(), ref[k].real(), 1e-9 * static_cast<double>(n));
+    EXPECT_NEAR(v[k].imag(), ref[k].imag(), 1e-9 * static_cast<double>(n));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallSizes, FftVsDft,
+                         ::testing::Values(1, 2, 4, 8, 16, 32, 64, 128, 256));
+
+TEST(Fft, ImpulseTransformsToConstant) {
+  std::vector<cplx> v(64, cplx{0.0, 0.0});
+  v[0] = cplx{1.0, 0.0};
+  amopt::fft::forward(v);
+  for (const cplx& x : v) {
+    EXPECT_NEAR(x.real(), 1.0, 1e-12);
+    EXPECT_NEAR(x.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, ConstantTransformsToImpulse) {
+  const std::size_t n = 128;
+  std::vector<cplx> v(n, cplx{1.0, 0.0});
+  amopt::fft::forward(v);
+  EXPECT_NEAR(v[0].real(), static_cast<double>(n), 1e-9);
+  for (std::size_t k = 1; k < n; ++k) {
+    EXPECT_NEAR(std::abs(v[k]), 0.0, 1e-9) << "k=" << k;
+  }
+}
+
+TEST(Fft, ParsevalHolds) {
+  const std::size_t n = 512;
+  std::vector<cplx> v = random_signal(n, 99);
+  double time_energy = 0.0;
+  for (const cplx& x : v) time_energy += std::norm(x);
+  amopt::fft::forward(v);
+  double freq_energy = 0.0;
+  for (const cplx& x : v) freq_energy += std::norm(x);
+  EXPECT_NEAR(freq_energy / static_cast<double>(n), time_energy, 1e-9 * n);
+}
+
+TEST(Fft, LinearityOfTransform) {
+  const std::size_t n = 256;
+  auto a = random_signal(n, 1);
+  auto b = random_signal(n, 2);
+  std::vector<cplx> combo(n);
+  for (std::size_t i = 0; i < n; ++i) combo[i] = 2.0 * a[i] - 3.0 * b[i];
+  amopt::fft::forward(a);
+  amopt::fft::forward(b);
+  amopt::fft::forward(combo);
+  for (std::size_t i = 0; i < n; ++i) {
+    const cplx expect = 2.0 * a[i] - 3.0 * b[i];
+    EXPECT_NEAR(std::abs(combo[i] - expect), 0.0, 1e-9);
+  }
+}
+
+TEST(Fft, PlanCacheReturnsSameInstance) {
+  const auto& p1 = amopt::fft::plan_for(1024);
+  const auto& p2 = amopt::fft::plan_for(1024);
+  EXPECT_EQ(&p1, &p2);
+  EXPECT_EQ(p1.size(), 1024u);
+}
+
+TEST(Fft, TimeShiftBecomesPhaseRamp) {
+  const std::size_t n = 64;
+  std::vector<cplx> v(n, cplx{0.0, 0.0});
+  v[1] = cplx{1.0, 0.0};  // delta at index 1
+  amopt::fft::forward(v);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double a =
+        -2.0 * std::numbers::pi * static_cast<double>(k) / static_cast<double>(n);
+    EXPECT_NEAR(v[k].real(), std::cos(a), 1e-11);
+    EXPECT_NEAR(v[k].imag(), std::sin(a), 1e-11);
+  }
+}
+
+}  // namespace

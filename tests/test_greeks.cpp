@@ -1,0 +1,91 @@
+// Greek computation tests: lattice-node Greeks must match finite
+// differences of the price function, and European-limit Greeks must match
+// the Black-Scholes closed forms.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "amopt/pricing/black_scholes.hpp"
+#include "amopt/pricing/bopm.hpp"
+#include "amopt/pricing/greeks.hpp"
+
+namespace {
+
+using namespace amopt;
+using namespace amopt::pricing;
+
+TEST(CallGreeks, DeltaMatchesBumpedPrice) {
+  const OptionSpec spec = paper_spec();
+  const std::int64_t T = 4096;
+  const Greeks g = american_call_greeks_bopm(spec, T);
+  OptionSpec up = spec, dn = spec;
+  up.S = spec.S * 1.001;
+  dn.S = spec.S * 0.999;
+  const double fd = (bopm::american_call_fft(up, T) -
+                     bopm::american_call_fft(dn, T)) /
+                    (0.002 * spec.S);
+  EXPECT_NEAR(g.delta, fd, 5e-3);
+}
+
+TEST(CallGreeks, RangeChecks) {
+  const OptionSpec spec = paper_spec();
+  const Greeks g = american_call_greeks_bopm(spec, 2048);
+  EXPECT_GT(g.delta, 0.0);
+  EXPECT_LT(g.delta, 1.0);
+  EXPECT_GT(g.gamma, 0.0);
+  EXPECT_LT(g.theta, 0.0);  // time decay
+  EXPECT_GT(g.vega, 0.0);
+  EXPECT_GT(g.rho, 0.0);  // calls gain from higher rates
+}
+
+TEST(CallGreeks, EuropeanLimitMatchesBlackScholes) {
+  OptionSpec spec = paper_spec();
+  spec.Y = 0.0;  // no early exercise: the call IS European
+  const std::int64_t T = 8192;
+  const Greeks g = american_call_greeks_bopm(spec, T);
+  const double tau = spec.expiry_years;
+  const double vs = spec.V * std::sqrt(tau);
+  const double d1 =
+      (std::log(spec.S / spec.K) + (spec.R + 0.5 * spec.V * spec.V) * tau) /
+      vs;
+  const double bs_delta = bs::norm_cdf(d1);
+  const double pdf_d1 =
+      std::exp(-0.5 * d1 * d1) / std::sqrt(2.0 * 3.14159265358979323846);
+  const double bs_gamma = pdf_d1 / (spec.S * vs);
+  const double bs_vega = spec.S * pdf_d1 * std::sqrt(tau);
+  EXPECT_NEAR(g.delta, bs_delta, 3e-3);
+  EXPECT_NEAR(g.gamma, bs_gamma, 2e-3);
+  EXPECT_NEAR(g.vega, bs_vega, 0.5);
+}
+
+TEST(PutGreeks, RangeChecks) {
+  const OptionSpec spec = paper_spec();
+  const Greeks g = american_put_greeks_bopm(spec, 2048);
+  EXPECT_LT(g.delta, 0.0);
+  EXPECT_GT(g.delta, -1.0);
+  EXPECT_GT(g.gamma, 0.0);
+  EXPECT_GT(g.vega, 0.0);
+  EXPECT_LT(g.rho, 0.0);  // puts lose from higher rates
+}
+
+TEST(PutGreeks, PriceMatchesPricer) {
+  const OptionSpec spec = paper_spec();
+  const std::int64_t T = 1024;
+  const Greeks g = american_put_greeks_bopm(spec, T);
+  EXPECT_NEAR(g.price, bopm::american_put_fft(spec, T), 1e-10);
+}
+
+TEST(CallGreeks, ThetaConsistentWithShorterExpiry) {
+  const OptionSpec spec = paper_spec();
+  const std::int64_t T = 2048;
+  const Greeks g = american_call_greeks_bopm(spec, T);
+  OptionSpec shorter = spec;
+  shorter.expiry_years = spec.expiry_years * 0.99;
+  const double fd = (bopm::american_call_fft(shorter, T) -
+                     bopm::american_call_fft(spec, T)) /
+                    (0.01 * spec.expiry_years);
+  EXPECT_NEAR(g.theta, fd, std::abs(fd) * 0.15 + 0.05);
+}
+
+}  // namespace

@@ -1,0 +1,125 @@
+// Tests for S3: the three kernel-power engines agree with each other and
+// satisfy the structural identities the pricers rely on.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "amopt/poly/poly_power.hpp"
+
+namespace {
+
+using namespace amopt;
+
+void expect_close(const std::vector<double>& a, const std::vector<double>& b,
+                  double tol) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_NEAR(a[i], b[i], tol) << "i=" << i;
+}
+
+TEST(PolyPower, ZeroPowerIsOne) {
+  const std::vector<double> taps{0.3, 0.4, 0.2};
+  const auto k = poly::power(taps, 0);
+  ASSERT_EQ(k.size(), 1u);
+  EXPECT_DOUBLE_EQ(k[0], 1.0);
+}
+
+TEST(PolyPower, FirstPowerIsTaps) {
+  const std::vector<double> taps{0.25, 0.5, 0.125};
+  expect_close(poly::power_fft(taps, 1), taps, 0.0);
+}
+
+class PolyPowerCross : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PolyPowerCross, BinomialMatchesNaiveAndFft) {
+  const std::uint64_t h = GetParam();
+  const double a = 0.493, b = 0.502;
+  const auto closed = poly::power_binomial(a, b, h);
+  const auto fft = poly::power_fft(std::vector<double>{a, b}, h);
+  expect_close(closed, fft, 1e-12);
+  if (h <= 64) {
+    const auto naive = poly::power_naive(std::vector<double>{a, b}, h);
+    expect_close(closed, naive, 1e-13);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Heights, PolyPowerCross,
+                         ::testing::Values(1, 2, 3, 7, 8, 16, 33, 64, 100,
+                                           255, 1024, 5000));
+
+class PolyPowerTrinomial : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PolyPowerTrinomial, FftMatchesRecurrenceAndNaive) {
+  const std::uint64_t h = GetParam();
+  const std::vector<double> taps{0.24, 0.50, 0.25};
+  const auto fft = poly::power_fft(taps, h);
+  const auto rec = poly::power_recurrence(taps, h);
+  ASSERT_EQ(fft.size(), 2 * h + 1);
+  expect_close(fft, rec, 1e-11);
+  if (h <= 32) expect_close(fft, poly::power_naive(taps, h), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Heights, PolyPowerTrinomial,
+                         ::testing::Values(1, 2, 5, 16, 61, 128, 400));
+
+TEST(PolyPower, KernelMassIsPowerOfTapSum) {
+  // sum(taps^h) == (sum taps)^h — the discounted probability mass identity
+  // the pricers rely on (h steps of discounting).
+  const std::vector<double> taps{0.48, 0.51};
+  for (std::uint64_t h : {3u, 64u, 1000u, 100000u}) {
+    const auto k = poly::power(taps, h);
+    const double mass = std::accumulate(k.begin(), k.end(), 0.0);
+    EXPECT_NEAR(mass, std::pow(0.99, static_cast<double>(h)),
+                1e-10 * std::pow(0.99, static_cast<double>(h)) * h)
+        << "h=" << h;
+  }
+}
+
+TEST(PolyPower, NonNegativeForProbabilityTaps) {
+  const std::vector<double> taps{0.2, 0.5, 0.29};
+  const auto k = poly::power_fft(taps, 256);
+  for (double x : k) EXPECT_GE(x, -1e-15);
+}
+
+TEST(PolyPower, LargeHeightBinomialDoesNotUnderflowNearPeak) {
+  // At h = 2^20 the tail coefficients underflow (correctly), but the values
+  // around the mean m ~ h*b/(a+b) must stay finite and positive.
+  const std::uint64_t h = 1u << 20;
+  const auto k = poly::power_binomial(0.5, 0.5, h);
+  const std::size_t mid = h / 2;
+  EXPECT_GT(k[mid], 0.0);
+  EXPECT_TRUE(std::isfinite(k[mid]));
+  // Peak of Binomial(h, 1/2) ~ sqrt(2/(pi h)).
+  EXPECT_NEAR(k[mid], std::sqrt(2.0 / (3.14159265358979 * h)), 1e-6);
+}
+
+TEST(PolyPower, DegenerateTaps) {
+  const auto only_a = poly::power_binomial(0.5, 0.0, 4);
+  EXPECT_DOUBLE_EQ(only_a[0], 0.0625);
+  for (std::size_t i = 1; i < only_a.size(); ++i)
+    EXPECT_DOUBLE_EQ(only_a[i], 0.0);
+  const auto only_b = poly::power_binomial(0.0, 0.5, 4);
+  EXPECT_DOUBLE_EQ(only_b[4], 0.0625);
+  const auto single = poly::power(std::vector<double>{0.9}, 10);
+  ASSERT_EQ(single.size(), 1u);
+  EXPECT_NEAR(single[0], std::pow(0.9, 10.0), 1e-15);
+}
+
+TEST(PolyPower, PowerAdditivity) {
+  // taps^(h1+h2) == taps^h1 (x) taps^h2 — exactly the property that lets the
+  // trapezoid solver split heights arbitrarily.
+  const std::vector<double> taps{0.3, 0.45, 0.22};
+  const auto k5 = poly::power_fft(taps, 5);
+  const auto k8 = poly::power_fft(taps, 8);
+  const auto k13 = poly::power_fft(taps, 13);
+  // convolve k5 and k8 directly
+  std::vector<double> prod(k5.size() + k8.size() - 1, 0.0);
+  for (std::size_t i = 0; i < k5.size(); ++i)
+    for (std::size_t j = 0; j < k8.size(); ++j) prod[i + j] += k5[i] * k8[j];
+  expect_close(prod, k13, 1e-12);
+}
+
+}  // namespace

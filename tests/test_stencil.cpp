@@ -1,0 +1,107 @@
+// Tests for S4: multi-step linear stencil application equals one
+// correlation with the kernel power, and the kernel cache is consistent
+// (including under concurrent access from OpenMP tasks).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <random>
+#include <vector>
+
+#include "amopt/fft/convolution.hpp"
+#include "amopt/poly/poly_power.hpp"
+#include "amopt/stencil/kernel_cache.hpp"
+#include "amopt/stencil/linear_stencil.hpp"
+
+namespace {
+
+using namespace amopt;
+
+std::vector<double> random_vec(std::size_t n, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> dist(0.0, 100.0);
+  std::vector<double> v(n);
+  for (auto& x : v) x = dist(rng);
+  return v;
+}
+
+struct StepCase {
+  std::size_t taps;
+  std::uint64_t h;
+};
+
+class MultiStep : public ::testing::TestWithParam<StepCase> {};
+
+TEST_P(MultiStep, KernelCorrelationEqualsStepByStep) {
+  const auto [n_taps, h] = GetParam();
+  stencil::LinearStencil st;
+  st.taps = n_taps == 2 ? std::vector<double>{0.47, 0.51}
+                        : std::vector<double>{0.2, 0.5, 0.28};
+  const std::size_t g = n_taps - 1;
+  const std::size_t n_in = g * h + 40;
+  const auto in = random_vec(n_in, static_cast<unsigned>(h * 3 + n_taps));
+
+  const auto stepwise = stencil::apply_steps_naive(st, in, h);
+  const auto kernel = poly::power(st.taps, h);
+  std::vector<double> conv_out(n_in - g * h);
+  conv::correlate_valid(in, kernel, conv_out);
+
+  ASSERT_EQ(stepwise.size(), conv_out.size());
+  for (std::size_t i = 0; i < stepwise.size(); ++i)
+    EXPECT_NEAR(conv_out[i], stepwise[i], 1e-8) << "i=" << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, MultiStep,
+    ::testing::Values(StepCase{2, 1}, StepCase{2, 2}, StepCase{2, 17},
+                      StepCase{2, 100}, StepCase{3, 1}, StepCase{3, 13},
+                      StepCase{3, 64}, StepCase{3, 200}));
+
+TEST(LinearStencil, ConeGrowth) {
+  EXPECT_EQ((stencil::LinearStencil{{0.5, 0.5}, 0}).cone_growth(), 1);
+  EXPECT_EQ((stencil::LinearStencil{{0.3, 0.3, 0.3}, -1}).cone_growth(), 2);
+}
+
+TEST(KernelCache, ReturnsStableSpans) {
+  stencil::KernelCache cache({{0.49, 0.5}, 0});
+  const auto k8_first = cache.power(8);
+  const auto k4 = cache.power(4);
+  const auto k8_second = cache.power(8);
+  EXPECT_EQ(k8_first.data(), k8_second.data());  // memoized, stable address
+  ASSERT_EQ(k8_first.size(), 9u);
+  ASSERT_EQ(k4.size(), 5u);
+  const auto ref = poly::power(std::vector<double>{0.49, 0.5}, 8);
+  for (std::size_t i = 0; i < ref.size(); ++i)
+    EXPECT_DOUBLE_EQ(k8_first[i], ref[i]);
+}
+
+TEST(KernelCache, ConcurrentRequestsAgree) {
+  stencil::KernelCache cache({{0.2, 0.5, 0.29}, 0});
+  std::atomic<int> mismatches{0};
+#pragma omp parallel for
+  for (int t = 0; t < 64; ++t) {
+    const auto k = cache.power(static_cast<std::uint64_t>(16 + t % 4));
+    const auto ref = poly::power(std::vector<double>{0.2, 0.5, 0.29},
+                                 static_cast<std::uint64_t>(16 + t % 4));
+    for (std::size_t i = 0; i < ref.size(); ++i)
+      if (std::abs(k[i] - ref[i]) > 1e-12) mismatches.fetch_add(1);
+  }
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(LinearStencil, NaiveApplyShrinksCorrectly) {
+  stencil::LinearStencil st{{1.0, 1.0}, 0};  // Pascal's triangle
+  const std::vector<double> in{1.0, 0.0, 0.0, 0.0, 0.0};
+  const auto out = stencil::apply_steps_naive(st, in, 4);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0], 1.0);  // only in[0] contributes via C(4,0)
+  const std::vector<double> impulse_mid{0.0, 0.0, 1.0, 0.0, 0.0};
+  const auto out2 = stencil::apply_steps_naive(st, impulse_mid, 2);
+  // (1+x)^2 correlated: out[j] = C(2, 2-j) at the right offsets
+  ASSERT_EQ(out2.size(), 3u);
+  EXPECT_DOUBLE_EQ(out2[0], 1.0);
+  EXPECT_DOUBLE_EQ(out2[1], 2.0);
+  EXPECT_DOUBLE_EQ(out2[2], 1.0);
+}
+
+}  // namespace

@@ -1,0 +1,133 @@
+// TOPM pricing tests: FFT vs the Θ(T^2) oracle across a parameter grid,
+// plus the model-level claims the paper cites (§3): trinomial probabilities
+// form a distribution and TOPM converges to Black-Scholes faster than BOPM.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "amopt/pricing/black_scholes.hpp"
+#include "amopt/pricing/bopm.hpp"
+#include "amopt/pricing/topm.hpp"
+
+namespace {
+
+using namespace amopt;
+using namespace amopt::pricing;
+
+struct GridCase {
+  double S, K, R, V, Y;
+  std::int64_t T;
+};
+
+OptionSpec to_spec(const GridCase& c) {
+  OptionSpec s;
+  s.S = c.S;
+  s.K = c.K;
+  s.R = c.R;
+  s.V = c.V;
+  s.Y = c.Y;
+  return s;
+}
+
+class TopmGrid : public ::testing::TestWithParam<GridCase> {};
+
+TEST_P(TopmGrid, FftCallMatchesVanilla) {
+  const GridCase c = GetParam();
+  const OptionSpec spec = to_spec(c);
+  const double v = topm::american_call_vanilla(spec, c.T);
+  const double f = topm::american_call_fft(spec, c.T);
+  EXPECT_NEAR(f, v, 1e-8 * std::max(1.0, std::abs(v)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ParameterGrid, TopmGrid,
+    ::testing::Values(GridCase{127.62, 130, 0.00163, 0.2, 0.0163, 1},
+                      GridCase{127.62, 130, 0.00163, 0.2, 0.0163, 3},
+                      GridCase{127.62, 130, 0.00163, 0.2, 0.0163, 17},
+                      GridCase{127.62, 130, 0.00163, 0.2, 0.0163, 128},
+                      GridCase{127.62, 130, 0.00163, 0.2, 0.0163, 1000},
+                      GridCase{200, 100, 0.03, 0.25, 0.05, 400},
+                      GridCase{50, 100, 0.03, 0.25, 0.05, 400},
+                      GridCase{100, 100, 0.02, 0.7, 0.03, 400},
+                      GridCase{100, 110, 0.01, 0.3, 0.08, 513},
+                      GridCase{100, 95, 0.0, 0.3, 0.04, 256}));
+
+TEST(TopmModel, ProbabilitiesFormDistribution) {
+  const OptionSpec spec = paper_spec();
+  for (std::int64_t T : {4L, 100L, 10000L}) {
+    const auto p = derive_topm(spec, T);
+    EXPECT_GT(p.pu, 0.0);
+    EXPECT_GT(p.po, 0.0);
+    EXPECT_GT(p.pd, 0.0);
+    EXPECT_NEAR(p.pu + p.po + p.pd, 1.0, 1e-12);
+  }
+}
+
+TEST(TopmModel, RiskNeutralDriftIsCorrect) {
+  // E[price factor] = pd/u + po + pu*u must equal e^{(R-Y) dt}.
+  const OptionSpec spec = paper_spec();
+  const auto p = derive_topm(spec, 252);
+  const double drift = p.pd / p.u + p.po + p.pu * p.u;
+  EXPECT_NEAR(drift, std::exp((spec.R - spec.Y) * p.dt), 1e-12);
+}
+
+TEST(TopmEuropean, ConvergesToBlackScholes) {
+  const OptionSpec spec = paper_spec();
+  const double exact = bs::european_call(spec);
+  EXPECT_NEAR(topm::european_call_fft(spec, 8192), exact, 2e-3);
+}
+
+TEST(TopmEuropean, ConvergesFasterThanBopmAtHalfSteps) {
+  // Langat et al. (cited in §3): TOPM reaches the Black-Scholes limit with
+  // about half as many steps as BOPM. Verify TOPM at T is at least as
+  // accurate as BOPM at T (it has 2T+1 terminal nodes).
+  const OptionSpec spec = paper_spec();
+  const double exact = bs::european_call(spec);
+  for (std::int64_t T : {512L, 2048L}) {
+    const double err_topm = std::abs(topm::european_call_fft(spec, T) - exact);
+    const double err_bopm = std::abs(bopm::european_call_fft(spec, T) - exact);
+    EXPECT_LT(err_topm, err_bopm * 1.1) << "T=" << T;
+  }
+}
+
+TEST(TopmAmerican, AgreesWithBopmInTheLimit) {
+  const OptionSpec spec = paper_spec();
+  const double t = topm::american_call_fft(spec, 4096);
+  const double b = bopm::american_call_fft(spec, 8192);
+  EXPECT_NEAR(t, b, 5e-3);
+}
+
+TEST(TopmAmerican, ZeroYieldEqualsEuropean) {
+  OptionSpec spec = paper_spec();
+  spec.Y = 0.0;
+  EXPECT_NEAR(topm::american_call_vanilla(spec, 300),
+              topm::european_call_vanilla(spec, 300), 1e-10);
+  EXPECT_NEAR(topm::american_call_fft(spec, 300),
+              topm::european_call_fft(spec, 300), 1e-12);
+}
+
+TEST(TopmAmerican, PutVanillaDominatesIntrinsic) {
+  const OptionSpec spec = paper_spec();
+  const double p = topm::american_put_vanilla(spec, 500);
+  EXPECT_GE(p, std::max(0.0, spec.K - spec.S));
+  EXPECT_LE(p, spec.K);
+}
+
+TEST(TopmAmerican, SymmetryPutIsExactOnTheLattice) {
+  // Put-call symmetry is exact on the trinomial lattice too.
+  const OptionSpec spec = paper_spec();
+  for (std::int64_t T : {250L, 1000L, 4000L}) {
+    const double gap = std::abs(topm::american_put_fft(spec, T) -
+                                topm::american_put_vanilla(spec, T));
+    EXPECT_LT(gap, 1e-6) << "T=" << T;
+  }
+}
+
+TEST(TopmEdge, TZeroIsIntrinsic) {
+  OptionSpec spec = paper_spec();
+  EXPECT_DOUBLE_EQ(topm::american_call_fft(spec, 0),
+                   std::max(0.0, spec.S - spec.K));
+}
+
+}  // namespace
