@@ -72,4 +72,42 @@ inline void print_row(std::int64_t T, const std::vector<double>& values) {
   std::printf("\n");
 }
 
+/// Machine-readable sweep dump so runs can be diffed across commits
+/// (skipped series entries are encoded as null). Layout:
+///   {"title": ..., "unit": ..., "series": [...],
+///    "rows": [{"T": 2048, "values": [...]}, ...]}
+/// Writes nothing if `path` is empty or unopenable.
+inline void write_json(const std::string& path, const char* title,
+                       const char* unit,
+                       const std::vector<std::string>& series,
+                       const std::vector<std::int64_t>& ts,
+                       const std::vector<std::vector<double>>& rows) {
+  if (path.empty()) return;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"title\": \"%s\",\n  \"unit\": \"%s\",\n", title,
+               unit);
+  std::fprintf(f, "  \"series\": [");
+  for (std::size_t s = 0; s < series.size(); ++s)
+    std::fprintf(f, "%s\"%s\"", s > 0 ? ", " : "", series[s].c_str());
+  std::fprintf(f, "],\n  \"rows\": [\n");
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    std::fprintf(f, "    {\"T\": %lld, \"values\": [",
+                 static_cast<long long>(ts[r]));
+    for (std::size_t s = 0; s < rows[r].size(); ++s) {
+      if (rows[r][s] < 0.0)
+        std::fprintf(f, "%snull", s > 0 ? ", " : "");
+      else
+        std::fprintf(f, "%s%.9g", s > 0 ? ", " : "", rows[r][s]);
+    }
+    std::fprintf(f, "]}%s\n", r + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("# wrote %s\n", path.c_str());
+}
+
 }  // namespace amopt::bench

@@ -2,6 +2,12 @@
 // fft-bopm vs ql-bopm vs zb-bopm over a T sweep. The paper sweeps
 // T = 2^11..2^19 on 48 cores; defaults here finish in seconds on one core
 // and AMOPT_BENCH_MAX_T / AMOPT_BENCH_SLOW_MAX_T scale the sweep up.
+// Results are also dumped to BENCH_bopm.json (override with
+// AMOPT_BENCH_JSON, disable with AMOPT_BENCH_JSON=none) so the perf
+// trajectory can be tracked across commits.
+
+#include <string>
+#include <vector>
 
 #include "amopt/baselines/baselines.hpp"
 #include "amopt/pricing/bopm.hpp"
@@ -12,8 +18,11 @@ int main() {
   const auto spec = pricing::paper_spec();
   const auto sweep = bench::sweep_from_env(1 << 11, 1 << 17, 1 << 14);
 
+  const std::vector<std::string> series{"fft-bopm", "ql-bopm", "zb-bopm"};
   bench::print_header("Figure 5(a): BOPM American call, parallel running time",
-                      "seconds", {"fft-bopm", "ql-bopm", "zb-bopm"});
+                      "seconds", series);
+  std::vector<std::int64_t> ts;
+  std::vector<std::vector<double>> rows;
   for (std::int64_t T = sweep.min_t; T <= sweep.max_t; T *= 2) {
     const double fft = bench::time_best(
         [&] { (void)pricing::bopm::american_call_fft(spec, T); }, sweep.reps);
@@ -26,9 +35,14 @@ int main() {
           [&] { (void)baselines::zubair_american_call(spec, T); }, sweep.reps);
     }
     bench::print_row(T, {fft, ql, zb});
+    ts.push_back(T);
+    rows.push_back({fft, ql, zb});
   }
   std::printf("# '-' entries: Theta(T^2) baselines skipped beyond "
               "AMOPT_BENCH_SLOW_MAX_T=%lld\n",
               static_cast<long long>(sweep.slow_max_t));
+  const std::string json = env_string("AMOPT_BENCH_JSON", "BENCH_bopm.json");
+  if (json != "none")
+    bench::write_json(json, "fig5a_bopm_runtime", "seconds", series, ts, rows);
   return 0;
 }

@@ -1,13 +1,21 @@
-// google-benchmark microbenches for the FFT substrate: transform and
-// convolution throughput across sizes, and the packed-real two-for-one
-// pipeline the solvers rely on.
+// google-benchmark microbenches for the FFT substrate: complex and real
+// transform throughput, the three convolution pipelines (direct, packed-
+// complex two-for-one, real-input R2C/C2R), and the allocation-free
+// Workspace paths the solvers rely on.
+//
+// The binary writes its results to BENCH_fft.json by default (benchmark's
+// own JSON format) so perf can be diffed across commits; set
+// AMOPT_BENCH_JSON to change the path or to "none" to disable.
 
 #include <benchmark/benchmark.h>
 
 #include <complex>
+#include <cstring>
 #include <random>
+#include <string>
 #include <vector>
 
+#include "amopt/common/env.hpp"
 #include "amopt/fft/convolution.hpp"
 #include "amopt/fft/fft.hpp"
 
@@ -44,6 +52,21 @@ void BM_FftForward(benchmark::State& state) {
 }
 BENCHMARK(BM_FftForward)->RangeMultiplier(4)->Range(1 << 8, 1 << 20);
 
+void BM_RealFftForward(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto data = random_real(n);
+  const auto& plan = amopt::fft::real_plan_for(n);
+  std::vector<cplx> spec(plan.spectrum_size());
+  for (auto _ : state) {
+    plan.forward(data.data(), spec.data());
+    benchmark::DoNotOptimize(spec.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_RealFftForward)->RangeMultiplier(4)->Range(1 << 8, 1 << 20);
+
+// The production real-input path (allocating result vector each call).
 void BM_ConvolveFull(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
   const auto a = random_real(n);
@@ -54,6 +77,36 @@ void BM_ConvolveFull(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ConvolveFull)->RangeMultiplier(4)->Range(1 << 8, 1 << 18);
+
+// The seed's packed-complex pipeline, kept for before/after comparison:
+// speedup = BM_ConvolveFullPacked / BM_ConvolveFullWorkspace.
+void BM_ConvolveFullPacked(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto a = random_real(n);
+  const auto b = random_real(n);
+  for (auto _ : state) {
+    auto c = amopt::conv::convolve_full(
+        a, b, {amopt::conv::Policy::Path::fft_packed});
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_ConvolveFullPacked)->RangeMultiplier(4)->Range(1 << 8, 1 << 18);
+
+// Real-input path through a warm Workspace: zero heap traffic per call.
+void BM_ConvolveFullWorkspace(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto a = random_real(n);
+  const auto b = random_real(n);
+  amopt::conv::Workspace ws;
+  std::vector<double> out(2 * n - 1);
+  const amopt::conv::Policy fft{amopt::conv::Policy::Path::fft};
+  amopt::conv::convolve_full(a, b, out, ws, fft);  // warm-up
+  for (auto _ : state) {
+    amopt::conv::convolve_full(a, b, out, ws, fft);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_ConvolveFullWorkspace)->RangeMultiplier(4)->Range(1 << 8, 1 << 18);
 
 void BM_CorrelateValid(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
@@ -67,6 +120,66 @@ void BM_CorrelateValid(benchmark::State& state) {
 }
 BENCHMARK(BM_CorrelateValid)->RangeMultiplier(4)->Range(1 << 8, 1 << 18);
 
+void BM_CorrelateValidWorkspace(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto in = random_real(2 * n);
+  const auto kernel = random_real(n);
+  std::vector<double> out(n + 1);
+  amopt::conv::Workspace ws;
+  const amopt::conv::Policy fft{amopt::conv::Policy::Path::fft};
+  amopt::conv::correlate_valid(in, kernel, out, ws, fft);  // warm-up
+  for (auto _ : state) {
+    amopt::conv::correlate_valid(in, kernel, out, ws, fft);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_CorrelateValidWorkspace)
+    ->RangeMultiplier(4)
+    ->Range(1 << 8, 1 << 18);
+
+// Chain-style batched convolution: 16 rows against one shared kernel whose
+// spectrum is computed once (vs. 16 times through the unbatched call).
+void BM_ConvolveMany(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kItems = 16;
+  std::vector<std::vector<double>> storage;
+  for (std::size_t i = 0; i < kItems; ++i) storage.push_back(random_real(n));
+  std::vector<std::span<const double>> inputs(storage.begin(), storage.end());
+  const auto kernel = random_real(n);
+  std::vector<std::vector<double>> outs(kItems);
+  amopt::conv::Workspace ws;
+  const amopt::conv::Policy fft{amopt::conv::Policy::Path::fft};
+  amopt::conv::convolve_many(inputs, kernel, outs, ws, fft);  // warm-up
+  for (auto _ : state) {
+    amopt::conv::convolve_many(inputs, kernel, outs, ws, fft);
+    benchmark::DoNotOptimize(outs.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kItems));
+}
+BENCHMARK(BM_ConvolveMany)->RangeMultiplier(4)->Range(1 << 10, 1 << 16);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Default to a JSON dump next to the binary unless the caller already
+  // steers the output or opts out with AMOPT_BENCH_JSON=none.
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strncmp(argv[i], "--benchmark_out", 15) == 0) has_out = true;
+  const std::string json =
+      amopt::env_string("AMOPT_BENCH_JSON", "BENCH_fft.json");
+  std::string out_flag, fmt_flag;
+  if (!has_out && json != "none") {
+    out_flag = "--benchmark_out=" + json;
+    fmt_flag = "--benchmark_out_format=json";
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

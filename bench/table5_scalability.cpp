@@ -1,12 +1,15 @@
 // Table 5: parallel running times (ms) for T = 2^15 as the core count p
-// varies — fft-bopm vs ql-bopm. The paper runs p in {1..48} on a 48-core
-// node; here p is capped by the machine (document the cap in the output so
-// single-core CI runs are self-explanatory).
+// varies — fft-bopm vs ql-bopm, plus the pricing::price_batch chain path
+// (16 strikes sharing one kernel cache, options fanned out across threads).
+// The paper runs p in {1..48} on a 48-core node; here p is capped by the
+// machine (document the cap in the output so single-core CI runs are
+// self-explanatory).
 
 #include <vector>
 
 #include "amopt/baselines/baselines.hpp"
 #include "amopt/common/parallel.hpp"
+#include "amopt/pricing/api.hpp"
 #include "amopt/pricing/bopm.hpp"
 #include "bench_common.hpp"
 
@@ -14,17 +17,33 @@ int main() {
   using namespace amopt;
   const auto spec = pricing::paper_spec();
   const std::int64_t T = env_long("AMOPT_BENCH_T", 1 << 15);
+  // The chain re-prices 16 contracts per measurement, so default to a
+  // smaller per-option T to keep single-core CI runs quick.
+  const std::int64_t chain_T = env_long("AMOPT_BENCH_CHAIN_T", 1 << 12);
   const int reps = static_cast<int>(env_long("AMOPT_BENCH_REPS", 3));
   const int hw = hardware_threads();
-  std::printf("# Table 5: parallel run times (ms) for T = %lld\n",
-              static_cast<long long>(T));
+
+  std::vector<pricing::OptionSpec> chain;
+  for (int i = 0; i < 16; ++i) {
+    pricing::OptionSpec s = spec;
+    s.K = 100.0 + 4.0 * i;
+    chain.push_back(s);
+  }
+
+  std::printf("# Table 5: parallel run times (ms) for T = %lld "
+              "(batch-chain: 16 strikes at T = %lld)\n",
+              static_cast<long long>(T), static_cast<long long>(chain_T));
   std::printf("# machine exposes %d hardware thread(s); the paper used 48\n",
               hw);
-  std::printf("%-8s %16s %16s\n", "p", "fft-bopm", "ql-bopm");
+  std::printf("%-8s %16s %16s %16s\n", "p", "fft-bopm", "ql-bopm",
+              "batch-chain");
 
+  std::vector<std::int64_t> ps;
+  std::vector<std::vector<double>> rows;
   for (int p : std::vector<int>{1, 2, 4, 8, 16, 32, 48}) {
     if (p > hw && p != 1) {
-      std::printf("%-8d %16s %16s   (exceeds hardware)\n", p, "-", "-");
+      std::printf("%-8d %16s %16s %16s   (exceeds hardware)\n", p, "-", "-",
+                  "-");
       continue;
     }
     ThreadScope scope(p);
@@ -33,7 +52,20 @@ int main() {
     const double ql = bench::time_best(
         [&] { (void)baselines::quantlib_style_american_call(spec, T); },
         reps);
-    std::printf("%-8d %16.3f %16.3f\n", p, fft * 1e3, ql * 1e3);
+    const double batch = bench::time_best(
+        [&] {
+          (void)pricing::price_batch(chain, chain_T, pricing::Model::bopm,
+                                     pricing::Right::call);
+        },
+        reps);
+    std::printf("%-8d %16.3f %16.3f %16.3f\n", p, fft * 1e3, ql * 1e3,
+                batch * 1e3);
+    ps.push_back(p);
+    rows.push_back({fft * 1e3, ql * 1e3, batch * 1e3});
   }
+  const std::string json = env_string("AMOPT_BENCH_JSON", "");
+  if (!json.empty() && json != "none")
+    bench::write_json(json, "table5_scalability", "milliseconds",
+                      {"fft-bopm", "ql-bopm", "batch-chain"}, ps, rows);
   return 0;
 }

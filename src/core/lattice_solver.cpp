@@ -14,10 +14,20 @@ constexpr std::int64_t kMinWindowForRecursion = 4;
 
 LatticeSolver::LatticeSolver(stencil::LinearStencil st,
                              const LatticeGreen& green, SolverConfig cfg)
-    : kernels_(std::move(st)), green_(green), cfg_(cfg),
-      g_(kernels_.stencil().cone_growth()) {
+    : owned_kernels_(std::make_unique<stencil::KernelCache>(std::move(st))),
+      kernels_(owned_kernels_.get()), green_(green), cfg_(cfg),
+      g_(kernels_->stencil().cone_growth()) {
   AMOPT_EXPECTS(g_ >= 1);
-  AMOPT_EXPECTS(kernels_.stencil().left == 0);
+  AMOPT_EXPECTS(kernels_->stencil().left == 0);
+  AMOPT_EXPECTS(cfg_.base_case >= 1);
+}
+
+LatticeSolver::LatticeSolver(stencil::KernelCache& shared,
+                             const LatticeGreen& green, SolverConfig cfg)
+    : kernels_(&shared), green_(green), cfg_(cfg),
+      g_(kernels_->stencil().cone_growth()) {
+  AMOPT_EXPECTS(g_ >= 1);
+  AMOPT_EXPECTS(kernels_->stencil().left == 0);
   AMOPT_EXPECTS(cfg_.base_case >= 1);
 }
 
@@ -32,7 +42,7 @@ LatticeRow LatticeSolver::step_naive(const LatticeRow& row,
   next.q = -1;
   if (row.q < 0 && !growing && !unbounded_scan) return next;  // stays green
 
-  const std::span<const double> taps = kernels_.stencil().taps;
+  const std::span<const double> taps = kernels_->stencil().taps;
   const std::int64_t cap =
       unbounded_scan ? row_width(next.i) : row.q + (growing ? 1 : 0);
   const std::int64_t jmax = std::min(cap, row_width(next.i));
@@ -58,7 +68,7 @@ LatticeRow LatticeSolver::step_naive(const LatticeRow& row,
 void LatticeSolver::run_conv(std::span<const double> ext, std::int64_t h,
                              std::span<double> out) {
   const std::span<const double> kernel =
-      kernels_.power(static_cast<std::uint64_t>(h));
+      kernels_->power(static_cast<std::uint64_t>(h));
   conv::correlate_valid(ext, kernel, out, cfg_.conv_policy);
 }
 
@@ -67,7 +77,7 @@ std::int64_t LatticeSolver::solve_base(std::int64_t i0, std::int64_t jL,
                                        std::span<const double> in,
                                        std::span<double> out) const {
   const bool growing = cfg_.drift == BoundaryDrift::growing;
-  const std::span<const double> taps = kernels_.stencil().taps;
+  const std::span<const double> taps = kernels_->stencil().taps;
   std::vector<double> cur(in.begin(), in.end());
   std::vector<double> nxt(in.size() + (growing ? static_cast<std::size_t>(L) : 0));
   cur.resize(nxt.size());

@@ -4,9 +4,7 @@
 #include <bit>
 #include <complex>
 
-#include "amopt/common/aligned.hpp"
 #include "amopt/common/assert.hpp"
-#include "amopt/fft/fft.hpp"
 #include "amopt/metrics/counters.hpp"
 
 namespace amopt::conv {
@@ -24,6 +22,7 @@ constexpr std::size_t kDirectCostThreshold = 1u << 14;
     case Policy::Path::direct:
       return true;
     case Policy::Path::fft:
+    case Policy::Path::fft_packed:
       return false;
     case Policy::Path::automatic:
       break;
@@ -33,16 +32,79 @@ constexpr std::size_t kDirectCostThreshold = 1u << 14;
   return k * n <= kDirectCostThreshold || k <= 8;
 }
 
-/// Cyclic convolution of a and b (zero-padded into size-n buffers, n a power
-/// of two >= na+nb-1) using one forward FFT: pack z = a + i*b, split the
-/// spectrum with conjugate symmetry, multiply, invert.
-void fft_convolve_into(std::span<const double> a, std::span<const double> b,
-                       double* out, std::size_t out_len) {
+void count_fft_ops(std::size_t n, std::uint64_t transforms_of_half,
+                   bool pointwise = true) {
+  // `transforms_of_half` complex FFTs of size n/2, plus (unless the caller
+  // accounts it elsewhere) the O(n) pointwise spectrum product; same
+  // accounting granularity as the direct path.
+  const std::size_t m = std::max<std::size_t>(n / 2, 1);
+  const auto logm = static_cast<std::uint64_t>(
+      std::max<std::size_t>(1, static_cast<std::size_t>(std::bit_width(m)) - 1));
+  metrics::add_flops(transforms_of_half * 5 * static_cast<std::uint64_t>(m) *
+                         logm +
+                     (pointwise ? 6 * static_cast<std::uint64_t>(n) : 0));
+  metrics::add_bytes(transforms_of_half * static_cast<std::uint64_t>(m) *
+                     sizeof(cplx) * logm);
+}
+
+/// Real-input cyclic convolution via R2C/C2R: both operands are zero-padded
+/// into size-n real buffers (n a power of two >= the full linear length),
+/// transformed with two half-size complex FFTs, multiplied over the n/2+1
+/// non-redundant bins, and brought back with one C2R. Writes
+/// out[j] = c[skip + j] for j in [0, out.size()), where c is the full
+/// convolution — `skip` folds the correlation shift into the copy-out.
+/// `reverse_b` packs b back-to-front (correlation = convolution with the
+/// reversed kernel) without materializing a reversed copy.
+void real_convolve_into(std::span<const double> a, std::span<const double> b,
+                        bool reverse_b, std::size_t skip,
+                        std::span<double> out, Workspace& ws) {
   const std::size_t full = a.size() + b.size() - 1;
   const std::size_t n = next_pow2(full);
-  aligned_vector<cplx> z(n, cplx{0.0, 0.0});
+  const fft::RealPlan& plan = fft::real_plan_for(n);
+  const std::size_t nspec = plan.spectrum_size();
+
+  std::span<double> ra = ws.real_a(n);
+  std::copy(a.begin(), a.end(), ra.begin());
+  std::fill(ra.begin() + static_cast<std::ptrdiff_t>(a.size()), ra.end(), 0.0);
+  std::span<double> rb = ws.real_b(n);
+  if (reverse_b) {
+    std::copy(b.rbegin(), b.rend(), rb.begin());
+  } else {
+    std::copy(b.begin(), b.end(), rb.begin());
+  }
+  std::fill(rb.begin() + static_cast<std::ptrdiff_t>(b.size()), rb.end(), 0.0);
+
+  std::span<cplx> sa = ws.spec_a(nspec);
+  std::span<cplx> sb = ws.spec_b(nspec);
+  plan.forward(ra.data(), sa.data());
+  plan.forward(rb.data(), sb.data());
+  for (std::size_t k = 0; k < nspec; ++k) sa[k] *= sb[k];
+  plan.inverse(sa.data(), ra.data());
+
+  AMOPT_EXPECTS(skip + out.size() <= full);
+  std::copy_n(ra.begin() + static_cast<std::ptrdiff_t>(skip), out.size(),
+              out.begin());
+  count_fft_ops(n, 3);
+}
+
+/// Legacy packed-complex cyclic convolution (the seed implementation): pack
+/// z = a + i*b, one forward FFT, split the spectrum with conjugate symmetry,
+/// multiply, invert. Kept as Policy::Path::fft_packed so benches can measure
+/// the real-input path against it.
+void packed_convolve_into(std::span<const double> a, std::span<const double> b,
+                          bool reverse_b, std::size_t skip,
+                          std::span<double> out, Workspace& ws) {
+  const std::size_t full = a.size() + b.size() - 1;
+  const std::size_t n = next_pow2(full);
+  std::span<cplx> z = ws.spec_a(n);
+  std::fill(z.begin(), z.end(), cplx{0.0, 0.0});
   for (std::size_t i = 0; i < a.size(); ++i) z[i].real(a[i]);
-  for (std::size_t i = 0; i < b.size(); ++i) z[i].imag(b[i]);
+  if (reverse_b) {
+    const std::size_t nb = b.size();
+    for (std::size_t i = 0; i < nb; ++i) z[i].imag(b[nb - 1 - i]);
+  } else {
+    for (std::size_t i = 0; i < b.size(); ++i) z[i].imag(b[i]);
+  }
 
   const fft::Plan& plan = fft::plan_for(n);
   plan.forward(z.data());
@@ -70,27 +132,45 @@ void fft_convolve_into(std::span<const double> a, std::span<const double> b,
   }
 
   plan.inverse(z.data());
-  for (std::size_t i = 0; i < out_len; ++i) out[i] = z[i].real();
+  AMOPT_EXPECTS(skip + out.size() <= full);
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = z[skip + i].real();
+  count_fft_ops(n, 4);  // two full-size transforms = four half-size
+}
 
-  // 2 complex FFTs' worth of work (one forward, one inverse) + pointwise.
-  const auto logn = static_cast<std::uint64_t>(
-      std::max<std::size_t>(1, static_cast<std::size_t>(std::bit_width(n)) - 1));
-  metrics::add_flops(2 * 5 * static_cast<std::uint64_t>(n) * logn + 6 * n);
-  metrics::add_bytes(2 * static_cast<std::uint64_t>(n) * sizeof(cplx) * logn);
+void fft_convolve_into(std::span<const double> a, std::span<const double> b,
+                       bool reverse_b, std::size_t skip, std::span<double> out,
+                       Workspace& ws, Policy policy) {
+  if (policy.path == Policy::Path::fft_packed) {
+    packed_convolve_into(a, b, reverse_b, skip, out, ws);
+  } else {
+    real_convolve_into(a, b, reverse_b, skip, out, ws);
+  }
+}
+
+void convolve_full_direct_into(std::span<const double> a,
+                               std::span<const double> b,
+                               std::span<double> out) {
+  std::fill(out.begin(), out.end(), 0.0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double ai = a[i];
+    for (std::size_t j = 0; j < b.size(); ++j) out[i + j] += ai * b[j];
+  }
+  metrics::add_flops(2 * static_cast<std::uint64_t>(a.size()) * b.size());
+  metrics::add_bytes(static_cast<std::uint64_t>(out.size()) * sizeof(double));
 }
 
 }  // namespace
 
+Workspace& thread_workspace() {
+  thread_local Workspace ws;
+  return ws;
+}
+
 std::vector<double> convolve_full_direct(std::span<const double> a,
                                          std::span<const double> b) {
   if (a.empty() || b.empty()) return {};
-  std::vector<double> c(a.size() + b.size() - 1, 0.0);
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    const double ai = a[i];
-    for (std::size_t j = 0; j < b.size(); ++j) c[i + j] += ai * b[j];
-  }
-  metrics::add_flops(2 * static_cast<std::uint64_t>(a.size()) * b.size());
-  metrics::add_bytes(static_cast<std::uint64_t>(c.size()) * sizeof(double));
+  std::vector<double> c(a.size() + b.size() - 1);
+  convolve_full_direct_into(a, b, c);
   return c;
 }
 
@@ -109,18 +189,31 @@ void correlate_valid_direct(std::span<const double> in,
   metrics::add_bytes(static_cast<std::uint64_t>(out.size()) * sizeof(double));
 }
 
+void convolve_full(std::span<const double> a, std::span<const double> b,
+                   std::span<double> out, Workspace& ws, Policy policy) {
+  if (a.empty() || b.empty()) {
+    AMOPT_EXPECTS(out.empty());
+    return;
+  }
+  AMOPT_EXPECTS(out.size() == a.size() + b.size() - 1);
+  if (use_direct(a.size(), b.size(), policy)) {
+    convolve_full_direct_into(a, b, out);
+    return;
+  }
+  fft_convolve_into(a, b, /*reverse_b=*/false, /*skip=*/0, out, ws, policy);
+}
+
 std::vector<double> convolve_full(std::span<const double> a,
                                   std::span<const double> b, Policy policy) {
   if (a.empty() || b.empty()) return {};
-  if (use_direct(a.size(), b.size(), policy)) return convolve_full_direct(a, b);
   std::vector<double> c(a.size() + b.size() - 1);
-  fft_convolve_into(a, b, c.data(), c.size());
+  convolve_full(a, b, c, thread_workspace(), policy);
   return c;
 }
 
 void correlate_valid(std::span<const double> in,
                      std::span<const double> kernel, std::span<double> out,
-                     Policy policy) {
+                     Workspace& ws, Policy policy) {
   AMOPT_EXPECTS(!kernel.empty());
   if (out.empty()) return;
   AMOPT_EXPECTS(in.size() >= out.size() + kernel.size() - 1);
@@ -129,16 +222,83 @@ void correlate_valid(std::span<const double> in,
     return;
   }
   // Correlation = convolution with the reversed kernel, shifted so that
-  // output index 0 lands on full-convolution index kernel.size()-1. Trim the
-  // input to the prefix actually referenced to keep the transform small.
-  std::vector<double> rev(kernel.rbegin(), kernel.rend());
+  // output index 0 lands on full-convolution index kernel.size()-1; the
+  // reversal happens while packing the transform input (no reversed copy)
+  // and the shift while copying out. Trim the input to the prefix actually
+  // referenced to keep the transform small.
   const std::size_t needed_in = out.size() + kernel.size() - 1;
-  std::span<const double> in_used = in.subspan(0, needed_in);
-  const std::size_t full = in_used.size() + rev.size() - 1;
-  std::vector<double> c(full);
-  fft_convolve_into(in_used, rev, c.data(), c.size());
-  const std::size_t offset = kernel.size() - 1;
-  for (std::size_t j = 0; j < out.size(); ++j) out[j] = c[offset + j];
+  fft_convolve_into(in.subspan(0, needed_in), kernel, /*reverse_b=*/true,
+                    /*skip=*/kernel.size() - 1, out, ws, policy);
+}
+
+void correlate_valid(std::span<const double> in,
+                     std::span<const double> kernel, std::span<double> out,
+                     Policy policy) {
+  correlate_valid(in, kernel, out, thread_workspace(), policy);
+}
+
+void convolve_many(std::span<const std::span<const double>> inputs,
+                   std::span<const double> kernel,
+                   std::span<std::vector<double>> outs, Workspace& ws,
+                   Policy policy) {
+  AMOPT_EXPECTS(outs.size() == inputs.size());
+  AMOPT_EXPECTS(!kernel.empty());
+  if (inputs.empty()) return;
+
+  std::size_t max_na = 0;
+  for (const auto& a : inputs) max_na = std::max(max_na, a.size());
+  if (max_na == 0) {
+    for (auto& o : outs) o.clear();
+    return;
+  }
+
+  if (use_direct(max_na, kernel.size(), policy) ||
+      policy.path == Policy::Path::fft_packed) {
+    // The packed pipeline transforms both operands together, so there is no
+    // kernel spectrum to share; fall back to per-item calls.
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      if (inputs[i].empty()) {
+        outs[i].clear();
+        continue;
+      }
+      outs[i].resize(inputs[i].size() + kernel.size() - 1);
+      convolve_full(inputs[i], kernel, outs[i], ws, policy);
+    }
+    return;
+  }
+
+  // One FFT size covers every item: the cyclic length n exceeds the largest
+  // full linear length, so shorter items simply see extra zero padding.
+  const std::size_t n = next_pow2(max_na + kernel.size() - 1);
+  const fft::RealPlan& plan = fft::real_plan_for(n);
+  const std::size_t nspec = plan.spectrum_size();
+
+  std::span<double> rb = ws.real_b(n);
+  std::copy(kernel.begin(), kernel.end(), rb.begin());
+  std::fill(rb.begin() + static_cast<std::ptrdiff_t>(kernel.size()), rb.end(),
+            0.0);
+  std::span<cplx> sb = ws.spec_b(nspec);
+  plan.forward(rb.data(), sb.data());  // shared kernel spectrum
+
+  std::span<double> ra = ws.real_a(n);
+  std::span<cplx> sa = ws.spec_a(nspec);
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const std::span<const double> a = inputs[i];
+    if (a.empty()) {
+      outs[i].clear();
+      continue;
+    }
+    std::copy(a.begin(), a.end(), ra.begin());
+    std::fill(ra.begin() + static_cast<std::ptrdiff_t>(a.size()), ra.end(),
+              0.0);
+    plan.forward(ra.data(), sa.data());
+    for (std::size_t k = 0; k < nspec; ++k) sa[k] *= sb[k];
+    plan.inverse(sa.data(), ra.data());
+    outs[i].resize(a.size() + kernel.size() - 1);
+    std::copy_n(ra.begin(), outs[i].size(), outs[i].begin());
+    count_fft_ops(n, 2);  // per-item transforms + pointwise product
+  }
+  count_fft_ops(n, 1, /*pointwise=*/false);  // the one shared kernel transform
 }
 
 }  // namespace amopt::conv

@@ -1,10 +1,11 @@
 #include "amopt/fft/fft.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <memory>
 #include <mutex>
 #include <numbers>
-#include <unordered_map>
 #include <utility>
 
 #include "amopt/common/assert.hpp"
@@ -28,16 +29,21 @@ constexpr std::size_t kParallelThreshold = std::size_t{1} << 15;
 
 Plan::Plan(std::size_t n) : n_(n), log2n_(ilog2(n)) {
   AMOPT_EXPECTS(is_pow2(n));
-  // Twiddle layout: for each stage with half-size h, the h factors
-  // w_h^j = e^{-i pi j / h}, j in [0, h). Total: sum over stages = n-1.
-  twiddle_.resize(n_ > 1 ? n_ - 1 : 0);
-  for (std::size_t h = 1; h < n_; h <<= 1) {
-    const double theta = -std::numbers::pi / static_cast<double>(h);
-    cplx* w = twiddle_.data() + (h - 1);
+  // Radix-4 twiddle triples (see header). The leading radix-2 stage of
+  // odd-log2 sizes uses only w = 1 and needs no table.
+  std::size_t total = 0;
+  for (std::size_t h = (log2n_ & 1) ? 2 : 1; h < n_; h <<= 2) total += 3 * h;
+  twiddle4_.resize(total);
+  cplx* w = twiddle4_.data();
+  for (std::size_t h = (log2n_ & 1) ? 2 : 1; h < n_; h <<= 2) {
+    const double theta = -std::numbers::pi / static_cast<double>(2 * h);
     for (std::size_t j = 0; j < h; ++j) {
       const double a = theta * static_cast<double>(j);
-      w[j] = cplx{std::cos(a), std::sin(a)};
+      w[3 * j + 0] = cplx{std::cos(a), std::sin(a)};
+      w[3 * j + 1] = cplx{std::cos(2 * a), std::sin(2 * a)};
+      w[3 * j + 2] = cplx{std::cos(3 * a), std::sin(3 * a)};
     }
+    w += 3 * h;
   }
   bitrev_.resize(n_);
   for (std::size_t i = 0; i < n_; ++i) {
@@ -54,34 +60,96 @@ void Plan::bit_reverse_permute(cplx* data) const {
   }
 }
 
+void Plan::radix2_stage(cplx* data, bool parallel) const {
+  // Half-size-1 butterflies carry twiddle w = 1 in both directions.
+  if (parallel) {
+#pragma omp parallel for schedule(static)
+    for (std::ptrdiff_t base = 0; base < static_cast<std::ptrdiff_t>(n_);
+         base += 2) {
+      const cplx t = data[base + 1];
+      data[base + 1] = data[base] - t;
+      data[base] += t;
+    }
+  } else {
+    for (std::size_t base = 0; base < n_; base += 2) {
+      const cplx t = data[base + 1];
+      data[base + 1] = data[base] - t;
+      data[base] += t;
+    }
+  }
+}
+
+template <bool kInverse>
+void Plan::radix4_pass(cplx* data, std::size_t h, const cplx* w,
+                       bool parallel) const {
+  // One pass = two fused radix-2 stages (half-sizes h and 2h) on
+  // bit-reversed data. With W = e^{-i pi / (2h)}:
+  //   bb = b W^2j, cc = c W^j, dd = d W^3j,
+  //   a1 = a + bb, b1 = a - bb,
+  //   out[j]    = a1 + (cc + dd)      out[j+2h] = a1 - (cc + dd)
+  //   out[j+h]  = b1 -+ i (cc - dd)   out[j+3h] = b1 +- i (cc - dd)
+  // (upper signs forward, lower inverse; inverse also conjugates W).
+  const std::size_t step = 4 * h;
+  const auto block = [&](std::size_t base) {
+    for (std::size_t j = 0; j < h; ++j) {
+      cplx w1 = w[3 * j + 0];
+      cplx w2 = w[3 * j + 1];
+      cplx w3 = w[3 * j + 2];
+      if constexpr (kInverse) {
+        w1 = std::conj(w1);
+        w2 = std::conj(w2);
+        w3 = std::conj(w3);
+      }
+      cplx& ra = data[base + j];
+      cplx& rb = data[base + j + h];
+      cplx& rc = data[base + j + 2 * h];
+      cplx& rd = data[base + j + 3 * h];
+      const cplx bb = rb * w2;
+      const cplx cc = rc * w1;
+      const cplx dd = rd * w3;
+      const cplx a1 = ra + bb;
+      const cplx b1 = ra - bb;
+      const cplx s = cc + dd;
+      const cplx t = cc - dd;
+      // -i t forward, +i t inverse
+      const cplx it = kInverse ? cplx{-t.imag(), t.real()}
+                               : cplx{t.imag(), -t.real()};
+      ra = a1 + s;
+      rc = a1 - s;
+      rb = b1 + it;
+      rd = b1 - it;
+    }
+  };
+  if (parallel) {
+#pragma omp parallel for schedule(static)
+    for (std::ptrdiff_t base = 0; base < static_cast<std::ptrdiff_t>(n_);
+         base += static_cast<std::ptrdiff_t>(step)) {
+      block(static_cast<std::size_t>(base));
+    }
+  } else {
+    for (std::size_t base = 0; base < n_; base += step) block(base);
+  }
+}
+
 void Plan::transform(cplx* data, bool inverse) const {
   if (n_ <= 1) return;
   bit_reverse_permute(data);
 
   const bool parallel = n_ >= kParallelThreshold && !in_parallel_region() &&
                         hardware_threads() > 1;
-  for (std::size_t h = 1; h < n_; h <<= 1) {
-    const cplx* w = twiddle_.data() + (h - 1);
-    const std::size_t step = h << 1;
-    const auto butterfly_block = [&](std::size_t base) {
-      for (std::size_t j = 0; j < h; ++j) {
-        const cplx tw = inverse ? std::conj(w[j]) : w[j];
-        cplx& lo = data[base + j];
-        cplx& hi = data[base + j + h];
-        const cplx t = hi * tw;
-        hi = lo - t;
-        lo += t;
-      }
-    };
-    if (parallel) {
-#pragma omp parallel for schedule(static)
-      for (std::ptrdiff_t base = 0; base < static_cast<std::ptrdiff_t>(n_);
-           base += static_cast<std::ptrdiff_t>(step)) {
-        butterfly_block(static_cast<std::size_t>(base));
-      }
+  std::size_t h = 1;
+  if (log2n_ & 1) {
+    radix2_stage(data, parallel);
+    h = 2;
+  }
+  const cplx* w = twiddle4_.data();
+  for (; h < n_; h <<= 2) {
+    if (inverse) {
+      radix4_pass<true>(data, h, w, parallel);
     } else {
-      for (std::size_t base = 0; base < n_; base += step) butterfly_block(base);
+      radix4_pass<false>(data, h, w, parallel);
     }
+    w += 3 * h;
   }
 
   if (inverse) {
@@ -90,16 +158,146 @@ void Plan::transform(cplx* data, bool inverse) const {
   }
 }
 
+RealPlan::RealPlan(std::size_t n) : n_(n), m_(n / 2), half_(nullptr) {
+  AMOPT_EXPECTS(is_pow2(n));
+  if (n_ >= 4) {
+    half_ = &plan_for(m_);
+    twiddle_.resize(m_ / 2 + 1);
+    const double theta = -2.0 * std::numbers::pi / static_cast<double>(n_);
+    for (std::size_t k = 0; k <= m_ / 2; ++k) {
+      const double a = theta * static_cast<double>(k);
+      twiddle_[k] = cplx{std::cos(a), std::sin(a)};
+    }
+  }
+}
+
+void RealPlan::forward(const double* in, cplx* spec) const {
+  if (n_ == 1) {
+    spec[0] = cplx{in[0], 0.0};
+    return;
+  }
+  if (n_ == 2) {
+    spec[1] = cplx{in[0] - in[1], 0.0};
+    spec[0] = cplx{in[0] + in[1], 0.0};
+    return;
+  }
+  // Pack z[k] = x[2k] + i x[2k+1] into the low half of `spec` and transform.
+  cplx* z = spec;
+  for (std::size_t k = 0; k < m_; ++k) z[k] = cplx{in[2 * k], in[2 * k + 1]};
+  half_->forward(z);
+
+  // Untangle: with Xe/Xo the DFTs of the even/odd samples,
+  //   Xe[k] = (Z[k] + conj(Z[m-k]))/2,  Xo[k] = (Z[k] - conj(Z[m-k]))/(2i),
+  //   X[k] = Xe[k] + t_k Xo[k],  t_k = e^{-2 pi i k / n},
+  // and for the mirror bin t_{m-k} = -conj(t_k) gives
+  //   X[m-k] = conj(Xe[k] - t_k Xo[k]).
+  const cplx z0 = z[0];
+  for (std::size_t k = 1, j = m_ - 1; k < j; ++k, --j) {
+    const cplx zk = z[k], zj = z[j];
+    const cplx xe = 0.5 * (zk + std::conj(zj));
+    const cplx xo = cplx{0.0, -0.5} * (zk - std::conj(zj));
+    const cplx txo = twiddle_[k] * xo;
+    spec[k] = xe + txo;
+    spec[j] = std::conj(xe - txo);
+  }
+  spec[m_ / 2] = std::conj(spec[m_ / 2]);  // t = -i bin: X = conj(Z)
+  spec[m_] = cplx{z0.real() - z0.imag(), 0.0};
+  spec[0] = cplx{z0.real() + z0.imag(), 0.0};
+}
+
+void RealPlan::inverse(cplx* spec, double* out) const {
+  if (n_ == 1) {
+    out[0] = spec[0].real();
+    return;
+  }
+  if (n_ == 2) {
+    out[0] = 0.5 * (spec[0].real() + spec[1].real());
+    out[1] = 0.5 * (spec[0].real() - spec[1].real());
+    return;
+  }
+  // Re-tangle the packed half-size spectrum: Z[k] = Xe[k] + i Xo[k] with
+  //   Xe[k] = (X[k] + conj(X[m-k]))/2,
+  //   Xo[k] = (X[k] - conj(X[m-k]))/2 * conj(t_k)   (1/t_k on the unit circle)
+  // and Z[m-k] = conj(Xe[k]) + i conj(Xo[k]).
+  const double x0 = spec[0].real(), xm = spec[m_].real();
+  spec[0] = cplx{0.5 * (x0 + xm), 0.5 * (x0 - xm)};
+  for (std::size_t k = 1, j = m_ - 1; k < j; ++k, --j) {
+    const cplx xk = spec[k], xj = spec[j];
+    const cplx xe = 0.5 * (xk + std::conj(xj));
+    const cplx xo = 0.5 * (xk - std::conj(xj)) * std::conj(twiddle_[k]);
+    spec[k] = xe + cplx{0.0, 1.0} * xo;
+    spec[j] = std::conj(xe) + cplx{0.0, 1.0} * std::conj(xo);
+  }
+  spec[m_ / 2] = std::conj(spec[m_ / 2]);
+  half_->inverse(spec);
+  for (std::size_t k = 0; k < m_; ++k) {
+    out[2 * k] = spec[k].real();
+    out[2 * k + 1] = spec[k].imag();
+  }
+}
+
+namespace {
+
+/// Append-only plan cache: readers follow one atomic pointer to an immutable
+/// sorted snapshot (wait-free once their size is warm); writers serialize on
+/// a mutex, copy the snapshot, and publish the extension. Old snapshots are
+/// retained so in-flight readers never race a free; the whole cache is
+/// intentionally leaked to outlive detached threads at shutdown.
+template <class P>
+class PlanCache {
+ public:
+  const P& get(std::size_t n) {
+    if (const Map* m = current_.load(std::memory_order_acquire)) {
+      if (const P* p = m->find(n)) return *p;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    const Map* cur = current_.load(std::memory_order_relaxed);
+    if (cur != nullptr) {
+      if (const P* p = cur->find(n)) return *p;
+    }
+    auto plan = std::make_unique<P>(n);
+    const P* raw = plan.get();
+    plans_.push_back(std::move(plan));
+    auto next = std::make_unique<Map>();
+    if (cur != nullptr) next->entries = cur->entries;
+    next->entries.emplace_back(n, raw);
+    std::sort(next->entries.begin(), next->entries.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    const Map* published = next.get();
+    maps_.push_back(std::move(next));
+    current_.store(published, std::memory_order_release);
+    return *raw;
+  }
+
+ private:
+  struct Map {
+    std::vector<std::pair<std::size_t, const P*>> entries;
+    [[nodiscard]] const P* find(std::size_t n) const {
+      auto it = std::lower_bound(
+          entries.begin(), entries.end(), n,
+          [](const auto& e, std::size_t key) { return e.first < key; });
+      return (it != entries.end() && it->first == n) ? it->second : nullptr;
+    }
+  };
+
+  std::atomic<const Map*> current_{nullptr};
+  std::mutex mu_;
+  std::vector<std::unique_ptr<P>> plans_;
+  std::vector<std::unique_ptr<Map>> maps_;
+};
+
+}  // namespace
+
 const Plan& plan_for(std::size_t n) {
   AMOPT_EXPECTS(is_pow2(n));
-  static std::mutex mu;
-  static std::unordered_map<std::size_t, std::unique_ptr<Plan>> cache;
-  std::lock_guard<std::mutex> lock(mu);
-  auto it = cache.find(n);
-  if (it == cache.end()) {
-    it = cache.emplace(n, std::make_unique<Plan>(n)).first;
-  }
-  return *it->second;
+  static PlanCache<Plan>& cache = *new PlanCache<Plan>();
+  return cache.get(n);
+}
+
+const RealPlan& real_plan_for(std::size_t n) {
+  AMOPT_EXPECTS(is_pow2(n));
+  static PlanCache<RealPlan>& cache = *new PlanCache<RealPlan>();
+  return cache.get(n);
 }
 
 void forward(std::span<cplx> data) { plan_for(data.size()).forward(data.data()); }

@@ -25,6 +25,7 @@
 // from `top.i` downward.
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -72,6 +73,13 @@ class LatticeSolver {
   LatticeSolver(stencil::LinearStencil st, const LatticeGreen& green,
                 SolverConfig cfg = {});
 
+  /// Share a kernel cache owned by the caller: concurrent pricings with the
+  /// same taps (an option chain over strikes) request the same kernel
+  /// heights, so computing each power once amortizes the dominant setup
+  /// cost across the whole batch. `shared` must outlive the solver.
+  LatticeSolver(stencil::KernelCache& shared, const LatticeGreen& green,
+                SolverConfig cfg = {});
+
   LatticeSolver(const LatticeSolver&) = delete;
   LatticeSolver& operator=(const LatticeSolver&) = delete;
 
@@ -115,7 +123,8 @@ class LatticeSolver {
     return g_ * i;
   }
 
-  stencil::KernelCache kernels_;
+  std::unique_ptr<stencil::KernelCache> owned_kernels_;  ///< null when shared
+  stencil::KernelCache* kernels_;
   const LatticeGreen& green_;
   SolverConfig cfg_;
   std::int64_t g_;

@@ -8,23 +8,78 @@
 //
 // i.e. the application of `h` pre-combined stencil steps (kernel = taps^h)
 // to a row segment whose dependency cones are fully inside the linear (red)
-// region. Small products are evaluated directly; large ones go through a
-// two-for-one packed real FFT (both operands transformed with a single
-// complex FFT).
+// region. Small products are evaluated directly; large ones go through the
+// real-input FFT (two R2C transforms of the zero-padded operands, a
+// pointwise product over the n/2+1 non-redundant bins, one C2R back —
+// 3 half-size complex transforms instead of the 2 full-size ones of the
+// packed-complex trick, which survives as `Policy::Path::fft_packed` for
+// benchmarking).
+//
+// All FFT paths draw their zero-padded buffers and spectra from a
+// `Workspace` arena: buffers grow monotonically and are reused, so repeated
+// convolutions of bounded size perform no heap allocation after warm-up.
+// Every entry point has a span-based overload taking an explicit Workspace
+// (fully allocation-free) and a convenience overload that uses a
+// thread-local arena.
 
 #include <cstddef>
 #include <span>
 #include <vector>
 
+#include "amopt/common/aligned.hpp"
+#include "amopt/fft/fft.hpp"
+
 namespace amopt::conv {
 
 /// Crossover between the O(n*k) direct loop and the O(n log n) FFT path.
-/// Exposed so tests/benches can pin one path; `auto_threshold` restores the
+/// Exposed so tests/benches can pin one path; `automatic` restores the
 /// default behaviour.
 struct Policy {
-  enum class Path { automatic, direct, fft };
+  enum class Path {
+    automatic,   ///< cost-based crossover (direct below, fft above)
+    direct,      ///< always the O(n*k) loop
+    fft,         ///< real-input R2C/C2R pipeline (production FFT path)
+    fft_packed,  ///< legacy packed-complex two-for-one pipeline
+  };
   Path path = Path::automatic;
 };
+
+/// Grow-only scratch arena for the FFT convolution paths. One Workspace
+/// serves one thread at a time (no internal locking); the library keeps one
+/// per thread via `thread_workspace()`. Buffers never shrink, so a warmed-up
+/// workspace makes every conv call below its high-water mark allocation-free.
+class Workspace {
+ public:
+  /// Zero-padded real operand buffers and their spectra. Callers outside
+  /// the conv layer should not need these directly.
+  [[nodiscard]] std::span<double> real_a(std::size_t n) { return grow(ra_, n); }
+  [[nodiscard]] std::span<double> real_b(std::size_t n) { return grow(rb_, n); }
+  [[nodiscard]] std::span<fft::cplx> spec_a(std::size_t n) {
+    return grow(sa_, n);
+  }
+  [[nodiscard]] std::span<fft::cplx> spec_b(std::size_t n) {
+    return grow(sb_, n);
+  }
+  /// Caller-level staging buffers (used by poly::power for the square-and-
+  /// multiply accumulators); never touched by the conv entry points.
+  [[nodiscard]] std::span<double> acc(std::size_t n) { return grow(acc_, n); }
+  [[nodiscard]] std::span<double> tmp(std::size_t n) { return grow(tmp_, n); }
+  [[nodiscard]] std::span<double> aux(std::size_t n) { return grow(aux_, n); }
+
+ private:
+  template <class V>
+  [[nodiscard]] std::span<typename V::value_type> grow(V& v, std::size_t n) {
+    if (v.size() < n) v.resize(n);
+    return {v.data(), n};
+  }
+
+  aligned_vector<double> ra_, rb_, acc_, tmp_, aux_;
+  aligned_vector<fft::cplx> sa_, sb_;
+};
+
+/// The calling thread's workspace (created on first use, never freed while
+/// the thread lives). The vector/legacy overloads below draw from it.
+[[nodiscard]] Workspace& thread_workspace();
 
 /// Full linear convolution, c[k] = sum_i a[i]*b[k-i]; result size
 /// a.size()+b.size()-1 (empty if either input is empty).
@@ -32,11 +87,32 @@ struct Policy {
                                                 std::span<const double> b,
                                                 Policy policy = {});
 
+/// Allocation-free variant: writes the full convolution into `out`, which
+/// must hold exactly a.size()+b.size()-1 elements and alias neither input.
+void convolve_full(std::span<const double> a, std::span<const double> b,
+                   std::span<double> out, Workspace& ws, Policy policy = {});
+
 /// Valid correlation (see file comment). Requires
 /// in.size() >= out.size() + kernel.size() - 1 and a non-empty kernel.
 void correlate_valid(std::span<const double> in,
                      std::span<const double> kernel, std::span<double> out,
                      Policy policy = {});
+
+/// Allocation-free variant of `correlate_valid` with an explicit arena.
+void correlate_valid(std::span<const double> in,
+                     std::span<const double> kernel, std::span<double> out,
+                     Workspace& ws, Policy policy = {});
+
+/// Batched full convolutions against one shared kernel: outs[i] receives
+/// inputs[i] (*) kernel, resized to inputs[i].size()+kernel.size()-1. On the
+/// FFT path the kernel is transformed ONCE at the padded size of the largest
+/// input and its spectrum reused for every item; the longer cyclic length
+/// still covers every item's full linear length, so results are exact up to
+/// the usual FFT roundoff. Requires outs.size() == inputs.size().
+void convolve_many(std::span<const std::span<const double>> inputs,
+                   std::span<const double> kernel,
+                   std::span<std::vector<double>> outs, Workspace& ws,
+                   Policy policy = {});
 
 /// Reference implementations (always direct); used as test oracles.
 [[nodiscard]] std::vector<double> convolve_full_direct(

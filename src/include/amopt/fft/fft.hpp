@@ -1,12 +1,22 @@
 #pragma once
-// S1: iterative radix-2 complex FFT with cached twiddle/bit-reversal plans.
+// S1: iterative complex FFT with radix-4 butterflies plus real-input (R2C /
+// C2R) transforms, both backed by cached, immutable plans.
 //
 // This is the computational substrate of the FFT-based linear-stencil
 // algorithm (Ahmad et al., SPAA 2021) that the paper's pricers call on every
 // trapezoid. Sizes are always powers of two here; the convolution layer
-// zero-pads. Stages of large transforms are parallelized with OpenMP
-// `parallel for` (span O(log n) stages), matching the
-// O(log l * log log l)-span FFT the paper assumes.
+// zero-pads. Two stages of the complex transform are fused into one radix-4
+// pass (same multiply count, half the sweeps over the data), and every
+// signal the pricers transform is real, so `RealPlan` computes a size-n real
+// DFT through a size-n/2 complex transform with an O(n) post-twiddle —
+// 1.5 half-size transforms per convolution instead of 2 full-size ones.
+// Stages of large transforms are parallelized with OpenMP `parallel for`
+// (span O(log n) stages), matching the O(log l * log log l)-span FFT the
+// paper assumes.
+//
+// Plan lookups (`plan_for` / `real_plan_for`) are wait-free for readers:
+// the cache publishes immutable snapshots through an atomic pointer, so
+// concurrent option pricings never contend once their sizes are warm.
 
 #include <complex>
 #include <cstddef>
@@ -19,8 +29,8 @@ namespace amopt::fft {
 
 using cplx = std::complex<double>;
 
-/// Precomputed tables for one transform size. Plans are immutable after
-/// construction and safe to share across threads.
+/// Precomputed tables for one complex transform size. Plans are immutable
+/// after construction and safe to share across threads.
 class Plan {
  public:
   explicit Plan(std::size_t n);
@@ -35,18 +45,58 @@ class Plan {
  private:
   void transform(cplx* data, bool inverse) const;
   void bit_reverse_permute(cplx* data) const;
+  void radix2_stage(cplx* data, bool parallel) const;
+  template <bool kInverse>
+  void radix4_pass(cplx* data, std::size_t h, const cplx* w,
+                   bool parallel) const;
 
   std::size_t n_;
   std::size_t log2n_;
-  // Twiddles for the forward direction, one contiguous block per stage:
-  // stage s (half-size h = 1<<s) starts at offset h-1 and holds h factors.
-  aligned_vector<cplx> twiddle_;
+  // Radix-4 twiddles, one contiguous block per fused stage pair: the pair
+  // combining half-sizes (h, 2h) stores, for j in [0, h), the triple
+  // (W^j, W^2j, W^3j) with W = e^{-i pi / (2h)} — interleaved so one
+  // butterfly reads 48 adjacent bytes. Blocks are laid out in pass order.
+  aligned_vector<cplx> twiddle4_;
   std::vector<std::uint32_t> bitrev_;
 };
 
-/// Process-wide plan cache keyed by size (n must be a power of two).
-/// Thread-safe; plans are created once and reused.
+/// Real-input transform of size n (power of two): forward packs the even/odd
+/// samples into a size-n/2 complex signal, runs the half-size complex plan,
+/// and untangles the spectrum with one O(n) twiddle pass. The spectrum is
+/// stored as the n/2+1 non-redundant bins X[0..n/2] (X[0] and X[n/2] have
+/// zero imaginary part); the remaining bins are implied by conjugate
+/// symmetry. Immutable and thread-safe, like `Plan`.
+class RealPlan {
+ public:
+  explicit RealPlan(std::size_t n);
+
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+  [[nodiscard]] std::size_t spectrum_size() const noexcept {
+    return n_ / 2 + 1;
+  }
+
+  /// Forward R2C: `in` holds n reals, `spec` receives the n/2+1 bins of the
+  /// DFT. `spec` must not alias `in` and needs spectrum_size() slots.
+  void forward(const double* in, cplx* spec) const;
+
+  /// Inverse C2R: `spec` holds n/2+1 bins (imaginary parts of bins 0 and
+  /// n/2 are ignored), `out` receives n reals, including the 1/n
+  /// normalization. Destroys `spec` (it doubles as the transform scratch).
+  void inverse(cplx* spec, double* out) const;
+
+ private:
+  std::size_t n_;
+  std::size_t m_;       ///< n/2 (0 when n == 1)
+  const Plan* half_;    ///< cached plan for size m (nullptr when n <= 2)
+  // t_k = e^{-2 pi i k / n} for k in [0, m/2]; the pair loops touch only
+  // the first half of the twiddle circle.
+  aligned_vector<cplx> twiddle_;
+};
+
+/// Process-wide plan caches keyed by size (n must be a power of two).
+/// Lock-free for readers; plans are created once and never evicted.
 [[nodiscard]] const Plan& plan_for(std::size_t n);
+[[nodiscard]] const RealPlan& real_plan_for(std::size_t n);
 
 /// Convenience wrappers over the cached plans. `data.size()` must be a
 /// power of two.

@@ -23,10 +23,19 @@
 #include <span>
 #include <vector>
 
+#include "amopt/fft/convolution.hpp"
+
 namespace amopt::poly {
 
 [[nodiscard]] std::vector<double> power_fft(std::span<const double> taps,
                                             std::uint64_t h);
+
+/// Workspace-backed power_fft: the square-and-multiply accumulators ping-
+/// pong through `ws` and every convolution draws its FFT scratch from it,
+/// so only the returned kernel itself is heap-allocated.
+[[nodiscard]] std::vector<double> power_fft(std::span<const double> taps,
+                                            std::uint64_t h,
+                                            conv::Workspace& ws);
 
 [[nodiscard]] std::vector<double> power_binomial(double a, double b,
                                                  std::uint64_t h);
@@ -40,5 +49,9 @@ namespace amopt::poly {
 /// Production dispatch: closed form for 2 taps, FFT squaring otherwise.
 [[nodiscard]] std::vector<double> power(std::span<const double> taps,
                                         std::uint64_t h);
+
+/// Production dispatch through an explicit convolution workspace.
+[[nodiscard]] std::vector<double> power(std::span<const double> taps,
+                                        std::uint64_t h, conv::Workspace& ws);
 
 }  // namespace amopt::poly

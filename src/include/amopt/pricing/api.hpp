@@ -4,7 +4,9 @@
 // mostly call the underlying functions directly.
 
 #include <cstdint>
+#include <span>
 #include <string_view>
+#include <vector>
 
 #include "amopt/core/lattice_solver.hpp"
 #include "amopt/pricing/params.hpp"
@@ -34,5 +36,23 @@ enum class Engine {
                            Right right, Style style = Style::american,
                            Engine engine = Engine::fft,
                            core::SolverConfig cfg = {});
+
+/// Price a whole option chain in one call: result[i] is exactly what
+/// price(chain[i], ...) returns (bit-identical — the shared machinery runs
+/// the same arithmetic), but the work is shared where the contracts allow:
+///
+///  * items whose derived stencil taps coincide (same R, V, Y, expiry — an
+///    ordinary strike ladder) share ONE kernel cache, so each kernel power
+///    of the fft engine is computed once per chain instead of once per
+///    option, and the FFT plan/workspace warm-up is amortized;
+///  * options are priced in parallel with OpenMP (the per-option solvers
+///    detect the enclosing parallel region and stay serial inside).
+///
+/// Throws std::invalid_argument on the first unsupported combination, like
+/// the scalar call.
+[[nodiscard]] std::vector<double> price_batch(
+    std::span<const OptionSpec> chain, std::int64_t T, Model model,
+    Right right, Style style = Style::american, Engine engine = Engine::fft,
+    core::SolverConfig cfg = {});
 
 }  // namespace amopt::pricing

@@ -36,6 +36,14 @@ class CallGreen final : public core::LatticeGreen {
 
 [[nodiscard]] double american_call_fft(const OptionSpec& spec, std::int64_t T,
                                        core::SolverConfig cfg = {});
+/// Same algorithm with a caller-owned kernel cache shared across pricings
+/// (see pricing::price_batch): all strikes of a chain have identical taps
+/// {s0, s1}, so each kernel power is computed once for the whole chain.
+/// `kernels` may be null (falls back to a private cache) and must otherwise
+/// be built from stencil {{s0, s1}, 0} of derive_bopm(spec, T).
+[[nodiscard]] double american_call_fft(const OptionSpec& spec, std::int64_t T,
+                                       core::SolverConfig cfg,
+                                       stencil::KernelCache* kernels);
 [[nodiscard]] double american_call_vanilla(const OptionSpec& spec,
                                            std::int64_t T);
 [[nodiscard]] double american_call_vanilla_parallel(const OptionSpec& spec,
@@ -62,6 +70,12 @@ class CallGreen final : public core::LatticeGreen {
 [[nodiscard]] double american_put_fft_direct(const OptionSpec& spec,
                                              std::int64_t T,
                                              core::SolverConfig cfg = {});
+/// Shared-cache variant; `kernels` must be built from the MIRRORED stencil
+/// {{s1, s0}, 0} (the put lattice swaps the up/down taps).
+[[nodiscard]] double american_put_fft_direct(const OptionSpec& spec,
+                                             std::int64_t T,
+                                             core::SolverConfig cfg,
+                                             stencil::KernelCache* kernels);
 
 /// Exercise-value oracle of the mirrored put lattice:
 /// value(i, j) = K - S * u^(i-2j).
@@ -84,9 +98,13 @@ class MirroredPutGreen final : public core::LatticeGreen {
                                            std::int64_t T);
 /// One T-step kernel power + one dot product: O(T log T).
 [[nodiscard]] double european_call_fft(const OptionSpec& spec, std::int64_t T);
+[[nodiscard]] double european_call_fft(const OptionSpec& spec, std::int64_t T,
+                                       stencil::KernelCache* kernels);
 [[nodiscard]] double european_put_vanilla(const OptionSpec& spec,
                                           std::int64_t T);
 [[nodiscard]] double european_put_fft(const OptionSpec& spec, std::int64_t T);
+[[nodiscard]] double european_put_fft(const OptionSpec& spec, std::int64_t T,
+                                      stencil::KernelCache* kernels);
 
 // --- Low-lattice nodes for Greeks (rows 0..2) -----------------------------
 

@@ -30,6 +30,11 @@ class CallGreen final : public core::LatticeGreen {
 
 [[nodiscard]] double american_call_fft(const OptionSpec& spec, std::int64_t T,
                                        core::SolverConfig cfg = {});
+/// Shared-cache variant (see pricing::price_batch); `kernels` may be null
+/// and must otherwise be built from stencil {{s0, s1, s2}, 0}.
+[[nodiscard]] double american_call_fft(const OptionSpec& spec, std::int64_t T,
+                                       core::SolverConfig cfg,
+                                       stencil::KernelCache* kernels);
 /// The paper's `vanilla-topm` reference: Θ(T^2) looping code.
 [[nodiscard]] double american_call_vanilla(const OptionSpec& spec,
                                            std::int64_t T);
@@ -45,5 +50,7 @@ class CallGreen final : public core::LatticeGreen {
 [[nodiscard]] double european_call_vanilla(const OptionSpec& spec,
                                            std::int64_t T);
 [[nodiscard]] double european_call_fft(const OptionSpec& spec, std::int64_t T);
+[[nodiscard]] double european_call_fft(const OptionSpec& spec, std::int64_t T,
+                                       stencil::KernelCache* kernels);
 
 }  // namespace amopt::pricing::topm

@@ -3,12 +3,16 @@
 //
 // The trapezoid recursion requests kernels for heights L/2, L/4, ... and the
 // top-level descent re-requests many of the same heights, so each pricing
-// call owns a KernelCache. The cache is safe to use from the solver's
-// parallel OpenMP tasks.
+// call owns a KernelCache — or, for chain pricing, many concurrent pricings
+// SHARE one (all strikes of a chain have the same taps, so they request the
+// same kernel powers). Lookups of warm heights take a shared lock only, so
+// readers never serialize against each other; the cache is safe to use from
+// the solver's parallel OpenMP tasks and from `pricing::price_batch`'s
+// per-option threads.
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
+#include <shared_mutex>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -34,7 +38,7 @@ class KernelCache {
 
  private:
   LinearStencil stencil_;
-  std::mutex mu_;
+  std::shared_mutex mu_;
   std::unordered_map<std::uint64_t, std::unique_ptr<std::vector<double>>>
       cache_;
 };

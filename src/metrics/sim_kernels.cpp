@@ -131,10 +131,12 @@ class FftReplayer {
   explicit FftReplayer(CacheSim& sim) : sim_(sim) {}
 
   /// One full convolution: pack, forward FFT, pointwise, inverse FFT,
-  /// unpack — the packed-real pipeline of conv::correlate_valid. The
-  /// twiddle tables are cached per size exactly like fft::plan_for, and the
-  /// work buffer is reused per size (the allocator hands freed blocks
-  /// straight back in the real code).
+  /// unpack — the legacy packed-complex pipeline (Policy::Path::fft_packed).
+  /// Since PR 1 the production path is the cheaper R2C/C2R pipeline (three
+  /// half-size transforms), so this replay is a conservative upper bound on
+  /// its traffic; see DESIGN.md "Faithfulness notes". The twiddle tables are
+  /// cached per size exactly like fft::plan_for, and the work buffer is
+  /// reused per size (the Workspace arena in the real code).
   void convolution(std::size_t n_in, std::size_t n_kernel,
                    std::size_t n_out) {
     const std::size_t full = n_in + n_kernel - 1;
@@ -402,7 +404,7 @@ CacheStats simulate_kernel(SimAlg alg, const OptionSpec& spec,
       break;
     case SimAlg::bopm_fft: {
       const auto q = pricing::bopm_call_boundary_vanilla(spec, T);
-      LatticeReplay{sim, fr, q, 1, 8}.descend();
+      LatticeReplay{sim, fr, q, 1, 8, {}, {}}.descend();
       break;
     }
     case SimAlg::topm_vanilla:
@@ -410,7 +412,7 @@ CacheStats simulate_kernel(SimAlg alg, const OptionSpec& spec,
       break;
     case SimAlg::topm_fft: {
       const auto q = pricing::topm_call_boundary_vanilla(spec, T);
-      LatticeReplay{sim, fr, q, 2, 8}.descend();
+      LatticeReplay{sim, fr, q, 2, 8, {}, {}}.descend();
       break;
     }
     case SimAlg::bsm_vanilla:
@@ -418,7 +420,7 @@ CacheStats simulate_kernel(SimAlg alg, const OptionSpec& spec,
       break;
     case SimAlg::bsm_fft: {
       const auto f = pricing::bsm::exercise_boundary_vanilla(spec, T);
-      FdmReplay{sim, fr, f, 10}.run(T, 2 * T);
+      FdmReplay{sim, fr, f, 10, {}, {}}.run(T, 2 * T);
       break;
     }
   }

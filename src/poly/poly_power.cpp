@@ -45,7 +45,7 @@ namespace {
 /// negligible — but left in place it gets multiplied by exponentially large
 /// deep-in-the-money payoffs downstream. Clamp it to zero after every
 /// product, exactly like the closed-form binomial path underflows its tails.
-void clamp_kernel_noise(std::vector<double>& k) {
+void clamp_kernel_noise(std::span<double> k) {
   double peak = 0.0;
   for (double x : k) peak = std::max(peak, std::abs(x));
   const double floor = 1e-12 * peak;
@@ -57,25 +57,49 @@ void clamp_kernel_noise(std::vector<double>& k) {
 
 }  // namespace
 
-std::vector<double> power_fft(std::span<const double> taps, std::uint64_t h) {
+std::vector<double> power_fft(std::span<const double> taps, std::uint64_t h,
+                              conv::Workspace& ws) {
   AMOPT_EXPECTS(!taps.empty());
+  if (h == 0) return {1.0};
   bool probability_kernel = true;
   for (double t : taps) probability_kernel &= (t >= 0.0);
-  std::vector<double> result{1.0};
-  std::vector<double> base(taps.begin(), taps.end());
+  const std::size_t d = taps.size() - 1;
+  // Degree bounds: the accumulator never exceeds d*h, the repeated-squaring
+  // base never exceeds d*2^floor(log2 h) <= d*h. Growing all three staging
+  // buffers to the bound up front keeps the spans valid for the whole run.
+  const std::size_t max_len = d * static_cast<std::size_t>(h) + 1;
+  std::span<double> result = ws.acc(max_len);
+  std::span<double> base = ws.tmp(max_len);
+  std::span<double> stage = ws.aux(max_len);
+  std::size_t nr = 1, nb = taps.size();
+  result[0] = 1.0;
+  std::copy(taps.begin(), taps.end(), base.begin());
   std::uint64_t e = h;
   while (e > 0) {
     if (e & 1u) {
-      result = conv::convolve_full(result, base);
-      if (probability_kernel) clamp_kernel_noise(result);
+      const std::size_t len = nr + nb - 1;
+      conv::convolve_full(result.first(nr), base.first(nb), stage.first(len),
+                          ws);
+      std::copy_n(stage.begin(), len, result.begin());
+      nr = len;
+      if (probability_kernel) clamp_kernel_noise(result.first(nr));
     }
     e >>= 1;
     if (e > 0) {
-      base = conv::convolve_full(base, base);
-      if (probability_kernel) clamp_kernel_noise(base);
+      const std::size_t len = 2 * nb - 1;
+      conv::convolve_full(base.first(nb), base.first(nb), stage.first(len),
+                          ws);
+      std::copy_n(stage.begin(), len, base.begin());
+      nb = len;
+      if (probability_kernel) clamp_kernel_noise(base.first(nb));
     }
   }
-  return result;
+  return std::vector<double>(result.begin(),
+                             result.begin() + static_cast<std::ptrdiff_t>(nr));
+}
+
+std::vector<double> power_fft(std::span<const double> taps, std::uint64_t h) {
+  return power_fft(taps, h, conv::thread_workspace());
 }
 
 std::vector<double> power_binomial(double a, double b, std::uint64_t h) {
@@ -128,14 +152,19 @@ std::vector<double> power_recurrence(std::span<const double> taps,
   return q;
 }
 
-std::vector<double> power(std::span<const double> taps, std::uint64_t h) {
+std::vector<double> power(std::span<const double> taps, std::uint64_t h,
+                          conv::Workspace& ws) {
   AMOPT_EXPECTS(!taps.empty());
   if (h == 0) return {1.0};
   if (taps.size() == 1)
     return {std::pow(taps[0], static_cast<double>(h))};
   if (taps.size() == 2 && taps[0] >= 0.0 && taps[1] >= 0.0)
     return power_binomial(taps[0], taps[1], h);
-  return power_fft(taps, h);
+  return power_fft(taps, h, ws);
+}
+
+std::vector<double> power(std::span<const double> taps, std::uint64_t h) {
+  return power(taps, h, conv::thread_workspace());
 }
 
 }  // namespace amopt::poly

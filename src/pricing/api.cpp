@@ -1,12 +1,16 @@
 #include "amopt/pricing/api.hpp"
 
+#include <exception>
+#include <memory>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 #include "amopt/baselines/baselines.hpp"
 #include "amopt/pricing/bopm.hpp"
 #include "amopt/pricing/bsm_fdm.hpp"
 #include "amopt/pricing/topm.hpp"
+#include "amopt/stencil/kernel_cache.hpp"
 
 namespace amopt::pricing {
 
@@ -117,6 +121,119 @@ double price(const OptionSpec& spec, std::int64_t T, Model model, Right right,
       unsupported(model, right, style, engine);
   }
   unsupported(model, right, style, engine);
+}
+
+namespace {
+
+/// Taps of the kernel cache an item of a (model, right, style, fft) chain
+/// can share; empty when the combination has no cache-aware path. Must
+/// mirror the stencils the pricers build internally (the mirrored put swaps
+/// its taps).
+[[nodiscard]] std::vector<double> shared_cache_taps(const OptionSpec& spec,
+                                                    std::int64_t T,
+                                                    Model model, Right right,
+                                                    Style style,
+                                                    Engine engine) {
+  if (engine != Engine::fft || T <= 0) return {};
+  switch (model) {
+    case Model::bopm: {
+      const BopmParams prm = derive_bopm(spec, T);
+      if (right == Right::put && style == Style::american)
+        return {prm.s1, prm.s0};  // mirrored lattice
+      return {prm.s0, prm.s1};
+    }
+    case Model::topm: {
+      if (right != Right::call) return {};
+      const TopmParams prm = derive_topm(spec, T);
+      return {prm.s0, prm.s1, prm.s2};
+    }
+    case Model::bsm:
+      return {};  // FDM solver has no lattice kernel cache (yet)
+  }
+  return {};
+}
+
+/// Scalar dispatch with an optional shared kernel cache. Combinations
+/// without a cache-aware implementation fall back to price().
+[[nodiscard]] double price_one(const OptionSpec& spec, std::int64_t T,
+                               Model model, Right right, Style style,
+                               Engine engine, core::SolverConfig cfg,
+                               stencil::KernelCache* kernels) {
+  if (kernels == nullptr)
+    return price(spec, T, model, right, style, engine, cfg);
+  if (model == Model::bopm) {
+    if (style == Style::european) {
+      return right == Right::call ? bopm::european_call_fft(spec, T, kernels)
+                                  : bopm::european_put_fft(spec, T, kernels);
+    }
+    return right == Right::call
+               ? bopm::american_call_fft(spec, T, cfg, kernels)
+               : bopm::american_put_fft_direct(spec, T, cfg, kernels);
+  }
+  if (model == Model::topm && right == Right::call) {
+    return style == Style::european
+               ? topm::european_call_fft(spec, T, kernels)
+               : topm::american_call_fft(spec, T, cfg, kernels);
+  }
+  return price(spec, T, model, right, style, engine, cfg);
+}
+
+}  // namespace
+
+std::vector<double> price_batch(std::span<const OptionSpec> chain,
+                                std::int64_t T, Model model, Right right,
+                                Style style, Engine engine,
+                                core::SolverConfig cfg) {
+  std::vector<double> out(chain.size(), 0.0);
+  if (chain.empty()) return out;
+
+  // Group items by the tap vector their solver would build; one kernel
+  // cache per group. A plain strike ladder collapses to a single group.
+  struct Group {
+    std::vector<double> taps;
+    std::unique_ptr<stencil::KernelCache> cache;
+  };
+  std::vector<Group> groups;
+  std::vector<stencil::KernelCache*> cache_of(chain.size(), nullptr);
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    std::vector<double> taps =
+        shared_cache_taps(chain[i], T, model, right, style, engine);
+    if (taps.empty()) continue;
+    Group* found = nullptr;
+    for (Group& g : groups) {
+      if (g.taps == taps) {
+        found = &g;
+        break;
+      }
+    }
+    if (found == nullptr) {
+      Group g;
+      g.taps = taps;
+      g.cache = std::make_unique<stencil::KernelCache>(
+          stencil::LinearStencil{std::move(taps), 0});
+      groups.push_back(std::move(g));
+      found = &groups.back();
+    }
+    cache_of[i] = found->cache.get();
+  }
+
+  // Parallelize across options; the inner solvers see the enclosing region
+  // and stay serial, so one option never oversubscribes the machine.
+  std::exception_ptr error;
+#pragma omp parallel for schedule(dynamic, 1)
+  for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(chain.size());
+       ++i) {
+    try {
+      out[static_cast<std::size_t>(i)] =
+          price_one(chain[static_cast<std::size_t>(i)], T, model, right,
+                    style, engine, cfg, cache_of[static_cast<std::size_t>(i)]);
+    } catch (...) {
+#pragma omp critical(amopt_price_batch_error)
+      if (!error) error = std::current_exception();
+    }
+  }
+  if (error) std::rethrow_exception(error);
+  return out;
 }
 
 }  // namespace amopt::pricing

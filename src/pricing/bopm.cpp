@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <vector>
 
 #include "amopt/common/assert.hpp"
@@ -87,16 +88,22 @@ core::LatticeRow expiry_row(const BopmParams& prm,
 }
 
 double american_call_fft(const OptionSpec& spec, std::int64_t T,
-                         core::SolverConfig cfg) {
+                         core::SolverConfig cfg,
+                         stencil::KernelCache* kernels) {
   if (T == 0) return std::max(0.0, spec.S - spec.K);
   // With Y <= 0 (and R >= 0) early exercise of a call is never optimal and
   // the red/green boundary degenerates; the price is the European one,
   // which the linear FFT path computes exactly.
-  if (spec.Y <= 0.0 && spec.R >= 0.0) return european_call_fft(spec, T);
+  if (spec.Y <= 0.0 && spec.R >= 0.0) return european_call_fft(spec, T, kernels);
 
   const BopmParams prm = derive_bopm(spec, T);
   const CallGreen green(spec, prm);
-  core::LatticeSolver solver({{prm.s0, prm.s1}, 0}, green, cfg);
+  std::optional<core::LatticeSolver> solver;
+  if (kernels != nullptr) {
+    solver.emplace(*kernels, green, cfg);
+  } else {
+    solver.emplace(stencil::LinearStencil{{prm.s0, prm.s1}, 0}, green, cfg);
+  }
 
   core::LatticeRow row = expiry_row(prm, green);
   // Corollary 2.7's <=1-cell motion is proved from row T-2 downward, and
@@ -104,9 +111,14 @@ double american_call_fft(const OptionSpec& spec, std::int64_t T,
   // exercise threshold moves from K to ~(R/Y)K in one step): scan the first
   // two rows in full (see DESIGN.md).
   while (row.i > std::max<std::int64_t>(T - 2, 0))
-    row = solver.step_naive(row, /*unbounded_scan=*/true);
-  row = solver.descend(std::move(row), 0);
+    row = solver->step_naive(row, /*unbounded_scan=*/true);
+  row = solver->descend(std::move(row), 0);
   return row.q >= 0 ? row.red[0] : green.value(0, 0);
+}
+
+double american_call_fft(const OptionSpec& spec, std::int64_t T,
+                         core::SolverConfig cfg) {
+  return american_call_fft(spec, T, cfg, nullptr);
 }
 
 double american_call_vanilla(const OptionSpec& spec, std::int64_t T) {
@@ -148,10 +160,12 @@ double american_put_fft(const OptionSpec& spec, std::int64_t T,
 }
 
 double american_put_fft_direct(const OptionSpec& spec, std::int64_t T,
-                               core::SolverConfig cfg) {
+                               core::SolverConfig cfg,
+                               stencil::KernelCache* kernels) {
   if (T == 0) return std::max(0.0, spec.K - spec.S);
   // With R <= 0 early exercise of a put is never optimal (holding the
-  // discounted strike cannot lose); the price is the European one.
+  // discounted strike cannot lose); the price is the European one. (The
+  // shared cache holds MIRRORED taps, which the European path cannot use.)
   if (spec.R <= 0.0 && spec.Y >= 0.0) return european_put_fft(spec, T);
 
   const BopmParams prm = derive_bopm(spec, T);
@@ -160,7 +174,14 @@ double american_put_fft_direct(const OptionSpec& spec, std::int64_t T,
   // boundary GROWS rightward walking down the lattice (the exercise region
   // shrinks backward in time), so the solver runs in growing mode.
   cfg.drift = core::BoundaryDrift::growing;
-  core::LatticeSolver solver({{prm.s1, prm.s0}, 0}, green, cfg);
+  std::optional<core::LatticeSolver> solver_storage;
+  if (kernels != nullptr) {
+    solver_storage.emplace(*kernels, green, cfg);
+  } else {
+    solver_storage.emplace(stencil::LinearStencil{{prm.s1, prm.s0}, 0}, green,
+                           cfg);
+  }
+  core::LatticeSolver& solver = *solver_storage;
 
   core::LatticeRow row;
   row.i = T;
@@ -189,6 +210,11 @@ double american_put_fft_direct(const OptionSpec& spec, std::int64_t T,
   return row.q >= 0 ? row.red[0] : green.value(0, 0);
 }
 
+double american_put_fft_direct(const OptionSpec& spec, std::int64_t T,
+                               core::SolverConfig cfg) {
+  return american_put_fft_direct(spec, T, cfg, nullptr);
+}
+
 double european_call_vanilla(const OptionSpec& spec, std::int64_t T) {
   const BopmParams prm = derive_bopm(spec, T);
   const PowerTable up(prm.log_u, T);
@@ -210,12 +236,21 @@ double european_put_vanilla(const OptionSpec& spec, std::int64_t T) {
 namespace {
 template <class Payoff>
 [[nodiscard]] double european_fft_impl(const OptionSpec& spec, std::int64_t T,
-                                       const Payoff& payoff) {
+                                       const Payoff& payoff,
+                                       stencil::KernelCache* kernels) {
   if (T == 0) return std::max(0.0, payoff(0, 0));
   const BopmParams prm = derive_bopm(spec, T);
-  const std::vector<double> taps{prm.s0, prm.s1};
-  const std::vector<double> kernel =
-      poly::power(taps, static_cast<std::uint64_t>(T));
+  // A shared chain cache (taps {s0, s1}) serves the T-step power directly;
+  // otherwise compute it locally. Both roads run the same poly::power.
+  std::vector<double> storage;
+  std::span<const double> kernel;
+  if (kernels != nullptr) {
+    kernel = kernels->power(static_cast<std::uint64_t>(T));
+  } else {
+    storage = poly::power(std::vector<double>{prm.s0, prm.s1},
+                          static_cast<std::uint64_t>(T));
+    kernel = storage;
+  }
   double acc = 0.0;
   for (std::int64_t j = 0; j <= T; ++j)
     acc += kernel[static_cast<std::size_t>(j)] * std::max(0.0, payoff(T, j));
@@ -223,20 +258,36 @@ template <class Payoff>
 }
 }  // namespace
 
-double european_call_fft(const OptionSpec& spec, std::int64_t T) {
+double european_call_fft(const OptionSpec& spec, std::int64_t T,
+                         stencil::KernelCache* kernels) {
   const BopmParams prm = derive_bopm(spec, T);
   const PowerTable up(prm.log_u, std::max<std::int64_t>(T, 1));
-  return european_fft_impl(spec, T, [&](std::int64_t i, std::int64_t j) {
-    return spec.S * up(2 * j - i) - spec.K;
-  });
+  return european_fft_impl(
+      spec, T,
+      [&](std::int64_t i, std::int64_t j) {
+        return spec.S * up(2 * j - i) - spec.K;
+      },
+      kernels);
+}
+
+double european_call_fft(const OptionSpec& spec, std::int64_t T) {
+  return european_call_fft(spec, T, nullptr);
+}
+
+double european_put_fft(const OptionSpec& spec, std::int64_t T,
+                        stencil::KernelCache* kernels) {
+  const BopmParams prm = derive_bopm(spec, T);
+  const PowerTable up(prm.log_u, std::max<std::int64_t>(T, 1));
+  return european_fft_impl(
+      spec, T,
+      [&](std::int64_t i, std::int64_t j) {
+        return spec.K - spec.S * up(2 * j - i);
+      },
+      kernels);
 }
 
 double european_put_fft(const OptionSpec& spec, std::int64_t T) {
-  const BopmParams prm = derive_bopm(spec, T);
-  const PowerTable up(prm.log_u, std::max<std::int64_t>(T, 1));
-  return european_fft_impl(spec, T, [&](std::int64_t i, std::int64_t j) {
-    return spec.K - spec.S * up(2 * j - i);
-  });
+  return european_put_fft(spec, T, nullptr);
 }
 
 LowNodes american_call_nodes_fft(const OptionSpec& spec, std::int64_t T,
@@ -248,23 +299,27 @@ LowNodes american_call_nodes_fft(const OptionSpec& spec, std::int64_t T,
   nodes.prm = prm;
 
   if (spec.Y <= 0.0 && spec.R >= 0.0) {
-    // Linear everywhere: evaluate rows 0..2 with kernel powers.
+    // Linear everywhere: evaluate rows 0..2 with kernel powers. All nodes of
+    // row i share the (T-i)-step kernel, so compute it once per row rather
+    // than once per node.
     const std::vector<double> taps{prm.s0, prm.s1};
-    const auto row_value = [&](std::int64_t i, std::int64_t j) {
-      const std::vector<double> kernel =
-          poly::power(taps, static_cast<std::uint64_t>(T - i));
+    std::vector<double> kernel;
+    const auto node_value = [&](std::int64_t j) {
       double acc = 0.0;
       for (std::size_t m = 0; m < kernel.size(); ++m)
         acc += kernel[m] *
                payoff_expiry(green, T, j + static_cast<std::int64_t>(m));
       return acc;
     };
-    nodes.g00 = row_value(0, 0);
-    nodes.g10 = row_value(1, 0);
-    nodes.g11 = row_value(1, 1);
-    nodes.g20 = row_value(2, 0);
-    nodes.g21 = row_value(2, 1);
-    nodes.g22 = row_value(2, 2);
+    kernel = poly::power(taps, static_cast<std::uint64_t>(T));
+    nodes.g00 = node_value(0);
+    kernel = poly::power(taps, static_cast<std::uint64_t>(T - 1));
+    nodes.g10 = node_value(0);
+    nodes.g11 = node_value(1);
+    kernel = poly::power(taps, static_cast<std::uint64_t>(T - 2));
+    nodes.g20 = node_value(0);
+    nodes.g21 = node_value(1);
+    nodes.g22 = node_value(2);
     return nodes;
   }
 

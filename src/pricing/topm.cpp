@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
+#include <span>
 #include <vector>
 
 #include "amopt/common/assert.hpp"
@@ -77,21 +79,33 @@ core::LatticeRow expiry_row(const TopmParams& prm,
 }
 
 double american_call_fft(const OptionSpec& spec, std::int64_t T,
-                         core::SolverConfig cfg) {
+                         core::SolverConfig cfg,
+                         stencil::KernelCache* kernels) {
   if (T == 0) return std::max(0.0, spec.S - spec.K);
-  if (spec.Y <= 0.0 && spec.R >= 0.0) return european_call_fft(spec, T);
+  if (spec.Y <= 0.0 && spec.R >= 0.0) return european_call_fft(spec, T, kernels);
 
   const TopmParams prm = derive_topm(spec, T);
   const CallGreen green(spec, prm);
-  core::LatticeSolver solver({{prm.s0, prm.s1, prm.s2}, 0}, green, cfg);
+  std::optional<core::LatticeSolver> solver;
+  if (kernels != nullptr) {
+    solver.emplace(*kernels, green, cfg);
+  } else {
+    solver.emplace(stencil::LinearStencil{{prm.s0, prm.s1, prm.s2}, 0}, green,
+                   cfg);
+  }
 
   core::LatticeRow row = expiry_row(prm, green);
   // Full scans for the first two rows: Corollary A.6 is proved below the
   // expiry row, and for R > Y the boundary jumps right off it.
   while (row.i > std::max<std::int64_t>(T - 2, 0))
-    row = solver.step_naive(row, /*unbounded_scan=*/true);
-  row = solver.descend(std::move(row), 0);
+    row = solver->step_naive(row, /*unbounded_scan=*/true);
+  row = solver->descend(std::move(row), 0);
   return row.q >= 0 ? row.red[0] : green.value(0, 0);
+}
+
+double american_call_fft(const OptionSpec& spec, std::int64_t T,
+                         core::SolverConfig cfg) {
+  return american_call_fft(spec, T, cfg, nullptr);
 }
 
 double american_call_vanilla(const OptionSpec& spec, std::int64_t T) {
@@ -138,18 +152,29 @@ double european_call_vanilla(const OptionSpec& spec, std::int64_t T) {
   return rollback_vanilla<false>(prm, payoff, /*american=*/false);
 }
 
-double european_call_fft(const OptionSpec& spec, std::int64_t T) {
+double european_call_fft(const OptionSpec& spec, std::int64_t T,
+                         stencil::KernelCache* kernels) {
   if (T == 0) return std::max(0.0, spec.S - spec.K);
   const TopmParams prm = derive_topm(spec, T);
   const PowerTable up(prm.log_u, T);
-  const std::vector<double> taps{prm.s0, prm.s1, prm.s2};
-  const std::vector<double> kernel =
-      poly::power(taps, static_cast<std::uint64_t>(T));
+  std::vector<double> storage;
+  std::span<const double> kernel;
+  if (kernels != nullptr) {
+    kernel = kernels->power(static_cast<std::uint64_t>(T));
+  } else {
+    storage = poly::power(std::vector<double>{prm.s0, prm.s1, prm.s2},
+                          static_cast<std::uint64_t>(T));
+    kernel = storage;
+  }
   double acc = 0.0;
   for (std::int64_t j = 0; j <= 2 * T; ++j)
     acc += kernel[static_cast<std::size_t>(j)] *
            std::max(0.0, spec.S * up(j - T) - spec.K);
   return acc;
+}
+
+double european_call_fft(const OptionSpec& spec, std::int64_t T) {
+  return european_call_fft(spec, T, nullptr);
 }
 
 }  // namespace amopt::pricing::topm

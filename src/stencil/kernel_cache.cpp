@@ -1,20 +1,23 @@
 #include "amopt/stencil/kernel_cache.hpp"
 
+#include <mutex>
+
 #include "amopt/poly/poly_power.hpp"
 
 namespace amopt::stencil {
 
 std::span<const double> KernelCache::power(std::uint64_t h) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::shared_lock<std::shared_mutex> lock(mu_);
     auto it = cache_.find(h);
     if (it != cache_.end()) return *it->second;
   }
-  // Compute outside the lock; a racing duplicate computation is harmless and
+  // Compute outside the lock (scratch comes from the calling thread's
+  // convolution workspace); a racing duplicate computation is harmless and
   // the first inserted entry wins.
   auto kernel =
       std::make_unique<std::vector<double>>(poly::power(stencil_.taps, h));
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> lock(mu_);
   auto [it, inserted] = cache_.emplace(h, std::move(kernel));
   return *it->second;
 }

@@ -59,12 +59,12 @@ TEST(Api, EuropeanDispatch) {
 
 TEST(Api, UnsupportedCombinationsThrow) {
   const OptionSpec spec = paper_spec();
-  EXPECT_THROW(price(spec, 100, Model::bsm, Right::call),
+  EXPECT_THROW((void)price(spec, 100, Model::bsm, Right::call),
                std::invalid_argument);
-  EXPECT_THROW(price(spec, 100, Model::topm, Right::call, Style::american,
+  EXPECT_THROW((void)price(spec, 100, Model::topm, Right::call, Style::american,
                      Engine::quantlib),
                std::invalid_argument);
-  EXPECT_THROW(price(spec, 100, Model::bopm, Right::put, Style::american,
+  EXPECT_THROW((void)price(spec, 100, Model::bopm, Right::put, Style::american,
                      Engine::tiled),
                std::invalid_argument);
 }

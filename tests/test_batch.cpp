@@ -1,0 +1,104 @@
+// pricing::price_batch must reproduce the scalar price() call bit for bit
+// for every supported combination — the shared kernel cache and the OpenMP
+// fan-out are pure work-sharing, not approximations.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "amopt/pricing/api.hpp"
+
+namespace {
+
+using namespace amopt;
+using namespace amopt::pricing;
+
+[[nodiscard]] std::vector<OptionSpec> strike_ladder() {
+  std::vector<OptionSpec> chain;
+  const OptionSpec base = paper_spec();
+  for (double k : {100.0, 110.0, 120.0, 125.0, 130.0, 135.0, 150.0}) {
+    OptionSpec s = base;
+    s.K = k;
+    chain.push_back(s);
+  }
+  return chain;
+}
+
+void expect_bit_identical(const std::vector<OptionSpec>& chain, std::int64_t T,
+                          Model model, Right right, Style style,
+                          Engine engine) {
+  const std::vector<double> got =
+      price_batch(chain, T, model, right, style, engine);
+  ASSERT_EQ(got.size(), chain.size());
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    const double ref = price(chain[i], T, model, right, style, engine);
+    EXPECT_EQ(got[i], ref) << to_string(model) << "/" << to_string(right)
+                           << "/" << to_string(style) << "/"
+                           << to_string(engine) << " item " << i;
+  }
+}
+
+TEST(Batch, BopmAmericanCallFft) {
+  expect_bit_identical(strike_ladder(), 512, Model::bopm, Right::call,
+                       Style::american, Engine::fft);
+}
+
+TEST(Batch, BopmAmericanPutFft) {
+  expect_bit_identical(strike_ladder(), 512, Model::bopm, Right::put,
+                       Style::american, Engine::fft);
+}
+
+TEST(Batch, BopmEuropeanBothRights) {
+  expect_bit_identical(strike_ladder(), 400, Model::bopm, Right::call,
+                       Style::european, Engine::fft);
+  expect_bit_identical(strike_ladder(), 400, Model::bopm, Right::put,
+                       Style::european, Engine::fft);
+}
+
+TEST(Batch, TopmAmericanCallFft) {
+  expect_bit_identical(strike_ladder(), 256, Model::topm, Right::call,
+                       Style::american, Engine::fft);
+}
+
+TEST(Batch, BsmPutFallsBackWithoutSharing) {
+  expect_bit_identical(strike_ladder(), 256, Model::bsm, Right::put,
+                       Style::american, Engine::fft);
+}
+
+TEST(Batch, NonFftEnginesFallBackPerOption) {
+  expect_bit_identical(strike_ladder(), 200, Model::bopm, Right::call,
+                       Style::american, Engine::quantlib);
+  expect_bit_identical(strike_ladder(), 200, Model::bopm, Right::call,
+                       Style::american, Engine::vanilla);
+}
+
+TEST(Batch, MixedTapsSplitIntoGroups) {
+  // Items with different vol / expiry derive different taps and therefore
+  // different kernel caches; results must still match scalar calls exactly.
+  std::vector<OptionSpec> chain = strike_ladder();
+  OptionSpec other = paper_spec();
+  other.V = 0.35;
+  chain.push_back(other);
+  other.expiry_years = 0.5;
+  chain.push_back(other);
+  expect_bit_identical(chain, 512, Model::bopm, Right::call, Style::american,
+                       Engine::fft);
+}
+
+TEST(Batch, EmptyChainGivesEmptyResult) {
+  EXPECT_TRUE(
+      price_batch({}, 100, Model::bopm, Right::call).empty());
+}
+
+TEST(Batch, UnsupportedCombinationThrows) {
+  EXPECT_THROW((void)price_batch(strike_ladder(), 100, Model::bsm,
+                                 Right::call),
+               std::invalid_argument);
+  EXPECT_THROW((void)price_batch(strike_ladder(), 100, Model::topm,
+                                 Right::call, Style::american,
+                                 Engine::quantlib),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -124,6 +124,40 @@ TEST(Correlation, EmptyOutputIsNoop) {
   SUCCEED();
 }
 
+TEST(Convolution, PackedComplexPathMatchesRealPath) {
+  // The legacy two-for-one packed pipeline stays available for benchmarking;
+  // it must agree with both the direct loop and the real-input path.
+  for (std::size_t n : {33u, 256u, 1000u, 4096u}) {
+    const auto a = random_vec(n, static_cast<unsigned>(n + 51));
+    const auto b = random_vec(n / 2 + 1, static_cast<unsigned>(n + 52));
+    const auto ref = conv::convolve_full_direct(a, b);
+    const auto real_path =
+        conv::convolve_full(a, b, {conv::Policy::Path::fft});
+    const auto packed =
+        conv::convolve_full(a, b, {conv::Policy::Path::fft_packed});
+    ASSERT_EQ(packed.size(), ref.size());
+    ASSERT_EQ(real_path.size(), ref.size());
+    const double tol = 1e-11 * static_cast<double>(n);
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      EXPECT_NEAR(real_path[i], ref[i], tol) << "n=" << n << " i=" << i;
+      EXPECT_NEAR(packed[i], ref[i], tol) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(Correlation, PackedComplexPathMatchesDirect) {
+  const auto in = random_vec(3000, 61);
+  const auto kernel = random_vec(500, 62);
+  const std::size_t n_out = in.size() - kernel.size() + 1;
+  std::vector<double> ref(n_out), packed(n_out);
+  conv::correlate_valid_direct(in, kernel, ref);
+  conv::correlate_valid(in, kernel, packed,
+                        {conv::Policy::Path::fft_packed});
+  const double tol = 1e-11 * static_cast<double>(in.size());
+  for (std::size_t i = 0; i < n_out; ++i)
+    EXPECT_NEAR(packed[i], ref[i], tol);
+}
+
 TEST(Convolution, CommutesUnderFft) {
   const auto a = random_vec(100, 41);
   const auto b = random_vec(37, 43);

@@ -1,0 +1,188 @@
+// Allocation-freedom and correctness of the Workspace-backed convolution
+// paths. This binary replaces the global operator new/delete with counting
+// versions (which is why it is its own test executable): after one warm-up
+// call, repeated convolutions through a Workspace must not touch the heap.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <random>
+#include <vector>
+
+#include "amopt/fft/convolution.hpp"
+#include "amopt/poly/poly_power.hpp"
+
+namespace {
+std::atomic<std::uint64_t> g_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t sz) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(sz > 0 ? sz : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t sz) { return ::operator new(sz); }
+void* operator new(std::size_t sz, std::align_val_t al) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t a = static_cast<std::size_t>(al);
+  const std::size_t rounded = (sz + a - 1) / a * a;
+  if (void* p = std::aligned_alloc(a, rounded > 0 ? rounded : a)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t sz, std::align_val_t al) {
+  return ::operator new(sz, al);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace {
+
+using namespace amopt;
+
+std::vector<double> random_vec(std::size_t n, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  std::vector<double> v(n);
+  for (auto& x : v) x = dist(rng);
+  return v;
+}
+
+[[nodiscard]] std::uint64_t allocs() {
+  return g_allocs.load(std::memory_order_relaxed);
+}
+
+TEST(Workspace, ConvolveFullMatchesVectorOverloadBitForBit) {
+  const auto a = random_vec(1000, 1);
+  const auto b = random_vec(777, 2);
+  const auto ref = conv::convolve_full(a, b, {conv::Policy::Path::fft});
+  conv::Workspace ws;
+  std::vector<double> out(a.size() + b.size() - 1);
+  conv::convolve_full(a, b, out, ws, {conv::Policy::Path::fft});
+  ASSERT_EQ(out.size(), ref.size());
+  for (std::size_t i = 0; i < ref.size(); ++i) EXPECT_EQ(out[i], ref[i]);
+}
+
+TEST(Workspace, ConvolveFullZeroAllocationsAfterWarmup) {
+  const auto a = random_vec(4096, 3);
+  const auto b = random_vec(4096, 4);
+  conv::Workspace ws;
+  std::vector<double> out(a.size() + b.size() - 1);
+  const conv::Policy fft{conv::Policy::Path::fft};
+  conv::convolve_full(a, b, out, ws, fft);  // warm-up: plans + arena growth
+  const std::vector<double> ref = out;
+
+  const std::uint64_t before = allocs();
+  for (int r = 0; r < 10; ++r) conv::convolve_full(a, b, out, ws, fft);
+  const std::uint64_t after = allocs();
+  EXPECT_EQ(after - before, 0u) << "convolve_full allocated after warm-up";
+  for (std::size_t i = 0; i < ref.size(); ++i) EXPECT_EQ(out[i], ref[i]);
+}
+
+TEST(Workspace, CorrelateValidZeroAllocationsAfterWarmup) {
+  const auto in = random_vec(8192, 5);
+  const auto kernel = random_vec(2048, 6);
+  conv::Workspace ws;
+  std::vector<double> out(in.size() - kernel.size() + 1);
+  const conv::Policy fft{conv::Policy::Path::fft};
+  conv::correlate_valid(in, kernel, out, ws, fft);  // warm-up
+
+  const std::uint64_t before = allocs();
+  for (int r = 0; r < 10; ++r) conv::correlate_valid(in, kernel, out, ws, fft);
+  const std::uint64_t after = allocs();
+  EXPECT_EQ(after - before, 0u) << "correlate_valid allocated after warm-up";
+
+  std::vector<double> ref(out.size());
+  conv::correlate_valid_direct(in, kernel, ref);
+  const double tol = 1e-10 * static_cast<double>(in.size());
+  for (std::size_t i = 0; i < ref.size(); ++i) EXPECT_NEAR(out[i], ref[i], tol);
+}
+
+TEST(Workspace, SmallerSizesReuseWarmArena) {
+  // Once warmed at the high-water mark, every SMALLER convolution must be
+  // allocation-free too (the arena never shrinks; smaller plans were created
+  // during the descent of the trapezoid recursion warm-up here).
+  conv::Workspace ws;
+  const conv::Policy fft{conv::Policy::Path::fft};
+  std::vector<std::vector<double>> as, bs;
+  for (std::size_t n : {4096u, 1024u, 300u, 64u}) {
+    as.push_back(random_vec(n, static_cast<unsigned>(n)));
+    bs.push_back(random_vec(n, static_cast<unsigned>(n + 1)));
+  }
+  std::vector<double> out(2 * 4096 - 1);
+  for (std::size_t i = 0; i < as.size(); ++i) {  // warm every size once
+    conv::convolve_full(as[i], bs[i],
+                        std::span<double>(out).first(2 * as[i].size() - 1), ws,
+                        fft);
+  }
+  const std::uint64_t before = allocs();
+  for (int r = 0; r < 5; ++r) {
+    for (std::size_t i = 0; i < as.size(); ++i) {
+      conv::convolve_full(as[i], bs[i],
+                          std::span<double>(out).first(2 * as[i].size() - 1),
+                          ws, fft);
+    }
+  }
+  EXPECT_EQ(allocs() - before, 0u);
+}
+
+TEST(Workspace, ConvolveManySharesKernelSpectrum) {
+  const auto kernel = random_vec(513, 7);
+  std::vector<std::vector<double>> inputs_storage;
+  for (std::size_t n : {2048u, 2048u, 1024u, 100u})
+    inputs_storage.push_back(random_vec(n, static_cast<unsigned>(n + 9)));
+  std::vector<std::span<const double>> inputs(inputs_storage.begin(),
+                                              inputs_storage.end());
+  std::vector<std::vector<double>> outs(inputs.size());
+  conv::Workspace ws;
+  conv::convolve_many(inputs, kernel, outs, ws, {conv::Policy::Path::fft});
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const auto ref = conv::convolve_full_direct(inputs_storage[i], kernel);
+    ASSERT_EQ(outs[i].size(), ref.size()) << "item " << i;
+    const double tol = 1e-10 * static_cast<double>(inputs_storage[i].size());
+    for (std::size_t j = 0; j < ref.size(); ++j)
+      EXPECT_NEAR(outs[i][j], ref[j], tol) << "item " << i << " j=" << j;
+  }
+  // Same-length items share the padded size with the unbatched call, so the
+  // batched result is bit-identical to it.
+  const auto solo =
+      conv::convolve_full(inputs_storage[0], kernel, {conv::Policy::Path::fft});
+  for (std::size_t j = 0; j < solo.size(); ++j) EXPECT_EQ(outs[0][j], solo[j]);
+
+  // After the warm-up call above, re-running the batch (outs already sized)
+  // performs no allocations.
+  const std::uint64_t before = allocs();
+  conv::convolve_many(inputs, kernel, outs, ws, {conv::Policy::Path::fft});
+  EXPECT_EQ(allocs() - before, 0u);
+}
+
+TEST(Workspace, PolyPowerThroughWorkspaceMatchesDefault) {
+  const std::vector<double> taps{0.2, 0.5, 0.3};
+  conv::Workspace ws;
+  for (std::uint64_t h : {1u, 7u, 64u, 301u}) {
+    const auto ref = poly::power_fft(taps, h);
+    const auto got = poly::power_fft(taps, h, ws);
+    ASSERT_EQ(ref.size(), got.size()) << "h=" << h;
+    for (std::size_t i = 0; i < ref.size(); ++i)
+      EXPECT_EQ(got[i], ref[i]) << "h=" << h << " i=" << i;
+  }
+  // Warmed up, a kernel-power call allocates only the returned vector.
+  (void)poly::power_fft(taps, 301, ws);
+  const std::uint64_t before = allocs();
+  (void)poly::power_fft(taps, 301, ws);
+  EXPECT_LE(allocs() - before, 2u);
+}
+
+}  // namespace
