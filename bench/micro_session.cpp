@@ -1,0 +1,103 @@
+// Warm-session recalibration bench: repeated implied-vol inversion of a
+// 16-strike chain as the quotes tick, comparing
+//
+//   cold-iv  — the legacy free function per quote (every evaluation owns
+//              its kernel cache; nothing survives between calls);
+//   warm-iv  — one `Pricer` session serving `implied_vol_many` for every
+//              tick (bracket endpoints and early Newton iterates share tap
+//              groups across the chain AND across ticks, so their kernel
+//              powers are computed once for the whole run).
+//
+// The quotes move a few bp per tick, so later Newton iterates genuinely
+// differ run to run — the warm numbers measure honest reuse, not
+// memoization of identical requests. Emits BENCH_session.json
+// (AMOPT_BENCH_JSON overrides the path, "none" disables).
+
+#include <cstdio>
+#include <vector>
+
+#include "amopt/pricing/api.hpp"
+#include "amopt/pricing/bopm.hpp"
+#include "amopt/pricing/implied_vol.hpp"
+#include "amopt/pricing/pricer.hpp"
+#include "bench_common.hpp"
+
+int main() {
+  using namespace amopt;
+  using namespace amopt::pricing;
+
+  const bench::Sweep sweep = bench::sweep_from_env(1 << 10, 1 << 12, 0);
+  const int ticks = static_cast<int>(env_long("AMOPT_BENCH_TICKS", 8));
+  const int n_strikes = 16;
+
+  bench::print_header("warm-session vs cold implied-vol recalibration "
+                      "(16-strike chain, ms per chain inversion)",
+                      "milliseconds",
+                      {"cold-iv", "warm-iv", "speedup"});
+
+  std::vector<std::int64_t> ts;
+  std::vector<std::vector<double>> rows;
+  for (std::int64_t T = sweep.min_t; T <= sweep.max_t; T *= 2) {
+    // Quotes: the chain's own prices at the reference vol.
+    OptionSpec base = paper_spec();
+    std::vector<PricingRequest> chain;
+    for (int i = 0; i < n_strikes; ++i) {
+      PricingRequest q;
+      q.spec = base;
+      q.spec.K = 100.0 + 4.0 * i;
+      q.T = T;
+      chain.push_back(q);
+    }
+    for (PricingRequest& q : chain)
+      q.target_price = bopm::american_call_fft(q.spec, T);
+    const auto ticked = [&](const PricingRequest& q, int tick) {
+      // A few basis points of drift per tick keeps every inversion fresh.
+      return q.target_price * (1.0 + 2e-4 * static_cast<double>(tick + 1));
+    };
+
+    // Cold: free function per quote, per tick.
+    WallTimer cold_timer;
+    double cold_sink = 0.0;
+    for (int tick = 0; tick < ticks; ++tick) {
+      for (const PricingRequest& q : chain) {
+        ImpliedVolConfig cfg;
+        cfg.T = T;
+        cold_sink +=
+            american_call_implied_vol(q.spec, ticked(q, tick), cfg).vol;
+      }
+    }
+    const double cold = cold_timer.seconds() / ticks;
+
+    // Warm: one session across all ticks.
+    Pricer session;
+    WallTimer warm_timer;
+    double warm_sink = 0.0;
+    for (int tick = 0; tick < ticks; ++tick) {
+      std::vector<PricingRequest> quotes = chain;
+      for (PricingRequest& q : quotes) q.target_price = ticked(q, tick);
+      for (const PricingResult& res : session.implied_vol_many(quotes))
+        warm_sink += res.implied_vol.vol;
+    }
+    const double warm = warm_timer.seconds() / ticks;
+
+    const double speedup = warm > 0.0 ? cold / warm : 0.0;
+    bench::print_row(T, {cold * 1e3, warm * 1e3, speedup});
+    ts.push_back(T);
+    rows.push_back({cold * 1e3, warm * 1e3, speedup});
+
+    const Pricer::Stats st = session.stats();
+    std::printf("#   session: %zu live group(s), %llu hit(s) / %llu "
+                "miss(es) across %llu request(s); vol checksums %.6f/%.6f\n",
+                st.kernel_caches,
+                static_cast<unsigned long long>(st.cache_hits),
+                static_cast<unsigned long long>(st.cache_misses),
+                static_cast<unsigned long long>(st.requests), cold_sink,
+                warm_sink);
+  }
+
+  const std::string json = env_string("AMOPT_BENCH_JSON", "BENCH_session.json");
+  if (!json.empty() && json != "none")
+    bench::write_json(json, "micro_session_warm_iv", "milliseconds",
+                      {"cold-iv", "warm-iv", "speedup"}, ts, rows);
+  return 0;
+}

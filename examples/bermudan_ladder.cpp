@@ -19,8 +19,25 @@ int main(int argc, char** argv) {
   spec.Y = 0.0;
   const std::int64_t T = argc > 1 ? std::atoll(argv[1]) : 16384;
 
-  const double eur = bopm::european_put_fft(spec, T);
-  const double amer = bopm::american_put_fft_direct(spec, T);
+  // The two limits of the ladder come from one session batch (the European
+  // and American puts share the session's machinery).
+  Pricer session;
+  std::vector<PricingRequest> limits(2);
+  for (PricingRequest& q : limits) {
+    q.spec = spec;
+    q.T = T;
+    q.right = Right::put;
+  }
+  limits[0].style = Style::european;
+  limits[1].style = Style::american;
+  const std::vector<PricingResult> lim = session.price_many(limits);
+  if (!lim[0].ok() || !lim[1].ok()) {
+    std::fprintf(stderr, "pricing the ladder limits failed: %s%s\n",
+                 lim[0].message.c_str(), lim[1].message.c_str());
+    return 1;
+  }
+  const double eur = lim[0].price;
+  const double amer = lim[1].price;
   std::printf("Bermudan put ladder (T=%lld lattice steps, 1y expiry)\n",
               static_cast<long long>(T));
   std::printf("European limit:  %.6f\n", eur);

@@ -5,6 +5,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <vector>
 
 #include <amopt/amopt.hpp>
 
@@ -29,13 +30,32 @@ int main() {
                 e_bopm, e_topm, e_bsm);
   }
 
+  // The three discretizations of the same continuum problem make a natural
+  // heterogeneous batch: one price_many call per row, mixed models and
+  // mixed T, served in parallel from one session.
+  Pricer session;
   std::printf("\nAmerican put across models (same continuum problem):\n");
   std::printf("%-10s %14s %14s %14s\n", "T", "BOPM", "TOPM(T/2)", "BSM-FDM");
   for (std::int64_t T = 512; T <= 32768; T *= 4) {
+    std::vector<PricingRequest> row(3);
+    for (PricingRequest& q : row) {
+      q.spec = spec;
+      q.right = Right::put;
+    }
+    row[0].model = Model::bopm;
+    row[0].T = T;
+    row[1].model = Model::topm;
+    row[1].T = T / 2;
+    row[2].model = Model::bsm;
+    row[2].T = T;
+    const std::vector<PricingResult> res = session.price_many(row);
+    for (const PricingResult& r : res)
+      if (!r.ok()) {
+        std::fprintf(stderr, "pricing failed: %s\n", r.message.c_str());
+        return 1;
+      }
     std::printf("%-10lld %14.6f %14.6f %14.6f\n", static_cast<long long>(T),
-                bopm::american_put_fft_direct(spec, T),
-                topm::american_put_fft(spec, T / 2),
-                bsm::american_put_fft(spec, T));
+                res[0].price, res[1].price, res[2].price);
   }
 
   std::printf("\nRichardson extrapolation on the BOPM American call:\n");

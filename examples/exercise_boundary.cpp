@@ -51,6 +51,19 @@ int main(int argc, char** argv) {
     std::printf("  %s\n", line.c_str());
   }
 
+  // The value the boundary belongs to, via the session front-end (the call
+  // whose red/green grid is sketched above).
+  {
+    Pricer session;
+    PricingRequest req;
+    req.spec = spec;
+    req.T = T;
+    const PricingResult res = session.price_one(req);
+    if (res.ok())
+      std::printf("\nAmerican call value at spot (T=%lld): %.6f\n",
+                  static_cast<long long>(T), res.price);
+  }
+
   // --- BSM put boundary --------------------------------------------------
   const std::int64_t Tb = std::min<std::int64_t>(T, 512);
   const auto prm = derive_bsm(spec, Tb);

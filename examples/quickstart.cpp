@@ -1,8 +1,14 @@
-// Quickstart: price one American option with the fast solver and compare
-// with the closed-form anchors. Build & run:
+// Quickstart: price one American option through a pricing session and
+// compare with the closed-form anchors. Build & run:
 //
 //   cmake -B build -G Ninja && cmake --build build
-//   ./build/examples/quickstart [T]
+//   ./build/example_quickstart [T]
+//
+// The session (`pricing::Pricer`) is the recommended entry point: it owns
+// the kernel caches, so the call, the put, and the greeks below all draw on
+// warm state instead of rebuilding it per call. The one-shot free functions
+// (`pricing::price`, `bopm::american_call_fft`, ...) remain available and
+// return bit-identical values.
 
 #include <cstdio>
 #include <cstdlib>
@@ -17,13 +23,25 @@ int main(int argc, char** argv) {
   const OptionSpec spec = paper_spec();
   const std::int64_t T = argc > 1 ? std::atoll(argv[1]) : 100000;
 
+  Pricer session;
+  PricingRequest req;
+  req.spec = spec;
+  req.T = T;
+
   amopt::WallTimer timer;
-  const double call = bopm::american_call_fft(spec, T);
+  req.right = Right::call;
+  const PricingResult call = session.price_one(req);
   const double t_call = timer.seconds();
 
   timer.reset();
-  const double put = bopm::american_put_fft_direct(spec, T);
+  req.right = Right::put;
+  const PricingResult put = session.price_one(req);
   const double t_put = timer.seconds();
+  if (!call.ok() || !put.ok()) {
+    std::fprintf(stderr, "pricing failed: %s%s\n", call.message.c_str(),
+                 put.message.c_str());
+    return 1;
+  }
 
   std::printf("American option prices, %lld-step binomial lattice\n",
               static_cast<long long>(T));
@@ -31,17 +49,31 @@ int main(int argc, char** argv) {
               "%.2f%%  expiry %.1fy\n",
               spec.S, spec.K, 100 * spec.R, 100 * spec.V, 100 * spec.Y,
               spec.expiry_years);
-  std::printf("  call (fft-bopm):       %10.6f   [%0.3f s]\n", call, t_call);
-  std::printf("  put  (fft-bopm):       %10.6f   [%0.3f s]\n", put, t_put);
+  std::printf("  call (fft-bopm):       %10.6f   [%0.3f s]\n", call.price,
+              t_call);
+  std::printf("  put  (fft-bopm):       %10.6f   [%0.3f s]\n", put.price,
+              t_put);
   std::printf("  European call (exact): %10.6f\n", bs::european_call(spec));
   std::printf("  European put  (exact): %10.6f\n", bs::european_put(spec));
   std::printf("  early exercise premium: call %+.6f, put %+.6f\n",
-              call - bs::european_call(spec), put - bs::european_put(spec));
+              call.price - bs::european_call(spec),
+              put.price - bs::european_put(spec));
 
-  // Greeks come almost for free from the same descent.
-  const Greeks g = american_call_greeks_bopm(spec, std::min<std::int64_t>(T, 65536));
-  std::printf("  call greeks: delta %.4f  gamma %.5f  theta %.4f  vega %.3f  "
-              "rho %.3f\n",
-              g.delta, g.gamma, g.theta, g.vega, g.rho);
+  // Greeks come almost for free from the same descent — and through the
+  // session they reuse the kernel caches the pricings above warmed up.
+  req.right = Right::call;
+  req.T = std::min<std::int64_t>(T, 65536);
+  req.compute = Compute::greeks;
+  const PricingResult gr = session.price_one(req);
+  if (gr.ok()) {
+    const Greeks& g = gr.greeks;
+    std::printf("  call greeks: delta %.4f  gamma %.5f  theta %.4f  "
+                "vega %.3f  rho %.3f\n",
+                g.delta, g.gamma, g.theta, g.vega, g.rho);
+  }
+  const Pricer::Stats st = session.stats();
+  std::printf("  session: %zu kernel-cache group(s), %llu warm lookup(s)\n",
+              st.kernel_caches,
+              static_cast<unsigned long long>(st.cache_hits));
   return 0;
 }

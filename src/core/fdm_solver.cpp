@@ -11,16 +11,30 @@ namespace amopt::core {
 
 FdmSolver::FdmSolver(stencil::LinearStencil st, const FdmGreen& green,
                      SolverConfig cfg)
-    : kernels_(std::move(st)), green_(green), cfg_(cfg) {
-  AMOPT_EXPECTS(kernels_.stencil().taps.size() == 3);
-  AMOPT_EXPECTS(kernels_.stencil().left == -1);
+    : FdmSolver(nullptr, std::move(st), green, cfg) {}
+
+FdmSolver::FdmSolver(stencil::KernelCache* shared,
+                     stencil::LinearStencil fallback, const FdmGreen& green,
+                     SolverConfig cfg)
+    : owned_kernels_(shared != nullptr ? nullptr
+                                       : std::make_unique<stencil::KernelCache>(
+                                             std::move(fallback))),
+      kernels_(shared != nullptr ? shared : owned_kernels_.get()),
+      green_(green), cfg_(cfg) {
+  // See the LatticeSolver counterpart: a mismatched shared cache would
+  // silently produce wrong prices.
+  AMOPT_EXPECTS(shared == nullptr ||
+                (shared->stencil().taps == fallback.taps &&
+                 shared->stencil().left == fallback.left));
+  AMOPT_EXPECTS(kernels_->stencil().taps.size() == 3);
+  AMOPT_EXPECTS(kernels_->stencil().left == -1);
   AMOPT_EXPECTS(cfg_.base_case >= 1);
 }
 
 FdmRow FdmSolver::step_naive(const FdmRow& row, bool unbounded_scan) const {
   AMOPT_EXPECTS(row.kr - row.f >= 2);
   AMOPT_EXPECTS(static_cast<std::int64_t>(row.red.size()) == row.kr - row.f);
-  const std::span<const double> taps = kernels_.stencil().taps;
+  const std::span<const double> taps = kernels_->stencil().taps;
   const double b = taps[0], c = taps[1], a = taps[2];
   const auto value_at = [&](std::int64_t k) {
     return k <= row.f ? green_.value(row.n, k)
@@ -68,7 +82,7 @@ std::int64_t FdmSolver::solve_base(std::int64_t n0, std::int64_t f0,
                                    std::int64_t kr, std::int64_t L,
                                    std::span<const double> in,
                                    std::span<double> out) const {
-  const std::span<const double> taps = kernels_.stencil().taps;
+  const std::span<const double> taps = kernels_->stencil().taps;
   const double b = taps[0], c = taps[1], a = taps[2];
   std::vector<double> cur(in.begin(), in.end());
   std::vector<double> nxt(cur.size());
@@ -136,7 +150,7 @@ std::int64_t FdmSolver::solve(std::int64_t n0, std::int64_t f0,
   const auto run_conv = [&] {
     if (conv_out.empty()) return;
     const std::span<const double> kernel =
-        kernels_.power(static_cast<std::uint64_t>(h));
+        kernels_->power(static_cast<std::uint64_t>(h));
     conv::correlate_valid(in, kernel, conv_out, cfg_.conv_policy);
   };
   if (spawn) {

@@ -14,18 +14,22 @@ constexpr std::int64_t kMinWindowForRecursion = 4;
 
 LatticeSolver::LatticeSolver(stencil::LinearStencil st,
                              const LatticeGreen& green, SolverConfig cfg)
-    : owned_kernels_(std::make_unique<stencil::KernelCache>(std::move(st))),
-      kernels_(owned_kernels_.get()), green_(green), cfg_(cfg),
-      g_(kernels_->stencil().cone_growth()) {
-  AMOPT_EXPECTS(g_ >= 1);
-  AMOPT_EXPECTS(kernels_->stencil().left == 0);
-  AMOPT_EXPECTS(cfg_.base_case >= 1);
-}
+    : LatticeSolver(nullptr, std::move(st), green, cfg) {}
 
-LatticeSolver::LatticeSolver(stencil::KernelCache& shared,
+LatticeSolver::LatticeSolver(stencil::KernelCache* shared,
+                             stencil::LinearStencil fallback,
                              const LatticeGreen& green, SolverConfig cfg)
-    : kernels_(&shared), green_(green), cfg_(cfg),
-      g_(kernels_->stencil().cone_growth()) {
+    : owned_kernels_(shared != nullptr ? nullptr
+                                       : std::make_unique<stencil::KernelCache>(
+                                             std::move(fallback))),
+      kernels_(shared != nullptr ? shared : owned_kernels_.get()),
+      green_(green), cfg_(cfg), g_(kernels_->stencil().cone_growth()) {
+  // A shared cache with the WRONG taps would silently convolve with wrong
+  // kernel powers (a plausible but wrong price); fallback is still intact
+  // here when shared was passed, so the match is nearly free to check.
+  AMOPT_EXPECTS(shared == nullptr ||
+                (shared->stencil().taps == fallback.taps &&
+                 shared->stencil().left == fallback.left));
   AMOPT_EXPECTS(g_ >= 1);
   AMOPT_EXPECTS(kernels_->stencil().left == 0);
   AMOPT_EXPECTS(cfg_.base_case >= 1);

@@ -28,6 +28,8 @@
 #include "amopt/pricing/greeks.hpp"
 #include "amopt/pricing/implied_vol.hpp"
 #include "amopt/pricing/params.hpp"
+#include "amopt/pricing/pricer.hpp"
+#include "amopt/pricing/request.hpp"
 #include "amopt/pricing/topm.hpp"
 #include "amopt/baselines/baselines.hpp"
 #include "amopt/stencil/kernel_cache.hpp"

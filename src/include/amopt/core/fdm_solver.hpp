@@ -20,6 +20,7 @@
 // step (the solution cone), which the top-level driver pre-pads for.
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -50,6 +51,15 @@ class FdmSolver {
   /// `st` must be the centered 3-tap stencil (taps {b, c, a}, left = -1).
   FdmSolver(stencil::LinearStencil st, const FdmGreen& green,
             SolverConfig cfg = {});
+
+  /// Share a kernel cache owned by the caller (same contract as the
+  /// LatticeSolver overload): concurrent pricings with the same taps — a
+  /// BSM strike ladder — request the same kernel heights, so each power is
+  /// computed once per chain. `shared` may be null (then a private cache is
+  /// built from `fallback`) and must otherwise outlive the solver and be
+  /// built from a stencil equal to `fallback` (the centered one above).
+  FdmSolver(stencil::KernelCache* shared, stencil::LinearStencil fallback,
+            const FdmGreen& green, SolverConfig cfg = {});
 
   FdmSolver(const FdmSolver&) = delete;
   FdmSolver& operator=(const FdmSolver&) = delete;
@@ -82,7 +92,8 @@ class FdmSolver {
                           std::int64_t L, std::span<const double> in,
                           std::span<double> out) const;
 
-  stencil::KernelCache kernels_;
+  std::unique_ptr<stencil::KernelCache> owned_kernels_;  ///< null when shared
+  stencil::KernelCache* kernels_;
   const FdmGreen& green_;
   SolverConfig cfg_;
 };

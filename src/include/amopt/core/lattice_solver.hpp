@@ -76,9 +76,11 @@ class LatticeSolver {
   /// Share a kernel cache owned by the caller: concurrent pricings with the
   /// same taps (an option chain over strikes) request the same kernel
   /// heights, so computing each power once amortizes the dominant setup
-  /// cost across the whole batch. `shared` must outlive the solver.
-  LatticeSolver(stencil::KernelCache& shared, const LatticeGreen& green,
-                SolverConfig cfg = {});
+  /// cost across the whole batch. `shared` may be null (then a private
+  /// cache is built from `fallback`) and must otherwise outlive the solver
+  /// and be built from a stencil equal to `fallback`.
+  LatticeSolver(stencil::KernelCache* shared, stencil::LinearStencil fallback,
+                const LatticeGreen& green, SolverConfig cfg = {});
 
   LatticeSolver(const LatticeSolver&) = delete;
   LatticeSolver& operator=(const LatticeSolver&) = delete;

@@ -1,15 +1,23 @@
 #pragma once
 // Convenience facade over the whole library: one `price()` call selecting
-// model x right x style x engine. Examples and benches use this; tests
-// mostly call the underlying functions directly.
+// model x right x style x engine. Both free functions are thin wrappers
+// over a temporary `pricing::Pricer` session (see pricer.hpp) and return
+// bit-identical values; long-lived callers should hold a `Pricer` instead
+// so kernel caches survive across calls.
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <string_view>
 #include <vector>
 
 #include "amopt/core/lattice_solver.hpp"
 #include "amopt/pricing/params.hpp"
+#include "amopt/stencil/linear_stencil.hpp"
+
+namespace amopt::stencil {
+class KernelCache;
+}
 
 namespace amopt::pricing {
 
@@ -49,10 +57,38 @@ enum class Engine {
 ///    detect the enclosing parallel region and stay serial inside).
 ///
 /// Throws std::invalid_argument on the first unsupported combination, like
-/// the scalar call.
+/// the scalar call. For heterogeneous chains or per-item error reporting
+/// use `Pricer::price_many` (pricer.hpp), which this wraps.
 [[nodiscard]] std::vector<double> price_batch(
     std::span<const OptionSpec> chain, std::int64_t T, Model model,
     Right right, Style style = Style::american, Engine engine = Engine::fft,
     core::SolverConfig cfg = {});
+
+namespace detail {
+
+/// The dispatch primitive behind `price()` and the session API: route one
+/// contract to its implementation, drawing kernel powers from `kernels`
+/// where the combination has a cache-aware path (`kernels` may be null, and
+/// must otherwise be built from `shared_cache_stencil` of the same
+/// arguments). Throws std::invalid_argument on unsupported combinations.
+[[nodiscard]] double price_with_cache(const OptionSpec& spec, std::int64_t T,
+                                      Model model, Right right, Style style,
+                                      Engine engine, core::SolverConfig cfg,
+                                      stencil::KernelCache* kernels);
+
+/// Stencil of the kernel cache an item of a (model, right, style, fft)
+/// chain can share; empty taps when the combination has no cache-aware
+/// path. Must mirror the stencils the pricers build internally (the
+/// mirrored put swaps its taps; the BSM FDM stencil is centered, left=-1).
+[[nodiscard]] stencil::LinearStencil shared_cache_stencil(
+    const OptionSpec& spec, std::int64_t T, Model model, Right right,
+    Style style, Engine engine);
+
+/// The "amopt: unsupported combination m/r/s/e" text shared by the legacy
+/// throws and the session's Status::unsupported messages.
+[[nodiscard]] std::string unsupported_message(Model m, Right r, Style s,
+                                              Engine e);
+
+}  // namespace detail
 
 }  // namespace amopt::pricing

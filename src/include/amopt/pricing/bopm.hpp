@@ -117,5 +117,11 @@ struct LowNodes {
 [[nodiscard]] LowNodes american_call_nodes_fft(const OptionSpec& spec,
                                                std::int64_t T,
                                                core::SolverConfig cfg = {});
+/// Shared-cache variant (see american_call_fft); `kernels` may be null and
+/// must otherwise be built from stencil {{s0, s1}, 0} of derive_bopm.
+[[nodiscard]] LowNodes american_call_nodes_fft(const OptionSpec& spec,
+                                               std::int64_t T,
+                                               core::SolverConfig cfg,
+                                               stencil::KernelCache* kernels);
 
 }  // namespace amopt::pricing::bopm

@@ -42,6 +42,13 @@ struct FdmLayout {
 
 [[nodiscard]] double american_put_fft(const OptionSpec& spec, std::int64_t T,
                                       core::SolverConfig cfg = {});
+/// Shared-cache variant (see pricing::price_batch): all strikes of a BSM
+/// chain derive the same (b, c, a), so one cache serves the whole ladder.
+/// `kernels` may be null and must otherwise be built from the centered
+/// stencil {{b, c, a}, -1} of derive_bsm(spec, T).
+[[nodiscard]] double american_put_fft(const OptionSpec& spec, std::int64_t T,
+                                      core::SolverConfig cfg,
+                                      stencil::KernelCache* kernels);
 [[nodiscard]] double american_put_vanilla(const OptionSpec& spec,
                                           std::int64_t T);
 [[nodiscard]] double american_put_vanilla_parallel(const OptionSpec& spec,

@@ -5,6 +5,7 @@
 // full Greek report still costs only O(T log^2 T).
 
 #include <cstdint>
+#include <functional>
 
 #include "amopt/core/lattice_solver.hpp"
 #include "amopt/pricing/params.hpp"
@@ -20,14 +21,40 @@ struct Greeks {
   double rho = 0.0;    ///< dV/dR, per 1.0 of rate
 };
 
+/// Re-pricer injected by the session API for the bumped (vega/rho, and for
+/// the put every) evaluations: called with the bumped spec, must return
+/// what the corresponding fast pricer returns for it. A default-constructed
+/// (empty) function falls back to the plain one-shot pricer; a `Pricer`
+/// supplies a kernel-cache-sharing evaluation so repeated greeks over a
+/// chain hit warm caches.
+using RepriceFn = std::function<double(const OptionSpec&)>;
+
 [[nodiscard]] Greeks american_call_greeks_bopm(const OptionSpec& spec,
                                                std::int64_t T,
                                                core::SolverConfig cfg = {});
+
+/// Session variant: `kernels` (nullable, taps {s0, s1} of derive_bopm)
+/// backs the base-spec lattice descent; `reprice` the bumped evaluations.
+[[nodiscard]] Greeks american_call_greeks_bopm(const OptionSpec& spec,
+                                               std::int64_t T,
+                                               core::SolverConfig cfg,
+                                               const RepriceFn& reprice,
+                                               stencil::KernelCache* kernels);
 
 /// Put Greeks via central finite differences of the fast put pricer
 /// (lattice nodes are not reusable across the put-call symmetry swap).
 [[nodiscard]] Greeks american_put_greeks_bopm(const OptionSpec& spec,
                                               std::int64_t T,
                                               core::SolverConfig cfg = {});
+
+/// Session variant: every evaluation goes through `reprice` (nullable).
+/// Note the default path prices via put-call symmetry while a session
+/// reprices with the direct mirrored-lattice pricer (what `price()` uses
+/// for bopm/put/fft); the two agree to FFT rounding, so finite-difference
+/// greeks agree to the usual cancellation noise.
+[[nodiscard]] Greeks american_put_greeks_bopm(const OptionSpec& spec,
+                                              std::int64_t T,
+                                              core::SolverConfig cfg,
+                                              const RepriceFn& reprice);
 
 }  // namespace amopt::pricing

@@ -1,0 +1,163 @@
+#pragma once
+// Session-based pricing front-end — the object a pricing server sits on.
+//
+// A `Pricer` is a long-lived session owning the reusable machinery the
+// one-shot facade rebuilds on every call: per-tap-group `KernelCache`s
+// (keyed by the stencil taps a request derives, exactly the sharing rule of
+// the legacy `price_batch`), bounded by an LRU so recalibration loops over
+// thousands of distinct vols cannot grow memory without bound. FFT plans
+// and conv workspaces are already process/thread-global, so a warm session
+// makes the kernel powers — the dominant per-pricing setup cost — the last
+// thing left to amortize:
+//
+//   * `price_many` serves a HETEROGENEOUS batch (mixed models, rights,
+//     expiries, engines, compute targets) with per-item `Status` instead of
+//     throw-on-first-error; items whose derived taps coincide share one
+//     kernel cache and the fan-out runs under OpenMP;
+//   * `greeks_many` layers the finite-difference greeks on top, with every
+//     bumped re-pricing routed through the session's caches;
+//   * `implied_vol_many` runs the safeguarded Newton inversion with every
+//     trial-vol evaluation routed through the session's caches, so the
+//     bracket endpoints and early iterates (shared across a chain, and
+//     across repeated calls as quotes tick) hit warm kernels.
+//
+// The legacy free functions `price()` / `price_batch()` are thin wrappers
+// over a temporary session and return bit-identical values (asserted by
+// tests/test_pricer.cpp).
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "amopt/pricing/request.hpp"
+#include "amopt/stencil/kernel_cache.hpp"
+#include "amopt/stencil/linear_stencil.hpp"
+
+namespace amopt::pricing {
+
+/// Session-level configuration.
+struct PricerConfig {
+  core::SolverConfig solver{};  ///< default per-request solver config
+  /// Kernel-cache registry bound; least-recently-used groups are evicted
+  /// above it (in-flight pricings keep evicted caches alive — eviction only
+  /// forgets warm state, it never invalidates a running computation). The
+  /// registry deliberately admits transient groups too (greeks bumps,
+  /// implied-vol trial vols): bracket endpoints and early iterates repeat
+  /// across a chain and across recalibration ticks, which is where the
+  /// warm-session win comes from; a heterogeneous-vol flood merely cycles
+  /// the LRU, costing a rebuild per miss (never correctness).
+  std::size_t max_kernel_caches = 64;
+  bool parallel = true;  ///< OpenMP fan-out across batch items
+  /// Warm-start repeated implied-vol inversions: the session remembers each
+  /// contract's last two (vol, price) evaluation points and restarts the
+  /// safeguarded secant from them, so a recalibration tick typically costs
+  /// 1-3 pricings instead of the ~12 of a cold bracketed Newton. The root
+  /// satisfies the same price tolerance but may differ from the cold path
+  /// in the last bits (different, fewer iterates); set false to replay the
+  /// free-function iteration exactly on every call.
+  bool warm_start_iv = true;
+};
+
+class Pricer {
+ public:
+  explicit Pricer(PricerConfig cfg = {});
+  Pricer(const Pricer&) = delete;
+  Pricer& operator=(const Pricer&) = delete;
+
+  /// Capability introspection: true iff `price_many` produces Status::ok
+  /// for this combination (mirrors the legacy `price()` dispatch; asserted
+  /// against it combination-by-combination in tests/test_pricer.cpp).
+  [[nodiscard]] static bool supports(Model m, Right r, Style s,
+                                     Engine e) noexcept;
+  /// Same including the compute targets: greeks and implied-vol are
+  /// currently implemented for BOPM American contracts on the fft engine.
+  [[nodiscard]] static bool supports(Model m, Right r, Style s, Engine e,
+                                     unsigned compute) noexcept;
+
+  /// Serve a heterogeneous batch. results[i] describes requests[i]; no
+  /// exception escapes for unsupported combinations or per-item failures
+  /// (those are reported in the item's Status/message/error).
+  [[nodiscard]] std::vector<PricingResult> price_many(
+      std::span<const PricingRequest> requests);
+
+  /// Single-request convenience (no OpenMP fan-out, so the solver's own
+  /// internal parallelism stays available, like a legacy `price()` call).
+  [[nodiscard]] PricingResult price_one(const PricingRequest& request);
+
+  /// Batch greeks: `price_many` with every item's compute mask replaced by
+  /// Compute::greeks (the report's own price lands in both `greeks.price`
+  /// and `price`).
+  [[nodiscard]] std::vector<PricingResult> greeks_many(
+      std::span<const PricingRequest> requests);
+
+  /// Batch implied vol: `price_many` with every item's compute mask
+  /// replaced by Compute::implied_vol. Each item inverts its
+  /// `target_price` with the safeguarded Newton of `implied_vol.hpp`,
+  /// every trial-vol evaluation drawing on the session's kernel caches.
+  [[nodiscard]] std::vector<PricingResult> implied_vol_many(
+      std::span<const PricingRequest> requests);
+
+  struct Stats {
+    std::size_t kernel_caches = 0;  ///< live registry entries
+    std::uint64_t cache_hits = 0;   ///< tap-group lookups served warm
+    std::uint64_t cache_misses = 0; ///< tap-group lookups that built a cache
+    std::uint64_t requests = 0;     ///< items served across all batches
+    std::size_t warm_roots = 0;     ///< contracts with a remembered IV root
+  };
+  [[nodiscard]] Stats stats() const;
+
+  /// Drop all warm state (kernel caches and counters).
+  void clear();
+
+  [[nodiscard]] const PricerConfig& config() const noexcept { return cfg_; }
+
+ private:
+  using CachePtr = std::shared_ptr<stencil::KernelCache>;
+
+  /// Find-or-create the session cache for a tap group; thread-safe. Empty
+  /// taps (no cache-aware path) yield null.
+  [[nodiscard]] CachePtr cache_for(const stencil::LinearStencil& st);
+
+  /// Price `spec` under the request's (model, right, style, engine) with
+  /// the session cache for its derived taps — the evaluation primitive the
+  /// greeks bumps and implied-vol iterations run on.
+  [[nodiscard]] double price_cached(const OptionSpec& spec,
+                                    const PricingRequest& req,
+                                    const core::SolverConfig& cfg);
+
+  /// Serve one validated item; throws on pricer failure (caught by the
+  /// batch loop and converted to Status::error).
+  void run_item(const PricingRequest& req, stencil::KernelCache* kernels,
+                PricingResult& out);
+
+  /// The implied-vol leg of run_item: cold bracketed Newton on the first
+  /// inversion of a contract, warm-started secant afterwards.
+  void run_implied_vol(const PricingRequest& req, const ImpliedVolConfig& ivc,
+                       const core::SolverConfig& cfg, PricingResult& out);
+
+  /// Two genuine (vol, price-at-vol) samples from a contract's last
+  /// converged inversion; prices do not depend on the quote, so they seed
+  /// the next tick's secant for free.
+  struct WarmRoot {
+    double v0 = 0.0, p0 = 0.0;  ///< newest point (the root)
+    double v1 = 0.0, p1 = 0.0;  ///< previous distinct iterate
+  };
+
+  PricerConfig cfg_;
+  mutable std::mutex mu_;
+  struct Entry {
+    CachePtr cache;             ///< its stencil() is the registry key
+    std::uint64_t last_used = 0;
+  };
+  std::vector<Entry> caches_;
+  std::unordered_map<std::string, WarmRoot> warm_roots_;  ///< by contract key
+  std::uint64_t tick_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t requests_ = 0;
+};
+
+}  // namespace amopt::pricing

@@ -1,0 +1,84 @@
+#pragma once
+// Request/result object model for the session-based pricing API.
+//
+// A `PricingRequest` fully describes one unit of work for a `Pricer`
+// session: the contract, the discretization, the model/right/style/engine
+// selection of the legacy facade, an optional per-request solver override,
+// and a `compute` mask selecting which targets (price, greeks, implied
+// volatility) to produce. `Pricer::price_many` accepts a heterogeneous span
+// of these — mixed models, expiries, engines and targets in one call — and
+// returns one `PricingResult` per item with an explicit `Status` instead of
+// throw-on-first-error, which is what a pricing server needs to keep a
+// whole chain flowing when one quote is bad.
+
+#include <cstdint>
+#include <exception>
+#include <limits>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "amopt/pricing/api.hpp"
+#include "amopt/pricing/greeks.hpp"
+#include "amopt/pricing/implied_vol.hpp"
+#include "amopt/pricing/params.hpp"
+
+namespace amopt::pricing {
+
+/// Per-item outcome of a session request.
+enum class Status {
+  ok,                  ///< every requested target was produced
+  unsupported,         ///< the model/right/style/engine/target combination
+                       ///< has no implementation (see Pricer::supports)
+  failed_to_converge,  ///< implied-vol Newton exhausted its budget or the
+                       ///< target lies outside the attainable range
+  error,               ///< the pricer threw; `message`/`error` carry details
+};
+
+[[nodiscard]] std::string_view to_string(Status s);
+
+/// Bitmask of computation targets for `PricingRequest::compute`.
+struct Compute {
+  static constexpr unsigned price = 1u << 0;
+  static constexpr unsigned greeks = 1u << 1;
+  static constexpr unsigned implied_vol = 1u << 2;
+};
+
+/// One unit of work for a `Pricer` session.
+struct PricingRequest {
+  OptionSpec spec{};
+  std::int64_t T = 4096;  ///< lattice / grid steps
+  Model model = Model::bopm;
+  Right right = Right::call;
+  Style style = Style::american;
+  Engine engine = Engine::fft;
+  unsigned compute = Compute::price;  ///< mask of Compute:: targets
+
+  /// Overrides the session's default solver configuration for this item.
+  std::optional<core::SolverConfig> solver{};
+
+  /// Implied-vol inputs (used when `compute & Compute::implied_vol`):
+  /// the quote to invert, and the Newton/bracket knobs. `iv.T` is ignored —
+  /// the request's own `T` governs every evaluation.
+  double target_price = 0.0;
+  ImpliedVolConfig iv{};
+};
+
+/// Per-item result. Fields beyond `status`/`message` are only meaningful
+/// for the targets the request asked for (and, for `price`, when the status
+/// is `ok`; a `failed_to_converge` implied-vol result still reports the
+/// last iterate in `implied_vol`).
+struct PricingResult {
+  Status status = Status::unsupported;
+  std::string message;  ///< empty when ok
+  double price = std::numeric_limits<double>::quiet_NaN();
+  Greeks greeks{};                ///< valid iff Compute::greeks requested
+  ImpliedVolResult implied_vol{};  ///< valid iff Compute::implied_vol requested
+  /// Original exception when status == Status::error, so callers that need
+  /// the legacy throwing behaviour (or the concrete type) can rethrow.
+  std::exception_ptr error;
+
+  [[nodiscard]] bool ok() const noexcept { return status == Status::ok; }
+};
+
+}  // namespace amopt::pricing

@@ -1,14 +1,13 @@
 #include "amopt/pricing/api.hpp"
 
-#include <exception>
-#include <memory>
 #include <stdexcept>
-#include <string>
 #include <utility>
+#include <vector>
 
 #include "amopt/baselines/baselines.hpp"
 #include "amopt/pricing/bopm.hpp"
 #include "amopt/pricing/bsm_fdm.hpp"
+#include "amopt/pricing/pricer.hpp"
 #include "amopt/pricing/topm.hpp"
 #include "amopt/stencil/kernel_cache.hpp"
 
@@ -40,28 +39,35 @@ std::string_view to_string(Engine e) {
   return "?";
 }
 
+namespace detail {
+
+std::string unsupported_message(Model m, Right r, Style s, Engine e) {
+  return std::string("amopt: unsupported combination ") +
+         std::string(to_string(m)) + "/" + std::string(to_string(r)) + "/" +
+         std::string(to_string(s)) + "/" + std::string(to_string(e));
+}
+
 namespace {
 
 [[noreturn]] void unsupported(Model m, Right r, Style s, Engine e) {
-  throw std::invalid_argument(
-      std::string("amopt: unsupported combination ") +
-      std::string(to_string(m)) + "/" + std::string(to_string(r)) + "/" +
-      std::string(to_string(s)) + "/" + std::string(to_string(e)));
+  throw std::invalid_argument(unsupported_message(m, r, s, e));
 }
 
 }  // namespace
 
-double price(const OptionSpec& spec, std::int64_t T, Model model, Right right,
-             Style style, Engine engine, core::SolverConfig cfg) {
+double price_with_cache(const OptionSpec& spec, std::int64_t T, Model model,
+                        Right right, Style style, Engine engine,
+                        core::SolverConfig cfg,
+                        stencil::KernelCache* kernels) {
   if (style == Style::european) {
     if (model == Model::bopm && right == Right::call)
-      return engine == Engine::fft ? bopm::european_call_fft(spec, T)
+      return engine == Engine::fft ? bopm::european_call_fft(spec, T, kernels)
                                    : bopm::european_call_vanilla(spec, T);
     if (model == Model::bopm && right == Right::put)
-      return engine == Engine::fft ? bopm::european_put_fft(spec, T)
+      return engine == Engine::fft ? bopm::european_put_fft(spec, T, kernels)
                                    : bopm::european_put_vanilla(spec, T);
     if (model == Model::topm && right == Right::call)
-      return engine == Engine::fft ? topm::european_call_fft(spec, T)
+      return engine == Engine::fft ? topm::european_call_fft(spec, T, kernels)
                                    : topm::european_call_vanilla(spec, T);
     if (model == Model::bsm && right == Right::put)
       return bsm::european_put_fdm(spec, T);
@@ -72,7 +78,8 @@ double price(const OptionSpec& spec, std::int64_t T, Model model, Right right,
     case Model::bopm:
       if (right == Right::call) {
         switch (engine) {
-          case Engine::fft: return bopm::american_call_fft(spec, T, cfg);
+          case Engine::fft:
+            return bopm::american_call_fft(spec, T, cfg, kernels);
           case Engine::vanilla: return bopm::american_call_vanilla(spec, T);
           case Engine::vanilla_parallel:
             return bopm::american_call_vanilla_parallel(spec, T);
@@ -85,7 +92,8 @@ double price(const OptionSpec& spec, std::int64_t T, Model model, Right right,
         }
       } else {
         switch (engine) {
-          case Engine::fft: return bopm::american_put_fft_direct(spec, T, cfg);
+          case Engine::fft:
+            return bopm::american_put_fft_direct(spec, T, cfg, kernels);
           case Engine::vanilla: return bopm::american_put_vanilla(spec, T);
           default: unsupported(model, right, style, engine);
         }
@@ -94,7 +102,8 @@ double price(const OptionSpec& spec, std::int64_t T, Model model, Right right,
     case Model::topm:
       if (right == Right::call) {
         switch (engine) {
-          case Engine::fft: return topm::american_call_fft(spec, T, cfg);
+          case Engine::fft:
+            return topm::american_call_fft(spec, T, cfg, kernels);
           case Engine::vanilla: return topm::american_call_vanilla(spec, T);
           case Engine::vanilla_parallel:
             return topm::american_call_vanilla_parallel(spec, T);
@@ -111,7 +120,8 @@ double price(const OptionSpec& spec, std::int64_t T, Model model, Right right,
     case Model::bsm:
       if (right == Right::put) {
         switch (engine) {
-          case Engine::fft: return bsm::american_put_fft(spec, T, cfg);
+          case Engine::fft:
+            return bsm::american_put_fft(spec, T, cfg, kernels);
           case Engine::vanilla: return bsm::american_put_vanilla(spec, T);
           case Engine::vanilla_parallel:
             return bsm::american_put_vanilla_parallel(spec, T);
@@ -123,62 +133,59 @@ double price(const OptionSpec& spec, std::int64_t T, Model model, Right right,
   unsupported(model, right, style, engine);
 }
 
-namespace {
-
-/// Taps of the kernel cache an item of a (model, right, style, fft) chain
-/// can share; empty when the combination has no cache-aware path. Must
-/// mirror the stencils the pricers build internally (the mirrored put swaps
-/// its taps).
-[[nodiscard]] std::vector<double> shared_cache_taps(const OptionSpec& spec,
-                                                    std::int64_t T,
-                                                    Model model, Right right,
-                                                    Style style,
-                                                    Engine engine) {
+stencil::LinearStencil shared_cache_stencil(const OptionSpec& spec,
+                                            std::int64_t T, Model model,
+                                            Right right, Style style,
+                                            Engine engine) {
   if (engine != Engine::fft || T <= 0) return {};
   switch (model) {
     case Model::bopm: {
       const BopmParams prm = derive_bopm(spec, T);
       if (right == Right::put && style == Style::american)
-        return {prm.s1, prm.s0};  // mirrored lattice
-      return {prm.s0, prm.s1};
+        return {{prm.s1, prm.s0}, 0};  // mirrored lattice
+      return {{prm.s0, prm.s1}, 0};
     }
     case Model::topm: {
       if (right != Right::call) return {};
       const TopmParams prm = derive_topm(spec, T);
-      return {prm.s0, prm.s1, prm.s2};
+      return {{prm.s0, prm.s1, prm.s2}, 0};
     }
-    case Model::bsm:
-      return {};  // FDM solver has no lattice kernel cache (yet)
+    case Model::bsm: {
+      if (right != Right::put || style != Style::american) return {};
+      const BsmParams prm = derive_bsm(spec, T);
+      return {{prm.b, prm.c, prm.a}, -1};  // centered FDM stencil
+    }
   }
   return {};
 }
 
-/// Scalar dispatch with an optional shared kernel cache. Combinations
-/// without a cache-aware implementation fall back to price().
-[[nodiscard]] double price_one(const OptionSpec& spec, std::int64_t T,
-                               Model model, Right right, Style style,
-                               Engine engine, core::SolverConfig cfg,
-                               stencil::KernelCache* kernels) {
-  if (kernels == nullptr)
-    return price(spec, T, model, right, style, engine, cfg);
-  if (model == Model::bopm) {
-    if (style == Style::european) {
-      return right == Right::call ? bopm::european_call_fft(spec, T, kernels)
-                                  : bopm::european_put_fft(spec, T, kernels);
-    }
-    return right == Right::call
-               ? bopm::american_call_fft(spec, T, cfg, kernels)
-               : bopm::american_put_fft_direct(spec, T, cfg, kernels);
-  }
-  if (model == Model::topm && right == Right::call) {
-    return style == Style::european
-               ? topm::european_call_fft(spec, T, kernels)
-               : topm::american_call_fft(spec, T, cfg, kernels);
-  }
-  return price(spec, T, model, right, style, engine, cfg);
+}  // namespace detail
+
+namespace {
+
+/// Legacy throwing semantics over a session result: unsupported and
+/// invalid-request outcomes -> std::invalid_argument, pricer failure ->
+/// the original exception.
+double unwrap(const PricingResult& res) {
+  if (res.error) std::rethrow_exception(res.error);
+  if (!res.ok()) throw std::invalid_argument(res.message);
+  return res.price;
 }
 
 }  // namespace
+
+double price(const OptionSpec& spec, std::int64_t T, Model model, Right right,
+             Style style, Engine engine, core::SolverConfig cfg) {
+  Pricer session(PricerConfig{.solver = cfg});
+  PricingRequest req;
+  req.spec = spec;
+  req.T = T;
+  req.model = model;
+  req.right = right;
+  req.style = style;
+  req.engine = engine;
+  return unwrap(session.price_one(req));
+}
 
 std::vector<double> price_batch(std::span<const OptionSpec> chain,
                                 std::int64_t T, Model model, Right right,
@@ -187,52 +194,18 @@ std::vector<double> price_batch(std::span<const OptionSpec> chain,
   std::vector<double> out(chain.size(), 0.0);
   if (chain.empty()) return out;
 
-  // Group items by the tap vector their solver would build; one kernel
-  // cache per group. A plain strike ladder collapses to a single group.
-  struct Group {
-    std::vector<double> taps;
-    std::unique_ptr<stencil::KernelCache> cache;
-  };
-  std::vector<Group> groups;
-  std::vector<stencil::KernelCache*> cache_of(chain.size(), nullptr);
+  Pricer session(PricerConfig{.solver = cfg});
+  std::vector<PricingRequest> reqs(chain.size());
   for (std::size_t i = 0; i < chain.size(); ++i) {
-    std::vector<double> taps =
-        shared_cache_taps(chain[i], T, model, right, style, engine);
-    if (taps.empty()) continue;
-    Group* found = nullptr;
-    for (Group& g : groups) {
-      if (g.taps == taps) {
-        found = &g;
-        break;
-      }
-    }
-    if (found == nullptr) {
-      Group g;
-      g.taps = taps;
-      g.cache = std::make_unique<stencil::KernelCache>(
-          stencil::LinearStencil{std::move(taps), 0});
-      groups.push_back(std::move(g));
-      found = &groups.back();
-    }
-    cache_of[i] = found->cache.get();
+    reqs[i].spec = chain[i];
+    reqs[i].T = T;
+    reqs[i].model = model;
+    reqs[i].right = right;
+    reqs[i].style = style;
+    reqs[i].engine = engine;
   }
-
-  // Parallelize across options; the inner solvers see the enclosing region
-  // and stay serial, so one option never oversubscribes the machine.
-  std::exception_ptr error;
-#pragma omp parallel for schedule(dynamic, 1)
-  for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(chain.size());
-       ++i) {
-    try {
-      out[static_cast<std::size_t>(i)] =
-          price_one(chain[static_cast<std::size_t>(i)], T, model, right,
-                    style, engine, cfg, cache_of[static_cast<std::size_t>(i)]);
-    } catch (...) {
-#pragma omp critical(amopt_price_batch_error)
-      if (!error) error = std::current_exception();
-    }
-  }
-  if (error) std::rethrow_exception(error);
+  const std::vector<PricingResult> results = session.price_many(reqs);
+  for (std::size_t i = 0; i < results.size(); ++i) out[i] = unwrap(results[i]);
   return out;
 }
 

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <optional>
 #include <vector>
 
 #include "amopt/common/assert.hpp"
@@ -16,6 +15,16 @@ namespace {
 [[nodiscard]] double payoff_expiry(const core::LatticeGreen& green,
                                    std::int64_t T, std::int64_t j) {
   return std::max(0.0, green.value(T, j));
+}
+
+/// Coefficients of taps^h: from the shared chain cache when available,
+/// otherwise computed into `storage`. Both roads run the same poly::power.
+[[nodiscard]] std::span<const double> kernel_power(
+    stencil::KernelCache* kernels, const std::vector<double>& taps,
+    std::int64_t h, std::vector<double>& storage) {
+  if (kernels != nullptr) return kernels->power(static_cast<std::uint64_t>(h));
+  storage = poly::power(taps, static_cast<std::uint64_t>(h));
+  return storage;
 }
 
 /// Largest j with S*u^(2j-T) <= K (the last red cell of the expiry row);
@@ -98,12 +107,7 @@ double american_call_fft(const OptionSpec& spec, std::int64_t T,
 
   const BopmParams prm = derive_bopm(spec, T);
   const CallGreen green(spec, prm);
-  std::optional<core::LatticeSolver> solver;
-  if (kernels != nullptr) {
-    solver.emplace(*kernels, green, cfg);
-  } else {
-    solver.emplace(stencil::LinearStencil{{prm.s0, prm.s1}, 0}, green, cfg);
-  }
+  core::LatticeSolver solver(kernels, {{prm.s0, prm.s1}, 0}, green, cfg);
 
   core::LatticeRow row = expiry_row(prm, green);
   // Corollary 2.7's <=1-cell motion is proved from row T-2 downward, and
@@ -111,8 +115,8 @@ double american_call_fft(const OptionSpec& spec, std::int64_t T,
   // exercise threshold moves from K to ~(R/Y)K in one step): scan the first
   // two rows in full (see DESIGN.md).
   while (row.i > std::max<std::int64_t>(T - 2, 0))
-    row = solver->step_naive(row, /*unbounded_scan=*/true);
-  row = solver->descend(std::move(row), 0);
+    row = solver.step_naive(row, /*unbounded_scan=*/true);
+  row = solver.descend(std::move(row), 0);
   return row.q >= 0 ? row.red[0] : green.value(0, 0);
 }
 
@@ -174,14 +178,7 @@ double american_put_fft_direct(const OptionSpec& spec, std::int64_t T,
   // boundary GROWS rightward walking down the lattice (the exercise region
   // shrinks backward in time), so the solver runs in growing mode.
   cfg.drift = core::BoundaryDrift::growing;
-  std::optional<core::LatticeSolver> solver_storage;
-  if (kernels != nullptr) {
-    solver_storage.emplace(*kernels, green, cfg);
-  } else {
-    solver_storage.emplace(stencil::LinearStencil{{prm.s1, prm.s0}, 0}, green,
-                           cfg);
-  }
-  core::LatticeSolver& solver = *solver_storage;
+  core::LatticeSolver solver(kernels, {{prm.s1, prm.s0}, 0}, green, cfg);
 
   core::LatticeRow row;
   row.i = T;
@@ -240,17 +237,10 @@ template <class Payoff>
                                        stencil::KernelCache* kernels) {
   if (T == 0) return std::max(0.0, payoff(0, 0));
   const BopmParams prm = derive_bopm(spec, T);
-  // A shared chain cache (taps {s0, s1}) serves the T-step power directly;
-  // otherwise compute it locally. Both roads run the same poly::power.
+  // A shared chain cache (taps {s0, s1}) serves the T-step power directly.
   std::vector<double> storage;
-  std::span<const double> kernel;
-  if (kernels != nullptr) {
-    kernel = kernels->power(static_cast<std::uint64_t>(T));
-  } else {
-    storage = poly::power(std::vector<double>{prm.s0, prm.s1},
-                          static_cast<std::uint64_t>(T));
-    kernel = storage;
-  }
+  const std::span<const double> kernel =
+      kernel_power(kernels, {prm.s0, prm.s1}, T, storage);
   double acc = 0.0;
   for (std::int64_t j = 0; j <= T; ++j)
     acc += kernel[static_cast<std::size_t>(j)] * std::max(0.0, payoff(T, j));
@@ -291,7 +281,8 @@ double european_put_fft(const OptionSpec& spec, std::int64_t T) {
 }
 
 LowNodes american_call_nodes_fft(const OptionSpec& spec, std::int64_t T,
-                                 core::SolverConfig cfg) {
+                                 core::SolverConfig cfg,
+                                 stencil::KernelCache* kernels) {
   AMOPT_EXPECTS(T >= 2);
   const BopmParams prm = derive_bopm(spec, T);
   const CallGreen green(spec, prm);
@@ -301,9 +292,10 @@ LowNodes american_call_nodes_fft(const OptionSpec& spec, std::int64_t T,
   if (spec.Y <= 0.0 && spec.R >= 0.0) {
     // Linear everywhere: evaluate rows 0..2 with kernel powers. All nodes of
     // row i share the (T-i)-step kernel, so compute it once per row rather
-    // than once per node.
+    // than once per node — or draw it from the shared chain cache.
     const std::vector<double> taps{prm.s0, prm.s1};
-    std::vector<double> kernel;
+    std::vector<double> storage;
+    std::span<const double> kernel;
     const auto node_value = [&](std::int64_t j) {
       double acc = 0.0;
       for (std::size_t m = 0; m < kernel.size(); ++m)
@@ -311,19 +303,19 @@ LowNodes american_call_nodes_fft(const OptionSpec& spec, std::int64_t T,
                payoff_expiry(green, T, j + static_cast<std::int64_t>(m));
       return acc;
     };
-    kernel = poly::power(taps, static_cast<std::uint64_t>(T));
+    kernel = kernel_power(kernels, taps, T, storage);
     nodes.g00 = node_value(0);
-    kernel = poly::power(taps, static_cast<std::uint64_t>(T - 1));
+    kernel = kernel_power(kernels, taps, T - 1, storage);
     nodes.g10 = node_value(0);
     nodes.g11 = node_value(1);
-    kernel = poly::power(taps, static_cast<std::uint64_t>(T - 2));
+    kernel = kernel_power(kernels, taps, T - 2, storage);
     nodes.g20 = node_value(0);
     nodes.g21 = node_value(1);
     nodes.g22 = node_value(2);
     return nodes;
   }
 
-  core::LatticeSolver solver({{prm.s0, prm.s1}, 0}, green, cfg);
+  core::LatticeSolver solver(kernels, {{prm.s0, prm.s1}, 0}, green, cfg);
   core::LatticeRow row = expiry_row(prm, green);
   while (row.i > std::max<std::int64_t>(T - 2, 2))
     row = solver.step_naive(row, /*unbounded_scan=*/true);
@@ -342,6 +334,11 @@ LowNodes american_call_nodes_fft(const OptionSpec& spec, std::int64_t T,
   row = solver.step_naive(row);
   nodes.g00 = value_at(row, 0);
   return nodes;
+}
+
+LowNodes american_call_nodes_fft(const OptionSpec& spec, std::int64_t T,
+                                 core::SolverConfig cfg) {
+  return american_call_nodes_fft(spec, T, cfg, nullptr);
 }
 
 }  // namespace amopt::pricing::bopm

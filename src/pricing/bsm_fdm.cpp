@@ -40,11 +40,12 @@ FdmLayout make_layout(const BsmParams& prm) {
 }
 
 double american_put_fft(const OptionSpec& spec, std::int64_t T,
-                        core::SolverConfig cfg) {
+                        core::SolverConfig cfg,
+                        stencil::KernelCache* kernels) {
   const BsmParams prm = derive_bsm(spec, T);
   const FdmLayout lay = make_layout(prm);
   const PutGreen green(prm.ds, lay.kr0 + kPad);
-  core::FdmSolver solver({{prm.b, prm.c, prm.a}, -1}, green, cfg);
+  core::FdmSolver solver(kernels, {{prm.b, prm.c, prm.a}, -1}, green, cfg);
 
   core::FdmRow row;
   row.n = 0;
@@ -81,6 +82,11 @@ double american_put_fft(const OptionSpec& spec, std::int64_t T,
   const double v = (1.0 - lay.theta) * value_at(lay.k_read) +
                    lay.theta * value_at(lay.k_read + 1);
   return spec.K * v;
+}
+
+double american_put_fft(const OptionSpec& spec, std::int64_t T,
+                        core::SolverConfig cfg) {
+  return american_put_fft(spec, T, cfg, nullptr);
 }
 
 namespace {

@@ -16,9 +16,14 @@ constexpr double kBump = 6e-5;
 }  // namespace
 
 Greeks american_call_greeks_bopm(const OptionSpec& spec, std::int64_t T,
-                                 core::SolverConfig cfg) {
+                                 core::SolverConfig cfg,
+                                 const RepriceFn& reprice,
+                                 stencil::KernelCache* kernels) {
   AMOPT_EXPECTS(T >= 2);
-  const bopm::LowNodes n = bopm::american_call_nodes_fft(spec, T, cfg);
+  const auto price = [&](const OptionSpec& s) {
+    return reprice ? reprice(s) : bopm::american_call_fft(s, T, cfg);
+  };
+  const bopm::LowNodes n = bopm::american_call_nodes_fft(spec, T, cfg, kernels);
   const double u = n.prm.u, d = n.prm.d, dt = n.prm.dt;
   Greeks g;
   g.price = n.g00;
@@ -33,25 +38,27 @@ Greeks american_call_greeks_bopm(const OptionSpec& spec, std::int64_t T,
   OptionSpec up_v = spec, dn_v = spec;
   up_v.V = spec.V * (1.0 + kBump);
   dn_v.V = spec.V * (1.0 - kBump);
-  g.vega = (bopm::american_call_fft(up_v, T, cfg) -
-            bopm::american_call_fft(dn_v, T, cfg)) /
-           (2.0 * kBump * spec.V);
+  g.vega = (price(up_v) - price(dn_v)) / (2.0 * kBump * spec.V);
 
   const double r_step = std::max(std::abs(spec.R) * kBump, 1e-7);
   OptionSpec up_r = spec, dn_r = spec;
   up_r.R = spec.R + r_step;
   dn_r.R = spec.R - r_step;
-  g.rho = (bopm::american_call_fft(up_r, T, cfg) -
-           bopm::american_call_fft(dn_r, T, cfg)) /
-          (2.0 * r_step);
+  g.rho = (price(up_r) - price(dn_r)) / (2.0 * r_step);
   return g;
 }
 
+Greeks american_call_greeks_bopm(const OptionSpec& spec, std::int64_t T,
+                                 core::SolverConfig cfg) {
+  return american_call_greeks_bopm(spec, T, cfg, {}, nullptr);
+}
+
 Greeks american_put_greeks_bopm(const OptionSpec& spec, std::int64_t T,
-                                core::SolverConfig cfg) {
+                                core::SolverConfig cfg,
+                                const RepriceFn& reprice) {
   AMOPT_EXPECTS(T >= 2);
   const auto price = [&](const OptionSpec& s) {
-    return bopm::american_put_fft(s, T, cfg);
+    return reprice ? reprice(s) : bopm::american_put_fft(s, T, cfg);
   };
   Greeks g;
   g.price = price(spec);
@@ -82,6 +89,11 @@ Greeks american_put_greeks_bopm(const OptionSpec& spec, std::int64_t T,
   dn_r.R = spec.R - r_step;
   g.rho = (price(up_r) - price(dn_r)) / (2.0 * r_step);
   return g;
+}
+
+Greeks american_put_greeks_bopm(const OptionSpec& spec, std::int64_t T,
+                                core::SolverConfig cfg) {
+  return american_put_greeks_bopm(spec, T, cfg, {});
 }
 
 }  // namespace amopt::pricing

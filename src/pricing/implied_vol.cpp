@@ -8,13 +8,11 @@
 
 namespace amopt::pricing {
 
-namespace {
+namespace detail {
 
-/// Safeguarded Newton: secant steps clipped to a maintained bracket, with
-/// bisection whenever the step leaves it. Price is monotone increasing in
-/// volatility (vega > 0), so the bracket logic is straightforward.
-ImpliedVolResult invert(const std::function<double(double)>& price_of_vol,
-                        double target, const ImpliedVolConfig& cfg) {
+ImpliedVolResult invert_implied_vol(
+    const std::function<double(double)>& price_of_vol, double target,
+    const ImpliedVolConfig& cfg) {
   ImpliedVolResult res;
   double lo = cfg.vol_lo, hi = cfg.vol_hi;
   double f_lo = price_of_vol(lo) - target;
@@ -47,26 +45,87 @@ ImpliedVolResult invert(const std::function<double(double)>& price_of_vol,
   return res;
 }
 
-}  // namespace
-
-namespace {
-
-/// The CRR lattice needs V*sqrt(dt) > |R-Y|*dt for p in (0,1); lift the
-/// lower bracket above that validity floor.
-void clamp_bracket(const OptionSpec& spec, ImpliedVolConfig& cfg) {
+void clamp_vol_bracket(const OptionSpec& spec, ImpliedVolConfig& cfg) {
   const double dt = spec.expiry_years / static_cast<double>(cfg.T);
   const double floor_vol = 2.0 * std::abs(spec.R - spec.Y) * std::sqrt(dt);
   cfg.vol_lo = std::max(cfg.vol_lo, floor_vol);
 }
 
-}  // namespace
+ImpliedVolResult invert_implied_vol_warm(
+    const std::function<double(double)>& price_of_vol, double target,
+    const ImpliedVolConfig& cfg, double v0, double p0, double v1, double p1) {
+  ImpliedVolResult res;
+  double lo = cfg.vol_lo, hi = cfg.vol_hi;
+  double va = v1, fa = p1 - target;
+  double vb = v0, fb = p0 - target;
+  // Price is monotone increasing in vol, so every genuine sample tightens
+  // the bracket the root must lie in (if it is attainable at all).
+  const auto tighten = [&](double v, double f) {
+    if (f < 0.0) {
+      if (v > lo) lo = v;
+    } else if (v < hi) {
+      hi = v;
+    }
+  };
+  tighten(va, fa);
+  tighten(vb, fb);
+  if (std::abs(fb) <= cfg.tol) {
+    // The quote has not moved beyond tolerance: zero evaluations.
+    res.vol = vb;
+    res.converged = true;
+    return res;
+  }
+
+  const int warm_budget = std::min(8, cfg.max_iterations);
+  while (res.iterations < warm_budget) {
+    double next = fb != fa ? vb - fb * (vb - va) / (fb - fa) : 0.5 * (lo + hi);
+    if (!(next > lo && next < hi) || !std::isfinite(next))
+      next = 0.5 * (lo + hi);
+    const double f = price_of_vol(next) - target;
+    ++res.iterations;  // counted on every path, so `remaining` stays exact
+    va = vb;
+    fa = fb;
+    vb = next;
+    fb = f;
+    tighten(next, f);
+    if (std::abs(f) <= cfg.tol) {
+      res.vol = next;
+      res.converged = true;
+      return res;
+    }
+    if (hi - lo < 1e-12) break;
+  }
+
+  // Hand the REMAINING iteration budget to the cold bracketed path (total
+  // evaluations stay within max_iterations, like the free functions); with
+  // no budget left, settle for the usual relaxed final acceptance.
+  const int remaining = cfg.max_iterations - res.iterations;
+  if (remaining >= 3) {
+    ImpliedVolConfig rest = cfg;
+    // Keep what the genuine evaluations taught us about the bracket
+    // (unless rounding noise inverted it, then start over in full).
+    if (lo < hi) {
+      rest.vol_lo = lo;
+      rest.vol_hi = hi;
+    }
+    rest.max_iterations = remaining;
+    ImpliedVolResult cold = invert_implied_vol(price_of_vol, target, rest);
+    cold.iterations += res.iterations;
+    return cold;
+  }
+  res.vol = vb;
+  res.converged = std::abs(fb) <= 10 * cfg.tol;
+  return res;
+}
+
+}  // namespace detail
 
 ImpliedVolResult american_call_implied_vol(const OptionSpec& spec,
                                            double target_price,
                                            ImpliedVolConfig cfg) {
   AMOPT_EXPECTS(cfg.vol_lo > 0.0 && cfg.vol_hi > cfg.vol_lo);
-  clamp_bracket(spec, cfg);
-  return invert(
+  detail::clamp_vol_bracket(spec, cfg);
+  return detail::invert_implied_vol(
       [&](double v) {
         OptionSpec s = spec;
         s.V = v;
@@ -79,8 +138,8 @@ ImpliedVolResult american_put_implied_vol(const OptionSpec& spec,
                                           double target_price,
                                           ImpliedVolConfig cfg) {
   AMOPT_EXPECTS(cfg.vol_lo > 0.0 && cfg.vol_hi > cfg.vol_lo);
-  clamp_bracket(spec, cfg);
-  return invert(
+  detail::clamp_vol_bracket(spec, cfg);
+  return detail::invert_implied_vol(
       [&](double v) {
         OptionSpec s = spec;
         s.V = v;

@@ -1,0 +1,431 @@
+#include "amopt/pricing/pricer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <exception>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "amopt/pricing/api.hpp"
+#include "amopt/pricing/bopm.hpp"
+#include "amopt/pricing/greeks.hpp"
+#include "amopt/pricing/implied_vol.hpp"
+
+namespace amopt::pricing {
+
+std::string_view to_string(Status s) {
+  switch (s) {
+    case Status::ok: return "ok";
+    case Status::unsupported: return "unsupported";
+    case Status::failed_to_converge: return "failed-to-converge";
+    case Status::error: return "error";
+  }
+  return "?";
+}
+
+Pricer::Pricer(PricerConfig cfg) : cfg_(cfg) {
+  if (cfg_.max_kernel_caches == 0) cfg_.max_kernel_caches = 1;
+}
+
+bool Pricer::supports(Model m, Right r, Style s, Engine e) noexcept {
+  if (s == Style::european) {
+    // The facade maps every non-fft engine to the vanilla reference, so any
+    // engine value is accepted where the (model, right) pair has a pricer.
+    switch (m) {
+      case Model::bopm: return true;
+      case Model::topm: return r == Right::call;
+      case Model::bsm: return r == Right::put;
+    }
+    return false;
+  }
+  switch (m) {
+    case Model::bopm:
+      if (r == Right::call) return true;  // all six engines
+      return e == Engine::fft || e == Engine::vanilla;
+    case Model::topm:
+      if (r == Right::call)
+        return e == Engine::fft || e == Engine::vanilla ||
+               e == Engine::vanilla_parallel;
+      return e == Engine::fft || e == Engine::vanilla;
+    case Model::bsm:
+      return r == Right::put &&
+             (e == Engine::fft || e == Engine::vanilla ||
+              e == Engine::vanilla_parallel);
+  }
+  return false;
+}
+
+bool Pricer::supports(Model m, Right r, Style s, Engine e,
+                      unsigned compute) noexcept {
+  if (!supports(m, r, s, e)) return false;
+  if ((compute & (Compute::greeks | Compute::implied_vol)) != 0u) {
+    // Greeks and implied vol ride on the BOPM American fft pricers (both
+    // rights); the other models have no sensitivity/inversion path yet.
+    if (m != Model::bopm || s != Style::american || e != Engine::fft)
+      return false;
+  }
+  return true;
+}
+
+Pricer::CachePtr Pricer::cache_for(const stencil::LinearStencil& st) {
+  if (st.taps.empty()) return nullptr;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Entry& e : caches_) {
+    const stencil::LinearStencil& key = e.cache->stencil();
+    if (key.left == st.left && key.taps == st.taps) {
+      e.last_used = ++tick_;
+      ++hits_;
+      return e.cache;
+    }
+  }
+  ++misses_;
+  Entry entry;
+  entry.cache = std::make_shared<stencil::KernelCache>(st);
+  entry.last_used = ++tick_;
+  CachePtr out = entry.cache;
+  caches_.push_back(std::move(entry));
+  if (caches_.size() > cfg_.max_kernel_caches) {
+    // Evict the least-recently-used group. Batches in flight hold their own
+    // shared_ptr copies, so eviction only drops warm state for FUTURE
+    // lookups — it never tears a cache out from under a running pricing.
+    const auto victim = std::min_element(
+        caches_.begin(), caches_.end(),
+        [](const Entry& a, const Entry& b) { return a.last_used < b.last_used; });
+    caches_.erase(victim);
+  }
+  return out;
+}
+
+double Pricer::price_cached(const OptionSpec& spec, const PricingRequest& req,
+                            const core::SolverConfig& cfg) {
+  stencil::KernelCache* kernels = nullptr;
+  CachePtr hold;  // keeps the group alive across a concurrent LRU eviction
+  if (req.engine == Engine::fft) {
+    hold = cache_for(detail::shared_cache_stencil(spec, req.T, req.model,
+                                                  req.right, req.style,
+                                                  req.engine));
+    kernels = hold.get();
+  }
+  return detail::price_with_cache(spec, req.T, req.model, req.right, req.style,
+                                  req.engine, cfg, kernels);
+}
+
+namespace {
+
+/// The request's compute mask with the empty-mask default applied — the
+/// single definition of "what does this request want".
+[[nodiscard]] unsigned effective_compute(const PricingRequest& req) {
+  return req.compute != 0u ? req.compute : Compute::price;
+}
+
+/// Request validation, mirroring the derive_* preconditions: those are
+/// enforced with aborting contract checks (a violation inside a solver
+/// means corrupted invariants), but a bad QUOTE arriving at the session
+/// boundary is an expected input and must become a per-item Status, never
+/// a process abort. Returns an error message, empty when valid. NaNs fail
+/// the comparisons and are caught too.
+[[nodiscard]] std::string validate_request(const PricingRequest& req) {
+  const unsigned compute = effective_compute(req);
+  if ((compute &
+       ~(Compute::price | Compute::greeks | Compute::implied_vol)) != 0u)
+    return "amopt: unknown bits in the compute mask";
+  if (!(req.spec.S > 0.0) || !(req.spec.K > 0.0) || !(req.spec.V > 0.0) ||
+      !(req.spec.expiry_years > 0.0))
+    return "amopt: invalid option spec (need S, K, V, expiry_years > 0)";
+  // The lattice models price T == 0 as intrinsic value; the BSM FDM grid
+  // needs at least one step (derive_bsm contract).
+  if (req.T < 0 || (req.model == Model::bsm && req.T < 1))
+    return req.model == Model::bsm ? "amopt: bsm needs T >= 1"
+                                   : "amopt: invalid step count T (need T >= 0)";
+  if ((compute & Compute::greeks) != 0u && req.T < 2)
+    return "amopt: greeks need T >= 2";
+  if ((compute & Compute::implied_vol) != 0u) {
+    if (req.T < 1) return "amopt: implied vol needs T >= 1";
+    // Mirrors the free functions' AMOPT_EXPECTS on the bracket; NaNs fail.
+    if (!(req.iv.vol_lo > 0.0) || !(req.iv.vol_hi > req.iv.vol_lo))
+      return "amopt: invalid implied-vol bracket (need 0 < vol_lo < vol_hi)";
+  }
+  return {};
+}
+
+}  // namespace
+
+void Pricer::run_item(const PricingRequest& req, stencil::KernelCache* kernels,
+                      PricingResult& out) {
+  const unsigned compute = effective_compute(req);
+  if (!supports(req.model, req.right, req.style, req.engine)) {
+    out.status = Status::unsupported;
+    out.message =
+        detail::unsupported_message(req.model, req.right, req.style, req.engine);
+    return;
+  }
+  if (!supports(req.model, req.right, req.style, req.engine, compute)) {
+    out.status = Status::unsupported;
+    out.message = "amopt: greeks/implied-vol only available for "
+                  "bopm/american/fft (requested " +
+                  std::string(to_string(req.model)) + "/" +
+                  std::string(to_string(req.style)) + "/" +
+                  std::string(to_string(req.engine)) + ")";
+    return;
+  }
+
+  const core::SolverConfig cfg = req.solver.value_or(cfg_.solver);
+  out.status = Status::ok;
+
+  if ((compute & Compute::greeks) != 0u) {
+    const RepriceFn reprice = [&](const OptionSpec& s) {
+      return price_cached(s, req, cfg);
+    };
+    out.greeks =
+        req.right == Right::call
+            ? american_call_greeks_bopm(req.spec, req.T, cfg, reprice, kernels)
+            : american_put_greeks_bopm(req.spec, req.T, cfg, reprice);
+    out.price = out.greeks.price;
+  }
+
+  if ((compute & Compute::price) != 0u) {
+    // The put greeks' base evaluation IS price_with_cache of the same spec
+    // through the same session caches (bit-identical), so don't pay for it
+    // twice. The call's greeks price is the low-node g00 of a different
+    // descent split, so the price target keeps its own authoritative run.
+    const bool priced_by_greeks =
+        (compute & Compute::greeks) != 0u && req.right == Right::put;
+    if (!priced_by_greeks)
+      out.price = detail::price_with_cache(req.spec, req.T, req.model,
+                                           req.right, req.style, req.engine,
+                                           cfg, kernels);
+  }
+
+  if ((compute & Compute::implied_vol) != 0u) {
+    ImpliedVolConfig ivc = req.iv;
+    ivc.T = req.T;  // the request's discretization governs every evaluation
+    detail::clamp_vol_bracket(req.spec, ivc);
+    run_implied_vol(req, ivc, cfg, out);
+    if (!out.implied_vol.converged) {
+      out.status = Status::failed_to_converge;
+      out.message = "amopt: implied vol did not converge (target " +
+                    std::to_string(req.target_price) + " after " +
+                    std::to_string(out.implied_vol.iterations) +
+                    " iterations)";
+    }
+  }
+}
+
+namespace {
+
+/// Contract identity for the warm-root store: everything an implied-vol
+/// evaluation depends on except the vol being solved for and the quote.
+/// The (clamped) bracket is part of the key — a caller narrowing vol_lo /
+/// vol_hi must not inherit a root that was admissible under wider bounds —
+/// and so is the resolved solver configuration, because the stored prices
+/// were produced under it (different configs agree only to rounding, and
+/// the zero-evaluation accept must never lean on a price the current
+/// configuration did not produce).
+[[nodiscard]] std::string iv_key(const PricingRequest& req,
+                                 const ImpliedVolConfig& ivc,
+                                 const core::SolverConfig& cfg) {
+  const double fields[] = {req.spec.S,          req.spec.K, req.spec.R,
+                           req.spec.Y,          req.spec.expiry_years,
+                           ivc.vol_lo,          ivc.vol_hi};
+  std::string key(reinterpret_cast<const char*>(fields), sizeof(fields));
+  const std::int64_t tags[] = {req.T,
+                               static_cast<std::int64_t>(req.model),
+                               static_cast<std::int64_t>(req.right),
+                               static_cast<std::int64_t>(req.style),
+                               static_cast<std::int64_t>(req.engine),
+                               static_cast<std::int64_t>(cfg.base_case),
+                               cfg.task_cutoff,
+                               static_cast<std::int64_t>(cfg.parallel),
+                               static_cast<std::int64_t>(cfg.drift),
+                               static_cast<std::int64_t>(cfg.conv_policy.path)};
+  key.append(reinterpret_cast<const char*>(tags), sizeof(tags));
+  return key;
+}
+
+}  // namespace
+
+void Pricer::run_implied_vol(const PricingRequest& req,
+                             const ImpliedVolConfig& ivc,
+                             const core::SolverConfig& cfg,
+                             PricingResult& out) {
+  // Record the last two distinct (vol, price) samples of this inversion so
+  // a future tick on the same contract can warm-start its secant. Prices
+  // are genuine pricer outputs independent of the quote, so reusing them
+  // is exact, not an approximation.
+  WarmRoot trace;
+  int traced = 0;
+  const auto price_of_vol = [&](double v) {
+    OptionSpec s = req.spec;
+    s.V = v;
+    const double p = price_cached(s, req, cfg);
+    if (traced == 0 || v != trace.v0) {
+      trace.v1 = trace.v0;
+      trace.p1 = trace.p0;
+      trace.v0 = v;
+      trace.p0 = p;
+      ++traced;
+    }
+    return p;
+  };
+
+  const std::string key = iv_key(req, ivc, cfg);
+  WarmRoot warm;
+  bool have_warm = false;
+  if (cfg_.warm_start_iv) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = warm_roots_.find(key);
+    if (it != warm_roots_.end()) {
+      warm = it->second;
+      // Belt and braces on top of the keyed bracket: seeds outside the
+      // current bounds would corrupt the tightening logic.
+      have_warm = warm.v0 > ivc.vol_lo && warm.v0 < ivc.vol_hi &&
+                  warm.v1 > ivc.vol_lo && warm.v1 < ivc.vol_hi;
+    }
+  }
+
+  if (!have_warm) {
+    // Cold path: the exact bracketed Newton of the free functions
+    // (bit-identical iterates; asserted in tests/test_pricer.cpp).
+    out.implied_vol =
+        detail::invert_implied_vol(price_of_vol, req.target_price, ivc);
+  } else {
+    // Warm path: the seeded secant of implied_vol.cpp — a quote tick
+    // typically closes in 1-3 evaluations instead of the cold ~12, and
+    // anything the warm budget cannot close falls back to the cold
+    // bracketed Newton with its cheap out-of-range early exit.
+    out.implied_vol = detail::invert_implied_vol_warm(
+        price_of_vol, req.target_price, ivc, warm.v0, warm.p0, warm.v1,
+        warm.p1);
+  }
+
+  if (out.implied_vol.converged && cfg_.warm_start_iv && traced >= 2) {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Bounded one-victim-at-a-time eviction (arbitrary hash-order victim):
+    // keeps memory flat on a rotating contract universe without ever
+    // dropping the whole warm state at once.
+    if (warm_roots_.size() >= 65536 && !warm_roots_.contains(key))
+      warm_roots_.erase(warm_roots_.begin());
+    warm_roots_[key] = trace;
+  }
+}
+
+std::vector<PricingResult> Pricer::price_many(
+    std::span<const PricingRequest> requests) {
+  std::vector<PricingResult> out(requests.size());
+  if (requests.empty()) return out;
+
+  // Group phase (serial): resolve each item's tap-group cache up front so
+  // the fan-out threads share warm groups instead of racing to build them.
+  // The CachePtr copies keep every group alive for the whole batch even if
+  // the LRU rotates meanwhile. Deriving model parameters can itself reject
+  // a bad quote (e.g. a vol too small for a valid CRR lattice) — that must
+  // surface as that item's Status, not as a batch-wide throw.
+  std::vector<CachePtr> cache_of(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const PricingRequest& q = requests[i];
+    std::string invalid = validate_request(q);
+    if (!invalid.empty()) {
+      out[i].status = Status::error;
+      // Materialize the exception too: PricingResult documents `error` as
+      // set whenever status == error, and callers may rethrow it.
+      out[i].error = std::make_exception_ptr(std::invalid_argument(invalid));
+      out[i].message = std::move(invalid);
+      continue;
+    }
+    if (q.engine != Engine::fft || q.T < 1) continue;
+    const unsigned compute = effective_compute(q);
+    // Items run_item will reject must not pollute the LRU with a group.
+    if (!supports(q.model, q.right, q.style, q.engine, compute)) continue;
+    // Implied-vol-only items never evaluate the request's own spec.V, so a
+    // prefetched group would just pollute the LRU; their trial vols fetch
+    // their groups through price_cached instead.
+    if ((compute & (Compute::price | Compute::greeks)) == 0u) continue;
+    try {
+      cache_of[i] = cache_for(detail::shared_cache_stencil(
+          q.spec, q.T, q.model, q.right, q.style, q.engine));
+    } catch (const std::exception& e) {
+      out[i].status = Status::error;
+      out[i].message = e.what();
+      out[i].error = std::current_exception();
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    requests_ += requests.size();
+  }
+
+  const auto serve = [&](std::size_t i) {
+    if (out[i].status == Status::error) return;  // failed in the group phase
+    try {
+      run_item(requests[i], cache_of[i].get(), out[i]);
+    } catch (const std::exception& e) {
+      out[i].status = Status::error;
+      out[i].message = e.what();
+      out[i].error = std::current_exception();
+    } catch (...) {
+      out[i].status = Status::error;
+      out[i].message = "amopt: unknown error";
+      out[i].error = std::current_exception();
+    }
+  };
+
+  if (cfg_.parallel && requests.size() > 1) {
+    // Parallelize across items; the inner solvers see the enclosing region
+    // and stay serial, so one item never oversubscribes the machine.
+#pragma omp parallel for schedule(dynamic, 1)
+    for (std::ptrdiff_t i = 0;
+         i < static_cast<std::ptrdiff_t>(requests.size()); ++i)
+      serve(static_cast<std::size_t>(i));
+  } else {
+    // Single item (or serial session): keep the solver's own internal
+    // parallelism available, like a legacy scalar price() call.
+    for (std::size_t i = 0; i < requests.size(); ++i) serve(i);
+  }
+  return out;
+}
+
+PricingResult Pricer::price_one(const PricingRequest& request) {
+  return price_many({&request, 1}).front();
+}
+
+namespace {
+
+[[nodiscard]] std::vector<PricingRequest> with_compute(
+    std::span<const PricingRequest> requests, unsigned compute) {
+  std::vector<PricingRequest> reqs(requests.begin(), requests.end());
+  for (PricingRequest& q : reqs) q.compute = compute;
+  return reqs;
+}
+
+}  // namespace
+
+std::vector<PricingResult> Pricer::greeks_many(
+    std::span<const PricingRequest> requests) {
+  return price_many(with_compute(requests, Compute::greeks));
+}
+
+std::vector<PricingResult> Pricer::implied_vol_many(
+    std::span<const PricingRequest> requests) {
+  return price_many(with_compute(requests, Compute::implied_vol));
+}
+
+Pricer::Stats Pricer::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.kernel_caches = caches_.size();
+  s.cache_hits = hits_;
+  s.cache_misses = misses_;
+  s.requests = requests_;
+  s.warm_roots = warm_roots_.size();
+  return s;
+}
+
+void Pricer::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  caches_.clear();
+  warm_roots_.clear();
+  tick_ = hits_ = misses_ = requests_ = 0;
+}
+
+}  // namespace amopt::pricing

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <optional>
 #include <span>
 #include <vector>
 
@@ -86,20 +85,15 @@ double american_call_fft(const OptionSpec& spec, std::int64_t T,
 
   const TopmParams prm = derive_topm(spec, T);
   const CallGreen green(spec, prm);
-  std::optional<core::LatticeSolver> solver;
-  if (kernels != nullptr) {
-    solver.emplace(*kernels, green, cfg);
-  } else {
-    solver.emplace(stencil::LinearStencil{{prm.s0, prm.s1, prm.s2}, 0}, green,
-                   cfg);
-  }
+  core::LatticeSolver solver(kernels, {{prm.s0, prm.s1, prm.s2}, 0}, green,
+                             cfg);
 
   core::LatticeRow row = expiry_row(prm, green);
   // Full scans for the first two rows: Corollary A.6 is proved below the
   // expiry row, and for R > Y the boundary jumps right off it.
   while (row.i > std::max<std::int64_t>(T - 2, 0))
-    row = solver->step_naive(row, /*unbounded_scan=*/true);
-  row = solver->descend(std::move(row), 0);
+    row = solver.step_naive(row, /*unbounded_scan=*/true);
+  row = solver.descend(std::move(row), 0);
   return row.q >= 0 ? row.red[0] : green.value(0, 0);
 }
 

@@ -8,6 +8,7 @@
 #include "amopt/pricing/api.hpp"
 #include "amopt/pricing/bopm.hpp"
 #include "amopt/pricing/bsm_fdm.hpp"
+#include "amopt/pricing/pricer.hpp"
 #include "amopt/pricing/topm.hpp"
 
 namespace {
@@ -76,6 +77,31 @@ TEST(Api, ToStringRoundTrips) {
   EXPECT_EQ(to_string(Right::call), "call");
   EXPECT_EQ(to_string(Style::european), "european");
   EXPECT_EQ(to_string(Engine::cache_oblivious), "cache-oblivious");
+}
+
+TEST(Api, FreeFunctionIsThinWrapperOverSession) {
+  // price() now routes through a temporary Pricer session; the values must
+  // be bit-identical to a session held by the caller.
+  const OptionSpec spec = paper_spec();
+  const std::int64_t T = 300;
+  Pricer session;
+  PricingRequest req;
+  req.spec = spec;
+  req.T = T;
+  for (Right r : {Right::call, Right::put}) {
+    req.right = r;
+    EXPECT_EQ(price(spec, T, Model::bopm, r), session.price_one(req).price);
+  }
+}
+
+TEST(Api, UnsupportedMessageNamesTheCombination) {
+  try {
+    (void)price(paper_spec(), 100, Model::bsm, Right::call);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("bsm/call/american/fft"),
+              std::string::npos);
+  }
 }
 
 }  // namespace

@@ -61,7 +61,10 @@ TEST(Batch, TopmAmericanCallFft) {
                        Style::american, Engine::fft);
 }
 
-TEST(Batch, BsmPutFallsBackWithoutSharing) {
+TEST(Batch, BsmPutSharesKernelCacheSincePr2) {
+  // The FDM solver now takes an injected KernelCache (the ROADMAP follow-up
+  // from PR 1), so a BSM ladder batches through one shared tap group — and
+  // the result must STILL be bit-identical to the scalar calls.
   expect_bit_identical(strike_ladder(), 256, Model::bsm, Right::put,
                        Style::american, Engine::fft);
 }
@@ -92,6 +95,8 @@ TEST(Batch, EmptyChainGivesEmptyResult) {
 }
 
 TEST(Batch, UnsupportedCombinationThrows) {
+  // The legacy facade keeps its throwing contract even though it now wraps
+  // Pricer::price_many (which itself reports per-item Status instead).
   EXPECT_THROW((void)price_batch(strike_ladder(), 100, Model::bsm,
                                  Right::call),
                std::invalid_argument);

@@ -1,0 +1,488 @@
+// The session API: Pricer::supports must agree with the per-item Status of
+// price_many for EVERY Model x Right x Style x Engine combination, session
+// results must be bit-identical to the legacy free functions, and the
+// greeks / implied-vol layers must reproduce their free-function
+// counterparts while reusing the session's kernel caches.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "amopt/pricing/api.hpp"
+#include "amopt/pricing/bopm.hpp"
+#include "amopt/pricing/greeks.hpp"
+#include "amopt/pricing/implied_vol.hpp"
+#include "amopt/pricing/pricer.hpp"
+
+namespace {
+
+using namespace amopt;
+using namespace amopt::pricing;
+
+constexpr Model kModels[] = {Model::bopm, Model::topm, Model::bsm};
+constexpr Right kRights[] = {Right::call, Right::put};
+constexpr Style kStyles[] = {Style::american, Style::european};
+constexpr Engine kEngines[] = {Engine::fft,   Engine::vanilla,
+                               Engine::vanilla_parallel, Engine::tiled,
+                               Engine::cache_oblivious,  Engine::quantlib};
+
+[[nodiscard]] std::vector<PricingRequest> all_combinations(std::int64_t T) {
+  std::vector<PricingRequest> reqs;
+  for (Model m : kModels)
+    for (Right r : kRights)
+      for (Style s : kStyles)
+        for (Engine e : kEngines) {
+          PricingRequest q;
+          q.spec = paper_spec();
+          q.T = T;
+          q.model = m;
+          q.right = r;
+          q.style = s;
+          q.engine = e;
+          reqs.push_back(q);
+        }
+  return reqs;
+}
+
+TEST(Pricer, CapabilityMatrixMatchesPerItemStatus) {
+  // One heterogeneous batch over the full 72-combination matrix: the
+  // advertised capability must coincide with what actually prices, and
+  // unsupported items must report status instead of throwing.
+  Pricer session;
+  const std::vector<PricingRequest> reqs = all_combinations(128);
+  const std::vector<PricingResult> res = session.price_many(reqs);
+  ASSERT_EQ(res.size(), reqs.size());
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    const PricingRequest& q = reqs[i];
+    const bool advertised =
+        Pricer::supports(q.model, q.right, q.style, q.engine);
+    if (advertised) {
+      EXPECT_EQ(res[i].status, Status::ok)
+          << to_string(q.model) << "/" << to_string(q.right) << "/"
+          << to_string(q.style) << "/" << to_string(q.engine) << ": "
+          << res[i].message;
+      EXPECT_TRUE(std::isfinite(res[i].price));
+      EXPECT_GE(res[i].price, 0.0);
+    } else {
+      EXPECT_EQ(res[i].status, Status::unsupported)
+          << to_string(q.model) << "/" << to_string(q.right) << "/"
+          << to_string(q.style) << "/" << to_string(q.engine);
+      EXPECT_FALSE(res[i].message.empty());
+      EXPECT_TRUE(std::isnan(res[i].price));
+    }
+  }
+}
+
+TEST(Pricer, SessionPricesBitIdenticalToFreeFunctions) {
+  Pricer session;
+  for (const PricingRequest& q : all_combinations(96)) {
+    if (!Pricer::supports(q.model, q.right, q.style, q.engine)) {
+      EXPECT_THROW((void)price(q.spec, q.T, q.model, q.right, q.style,
+                               q.engine),
+                   std::invalid_argument);
+      continue;
+    }
+    const PricingResult res = session.price_one(q);
+    ASSERT_EQ(res.status, Status::ok) << res.message;
+    EXPECT_EQ(res.price, price(q.spec, q.T, q.model, q.right, q.style,
+                               q.engine))
+        << to_string(q.model) << "/" << to_string(q.right) << "/"
+        << to_string(q.style) << "/" << to_string(q.engine);
+  }
+}
+
+TEST(Pricer, WarmSessionStaysBitIdenticalAcrossRepeats) {
+  // Second serve hits the session's warm kernel caches; the arithmetic, and
+  // therefore the bits, must not change.
+  Pricer session;
+  PricingRequest q;
+  q.spec = paper_spec();
+  q.T = 512;
+  const double cold = session.price_one(q).price;
+  const double warm = session.price_one(q).price;
+  EXPECT_EQ(cold, warm);
+  EXPECT_EQ(cold, bopm::american_call_fft(q.spec, q.T));
+  const Pricer::Stats st = session.stats();
+  EXPECT_GE(st.cache_hits, 1u);  // the repeat found its tap group warm
+}
+
+TEST(Pricer, MixedChainReportsPerItemStatusWithoutThrowing) {
+  std::vector<PricingRequest> reqs(3);
+  for (PricingRequest& q : reqs) {
+    q.spec = paper_spec();
+    q.T = 128;
+  }
+  reqs[0].model = Model::bopm;                       // supported
+  reqs[1].model = Model::bsm;                        // bsm call: unsupported
+  reqs[1].right = Right::call;
+  reqs[2].model = Model::topm;                       // unsupported engine
+  reqs[2].engine = Engine::quantlib;
+
+  Pricer session;
+  std::vector<PricingResult> res;
+  ASSERT_NO_THROW(res = session.price_many(reqs));
+  ASSERT_EQ(res.size(), 3u);
+  EXPECT_EQ(res[0].status, Status::ok);
+  EXPECT_EQ(res[1].status, Status::unsupported);
+  EXPECT_EQ(res[2].status, Status::unsupported);
+  EXPECT_NE(res[1].message.find("bsm/call"), std::string::npos);
+}
+
+TEST(Pricer, LegacyTZeroIntrinsicValueStillWorks) {
+  // The seed pricers accept T == 0 (intrinsic value); the session and the
+  // thin wrappers must not regress that.
+  OptionSpec spec = paper_spec();  // K=130 > S=127.62: put is in the money
+  EXPECT_EQ(price(spec, 0, Model::bopm, Right::put), spec.K - spec.S);
+  EXPECT_EQ(price(spec, 0, Model::bopm, Right::call), 0.0);
+  PricingRequest q;
+  q.spec = spec;
+  q.T = 0;
+  q.right = Right::put;
+  Pricer session;
+  const PricingResult res = session.price_one(q);
+  EXPECT_EQ(res.status, Status::ok);
+  EXPECT_EQ(res.price, spec.K - spec.S);
+
+  // The BSM grid has no T=0 analogue (derive_bsm needs a step): per-item
+  // error, not a contract abort.
+  q.model = Model::bsm;
+  const PricingResult bsm0 = session.price_one(q);
+  EXPECT_EQ(bsm0.status, Status::error);
+  EXPECT_NE(bsm0.message.find("bsm"), std::string::npos);
+}
+
+TEST(Pricer, InvalidSpecInChainBecomesPerItemErrorNotAbort) {
+  // derive_* enforce V > 0 etc. with aborting contract checks; the session
+  // must validate quotes at the boundary so a V=0 item reports
+  // Status::error while the rest of the chain prices.
+  std::vector<PricingRequest> reqs(2);
+  reqs[0].spec = paper_spec();
+  reqs[0].T = 128;
+  reqs[1].spec = paper_spec();
+  reqs[1].spec.V = 0.0;
+  reqs[1].T = 128;
+  Pricer session;
+  std::vector<PricingResult> res;
+  ASSERT_NO_THROW(res = session.price_many(reqs));
+  EXPECT_EQ(res[0].status, Status::ok);
+  EXPECT_EQ(res[1].status, Status::error);
+  EXPECT_NE(res[1].message.find("invalid option spec"), std::string::npos);
+  // And the legacy wrapper surfaces it as invalid_argument, not an abort.
+  EXPECT_THROW((void)price(reqs[1].spec, 128, Model::bopm, Right::call),
+               std::invalid_argument);
+}
+
+TEST(Pricer, BadQuoteInChainFailsAloneNotTheBatch) {
+  // A vol too small for a valid CRR lattice (risk-neutral probability
+  // outside (0,1)) makes derive_bopm throw during the tap-grouping phase;
+  // the batch must absorb that into the item's Status and keep pricing the
+  // healthy quotes.
+  std::vector<PricingRequest> reqs(2);
+  reqs[0].spec = paper_spec();
+  reqs[0].T = 128;
+  reqs[1].spec = paper_spec();
+  reqs[1].spec.V = 0.01;  // with R >> V the lattice drift outruns the moves
+  reqs[1].spec.R = 0.2;
+  reqs[1].T = 128;
+
+  Pricer session;
+  std::vector<PricingResult> res;
+  ASSERT_NO_THROW(res = session.price_many(reqs));
+  EXPECT_EQ(res[0].status, Status::ok);
+  EXPECT_EQ(res[0].price, price(reqs[0].spec, 128, Model::bopm, Right::call));
+  EXPECT_EQ(res[1].status, Status::error);
+  EXPECT_NE(res[1].error, nullptr);
+  EXPECT_FALSE(res[1].message.empty());
+}
+
+TEST(Pricer, BsmChainSharesOneKernelCache) {
+  // PR-2 follow-up closed: the FDM solver now accepts an injected cache, so
+  // a BSM strike ladder (identical b, c, a taps) collapses to one group.
+  std::vector<PricingRequest> reqs;
+  for (double k : {110.0, 120.0, 130.0, 140.0}) {
+    PricingRequest q;
+    q.spec = paper_spec();
+    q.spec.K = k;
+    q.T = 256;
+    q.model = Model::bsm;
+    q.right = Right::put;
+    reqs.push_back(q);
+  }
+  Pricer session;
+  const std::vector<PricingResult> res = session.price_many(reqs);
+  const Pricer::Stats st = session.stats();
+  EXPECT_EQ(st.cache_misses, 1u);  // one tap group for the whole ladder
+  EXPECT_EQ(st.cache_hits, 3u);
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    ASSERT_EQ(res[i].status, Status::ok);
+    EXPECT_EQ(res[i].price,
+              price(reqs[i].spec, reqs[i].T, Model::bsm, Right::put));
+  }
+}
+
+TEST(Pricer, GreeksManyMatchesFreeFunctions) {
+  std::vector<PricingRequest> reqs(2);
+  reqs[0].spec = paper_spec();
+  reqs[0].T = 512;
+  reqs[0].right = Right::call;
+  reqs[1].spec = paper_spec();
+  reqs[1].T = 512;
+  reqs[1].right = Right::put;
+
+  Pricer session;
+  const std::vector<PricingResult> res = session.greeks_many(reqs);
+  ASSERT_EQ(res[0].status, Status::ok) << res[0].message;
+  ASSERT_EQ(res[1].status, Status::ok) << res[1].message;
+
+  // Call greeks: identical arithmetic (shared caches change nothing).
+  const Greeks c = american_call_greeks_bopm(paper_spec(), 512);
+  EXPECT_EQ(res[0].greeks.price, c.price);
+  EXPECT_EQ(res[0].greeks.delta, c.delta);
+  EXPECT_EQ(res[0].greeks.gamma, c.gamma);
+  EXPECT_EQ(res[0].greeks.theta, c.theta);
+  EXPECT_EQ(res[0].greeks.vega, c.vega);
+  EXPECT_EQ(res[0].greeks.rho, c.rho);
+  EXPECT_EQ(res[0].price, c.price);
+
+  // Put greeks: the session reprices with the direct mirrored-lattice put
+  // (what price() uses) while the free function goes through put-call
+  // symmetry; the two pricers agree to FFT rounding, so the
+  // finite-difference greeks agree to amplified cancellation noise.
+  const Greeks p = american_put_greeks_bopm(paper_spec(), 512);
+  EXPECT_NEAR(res[1].greeks.price, p.price, 1e-8 * (1.0 + std::abs(p.price)));
+  EXPECT_NEAR(res[1].greeks.delta, p.delta, 1e-5);
+  EXPECT_NEAR(res[1].greeks.gamma, p.gamma, 1e-4);
+  EXPECT_NEAR(res[1].greeks.theta, p.theta, 1e-3);
+  EXPECT_NEAR(res[1].greeks.vega, p.vega, 1e-3 * (1.0 + std::abs(p.vega)));
+  EXPECT_NEAR(res[1].greeks.rho, p.rho, 1e-3 * (1.0 + std::abs(p.rho)));
+}
+
+TEST(Pricer, ImpliedVolManyMatchesFreeInversionBitForBit) {
+  // Round-trip: price a small ladder at a known vol, invert through the
+  // session, compare against the free function AND the known vol.
+  const std::int64_t T = 512;
+  std::vector<PricingRequest> reqs;
+  for (double k : {120.0, 130.0, 140.0}) {
+    PricingRequest q;
+    q.spec = paper_spec();
+    q.spec.K = k;
+    q.T = T;
+    q.right = Right::put;  // rate-dominant put exercises the direct pricer
+    q.spec.R = 0.05;
+    q.spec.Y = 0.0;
+    q.target_price = bopm::american_put_fft_direct(q.spec, T);
+    reqs.push_back(q);
+  }
+  Pricer session;
+  const std::vector<PricingResult> res = session.implied_vol_many(reqs);
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    ASSERT_EQ(res[i].status, Status::ok) << res[i].message;
+    EXPECT_TRUE(res[i].implied_vol.converged);
+    EXPECT_NEAR(res[i].implied_vol.vol, reqs[i].spec.V, 2e-4);
+
+    ImpliedVolConfig cfg;
+    cfg.T = T;
+    const ImpliedVolResult ref = american_put_implied_vol(
+        reqs[i].spec, reqs[i].target_price, cfg);
+    // Same evaluations -> same Newton iterates -> identical bits.
+    EXPECT_EQ(res[i].implied_vol.vol, ref.vol);
+    EXPECT_EQ(res[i].implied_vol.iterations, ref.iterations);
+  }
+}
+
+TEST(Pricer, WarmStartImpliedVolConvergesFasterToTheSameRoot) {
+  const std::int64_t T = 512;
+  PricingRequest q;
+  q.spec = paper_spec();
+  q.T = T;
+  q.target_price = bopm::american_call_fft(q.spec, T);
+
+  Pricer session;
+  const PricingResult cold = session.implied_vol_many({&q, 1}).front();
+  ASSERT_TRUE(cold.implied_vol.converged);
+  EXPECT_EQ(session.stats().warm_roots, 1u);
+
+  // Tick the quote a few bp: the warm secant must land on the moved root
+  // with (far) fewer evaluations than the cold bracketed Newton.
+  PricingRequest ticked = q;
+  ticked.target_price = q.target_price * 1.0003;
+  const PricingResult warm = session.implied_vol_many({&ticked, 1}).front();
+  ASSERT_TRUE(warm.implied_vol.converged);
+  EXPECT_LT(warm.implied_vol.iterations, cold.implied_vol.iterations);
+  EXPECT_GT(warm.implied_vol.vol, cold.implied_vol.vol);  // price rose
+
+  // And it must agree with a cold inversion of the same moved quote.
+  ImpliedVolConfig cfg;
+  cfg.T = T;
+  const ImpliedVolResult ref =
+      american_call_implied_vol(q.spec, ticked.target_price, cfg);
+  EXPECT_NEAR(warm.implied_vol.vol, ref.vol, 1e-6);
+}
+
+TEST(Pricer, WarmStartDisabledReplaysTheColdIterationExactly) {
+  const std::int64_t T = 256;
+  PricingRequest q;
+  q.spec = paper_spec();
+  q.T = T;
+  q.target_price = bopm::american_call_fft(q.spec, T);
+
+  PricerConfig cfg;
+  cfg.warm_start_iv = false;
+  Pricer session(cfg);
+  const PricingResult first = session.implied_vol_many({&q, 1}).front();
+  const PricingResult second = session.implied_vol_many({&q, 1}).front();
+  EXPECT_EQ(first.implied_vol.vol, second.implied_vol.vol);
+  EXPECT_EQ(first.implied_vol.iterations, second.implied_vol.iterations);
+  EXPECT_EQ(session.stats().warm_roots, 0u);
+}
+
+TEST(Pricer, ImpliedVolOutOfRangeReportsFailedToConverge) {
+  PricingRequest q;
+  q.spec = paper_spec();
+  q.T = 256;
+  q.target_price = 2.0 * q.spec.S;  // a call is never worth more than S
+  Pricer session;
+  const PricingResult res = session.implied_vol_many({&q, 1}).front();
+  EXPECT_EQ(res.status, Status::failed_to_converge);
+  EXPECT_FALSE(res.implied_vol.converged);
+  EXPECT_FALSE(res.message.empty());
+}
+
+TEST(Pricer, ImpliedVolBadBracketIsPerItemErrorNotAbort) {
+  // The free functions reject vol_lo <= 0 with an aborting contract check;
+  // at the session boundary the same bad config must become Status::error.
+  PricingRequest q;
+  q.spec = paper_spec();
+  q.T = 128;
+  q.target_price = 5.0;
+  q.iv.vol_lo = 0.0;
+  q.spec.R = q.spec.Y;  // no drift: the validity clamp cannot rescue lo
+  Pricer session;
+  std::vector<PricingResult> res;
+  ASSERT_NO_THROW(res = session.implied_vol_many({&q, 1}));
+  EXPECT_EQ(res.front().status, Status::error);
+  EXPECT_NE(res.front().message.find("bracket"), std::string::npos);
+}
+
+TEST(Pricer, WarmRootDoesNotLeakAcrossNarrowedBrackets) {
+  // A root found under the default bracket must not satisfy a later
+  // request whose configured bracket excludes it.
+  const std::int64_t T = 256;
+  PricingRequest q;
+  q.spec = paper_spec();
+  q.T = T;
+  q.target_price = bopm::american_call_fft(q.spec, T);  // root near V=0.2
+  Pricer session;
+  const PricingResult wide = session.implied_vol_many({&q, 1}).front();
+  ASSERT_TRUE(wide.implied_vol.converged);
+  ASSERT_NEAR(wide.implied_vol.vol, 0.2, 1e-3);
+
+  PricingRequest narrowed = q;
+  narrowed.iv.vol_hi = 0.1;  // the true root is now out of bounds
+  const PricingResult res = session.implied_vol_many({&narrowed, 1}).front();
+  EXPECT_EQ(res.status, Status::failed_to_converge);
+  EXPECT_FALSE(res.implied_vol.converged);
+}
+
+TEST(Pricer, WarmSessionStillRejectsOutOfRangeQuotes) {
+  // Converge once (stores a warm root), then push the quote out of the
+  // attainable range: the warm secant must hand over to the cold bracketed
+  // path and report failed-to-converge within the iteration budget instead
+  // of burning it on bisection.
+  const std::int64_t T = 256;
+  PricingRequest q;
+  q.spec = paper_spec();
+  q.T = T;
+  q.target_price = bopm::american_call_fft(q.spec, T);
+  Pricer session;
+  ASSERT_TRUE(session.implied_vol_many({&q, 1}).front().implied_vol.converged);
+
+  PricingRequest jumped = q;
+  jumped.target_price = 2.0 * q.spec.S;
+  const PricingResult res = session.implied_vol_many({&jumped, 1}).front();
+  EXPECT_EQ(res.status, Status::failed_to_converge);
+  EXPECT_LT(res.implied_vol.iterations, jumped.iv.max_iterations / 2);
+
+  // And the warm root survives for the next sane quote.
+  PricingRequest sane = q;
+  sane.target_price = q.target_price * 1.0002;
+  EXPECT_TRUE(session.implied_vol_many({&sane, 1}).front().implied_vol.converged);
+}
+
+TEST(Pricer, GreeksUnsupportedOutsideBopmAmericanFft) {
+  PricingRequest q;
+  q.spec = paper_spec();
+  q.T = 128;
+  q.model = Model::topm;
+  q.compute = Compute::price | Compute::greeks;
+  Pricer session;
+  const PricingResult res = session.price_one(q);
+  EXPECT_EQ(res.status, Status::unsupported);
+  EXPECT_FALSE(
+      Pricer::supports(Model::topm, Right::call, Style::american, Engine::fft,
+                       Compute::greeks));
+  EXPECT_TRUE(
+      Pricer::supports(Model::topm, Right::call, Style::american, Engine::fft,
+                       Compute::price));
+}
+
+TEST(Pricer, LruEvictionKeepsResultsCorrect) {
+  // Five expiry groups through a registry capped at two: groups rotate out
+  // and are rebuilt, results never change.
+  PricerConfig cfg;
+  cfg.max_kernel_caches = 2;
+  Pricer session(cfg);
+  std::vector<PricingRequest> reqs;
+  for (double e : {0.25, 0.5, 1.0, 1.5, 2.0}) {
+    PricingRequest q;
+    q.spec = paper_spec();
+    q.spec.expiry_years = e;
+    q.T = 256;
+    reqs.push_back(q);
+  }
+  for (int round = 0; round < 2; ++round) {
+    const std::vector<PricingResult> res = session.price_many(reqs);
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      ASSERT_EQ(res[i].status, Status::ok);
+      EXPECT_EQ(res[i].price, bopm::american_call_fft(reqs[i].spec, 256));
+    }
+  }
+  EXPECT_LE(session.stats().kernel_caches, 2u);
+}
+
+TEST(Pricer, PerRequestSolverOverride) {
+  PricingRequest q;
+  q.spec = paper_spec();
+  q.T = 512;
+  core::SolverConfig sc;
+  sc.base_case = 32;
+  q.solver = sc;
+  Pricer session;
+  const PricingResult res = session.price_one(q);
+  ASSERT_EQ(res.status, Status::ok);
+  EXPECT_EQ(res.price, bopm::american_call_fft(q.spec, q.T, sc));
+}
+
+TEST(Pricer, EmptyBatchAndClear) {
+  Pricer session;
+  EXPECT_TRUE(session.price_many({}).empty());
+  PricingRequest q;
+  q.spec = paper_spec();
+  q.T = 128;
+  (void)session.price_one(q);
+  EXPECT_GE(session.stats().kernel_caches, 1u);
+  session.clear();
+  const Pricer::Stats st = session.stats();
+  EXPECT_EQ(st.kernel_caches, 0u);
+  EXPECT_EQ(st.requests, 0u);
+}
+
+TEST(Pricer, StatusToString) {
+  EXPECT_EQ(to_string(Status::ok), "ok");
+  EXPECT_EQ(to_string(Status::unsupported), "unsupported");
+  EXPECT_EQ(to_string(Status::failed_to_converge), "failed-to-converge");
+  EXPECT_EQ(to_string(Status::error), "error");
+}
+
+}  // namespace
