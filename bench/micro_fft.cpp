@@ -3,6 +3,13 @@
 // complex two-for-one, real-input R2C/C2R), and the allocation-free
 // Workspace paths the solvers rely on.
 //
+// On top of the statically registered benches (which run at the ambient
+// dispatch level, i.e. the production default), main() registers one copy
+// of the transform/convolution benches per SIMD dispatch path available on
+// the host — "BM_FftForward<scalar>", "BM_FftForward<avx2>", ... — so
+// BENCH_fft.json records per-path numbers and the CI bench guard can check
+// the vector paths' speedup over scalar.
+//
 // The binary writes its results to BENCH_fft.json by default (benchmark's
 // own JSON format) so perf can be diffed across commits; set
 // AMOPT_BENCH_JSON to change the path or to "none" to disable.
@@ -18,6 +25,7 @@
 #include "amopt/common/env.hpp"
 #include "amopt/fft/convolution.hpp"
 #include "amopt/fft/fft.hpp"
+#include "amopt/simd/simd.hpp"
 
 namespace {
 
@@ -159,9 +167,98 @@ void BM_ConvolveMany(benchmark::State& state) {
 }
 BENCHMARK(BM_ConvolveMany)->RangeMultiplier(4)->Range(1 << 10, 1 << 16);
 
+// ---------------------------------------------------- per-dispatch-path
+
+// One benchmark body per kernel family; the dispatch level is installed at
+// benchmark entry (google-benchmark runs benchmarks sequentially, so the
+// override cannot leak into a concurrently running bench).
+
+// Pins the dispatch level for one benchmark body and restores the ambient
+// (AMOPT_SIMD-resolved) level on every exit path, so an early return or
+// SkipWithError cannot leak the override into later benches.
+struct LevelScope {
+  explicit LevelScope(amopt::simd::Level lvl)
+      : prev(amopt::simd::active()) {
+    amopt::simd::set_level(lvl);
+  }
+  ~LevelScope() { amopt::simd::set_level(prev); }
+  amopt::simd::Level prev;
+};
+
+// Forward + inverse per iteration: repeated forward-only transforms grow
+// the data by ~n per pass until it overflows to inf/NaN, and non-finite
+// arithmetic skews per-path timing — the round trip keeps values bounded
+// so the scalar/vector ratio is honest.
+void BM_FftRoundTripPath(benchmark::State& state, amopt::simd::Level lvl) {
+  const LevelScope scope(lvl);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  auto data = random_complex(n);
+  const auto& plan = amopt::fft::plan_for(n);
+  for (auto _ : state) {
+    plan.forward(data.data());
+    plan.inverse(data.data());
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+
+void BM_RealFftForwardPath(benchmark::State& state, amopt::simd::Level lvl) {
+  const LevelScope scope(lvl);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto data = random_real(n);
+  const auto& plan = amopt::fft::real_plan_for(n);
+  std::vector<cplx> spec(plan.spectrum_size());
+  for (auto _ : state) {
+    plan.forward(data.data(), spec.data());
+    benchmark::DoNotOptimize(spec.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+
+void BM_ConvolveWorkspacePath(benchmark::State& state,
+                              amopt::simd::Level lvl) {
+  const LevelScope scope(lvl);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto a = random_real(n);
+  const auto b = random_real(n);
+  amopt::conv::Workspace ws;
+  std::vector<double> out(2 * n - 1);
+  const amopt::conv::Policy fft{amopt::conv::Policy::Path::fft};
+  amopt::conv::convolve_full(a, b, out, ws, fft);  // warm-up
+  for (auto _ : state) {
+    amopt::conv::convolve_full(a, b, out, ws, fft);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+
+void register_per_path_benches() {
+  using amopt::simd::Level;
+  for (const Level lvl : {Level::scalar, Level::avx2, Level::avx512}) {
+    if (static_cast<int>(lvl) >
+        static_cast<int>(amopt::simd::max_supported()))
+      continue;
+    const std::string tag = std::string("<") + amopt::simd::to_string(lvl) + ">";
+    benchmark::RegisterBenchmark(("BM_FftRoundTrip" + tag).c_str(),
+                                 BM_FftRoundTripPath, lvl)
+        ->RangeMultiplier(4)
+        ->Range(1 << 10, 1 << 16);
+    benchmark::RegisterBenchmark(("BM_RealFftForward" + tag).c_str(),
+                                 BM_RealFftForwardPath, lvl)
+        ->RangeMultiplier(4)
+        ->Range(1 << 10, 1 << 16);
+    benchmark::RegisterBenchmark(("BM_ConvolveFullWorkspace" + tag).c_str(),
+                                 BM_ConvolveWorkspacePath, lvl)
+        ->RangeMultiplier(4)
+        ->Range(1 << 10, 1 << 16);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  register_per_path_benches();
   // Default to a JSON dump next to the binary unless the caller already
   // steers the output or opts out with AMOPT_BENCH_JSON=none.
   std::vector<char*> args(argv, argv + argc);

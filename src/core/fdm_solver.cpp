@@ -6,6 +6,7 @@
 #include "amopt/common/parallel.hpp"
 #include "amopt/fft/convolution.hpp"
 #include "amopt/metrics/counters.hpp"
+#include "amopt/simd/kernels.hpp"
 
 namespace amopt::core {
 
@@ -67,10 +68,23 @@ FdmRow FdmSolver::step_naive(const FdmRow& row, bool unbounded_scan) const {
   std::size_t t = 0;
   for (auto it = newly_red.rbegin(); it != newly_red.rend(); ++it)
     next.red[t++] = *it;
-  for (std::int64_t k = row.f + 1; k <= next.kr; ++k) {
-    const double lin = linear_at(k);
-    AMOPT_DEBUG_ASSERT(lin >= green_.value(next.n, k) - 1e-9);
+  // k = row.f + 1 reads one green cell; the rest of the row is contiguous
+  // red and runs as one dispatched sweep.
+  if (row.f + 1 <= next.kr) {
+    const double lin = linear_at(row.f + 1);
+    AMOPT_DEBUG_ASSERT(lin >= green_.value(next.n, row.f + 1) - 1e-9);
     next.red[t++] = lin;
+  }
+  if (row.f + 2 <= next.kr) {
+    const std::size_t count = static_cast<std::size_t>(next.kr - row.f - 1);
+    simd::kernels().stencil3(row.red.data(), b, c, a, next.red.data() + t,
+                             count);
+#if defined(AMOPT_DEBUG_CHECKS)
+    for (std::int64_t k = row.f + 2; k <= next.kr; ++k)
+      AMOPT_DEBUG_ASSERT(next.red[t + static_cast<std::size_t>(k - row.f - 2)] >=
+                         green_.value(next.n, k) - 1e-9);
+#endif
+    t += count;
   }
   metrics::add_flops(5 * static_cast<std::uint64_t>(next.kr - next.f));
   metrics::add_bytes(static_cast<std::uint64_t>(next.kr - next.f) *
@@ -101,11 +115,25 @@ std::int64_t FdmSolver::solve_base(std::int64_t n0, std::int64_t f0,
     const std::int64_t f_next = f_goes_red ? f - 1 : f;
     std::size_t t = 0;
     if (f_goes_red) nxt[t++] = lin_f;
-    for (std::int64_t k = f + 1; k <= kr_next; ++k) {
+    // Cell k = f+1 reads one green value (at k-1 = f); every cell beyond it
+    // has its whole 3-cell stencil inside `cur`, so the bulk of the row is
+    // one contiguous dispatched sweep (the scalar level's kernel is the
+    // historical inline expression, bit-for-bit).
+    if (f + 1 <= kr_next) {
       const double lin =
-          b * value_at(k - 1) + c * value_at(k) + a * value_at(k + 1);
-      AMOPT_DEBUG_ASSERT(lin >= green_.value(n + 1, k) - 1e-9);
+          b * value_at(f) + c * value_at(f + 1) + a * value_at(f + 2);
+      AMOPT_DEBUG_ASSERT(lin >= green_.value(n + 1, f + 1) - 1e-9);
       nxt[t++] = lin;
+    }
+    if (f + 2 <= kr_next) {
+      const std::size_t count = static_cast<std::size_t>(kr_next - f - 1);
+      simd::kernels().stencil3(cur.data(), b, c, a, nxt.data() + t, count);
+#if defined(AMOPT_DEBUG_CHECKS)
+      for (std::int64_t k = f + 2; k <= kr_next; ++k)
+        AMOPT_DEBUG_ASSERT(nxt[t + static_cast<std::size_t>(k - f - 2)] >=
+                           green_.value(n + 1, k) - 1e-9);
+#endif
+      t += count;
     }
     cur.swap(nxt);
     f = f_next;

@@ -5,6 +5,7 @@
 #include "amopt/common/assert.hpp"
 #include "amopt/common/parallel.hpp"
 #include "amopt/metrics/counters.hpp"
+#include "amopt/simd/kernels.hpp"
 
 namespace amopt::core {
 
@@ -56,12 +57,25 @@ LatticeRow LatticeSolver::step_naive(const LatticeRow& row,
     return j <= row.q ? row.red[static_cast<std::size_t>(j)]
                       : green_.value(row.i, j);
   };
-  for (std::int64_t j = 0; j <= jmax; ++j) {
+  // Same split as solve_base: dispatched sweep over the cells whose tap
+  // windows stay red, scalar tail over the green-extension cells, then the
+  // exercise-comparison scan that discovers the new boundary.
+  const std::int64_t g = static_cast<std::int64_t>(taps.size()) - 1;
+  const std::int64_t jv = std::min(jmax, row.q - g);
+  if (jv >= 0) {
+    simd::kernels().correlate_taps(row.red.data(), taps.data(), taps.size(),
+                                   next.red.data(),
+                                   static_cast<std::size_t>(jv + 1));
+  }
+  for (std::int64_t j = std::max<std::int64_t>(0, jv + 1); j <= jmax; ++j) {
     double lin = 0.0;
     for (std::size_t k = 0; k < taps.size(); ++k)
       lin += taps[k] * value_at(j + static_cast<std::int64_t>(k));
     next.red[static_cast<std::size_t>(j)] = lin;
-    if (lin >= green_.value(next.i, j)) next.q = j;
+  }
+  for (std::int64_t j = 0; j <= jmax; ++j) {
+    if (next.red[static_cast<std::size_t>(j)] >= green_.value(next.i, j))
+      next.q = j;
   }
   metrics::add_flops(2 * static_cast<std::uint64_t>(jmax + 1) * taps.size());
   metrics::add_bytes(static_cast<std::uint64_t>(jmax + 1) * sizeof(double));
@@ -97,15 +111,41 @@ std::int64_t LatticeSolver::solve_base(std::int64_t i0, std::int64_t jL,
       return (j <= qcur && j >= jL) ? cur[static_cast<std::size_t>(j - jL)]
                                     : green_.value(i, j);
     };
-    for (std::int64_t j = jL; j <= jmax; ++j) {
+    // Cells whose whole tap window stays inside the red prefix are one
+    // contiguous dispatched sweep over `cur`; the trailing cells that read
+    // green extension values stay scalar. The scalar table's kernel is this
+    // loop's historical accumulation, so the scalar level is bit-identical.
+    const std::int64_t g = static_cast<std::int64_t>(taps.size()) - 1;
+    const std::int64_t jv = std::min(jmax, qcur - g);
+    if (jv >= jL) {
+      simd::kernels().correlate_taps(cur.data(), taps.data(), taps.size(),
+                                     nxt.data(),
+                                     static_cast<std::size_t>(jv - jL + 1));
+    }
+    for (std::int64_t j = std::max(jL, jv + 1); j <= jmax; ++j) {
       double lin = 0.0;
       for (std::size_t k = 0; k < taps.size(); ++k)
         lin += taps[k] * value_at(j + static_cast<std::int64_t>(k));
       nxt[static_cast<std::size_t>(j - jL)] = lin;
-      if (lin >= green_.value(inext, j)) qnext = j;
     }
-    AMOPT_DEBUG_ASSERT(growing ? (qnext >= qcur && qnext <= cap)
-                               : (qnext <= qcur && qnext >= qcur - 1 - jL));
+    // Boundary discovery sweep (the nonlinear exercise-max): same
+    // comparison order as the fused historical loop.
+    for (std::int64_t j = jL; j <= jmax; ++j) {
+      if (nxt[static_cast<std::size_t>(j - jL)] >= green_.value(inext, j))
+        qnext = j;
+    }
+    // One-cell boundary motion, window-local: the boundary moves at most
+    // one cell per step (right for growing, left for shrinking), clipped to
+    // the observable window top jmax (near the lattice tip the row width
+    // g*inext clips it below qcur), with ONE extra cell of slack for
+    // numerical ties — the boundary cell sits exactly where lin == green,
+    // and a last-ulp difference (e.g. the AVX-512 FMA path) can flip that
+    // comparison. (The pre-PR form of this check asserted qnext >= qcur
+    // unclipped and failed on small-T puts; it was dead code until Debug
+    // builds started defining AMOPT_DEBUG_CHECKS.)
+    AMOPT_DEBUG_ASSERT(
+        growing ? (qnext <= cap && qnext >= std::min(qcur, jmax) - 1)
+                : (qnext <= qcur && qnext >= std::min(qcur - 1, jmax) - 1));
     metrics::add_flops(
         2 *
         static_cast<std::uint64_t>(std::max<std::int64_t>(jmax - jL + 1, 0)) *

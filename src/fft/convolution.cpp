@@ -6,6 +6,7 @@
 
 #include "amopt/common/assert.hpp"
 #include "amopt/metrics/counters.hpp"
+#include "amopt/simd/kernels.hpp"
 
 namespace amopt::conv {
 
@@ -78,7 +79,7 @@ void real_convolve_into(std::span<const double> a, std::span<const double> b,
   std::span<cplx> sb = ws.spec_b(nspec);
   plan.forward(ra.data(), sa.data());
   plan.forward(rb.data(), sb.data());
-  for (std::size_t k = 0; k < nspec; ++k) sa[k] *= sb[k];
+  simd::kernels().cmul(sa.data(), sb.data(), nspec);
   plan.inverse(sa.data(), ra.data());
 
   AMOPT_EXPECTS(skip + out.size() <= full);
@@ -179,11 +180,10 @@ void correlate_valid_direct(std::span<const double> in,
                             std::span<double> out) {
   AMOPT_EXPECTS(!kernel.empty());
   AMOPT_EXPECTS(in.size() >= out.size() + kernel.size() - 1);
-  for (std::size_t j = 0; j < out.size(); ++j) {
-    double acc = 0.0;
-    for (std::size_t m = 0; m < kernel.size(); ++m) acc += kernel[m] * in[j + m];
-    out[j] = acc;
-  }
+  // Dispatched tap sweep (the scalar table entry is this function's
+  // historical accumulation loop, so the scalar level is unchanged).
+  simd::kernels().correlate_taps(in.data(), kernel.data(), kernel.size(),
+                                 out.data(), out.size());
   metrics::add_flops(2 * static_cast<std::uint64_t>(out.size()) *
                      kernel.size());
   metrics::add_bytes(static_cast<std::uint64_t>(out.size()) * sizeof(double));
@@ -292,7 +292,7 @@ void convolve_many(std::span<const std::span<const double>> inputs,
     std::fill(ra.begin() + static_cast<std::ptrdiff_t>(a.size()), ra.end(),
               0.0);
     plan.forward(ra.data(), sa.data());
-    for (std::size_t k = 0; k < nspec; ++k) sa[k] *= sb[k];
+    simd::kernels().cmul(sa.data(), sb.data(), nspec);
     plan.inverse(sa.data(), ra.data());
     outs[i].resize(a.size() + kernel.size() - 1);
     std::copy_n(ra.begin(), outs[i].size(), outs[i].begin());

@@ -10,6 +10,7 @@
 
 #include "amopt/common/assert.hpp"
 #include "amopt/common/parallel.hpp"
+#include "amopt/simd/kernels.hpp"
 
 namespace amopt::fft {
 
@@ -19,10 +20,30 @@ namespace {
 // transforms stay serial. Chosen conservatively; see bench/micro_fft.
 constexpr std::size_t kParallelThreshold = std::size_t{1} << 15;
 
+// Below this size the SoA pipeline's de/interleave passes cost more than
+// the vector butterflies save; stay on the interleaved scalar loops.
+constexpr std::size_t kSimdThreshold = 32;
+
 [[nodiscard]] std::size_t ilog2(std::size_t n) {
   std::size_t l = 0;
   while ((std::size_t{1} << l) < n) ++l;
   return l;
+}
+
+/// Per-thread split real/imag scratch for the SoA transform pipeline.
+/// Grow-only and 64-byte aligned, so every vector load on the fast path is
+/// an unmasked aligned load; reused across calls like conv::Workspace.
+struct SoaScratch {
+  aligned_vector<double> re, im;
+};
+
+[[nodiscard]] SoaScratch& soa_scratch(std::size_t n) {
+  thread_local SoaScratch s;
+  if (s.re.size() < n) {
+    s.re.resize(n);
+    s.im.resize(n);
+  }
+  return s;
 }
 
 }  // namespace
@@ -44,6 +65,28 @@ Plan::Plan(std::size_t n) : n_(n), log2n_(ilog2(n)) {
       w[3 * j + 2] = cplx{std::cos(3 * a), std::sin(3 * a)};
     }
     w += 3 * h;
+  }
+  // Mirror the triples into the SoA layout the vector kernels consume
+  // (same values; only the memory layout differs, so scalar and vector
+  // passes see bit-identical twiddles). Skipped entirely when no vector
+  // path can ever run — plans are cached for the process lifetime and the
+  // mirror would be dead weight.
+  if (simd::max_supported() != simd::Level::scalar) {
+    twiddle4_soa_.resize(2 * total);
+    double* ws = twiddle4_soa_.data();
+    const cplx* wt = twiddle4_.data();
+    for (std::size_t h = (log2n_ & 1) ? 2 : 1; h < n_; h <<= 2) {
+      for (std::size_t j = 0; j < h; ++j) {
+        ws[0 * h + j] = wt[3 * j + 0].real();
+        ws[1 * h + j] = wt[3 * j + 0].imag();
+        ws[2 * h + j] = wt[3 * j + 1].real();
+        ws[3 * h + j] = wt[3 * j + 1].imag();
+        ws[4 * h + j] = wt[3 * j + 2].real();
+        ws[5 * h + j] = wt[3 * j + 2].imag();
+      }
+      ws += 6 * h;
+      wt += 3 * h;
+    }
   }
   bitrev_.resize(n_);
   for (std::size_t i = 0; i < n_; ++i) {
@@ -133,6 +176,11 @@ void Plan::radix4_pass(cplx* data, std::size_t h, const cplx* w,
 
 void Plan::transform(cplx* data, bool inverse) const {
   if (n_ <= 1) return;
+  if (const simd::Level lvl = simd::active();
+      lvl != simd::Level::scalar && n_ >= kSimdThreshold) {
+    transform_simd(data, inverse, lvl);
+    return;
+  }
   bit_reverse_permute(data);
 
   const bool parallel = n_ >= kParallelThreshold && !in_parallel_region() &&
@@ -156,6 +204,55 @@ void Plan::transform(cplx* data, bool inverse) const {
     const double inv_n = 1.0 / static_cast<double>(n_);
     for (std::size_t i = 0; i < n_; ++i) data[i] *= inv_n;
   }
+}
+
+void Plan::transform_simd(cplx* data, bool inverse, simd::Level lvl) const {
+  const simd::Kernels& kn = simd::kernels(lvl);
+  SoaScratch& scratch = soa_scratch(n_);
+  double* re = scratch.re.data();
+  double* im = scratch.im.data();
+  // Bit-reversal fused into the split: one gathered pass instead of the
+  // scalar path's swap pass + copy pass.
+  kn.deinterleave_rev(data, bitrev_.data(), re, im, n_);
+
+  const bool parallel = n_ >= kParallelThreshold && !in_parallel_region() &&
+                        hardware_threads() > 1;
+  std::size_t h = 1;
+  if (log2n_ & 1) {
+    if (parallel) {
+      // Chunks align to butterfly pairs; any power-of-two split works.
+      constexpr std::ptrdiff_t kChunk = 1 << 13;
+#pragma omp parallel for schedule(static)
+      for (std::ptrdiff_t base = 0; base < static_cast<std::ptrdiff_t>(n_);
+           base += kChunk)
+        kn.radix2_pass(re + base, im + base,
+                       static_cast<std::size_t>(kChunk));
+    } else {
+      kn.radix2_pass(re, im, n_);
+    }
+    h = 2;
+  }
+  const double* w = twiddle4_soa_.data();
+  for (; h < n_; h <<= 2) {
+    const std::size_t step = 4 * h;
+    // Parallel chunks must be multiples of the block size AND large enough
+    // that the early stages still hand the vector kernels whole 16-element
+    // groups (the h = 1 transpose kernel needs them) — one block per chunk
+    // would feed h = 1 four elements at a time and fall back to scalar.
+    const std::size_t chunk = std::max(step, std::size_t{1} << 13);
+    if (parallel && n_ > chunk) {
+#pragma omp parallel for schedule(static)
+      for (std::ptrdiff_t base = 0; base < static_cast<std::ptrdiff_t>(n_);
+           base += static_cast<std::ptrdiff_t>(chunk))
+        kn.radix4_pass(re + base, im + base, chunk, h, w, inverse);
+    } else {
+      kn.radix4_pass(re, im, n_, h, w, inverse);
+    }
+    w += 6 * h;
+  }
+
+  if (inverse) kn.scale2(re, im, n_, 1.0 / static_cast<double>(n_));
+  kn.interleave(re, im, data, n_);
 }
 
 RealPlan::RealPlan(std::size_t n) : n_(n), m_(n / 2), half_(nullptr) {
@@ -192,14 +289,9 @@ void RealPlan::forward(const double* in, cplx* spec) const {
   // and for the mirror bin t_{m-k} = -conj(t_k) gives
   //   X[m-k] = conj(Xe[k] - t_k Xo[k]).
   const cplx z0 = z[0];
-  for (std::size_t k = 1, j = m_ - 1; k < j; ++k, --j) {
-    const cplx zk = z[k], zj = z[j];
-    const cplx xe = 0.5 * (zk + std::conj(zj));
-    const cplx xo = cplx{0.0, -0.5} * (zk - std::conj(zj));
-    const cplx txo = twiddle_[k] * xo;
-    spec[k] = xe + txo;
-    spec[j] = std::conj(xe - txo);
-  }
+  // Dispatched pair sweep; the scalar table entry is this function's
+  // historical loop, so the scalar level stays bit-identical.
+  simd::kernels().rfft_untangle(spec, twiddle_.data(), m_);
   spec[m_ / 2] = std::conj(spec[m_ / 2]);  // t = -i bin: X = conj(Z)
   spec[m_] = cplx{z0.real() - z0.imag(), 0.0};
   spec[0] = cplx{z0.real() + z0.imag(), 0.0};
@@ -221,13 +313,7 @@ void RealPlan::inverse(cplx* spec, double* out) const {
   // and Z[m-k] = conj(Xe[k]) + i conj(Xo[k]).
   const double x0 = spec[0].real(), xm = spec[m_].real();
   spec[0] = cplx{0.5 * (x0 + xm), 0.5 * (x0 - xm)};
-  for (std::size_t k = 1, j = m_ - 1; k < j; ++k, --j) {
-    const cplx xk = spec[k], xj = spec[j];
-    const cplx xe = 0.5 * (xk + std::conj(xj));
-    const cplx xo = 0.5 * (xk - std::conj(xj)) * std::conj(twiddle_[k]);
-    spec[k] = xe + cplx{0.0, 1.0} * xo;
-    spec[j] = std::conj(xe) + cplx{0.0, 1.0} * std::conj(xo);
-  }
+  simd::kernels().rfft_retangle(spec, twiddle_.data(), m_);
   spec[m_ / 2] = std::conj(spec[m_ / 2]);
   half_->inverse(spec);
   for (std::size_t k = 0; k < m_; ++k) {

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "amopt/common/aligned.hpp"
+#include "amopt/simd/simd.hpp"
 
 namespace amopt::fft {
 
@@ -44,6 +45,10 @@ class Plan {
 
  private:
   void transform(cplx* data, bool inverse) const;
+  /// Split real/imag (SoA) pipeline driving the dispatched vector kernels;
+  /// taken whenever the active SIMD level is above scalar (the scalar level
+  /// keeps the historical interleaved loops below, bit-for-bit).
+  void transform_simd(cplx* data, bool inverse, simd::Level lvl) const;
   void bit_reverse_permute(cplx* data) const;
   void radix2_stage(cplx* data, bool parallel) const;
   template <bool kInverse>
@@ -57,6 +62,11 @@ class Plan {
   // (W^j, W^2j, W^3j) with W = e^{-i pi / (2h)} — interleaved so one
   // butterfly reads 48 adjacent bytes. Blocks are laid out in pass order.
   aligned_vector<cplx> twiddle4_;
+  // The same twiddles in the SoA layout the vector kernels consume: per
+  // stage, six consecutive h-element arrays (w1re, w1im, w2re, w2im, w3re,
+  // w3im), blocks in pass order — every vector load of twiddles is then a
+  // contiguous unit-stride load.
+  aligned_vector<double> twiddle4_soa_;
   std::vector<std::uint32_t> bitrev_;
 };
 

@@ -36,4 +36,14 @@ enum class SimAlg {
                                          const pricing::OptionSpec& spec,
                                          std::int64_t T);
 
+/// Replay ONE FFT convolution (operand sizes as conv::correlate_valid sees
+/// them) through the cache simulator: the production R2C/C2R pipeline by
+/// default, the seed's packed-complex pipeline with `packed = true`.
+/// Exposed so tests can hold the model against the real pipeline's traffic
+/// counters and against the legacy model it replaced.
+[[nodiscard]] CacheStats simulate_fft_convolution(std::size_t n_in,
+                                                  std::size_t n_kernel,
+                                                  std::size_t n_out,
+                                                  bool packed = false);
+
 }  // namespace amopt::metrics

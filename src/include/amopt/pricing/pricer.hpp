@@ -41,15 +41,21 @@ namespace amopt::pricing {
 /// Session-level configuration.
 struct PricerConfig {
   core::SolverConfig solver{};  ///< default per-request solver config
-  /// Kernel-cache registry bound; least-recently-used groups are evicted
-  /// above it (in-flight pricings keep evicted caches alive — eviction only
-  /// forgets warm state, it never invalidates a running computation). The
-  /// registry deliberately admits transient groups too (greeks bumps,
-  /// implied-vol trial vols): bracket endpoints and early iterates repeat
-  /// across a chain and across recalibration ticks, which is where the
-  /// warm-session win comes from; a heterogeneous-vol flood merely cycles
-  /// the LRU, costing a rebuild per miss (never correctness).
+  /// The kernel-cache registry is two-tiered. The BASE tier holds the tap
+  /// groups of the requests themselves (the chain's own contracts) bounded
+  /// by `max_kernel_caches`; the TRANSIENT tier holds the groups minted by
+  /// greeks bumps and implied-vol trial evaluations, bounded separately by
+  /// `max_transient_kernel_caches`. Each tier runs its own LRU, so a flood
+  /// of heterogeneous trial vols can only cycle the (smaller) transient
+  /// tier — it can never evict a chain's base groups. Transient groups that
+  /// later arrive as base requests are promoted. In-flight pricings keep
+  /// evicted caches alive — eviction only forgets warm state, it never
+  /// invalidates a running computation. Bracket endpoints and early
+  /// iterates still repeat across a chain and across recalibration ticks,
+  /// which is where the transient tier's warm-session win comes from; a
+  /// miss costs a rebuild, never correctness.
   std::size_t max_kernel_caches = 64;
+  std::size_t max_transient_kernel_caches = 16;
   bool parallel = true;  ///< OpenMP fan-out across batch items
   /// Warm-start repeated implied-vol inversions: the session remembers each
   /// contract's last two (vol, price) evaluation points and restarts the
@@ -101,7 +107,9 @@ class Pricer {
       std::span<const PricingRequest> requests);
 
   struct Stats {
-    std::size_t kernel_caches = 0;  ///< live registry entries
+    std::size_t kernel_caches = 0;  ///< live registry entries (both tiers)
+    std::size_t base_kernel_caches = 0;       ///< base-tier entries
+    std::size_t transient_kernel_caches = 0;  ///< transient-tier entries
     std::uint64_t cache_hits = 0;   ///< tap-group lookups served warm
     std::uint64_t cache_misses = 0; ///< tap-group lookups that built a cache
     std::uint64_t requests = 0;     ///< items served across all batches
@@ -117,9 +125,21 @@ class Pricer {
  private:
   using CachePtr = std::shared_ptr<stencil::KernelCache>;
 
-  /// Find-or-create the session cache for a tap group; thread-safe. Empty
-  /// taps (no cache-aware path) yield null.
-  [[nodiscard]] CachePtr cache_for(const stencil::LinearStencil& st);
+  /// Which registry tier a lookup belongs to: `base` for a request's own
+  /// tap group (pinned against transient churn), `transient` for groups
+  /// minted by greeks bumps / implied-vol trial evaluations.
+  enum class Tier { base, transient };
+
+  /// Find-or-create the session cache for a tap group; thread-safe. Base
+  /// lookups that hit the transient tier promote the entry. Empty taps (no
+  /// cache-aware path) yield null.
+  [[nodiscard]] CachePtr cache_for(const stencil::LinearStencil& st,
+                                   Tier tier);
+
+  struct Entry;
+  /// Drop the least-recently-used entry of `tier` if it exceeds `cap`.
+  /// Caller holds mu_.
+  static void evict_lru(std::vector<Entry>& tier, std::size_t cap);
 
   /// Price `spec` under the request's (model, right, style, engine) with
   /// the session cache for its derived taps — the evaluation primitive the
@@ -152,7 +172,8 @@ class Pricer {
     CachePtr cache;             ///< its stencil() is the registry key
     std::uint64_t last_used = 0;
   };
-  std::vector<Entry> caches_;
+  std::vector<Entry> base_caches_;       ///< requests' own tap groups
+  std::vector<Entry> transient_caches_;  ///< bump/trial-vol tap groups
   std::unordered_map<std::string, WarmRoot> warm_roots_;  ///< by contract key
   std::uint64_t tick_ = 0;
   std::uint64_t hits_ = 0;

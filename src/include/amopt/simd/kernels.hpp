@@ -1,0 +1,102 @@
+#pragma once
+// The dispatched kernel table behind amopt::simd::Level.
+//
+// Every member is one hot loop from the FFT engine, the convolution layer,
+// or the nonlinear-stencil solvers, lifted out so each instruction-set
+// level can provide its own implementation. The scalar table entries are
+// the verbatim loops their call sites used to inline (bit-compatible with
+// the pre-SIMD library); the AVX2/AVX-512 entries process 4/8 doubles per
+// lane and fall back to unaligned loads (or scalar tails) when operands are
+// not 64-byte aligned or shorter than a vector — so every entry accepts
+// arbitrary pointers and sizes.
+//
+// FFT kernels use a split real/imaginary (SoA) layout: `re[i]`/`im[i]` hold
+// the parts of element i. Stage twiddles arrive as one contiguous SoA block
+// per fused radix-4 stage (see fft.cpp for the layout).
+
+#include <complex>
+#include <cstddef>
+#include <cstdint>
+
+#include "amopt/simd/simd.hpp"
+
+namespace amopt::simd {
+
+using cplx = std::complex<double>;
+
+/// One dispatch level's kernel set. All pointers are non-null for every
+/// level returned by `kernels()`.
+struct Kernels {
+  /// Pointwise spectrum product a[k] *= b[k] (interleaved complex).
+  void (*cmul)(cplx* a, const cplx* b, std::size_t n);
+
+  /// Small-tap correlation out[j] = sum_m taps[m] * in[j + m], j < n.
+  /// The accumulation order is m ascending from a 0.0 seed (the lattice
+  /// solver's historical order).
+  void (*correlate_taps)(const double* in, const double* taps,
+                         std::size_t ntaps, double* out, std::size_t n);
+
+  /// Centered 3-tap sweep out[j] = b*in[j] + c*in[j+1] + a*in[j+2], j < n —
+  /// the BSM FDM solver's historical expression (association order
+  /// (b*x + c*y) + a*z).
+  void (*stencil3)(const double* in, double b, double c, double a, double* out,
+                   std::size_t n);
+
+  /// Split interleaved complex into SoA halves and back.
+  void (*deinterleave)(const cplx* z, double* re, double* im, std::size_t n);
+  void (*interleave)(const double* re, const double* im, cplx* z,
+                     std::size_t n);
+
+  /// Fused bit-reversal + split: re[i] = z[rev[i]].real(), im[i] =
+  /// z[rev[i]].imag(). One gathered pass instead of an in-place swap pass
+  /// followed by a split pass — the permutation is the FFT's only
+  /// cache-hostile access pattern, so halving its traffic matters.
+  void (*deinterleave_rev)(const cplx* z, const std::uint32_t* rev,
+                           double* re, double* im, std::size_t n);
+
+  /// re[i] *= s; im[i] *= s (the inverse transform's 1/n normalization).
+  void (*scale2)(double* re, double* im, std::size_t n, double s);
+
+  /// Radix-2 stage with unit twiddles over [0, n): butterflies on element
+  /// pairs (2i, 2i+1).
+  void (*radix2_pass)(double* re, double* im, std::size_t n);
+
+  /// One fused radix-4 stage of half-size h over [0, n) (n a multiple of
+  /// 4h): for each block base (step 4h) and j in [0, h), the butterfly of
+  /// fft.cpp's radix4_pass. `wsoa` is the stage's twiddle block laid out as
+  /// six consecutive h-element arrays: w1re, w1im, w2re, w2im, w3re, w3im.
+  /// `inverse` conjugates the twiddles and flips the +/- i rotation.
+  void (*radix4_pass)(double* re, double* im, std::size_t n, std::size_t h,
+                      const double* wsoa, bool inverse);
+
+  /// The R2C untangle pair loop of RealPlan::forward for k in [1, m/2)
+  /// (mirror bin j = m - k), reading/writing the interleaved `spec` in
+  /// place. `tw` is the n/4+1-entry quarter-circle twiddle table t_k.
+  void (*rfft_untangle)(cplx* spec, const cplx* tw, std::size_t m);
+
+  /// The C2R retangle pair loop of RealPlan::inverse (same index ranges).
+  void (*rfft_retangle)(cplx* spec, const cplx* tw, std::size_t m);
+};
+
+/// Kernel table for one explicit level (clamped to max_supported()).
+[[nodiscard]] const Kernels& kernels(Level lvl) noexcept;
+
+/// Kernel table for the active level.
+[[nodiscard]] inline const Kernels& kernels() noexcept {
+  return kernels(active());
+}
+
+// Per-level tables, exposed for direct unit testing of each path. `scalar`
+// always exists; the vector tables exist only when compiled in (guard with
+// max_supported()).
+namespace tables {
+extern const Kernels scalar;
+#if defined(AMOPT_HAVE_AVX2)
+extern const Kernels avx2;
+#endif
+#if defined(AMOPT_HAVE_AVX512)
+extern const Kernels avx512;
+#endif
+}  // namespace tables
+
+}  // namespace amopt::simd

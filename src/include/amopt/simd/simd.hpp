@@ -1,0 +1,57 @@
+#pragma once
+// S10: runtime SIMD dispatch for the hot pointwise/stencil/FFT kernels.
+//
+// Three code paths are compiled into the library (when the compiler supports
+// them): a restrict-qualified scalar fallback, AVX2, and AVX-512F. The
+// active path is chosen once at startup from CPUID, clamped to what the
+// build produced, and can be overridden:
+//
+//   * environment: AMOPT_SIMD=scalar|avx2|avx512 (read through
+//     common/env.hpp at first use; an unsupported request clamps DOWN to
+//     the best supported level, never up);
+//   * programmatically: `set_level()` (used by tests and bench harnesses to
+//     measure every path on one host).
+//
+// Contract: the scalar level reproduces the pre-SIMD implementation
+// bit-for-bit (the hot loops it dispatches to are the verbatim expressions
+// the call sites used to inline — asserted by tests/test_simd.cpp). The
+// vector levels evaluate the same formulas with the same per-element
+// association order but may differ from scalar in the last ulps where the
+// compiler contracts multiply-add chains differently; parity across levels
+// is bounded by the usual FFT round-off (see DESIGN.md §4) and enforced by
+// the CI dispatch-parity job.
+
+#include <cstddef>
+#include <string_view>
+
+namespace amopt::simd {
+
+/// Dispatchable instruction-set levels, ordered: a level implies all the
+/// levels below it.
+enum class Level : int {
+  scalar = 0,  ///< portable fallback (always available)
+  avx2 = 1,    ///< 4-wide double lanes (x86-64 AVX2)
+  avx512 = 2,  ///< 8-wide double lanes (x86-64 AVX-512F)
+};
+
+[[nodiscard]] const char* to_string(Level lvl) noexcept;
+
+/// Parse "scalar" / "avx2" / "avx512" (also accepts "avx512f").
+/// Returns false (leaving `out` untouched) on anything else.
+[[nodiscard]] bool parse_level(std::string_view name, Level& out) noexcept;
+
+/// Best level this binary can run here: compiled-in kernels ∩ host CPUID.
+[[nodiscard]] Level max_supported() noexcept;
+
+/// The level the dispatched kernels currently run at. Resolved on first use
+/// from AMOPT_SIMD (clamped to max_supported()); later reads are one relaxed
+/// atomic load.
+[[nodiscard]] Level active() noexcept;
+
+/// Override the active level (clamped to max_supported()); returns the level
+/// actually installed. Not intended for concurrent use with in-flight
+/// pricings — levels agree to round-off, but a transform that switches paths
+/// mid-batch would make results run-to-run unstable.
+Level set_level(Level lvl) noexcept;
+
+}  // namespace amopt::simd

@@ -123,56 +123,120 @@ void sim_bsm_vanilla(CacheSim& sim, std::int64_t T) {
 // FFT trace replay.
 // ---------------------------------------------------------------------
 
-/// Replays the memory behaviour of one size-n in-place FFT (bit-reversal
-/// permutation, log n butterfly stages reading a twiddle table) over real
-/// heap addresses.
+/// Replays the memory behaviour of the FFT convolution pipelines over real
+/// heap addresses. Since PR 3 the default model is the production R2C/C2R
+/// real-input pipeline (conv::real_convolve_into): zero-padded real operand
+/// buffers, two half-size complex forward transforms with their O(n)
+/// untangle pair sweeps, the pointwise product over the n/2+1 non-redundant
+/// bins, and one half-size inverse with its retangle sweep. The legacy
+/// packed-complex model survives as `convolution_packed` so tests can
+/// assert the retune actually shrank the modeled traffic. Twiddle tables
+/// are cached per size exactly like fft::plan_for / real_plan_for, and work
+/// buffers are reused per size (the Workspace arena in the real code).
 class FftReplayer {
  public:
   explicit FftReplayer(CacheSim& sim) : sim_(sim) {}
 
-  /// One full convolution: pack, forward FFT, pointwise, inverse FFT,
-  /// unpack — the legacy packed-complex pipeline (Policy::Path::fft_packed).
-  /// Since PR 1 the production path is the cheaper R2C/C2R pipeline (three
-  /// half-size transforms), so this replay is a conservative upper bound on
-  /// its traffic; see DESIGN.md "Faithfulness notes". The twiddle tables are
-  /// cached per size exactly like fft::plan_for, and the work buffer is
-  /// reused per size (the Workspace arena in the real code).
+  /// One full convolution through the R2C/C2R pipeline.
   void convolution(std::size_t n_in, std::size_t n_kernel,
                    std::size_t n_out) {
     const std::size_t full = n_in + n_kernel - 1;
     const std::size_t n = next_pow2(full);
-    SimVec<std::complex<double>>& z = cached(z_cache_, n);
-    SimVec<std::complex<double>>& tw = cached(tw_cache_, n);
-    // pack (reads of in/kernel arrays are owned by the caller's buffers;
-    // approximate with the writes into z, which dominate)
+    if (n < 4) {
+      convolution_packed(n_in, n_kernel, n_out);  // degenerate tiny sizes
+      return;
+    }
+    const std::size_t m = n / 2;
+    SimVec<double>& ra = cached(real_a_, n);
+    SimVec<double>& rb = cached(real_b_, n);
+    SimVec<cplx>& sa = cached(spec_a_, m + 1);
+    SimVec<cplx>& sb = cached(spec_b_, m + 1);
+    SimVec<cplx>& tw = cached(half_tw_, m);      // half-plan stage twiddles
+    SimVec<cplx>& rtw = cached(real_tw_, m / 2 + 1);  // RealPlan twiddles
+
+    // Zero-padded operand packing (the writes into the arena buffers; the
+    // reads of the caller-owned inputs are accounted by the caller's row
+    // buffers, as before).
+    for (std::size_t i = 0; i < n; ++i) ra[i] = i < n_in ? 1.0 : 0.0;
+    for (std::size_t i = 0; i < n; ++i) rb[i] = i < n_kernel ? 1.0 : 0.0;
+
+    forward_r2c(ra, sa, tw, rtw, m);
+    forward_r2c(rb, sb, tw, rtw, m);
+    for (std::size_t k = 0; k < m + 1; ++k) {  // pointwise product
+      (void)sb[k];
+      sa[k] *= cplx{0.5, 0.5};
+    }
+    inverse_c2r(sa, ra, tw, rtw, m);
+    for (std::size_t i = 0; i < n_out; ++i) (void)ra[i];  // copy out
+  }
+
+  /// The seed's packed-complex two-for-one pipeline
+  /// (conv::Policy::Path::fft_packed), kept for model-parity tests.
+  void convolution_packed(std::size_t n_in, std::size_t n_kernel,
+                          std::size_t n_out) {
+    const std::size_t full = n_in + n_kernel - 1;
+    const std::size_t n = next_pow2(full);
+    SimVec<cplx>& z = cached(z_cache_, n);
+    SimVec<cplx>& tw = cached(tw_cache_, n);
     for (std::size_t i = 0; i < n_in; ++i) z[i] = {1.0, 0.0};
-    for (std::size_t i = 0; i < n_kernel; ++i)
-      z[i] += std::complex<double>{0.0, 1.0};
-    fft_pass(z, tw);  // forward
+    for (std::size_t i = 0; i < n_kernel; ++i) z[i] += cplx{0.0, 1.0};
+    fft_pass(z, tw, n);  // forward
     for (std::size_t k = 0; k < n / 2 + 1; ++k) {  // pointwise (paired bins)
       (void)z[k];
       (void)z[n - 1 - k];
     }
-    fft_pass(z, tw);  // inverse
+    fft_pass(z, tw, n);  // inverse
     for (std::size_t i = 0; i < n_out; ++i) (void)z[i];  // unpack
   }
 
  private:
-  using Cache =
-      std::map<std::size_t, std::unique_ptr<SimVec<std::complex<double>>>>;
+  using cplx = std::complex<double>;
+  template <class T>
+  using Cache = std::map<std::size_t, std::unique_ptr<SimVec<T>>>;
 
-  SimVec<std::complex<double>>& cached(Cache& cache, std::size_t n) {
+  template <class T>
+  SimVec<T>& cached(Cache<T>& cache, std::size_t n) {
     auto it = cache.find(n);
     if (it == cache.end())
-      it = cache.emplace(n, std::make_unique<SimVec<std::complex<double>>>(
-                                sim_, n))
-               .first;
+      it = cache.emplace(n, std::make_unique<SimVec<T>>(sim_, n)).first;
     return *it->second;
   }
 
-  void fft_pass(SimVec<std::complex<double>>& z,
-                SimVec<std::complex<double>>& tw) {
-    const std::size_t n = z.size();
+  /// R2C forward: pack the n reals pairwise into the m-bin complex scratch,
+  /// run the half-size complex transform, untangle with the RealPlan
+  /// twiddles (pair sweep from both ends).
+  void forward_r2c(SimVec<double>& r, SimVec<cplx>& s, SimVec<cplx>& tw,
+                   SimVec<cplx>& rtw, std::size_t m) {
+    for (std::size_t k = 0; k < m; ++k)
+      s[k] = cplx{r[2 * k], r[2 * k + 1]};
+    fft_pass(s, tw, m);
+    for (std::size_t k = 1, j = m - 1; k < j; ++k, --j) {
+      const cplx t = rtw[k];
+      s[k] += t;
+      s[j] -= t;
+    }
+    (void)s[m / 2];
+    s[m] = s[0];
+  }
+
+  /// C2R inverse: retangle pair sweep, half-size transform, unpack the m
+  /// complex bins into 2m reals.
+  void inverse_c2r(SimVec<cplx>& s, SimVec<double>& r, SimVec<cplx>& tw,
+                   SimVec<cplx>& rtw, std::size_t m) {
+    (void)s[m];
+    for (std::size_t k = 1, j = m - 1; k < j; ++k, --j) {
+      const cplx t = rtw[k];
+      s[k] -= t;
+      s[j] += t;
+    }
+    fft_pass(s, tw, m);
+    for (std::size_t k = 0; k < m; ++k) {
+      r[2 * k] = s[k].real();
+      r[2 * k + 1] = s[k].imag();
+    }
+  }
+
+  void fft_pass(SimVec<cplx>& z, SimVec<cplx>& tw, std::size_t n) {
     // bit-reversal permutation
     for (std::size_t i = 0; i < n; ++i) {
       std::size_t r = 0, x = i;
@@ -182,8 +246,8 @@ class FftReplayer {
     for (std::size_t h = 1; h < n; h <<= 1) {
       for (std::size_t base = 0; base < n; base += 2 * h) {
         for (std::size_t j = 0; j < h; ++j) {
-          const std::complex<double> w = tw[h - 1 + j];
-          const std::complex<double> t = z[base + j + h] * w;
+          const cplx w = tw[h - 1 + j];
+          const cplx t = z[base + j + h] * w;
           z[base + j + h] = z[base + j] - t;
           z[base + j] += t;
         }
@@ -192,8 +256,14 @@ class FftReplayer {
   }
 
   CacheSim& sim_;
-  Cache z_cache_;
-  Cache tw_cache_;
+  Cache<double> real_a_;
+  Cache<double> real_b_;
+  Cache<cplx> spec_a_;
+  Cache<cplx> spec_b_;
+  Cache<cplx> half_tw_;
+  Cache<cplx> real_tw_;
+  Cache<cplx> z_cache_;
+  Cache<cplx> tw_cache_;
 };
 
 /// Kernel-power construction traffic: closed form (table write) for 2-tap,
@@ -385,6 +455,18 @@ const char* to_string(SimAlg alg) {
     case SimAlg::bsm_fft: return "fft-bsm";
   }
   return "?";
+}
+
+CacheStats simulate_fft_convolution(std::size_t n_in, std::size_t n_kernel,
+                                    std::size_t n_out, bool packed) {
+  CacheSim sim;
+  FftReplayer fr(sim);
+  if (packed) {
+    fr.convolution_packed(n_in, n_kernel, n_out);
+  } else {
+    fr.convolution(n_in, n_kernel, n_out);
+  }
+  return sim.stats();
 }
 
 CacheStats simulate_kernel(SimAlg alg, const OptionSpec& spec,

@@ -26,6 +26,8 @@ std::string_view to_string(Status s) {
 
 Pricer::Pricer(PricerConfig cfg) : cfg_(cfg) {
   if (cfg_.max_kernel_caches == 0) cfg_.max_kernel_caches = 1;
+  if (cfg_.max_transient_kernel_caches == 0)
+    cfg_.max_transient_kernel_caches = 1;
 }
 
 bool Pricer::supports(Model m, Right r, Style s, Engine e) noexcept {
@@ -68,15 +70,49 @@ bool Pricer::supports(Model m, Right r, Style s, Engine e,
   return true;
 }
 
-Pricer::CachePtr Pricer::cache_for(const stencil::LinearStencil& st) {
+void Pricer::evict_lru(std::vector<Entry>& tier, std::size_t cap) {
+  // Evict the least-recently-used group when the tier overflows. Batches in
+  // flight hold their own shared_ptr copies, so eviction only drops warm
+  // state for FUTURE lookups — it never tears a cache out from under a
+  // running pricing.
+  if (tier.size() <= cap) return;
+  const auto victim = std::min_element(
+      tier.begin(), tier.end(),
+      [](const Entry& a, const Entry& b) { return a.last_used < b.last_used; });
+  tier.erase(victim);
+}
+
+Pricer::CachePtr Pricer::cache_for(const stencil::LinearStencil& st,
+                                   Tier tier) {
   if (st.taps.empty()) return nullptr;
   std::lock_guard<std::mutex> lock(mu_);
-  for (Entry& e : caches_) {
+  const auto matches = [&](const Entry& e) {
     const stencil::LinearStencil& key = e.cache->stencil();
-    if (key.left == st.left && key.taps == st.taps) {
+    return key.left == st.left && key.taps == st.taps;
+  };
+  // Base tier first: a trial vol that happens to coincide with a chain's
+  // own tap group must refresh (and use) the pinned entry, not duplicate it.
+  for (Entry& e : base_caches_) {
+    if (matches(e)) {
       e.last_used = ++tick_;
       ++hits_;
       return e.cache;
+    }
+  }
+  for (auto it = transient_caches_.begin(); it != transient_caches_.end();
+       ++it) {
+    if (matches(*it)) {
+      it->last_used = ++tick_;
+      ++hits_;
+      CachePtr out = it->cache;
+      if (tier == Tier::base) {
+        // The group graduated from trial-vol churn to a request's own tap
+        // group: move it to the protected tier.
+        base_caches_.push_back(std::move(*it));
+        transient_caches_.erase(it);
+        evict_lru(base_caches_, cfg_.max_kernel_caches);
+      }
+      return out;
     }
   }
   ++misses_;
@@ -84,15 +120,12 @@ Pricer::CachePtr Pricer::cache_for(const stencil::LinearStencil& st) {
   entry.cache = std::make_shared<stencil::KernelCache>(st);
   entry.last_used = ++tick_;
   CachePtr out = entry.cache;
-  caches_.push_back(std::move(entry));
-  if (caches_.size() > cfg_.max_kernel_caches) {
-    // Evict the least-recently-used group. Batches in flight hold their own
-    // shared_ptr copies, so eviction only drops warm state for FUTURE
-    // lookups — it never tears a cache out from under a running pricing.
-    const auto victim = std::min_element(
-        caches_.begin(), caches_.end(),
-        [](const Entry& a, const Entry& b) { return a.last_used < b.last_used; });
-    caches_.erase(victim);
+  if (tier == Tier::base) {
+    base_caches_.push_back(std::move(entry));
+    evict_lru(base_caches_, cfg_.max_kernel_caches);
+  } else {
+    transient_caches_.push_back(std::move(entry));
+    evict_lru(transient_caches_, cfg_.max_transient_kernel_caches);
   }
   return out;
 }
@@ -102,9 +135,12 @@ double Pricer::price_cached(const OptionSpec& spec, const PricingRequest& req,
   stencil::KernelCache* kernels = nullptr;
   CachePtr hold;  // keeps the group alive across a concurrent LRU eviction
   if (req.engine == Engine::fft) {
+    // Bumped/trial specs land in the transient tier so recalibration churn
+    // cannot evict the chains' own (base-tier) groups.
     hold = cache_for(detail::shared_cache_stencil(spec, req.T, req.model,
                                                   req.right, req.style,
-                                                  req.engine));
+                                                  req.engine),
+                     Tier::transient);
     kernels = hold.get();
   }
   return detail::price_with_cache(spec, req.T, req.model, req.right, req.style,
@@ -342,8 +378,10 @@ std::vector<PricingResult> Pricer::price_many(
     // their groups through price_cached instead.
     if ((compute & (Compute::price | Compute::greeks)) == 0u) continue;
     try {
-      cache_of[i] = cache_for(detail::shared_cache_stencil(
-          q.spec, q.T, q.model, q.right, q.style, q.engine));
+      cache_of[i] = cache_for(
+          detail::shared_cache_stencil(q.spec, q.T, q.model, q.right, q.style,
+                                       q.engine),
+          Tier::base);
     } catch (const std::exception& e) {
       out[i].status = Status::error;
       out[i].message = e.what();
@@ -413,7 +451,9 @@ std::vector<PricingResult> Pricer::implied_vol_many(
 Pricer::Stats Pricer::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   Stats s;
-  s.kernel_caches = caches_.size();
+  s.base_kernel_caches = base_caches_.size();
+  s.transient_kernel_caches = transient_caches_.size();
+  s.kernel_caches = s.base_kernel_caches + s.transient_kernel_caches;
   s.cache_hits = hits_;
   s.cache_misses = misses_;
   s.requests = requests_;
@@ -423,7 +463,8 @@ Pricer::Stats Pricer::stats() const {
 
 void Pricer::clear() {
   std::lock_guard<std::mutex> lock(mu_);
-  caches_.clear();
+  base_caches_.clear();
+  transient_caches_.clear();
   warm_roots_.clear();
   tick_ = hits_ = misses_ = requests_ = 0;
 }

@@ -1,0 +1,121 @@
+#include "amopt/simd/simd.hpp"
+
+#include <atomic>
+
+#include "amopt/common/env.hpp"
+#include "amopt/simd/kernels.hpp"
+
+namespace amopt::simd {
+
+namespace {
+
+/// What the host CPU can execute (ignoring what this build compiled in).
+[[nodiscard]] Level host_level() noexcept {
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  // OS support for the zmm state is included in these checks on gcc/clang
+  // (they test the relevant XCR0 bits). The avx512 kernel TU is compiled
+  // with -mavx512dq as well (vxorpd zmm is a DQ instruction), so both
+  // features must be present — plain-AVX512F hardware (Xeon Phi) clamps
+  // to avx2.
+  if (__builtin_cpu_supports("avx512f") &&
+      __builtin_cpu_supports("avx512dq"))
+    return Level::avx512;
+  if (__builtin_cpu_supports("avx2")) return Level::avx2;
+#endif
+  return Level::scalar;
+}
+
+[[nodiscard]] constexpr Level compiled_level() noexcept {
+#if defined(AMOPT_HAVE_AVX512)
+  return Level::avx512;
+#elif defined(AMOPT_HAVE_AVX2)
+  return Level::avx2;
+#else
+  return Level::scalar;
+#endif
+}
+
+[[nodiscard]] Level clamp(Level lvl) noexcept {
+  const Level cap = max_supported();
+  return static_cast<int>(lvl) < static_cast<int>(cap) ? lvl : cap;
+}
+
+/// First-use resolution: AMOPT_SIMD override if present and parseable,
+/// otherwise the best supported level. Unknown strings fall back to auto
+/// (the library must keep pricing even with a typo'd env).
+[[nodiscard]] Level resolve_initial() noexcept {
+  const std::string req = env_string("AMOPT_SIMD", "");
+  Level parsed;
+  if (!req.empty() && parse_level(req, parsed)) return clamp(parsed);
+  return max_supported();
+}
+
+std::atomic<int>& active_slot() noexcept {
+  static std::atomic<int> slot{-1};
+  return slot;
+}
+
+}  // namespace
+
+const char* to_string(Level lvl) noexcept {
+  switch (lvl) {
+    case Level::scalar: return "scalar";
+    case Level::avx2: return "avx2";
+    case Level::avx512: return "avx512";
+  }
+  return "?";
+}
+
+bool parse_level(std::string_view name, Level& out) noexcept {
+  if (name == "scalar") {
+    out = Level::scalar;
+  } else if (name == "avx2") {
+    out = Level::avx2;
+  } else if (name == "avx512" || name == "avx512f") {
+    out = Level::avx512;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+Level max_supported() noexcept {
+  static const Level cap = [] {
+    const Level host = host_level();
+    const Level built = compiled_level();
+    return static_cast<int>(host) < static_cast<int>(built) ? host : built;
+  }();
+  return cap;
+}
+
+Level active() noexcept {
+  std::atomic<int>& slot = active_slot();
+  int cur = slot.load(std::memory_order_relaxed);
+  if (cur < 0) {
+    const Level lvl = resolve_initial();
+    // Benign race: every thread resolves the same value.
+    slot.store(static_cast<int>(lvl), std::memory_order_relaxed);
+    return lvl;
+  }
+  return static_cast<Level>(cur);
+}
+
+Level set_level(Level lvl) noexcept {
+  const Level eff = clamp(lvl);
+  active_slot().store(static_cast<int>(eff), std::memory_order_relaxed);
+  return eff;
+}
+
+const Kernels& kernels(Level lvl) noexcept {
+  switch (clamp(lvl)) {
+#if defined(AMOPT_HAVE_AVX512)
+    case Level::avx512: return tables::avx512;
+#endif
+#if defined(AMOPT_HAVE_AVX2)
+    case Level::avx2: return tables::avx2;
+#endif
+    default: return tables::scalar;
+  }
+}
+
+}  // namespace amopt::simd

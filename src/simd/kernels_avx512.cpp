@@ -1,0 +1,250 @@
+// AVX-512F kernel table: 8 doubles (4 complex) per 512-bit lane. The
+// arithmetic-dense kernels (radix-4 butterflies, pointwise products, tap
+// sweeps) are widened to 512 bits; the shuffle-bound layout helpers
+// (de/interleave, R2C/C2R pair twiddles, radix-2) reuse the AVX2
+// implementations — at 512 bits those are almost pure permute traffic and
+// gain nothing from the wider lanes. This TU is compiled with
+// -mavx512f -mavx512dq (and AVX2 implied), so multiply-add chains may be
+// contracted to FMA here: the AVX-512 path can differ from scalar/AVX2 in
+// the last ulps (it is the more accurate rounding), bounded by the
+// documented cross-path tolerance (DESIGN.md §4).
+
+#include <immintrin.h>
+
+#include <cstdint>
+
+#include "kernels_internal.hpp"
+
+namespace amopt::simd {
+
+namespace avx512_impl {
+
+[[nodiscard]] inline bool aligned64(const void* p) noexcept {
+  return (reinterpret_cast<std::uintptr_t>(p) & 63u) == 0;
+}
+
+struct IoAligned {
+  static __m512d load(const double* p) noexcept { return _mm512_load_pd(p); }
+  static void store(double* p, __m512d v) noexcept { _mm512_store_pd(p, v); }
+};
+struct IoUnaligned {
+  static __m512d load(const double* p) noexcept { return _mm512_loadu_pd(p); }
+  static void store(double* p, __m512d v) noexcept { _mm512_storeu_pd(p, v); }
+};
+
+// ------------------------------------------------------------------ cmul
+
+template <class Io>
+void cmul_vec(double* a, const double* b, std::size_t pairs) {
+  for (std::size_t k = 0; k + 4 <= pairs; k += 4) {
+    const __m512d va = Io::load(a + 2 * k);
+    const __m512d vb = Io::load(b + 2 * k);
+    const __m512d bre = _mm512_movedup_pd(vb);
+    const __m512d bim = _mm512_permute_pd(vb, 0xFF);
+    const __m512d asw = _mm512_permute_pd(va, 0x55);
+    // fmaddsub: even lanes a*b - c, odd lanes a*b + c (one rounding).
+    const __m512d t2 = _mm512_mul_pd(asw, bim);
+    Io::store(a + 2 * k, _mm512_fmaddsub_pd(va, bre, t2));
+  }
+}
+
+void cmul(cplx* a, const cplx* b, std::size_t n) {
+  auto* ad = reinterpret_cast<double*>(a);
+  const auto* bd = reinterpret_cast<const double*>(b);
+  const std::size_t nv = n & ~std::size_t{3};
+  if (aligned64(ad) && aligned64(bd)) {
+    cmul_vec<IoAligned>(ad, bd, nv);
+  } else {
+    cmul_vec<IoUnaligned>(ad, bd, nv);
+  }
+  for (std::size_t k = nv; k < n; ++k) a[k] *= b[k];
+}
+
+// ------------------------------------------- small-tap correlation sweeps
+
+void correlate_taps(const double* in, const double* taps, std::size_t ntaps,
+                    double* out, std::size_t n) {
+  std::size_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    __m512d acc = _mm512_setzero_pd();
+    for (std::size_t m = 0; m < ntaps; ++m)
+      acc = _mm512_fmadd_pd(_mm512_set1_pd(taps[m]),
+                            _mm512_loadu_pd(in + j + m), acc);
+    _mm512_storeu_pd(out + j, acc);
+  }
+  for (; j < n; ++j) {
+    double acc = 0.0;
+    for (std::size_t m = 0; m < ntaps; ++m) acc += taps[m] * in[j + m];
+    out[j] = acc;
+  }
+}
+
+void stencil3(const double* in, double b, double c, double a, double* out,
+              std::size_t n) {
+  const __m512d vb = _mm512_set1_pd(b);
+  const __m512d vc = _mm512_set1_pd(c);
+  const __m512d va = _mm512_set1_pd(a);
+  std::size_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    __m512d acc = _mm512_mul_pd(vb, _mm512_loadu_pd(in + j));
+    acc = _mm512_fmadd_pd(vc, _mm512_loadu_pd(in + j + 1), acc);
+    acc = _mm512_fmadd_pd(va, _mm512_loadu_pd(in + j + 2), acc);
+    _mm512_storeu_pd(out + j, acc);
+  }
+  for (; j < n; ++j) out[j] = b * in[j] + c * in[j + 1] + a * in[j + 2];
+}
+
+void deinterleave_rev(const cplx* z, const std::uint32_t* rev, double* re,
+                      double* im, std::size_t n) {
+  const auto* zd = reinterpret_cast<const double*>(z);
+  std::size_t i = 0;
+  // Same cache-residency crossover as the AVX2 kernel: past L2, gathers
+  // lose to the prefetch-friendly scalar loop.
+  if (n > (std::size_t{1} << 14)) {
+    avx2_impl::deinterleave_rev(z, rev, re, im, n);
+    return;
+  }
+  for (; i + 8 <= n; i += 8) {
+    __m256i idx =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(rev + i));
+    idx = _mm256_slli_epi32(idx, 1);
+    _mm512_storeu_pd(re + i, _mm512_i32gather_pd(idx, zd, 8));
+    _mm512_storeu_pd(im + i, _mm512_i32gather_pd(idx, zd + 1, 8));
+  }
+  for (; i < n; ++i) {
+    const cplx v = z[rev[i]];
+    re[i] = v.real();
+    im[i] = v.imag();
+  }
+}
+
+void scale2(double* re, double* im, std::size_t n, double s) {
+  const __m512d vs = _mm512_set1_pd(s);
+  for (double* p : {re, im}) {
+    std::size_t i = 0;
+    if (aligned64(p)) {
+      for (; i + 8 <= n; i += 8)
+        _mm512_store_pd(p + i, _mm512_mul_pd(_mm512_load_pd(p + i), vs));
+    } else {
+      for (; i + 8 <= n; i += 8)
+        _mm512_storeu_pd(p + i, _mm512_mul_pd(_mm512_loadu_pd(p + i), vs));
+    }
+    for (; i < n; ++i) p[i] *= s;
+  }
+}
+
+// ------------------------------------------------------------ FFT stages
+
+// Same large-stage twiddle strategy as the AVX2 kernel: past this
+// half-size, compute W^2j / W^3j from W^j in registers instead of
+// streaming the cold 48h-byte twiddle block.
+constexpr std::size_t kComputeTwiddleH = 2048;
+
+template <class Io, bool ComputeW>
+void radix4_vec(double* re, double* im, std::size_t n, std::size_t h,
+                const double* wsoa, bool inverse) {
+  const double* w1re = wsoa;
+  const double* w1im = wsoa + h;
+  const double* w2re = wsoa + 2 * h;
+  const double* w2im = wsoa + 3 * h;
+  const double* w3re = wsoa + 4 * h;
+  const double* w3im = wsoa + 5 * h;
+  const __m512d conj_mask =
+      inverse ? _mm512_set1_pd(-0.0) : _mm512_setzero_pd();
+  const __m512d rot_mask =
+      inverse ? _mm512_setzero_pd() : _mm512_set1_pd(-0.0);
+  const std::size_t step = 4 * h;
+  for (std::size_t base = 0; base < n; base += step) {
+    for (std::size_t j = 0; j < h; j += 8) {
+      const std::size_t ia = base + j;
+      const std::size_t ib = ia + h;
+      const std::size_t ic = ia + 2 * h;
+      const std::size_t id = ia + 3 * h;
+      const __m512d w1r = _mm512_loadu_pd(w1re + j);
+      const __m512d w1i = _mm512_xor_pd(_mm512_loadu_pd(w1im + j), conj_mask);
+      __m512d w2r, w2i, w3r, w3i;
+      if constexpr (ComputeW) {
+        w2r = _mm512_fmsub_pd(w1r, w1r, _mm512_mul_pd(w1i, w1i));
+        w2i = _mm512_fmadd_pd(w1r, w1i, _mm512_mul_pd(w1i, w1r));
+        w3r = _mm512_fmsub_pd(w2r, w1r, _mm512_mul_pd(w2i, w1i));
+        w3i = _mm512_fmadd_pd(w2r, w1i, _mm512_mul_pd(w2i, w1r));
+      } else {
+        w2r = _mm512_loadu_pd(w2re + j);
+        w2i = _mm512_xor_pd(_mm512_loadu_pd(w2im + j), conj_mask);
+        w3r = _mm512_loadu_pd(w3re + j);
+        w3i = _mm512_xor_pd(_mm512_loadu_pd(w3im + j), conj_mask);
+      }
+      const __m512d ar = Io::load(re + ia), ai = Io::load(im + ia);
+      const __m512d br = Io::load(re + ib), bi = Io::load(im + ib);
+      const __m512d cr = Io::load(re + ic), ci = Io::load(im + ic);
+      const __m512d dr = Io::load(re + id), di = Io::load(im + id);
+      const __m512d bbr =
+          _mm512_fmsub_pd(br, w2r, _mm512_mul_pd(bi, w2i));
+      const __m512d bbi =
+          _mm512_fmadd_pd(br, w2i, _mm512_mul_pd(bi, w2r));
+      const __m512d ccr =
+          _mm512_fmsub_pd(cr, w1r, _mm512_mul_pd(ci, w1i));
+      const __m512d cci =
+          _mm512_fmadd_pd(cr, w1i, _mm512_mul_pd(ci, w1r));
+      const __m512d ddr =
+          _mm512_fmsub_pd(dr, w3r, _mm512_mul_pd(di, w3i));
+      const __m512d ddi =
+          _mm512_fmadd_pd(dr, w3i, _mm512_mul_pd(di, w3r));
+      const __m512d a1r = _mm512_add_pd(ar, bbr);
+      const __m512d a1i = _mm512_add_pd(ai, bbi);
+      const __m512d b1r = _mm512_sub_pd(ar, bbr);
+      const __m512d b1i = _mm512_sub_pd(ai, bbi);
+      const __m512d sr = _mm512_add_pd(ccr, ddr);
+      const __m512d si = _mm512_add_pd(cci, ddi);
+      const __m512d itr = _mm512_xor_pd(_mm512_sub_pd(cci, ddi), conj_mask);
+      const __m512d iti = _mm512_xor_pd(_mm512_sub_pd(ccr, ddr), rot_mask);
+      Io::store(re + ia, _mm512_add_pd(a1r, sr));
+      Io::store(im + ia, _mm512_add_pd(a1i, si));
+      Io::store(re + ic, _mm512_sub_pd(a1r, sr));
+      Io::store(im + ic, _mm512_sub_pd(a1i, si));
+      Io::store(re + ib, _mm512_add_pd(b1r, itr));
+      Io::store(im + ib, _mm512_add_pd(b1i, iti));
+      Io::store(re + id, _mm512_sub_pd(b1r, itr));
+      Io::store(im + id, _mm512_sub_pd(b1i, iti));
+    }
+  }
+}
+
+void radix4_pass(double* re, double* im, std::size_t n, std::size_t h,
+                 const double* wsoa, bool inverse) {
+  if (h < 8) {
+    // h = 4 keeps 256-bit butterflies; h < 4 bottoms out in the scalar
+    // loop inside the AVX2 entry.
+    avx2_impl::radix4_pass(re, im, n, h, wsoa, inverse);
+    return;
+  }
+  const bool aligned = aligned64(re) && aligned64(im);
+  if (h >= kComputeTwiddleH) {
+    if (aligned) {
+      radix4_vec<IoAligned, true>(re, im, n, h, wsoa, inverse);
+    } else {
+      radix4_vec<IoUnaligned, true>(re, im, n, h, wsoa, inverse);
+    }
+  } else if (aligned) {
+    radix4_vec<IoAligned, false>(re, im, n, h, wsoa, inverse);
+  } else {
+    radix4_vec<IoUnaligned, false>(re, im, n, h, wsoa, inverse);
+  }
+}
+
+}  // namespace avx512_impl
+
+namespace tables {
+
+const Kernels avx512 = {
+    avx512_impl::cmul,         avx512_impl::correlate_taps,
+    avx512_impl::stencil3,     avx2_impl::deinterleave,
+    avx2_impl::interleave,     avx512_impl::deinterleave_rev,
+    avx512_impl::scale2,       avx2_impl::radix2_pass,
+    avx512_impl::radix4_pass,  avx2_impl::rfft_untangle,
+    avx2_impl::rfft_retangle,
+};
+
+}  // namespace tables
+
+}  // namespace amopt::simd

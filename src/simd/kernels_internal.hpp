@@ -1,0 +1,40 @@
+#pragma once
+// Cross-TU declarations for the per-level kernel implementations. The
+// AVX-512 table borrows the AVX2 implementations for the shuffle-heavy
+// interleave/untangle helpers (widening those is all permute traffic for
+// little arithmetic), so those symbols must be linkable across the kernel
+// translation units. Not installed; include only from src/simd/*.cpp.
+
+#include <cstddef>
+
+#include "amopt/simd/kernels.hpp"
+
+namespace amopt::simd {
+
+namespace scalar_impl {
+// The scalar table itself is the fallback surface; vector TUs reach it
+// through tables::scalar (constant-initialized, so safe to read from any
+// other TU's kernels at call time).
+}
+
+#if defined(AMOPT_HAVE_AVX2)
+namespace avx2_impl {
+void cmul(cplx* a, const cplx* b, std::size_t n);
+void correlate_taps(const double* in, const double* taps, std::size_t ntaps,
+                    double* out, std::size_t n);
+void stencil3(const double* in, double b, double c, double a, double* out,
+              std::size_t n);
+void deinterleave(const cplx* z, double* re, double* im, std::size_t n);
+void interleave(const double* re, const double* im, cplx* z, std::size_t n);
+void deinterleave_rev(const cplx* z, const std::uint32_t* rev, double* re,
+                      double* im, std::size_t n);
+void scale2(double* re, double* im, std::size_t n, double s);
+void radix2_pass(double* re, double* im, std::size_t n);
+void radix4_pass(double* re, double* im, std::size_t n, std::size_t h,
+                 const double* wsoa, bool inverse);
+void rfft_untangle(cplx* spec, const cplx* tw, std::size_t m);
+void rfft_retangle(cplx* spec, const cplx* tw, std::size_t m);
+}  // namespace avx2_impl
+#endif
+
+}  // namespace amopt::simd

@@ -478,6 +478,83 @@ TEST(Pricer, EmptyBatchAndClear) {
   EXPECT_EQ(st.requests, 0u);
 }
 
+TEST(Pricer, TransientFloodCannotEvictBaseGroups) {
+  // A chain's own tap groups live in the base tier; implied-vol trial
+  // evaluations mint transient groups in their own (smaller) LRU. Flooding
+  // the session with trial vols must leave every base group warm.
+  PricerConfig cfg;
+  cfg.max_kernel_caches = 8;
+  cfg.max_transient_kernel_caches = 2;
+  cfg.warm_start_iv = false;  // every tick replays the full cold Newton
+  Pricer session(cfg);
+
+  std::vector<PricingRequest> chain;
+  for (double e : {0.5, 1.0, 2.0}) {
+    PricingRequest q;
+    q.spec = paper_spec();
+    q.spec.expiry_years = e;
+    q.T = 256;
+    chain.push_back(q);
+  }
+  const std::vector<PricingResult> priced = session.price_many(chain);
+  for (const PricingResult& r : priced) ASSERT_EQ(r.status, Status::ok);
+  const Pricer::Stats warm = session.stats();
+  EXPECT_EQ(warm.base_kernel_caches, 3u);
+
+  // Flood: inversions evaluate ~a dozen distinct trial vols each, every one
+  // a distinct tap group.
+  std::vector<PricingRequest> quotes = chain;
+  for (std::size_t i = 0; i < quotes.size(); ++i)
+    quotes[i].target_price = priced[i].price * 1.02;
+  for (const PricingResult& r : session.implied_vol_many(quotes))
+    ASSERT_TRUE(r.implied_vol.converged);
+
+  const Pricer::Stats flooded = session.stats();
+  EXPECT_EQ(flooded.base_kernel_caches, 3u);  // base tier untouched
+  EXPECT_LE(flooded.transient_kernel_caches,
+            cfg.max_transient_kernel_caches);
+
+  // Repricing the chain hits every base group: zero new misses.
+  const std::uint64_t misses_before = flooded.cache_misses;
+  const std::vector<PricingResult> again = session.price_many(chain);
+  for (std::size_t i = 0; i < chain.size(); ++i)
+    EXPECT_EQ(again[i].price, priced[i].price);
+  EXPECT_EQ(session.stats().cache_misses, misses_before);
+}
+
+TEST(Pricer, TransientGroupPromotedWhenRequestedAsBase) {
+  // The converged root vol was evaluated by the inversion, so its tap group
+  // sits in the transient tier; a subsequent request QUOTED at that vol
+  // must promote the group (hit, not rebuild) into the base tier.
+  PricerConfig cfg;
+  cfg.max_kernel_caches = 8;
+  cfg.max_transient_kernel_caches = 32;  // hold every trial of one Newton
+  cfg.warm_start_iv = false;
+  Pricer session(cfg);
+
+  PricingRequest q;
+  q.spec = paper_spec();
+  q.T = 256;
+  const double base_price = session.price_one(q).price;
+
+  PricingRequest quote = q;
+  quote.target_price = base_price * 1.01;
+  const PricingResult inverted =
+      session.implied_vol_many({&quote, 1}).front();
+  ASSERT_TRUE(inverted.implied_vol.converged);
+  const Pricer::Stats after_iv = session.stats();
+  ASSERT_GE(after_iv.transient_kernel_caches, 1u);
+
+  PricingRequest at_root = q;
+  at_root.spec.V = inverted.implied_vol.vol;
+  ASSERT_EQ(session.price_one(at_root).status, Status::ok);
+  const Pricer::Stats promoted = session.stats();
+  EXPECT_EQ(promoted.cache_misses, after_iv.cache_misses);  // promoted: hit
+  EXPECT_EQ(promoted.base_kernel_caches, after_iv.base_kernel_caches + 1);
+  EXPECT_EQ(promoted.transient_kernel_caches,
+            after_iv.transient_kernel_caches - 1);
+}
+
 TEST(Pricer, StatusToString) {
   EXPECT_EQ(to_string(Status::ok), "ok");
   EXPECT_EQ(to_string(Status::unsupported), "unsupported");

@@ -1,0 +1,424 @@
+// The SIMD dispatch layer: every kernel table available on the host must
+// agree with the scalar table (within the documented cross-path FFT
+// round-off, DESIGN.md §4), the scalar dispatch level must stay
+// bit-identical to the pre-SIMD implementation (asserted against a verbatim
+// copy of that implementation below), and every vector kernel must fall
+// back correctly on deliberately misaligned operands. CI additionally
+// reruns the whole suite under AMOPT_SIMD=scalar / avx2 (the env-forced
+// form of the overrides exercised here through set_level).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <numbers>
+#include <random>
+#include <vector>
+
+#include "amopt/common/aligned.hpp"
+#include "amopt/fft/convolution.hpp"
+#include "amopt/fft/fft.hpp"
+#include "amopt/pricing/bopm.hpp"
+#include "amopt/pricing/params.hpp"
+#include "amopt/simd/kernels.hpp"
+#include "amopt/simd/simd.hpp"
+
+namespace {
+
+using namespace amopt;
+using simd::cplx;
+using simd::Level;
+
+// Cross-path agreement bound: identical formulas evaluated with identical
+// per-element association, differing only in multiply-add contraction
+// (AVX-512's FMA vs separate rounding). Relative to the data magnitude.
+constexpr double kPathTol = 1e-12;
+
+/// Every level compiled in AND executable on this host, scalar first.
+[[nodiscard]] std::vector<Level> available_levels() {
+  std::vector<Level> lvls{Level::scalar};
+  for (Level l : {Level::avx2, Level::avx512})
+    if (static_cast<int>(l) <= static_cast<int>(simd::max_supported()))
+      lvls.push_back(l);
+  return lvls;
+}
+
+[[nodiscard]] std::vector<double> random_real(std::size_t n,
+                                              std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> d(-1.0, 1.0);
+  std::vector<double> v(n);
+  for (auto& x : v) x = d(rng);
+  return v;
+}
+
+[[nodiscard]] std::vector<cplx> random_complex(std::size_t n,
+                                               std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> d(-1.0, 1.0);
+  std::vector<cplx> v(n);
+  for (auto& x : v) x = cplx{d(rng), d(rng)};
+  return v;
+}
+
+/// Restore the default dispatch level even if a test fails mid-way.
+class SimdTest : public ::testing::Test {
+ protected:
+  void TearDown() override { simd::set_level(simd::max_supported()); }
+};
+
+TEST_F(SimdTest, LevelParsingAndClamping) {
+  Level lvl = Level::scalar;
+  EXPECT_TRUE(simd::parse_level("scalar", lvl));
+  EXPECT_EQ(lvl, Level::scalar);
+  EXPECT_TRUE(simd::parse_level("avx2", lvl));
+  EXPECT_EQ(lvl, Level::avx2);
+  EXPECT_TRUE(simd::parse_level("avx512", lvl));
+  EXPECT_EQ(lvl, Level::avx512);
+  EXPECT_TRUE(simd::parse_level("avx512f", lvl));
+  EXPECT_EQ(lvl, Level::avx512);
+  EXPECT_FALSE(simd::parse_level("sse9", lvl));
+  EXPECT_FALSE(simd::parse_level("", lvl));
+
+  // set_level never installs more than the host supports and reports what
+  // it actually installed.
+  const Level eff = simd::set_level(Level::avx512);
+  EXPECT_LE(static_cast<int>(eff), static_cast<int>(simd::max_supported()));
+  EXPECT_EQ(simd::active(), eff);
+  EXPECT_EQ(simd::set_level(Level::scalar), Level::scalar);
+  EXPECT_EQ(simd::active(), Level::scalar);
+}
+
+// ---------------------------------------------------------------------
+// Per-kernel agreement of every available table with the scalar table,
+// on both aligned and deliberately misaligned operands.
+// ---------------------------------------------------------------------
+
+TEST_F(SimdTest, PointwiseKernelsAgreeAcrossPathsAndAlignments) {
+  const std::size_t n = 1027;  // odd: exercises every tail loop
+  for (const Level lvl : available_levels()) {
+    const simd::Kernels& k = simd::kernels(lvl);
+    for (const std::size_t off : {0u, 1u}) {  // 1 element = 8B: misaligned
+      // cmul
+      {
+        aligned_vector<cplx> a0(n + off), b0(n + off);
+        auto init = random_complex(n + off, 11);
+        std::copy(init.begin(), init.end(), a0.begin());
+        auto binit = random_complex(n + off, 12);
+        std::copy(binit.begin(), binit.end(), b0.begin());
+        std::vector<cplx> want(a0.begin() + off, a0.end());
+        for (std::size_t i = 0; i < n; ++i) want[i] *= b0[i + off];
+        k.cmul(a0.data() + off, b0.data() + off, n);
+        for (std::size_t i = 0; i < n; ++i)
+          EXPECT_NEAR(std::abs(a0[i + off] - want[i]), 0.0, kPathTol)
+              << simd::to_string(lvl) << " off=" << off << " i=" << i;
+      }
+      // correlate_taps / stencil3
+      {
+        const auto in = random_real(n + 2 + off, 21);
+        const double taps[3] = {0.3, 0.5, 0.2};
+        std::vector<double> want(n);
+        for (std::size_t j = 0; j < n; ++j)
+          want[j] = taps[0] * in[off + j] + taps[1] * in[off + j + 1] +
+                    taps[2] * in[off + j + 2];
+        std::vector<double> got(n, 0.0);
+        k.correlate_taps(in.data() + off, taps, 3, got.data(), n);
+        for (std::size_t j = 0; j < n; ++j)
+          EXPECT_NEAR(got[j], want[j], kPathTol);
+        std::fill(got.begin(), got.end(), 0.0);
+        k.stencil3(in.data() + off, taps[0], taps[1], taps[2], got.data(), n);
+        for (std::size_t j = 0; j < n; ++j)
+          EXPECT_NEAR(got[j], want[j], kPathTol);
+      }
+      // de/interleave round trip + scale2
+      {
+        const auto z = random_complex(n + off, 31);
+        aligned_vector<double> re(n + off), im(n + off);
+        k.deinterleave(z.data() + off, re.data() + off, im.data() + off, n);
+        for (std::size_t i = 0; i < n; ++i) {
+          ASSERT_EQ(re[i + off], z[i + off].real());
+          ASSERT_EQ(im[i + off], z[i + off].imag());
+        }
+        k.scale2(re.data() + off, im.data() + off, n, 0.5);
+        aligned_vector<cplx> back(n + off);
+        k.interleave(re.data() + off, im.data() + off, back.data() + off, n);
+        for (std::size_t i = 0; i < n; ++i)
+          ASSERT_EQ(back[i + off], 0.5 * z[i + off]);
+      }
+    }
+  }
+}
+
+TEST_F(SimdTest, FftStageKernelsMatchScalarTable) {
+  const simd::Kernels& ref = simd::kernels(Level::scalar);
+  for (const Level lvl : available_levels()) {
+    if (lvl == Level::scalar) continue;
+    const simd::Kernels& k = simd::kernels(lvl);
+    for (const std::size_t n : {16u, 64u, 256u, 1024u}) {
+      // Stage twiddles for a few half-sizes, in the SoA layout.
+      for (std::size_t h : {std::size_t{1}, std::size_t{4}, n / 4}) {
+        if (4 * h > n) continue;
+        aligned_vector<double> w(6 * h);
+        const double theta = -std::numbers::pi / static_cast<double>(2 * h);
+        for (std::size_t j = 0; j < h; ++j) {
+          const double a = theta * static_cast<double>(j);
+          w[0 * h + j] = std::cos(a);
+          w[1 * h + j] = std::sin(a);
+          w[2 * h + j] = std::cos(2 * a);
+          w[3 * h + j] = std::sin(2 * a);
+          w[4 * h + j] = std::cos(3 * a);
+          w[5 * h + j] = std::sin(3 * a);
+        }
+        for (const bool inverse : {false, true}) {
+          aligned_vector<double> re_a(n), im_a(n), re_b(n), im_b(n);
+          const auto seed_re = random_real(n, 41);
+          const auto seed_im = random_real(n, 42);
+          std::copy(seed_re.begin(), seed_re.end(), re_a.begin());
+          std::copy(seed_im.begin(), seed_im.end(), im_a.begin());
+          re_b = re_a;
+          im_b = im_a;
+          ref.radix4_pass(re_a.data(), im_a.data(), n, h, w.data(), inverse);
+          k.radix4_pass(re_b.data(), im_b.data(), n, h, w.data(), inverse);
+          for (std::size_t i = 0; i < n; ++i) {
+            EXPECT_NEAR(re_b[i], re_a[i], kPathTol)
+                << simd::to_string(lvl) << " n=" << n << " h=" << h;
+            EXPECT_NEAR(im_b[i], im_a[i], kPathTol);
+          }
+          re_b = re_a;  // also radix2 on fresh (post-pass) data
+          im_b = im_a;
+          ref.radix2_pass(re_a.data(), im_a.data(), n);
+          k.radix2_pass(re_b.data(), im_b.data(), n);
+          for (std::size_t i = 0; i < n; ++i) {
+            EXPECT_NEAR(re_b[i], re_a[i], kPathTol);
+            EXPECT_NEAR(im_b[i], im_a[i], kPathTol);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST_F(SimdTest, RfftPairKernelsMatchScalarTable) {
+  const simd::Kernels& ref = simd::kernels(Level::scalar);
+  for (const Level lvl : available_levels()) {
+    if (lvl == Level::scalar) continue;
+    const simd::Kernels& k = simd::kernels(lvl);
+    for (const std::size_t m : {4u, 8u, 32u, 512u}) {
+      std::vector<cplx> tw(m / 2 + 1);
+      for (std::size_t i = 0; i <= m / 2; ++i) {
+        const double a =
+            -2.0 * std::numbers::pi * static_cast<double>(i) /
+            static_cast<double>(2 * m);
+        tw[i] = cplx{std::cos(a), std::sin(a)};
+      }
+      for (const bool retangle : {false, true}) {
+        auto spec_a = random_complex(m + 1, 51);
+        auto spec_b = spec_a;
+        if (retangle) {
+          ref.rfft_retangle(spec_a.data(), tw.data(), m);
+          k.rfft_retangle(spec_b.data(), tw.data(), m);
+        } else {
+          ref.rfft_untangle(spec_a.data(), tw.data(), m);
+          k.rfft_untangle(spec_b.data(), tw.data(), m);
+        }
+        for (std::size_t i = 0; i <= m; ++i)
+          EXPECT_NEAR(std::abs(spec_b[i] - spec_a[i]), 0.0, kPathTol)
+              << simd::to_string(lvl) << " m=" << m
+              << (retangle ? " retangle" : " untangle");
+      }
+    }
+  }
+}
+
+TEST_F(SimdTest, DeinterleaveRevMatchesScalarBitReversal) {
+  for (const Level lvl : available_levels()) {
+    const simd::Kernels& k = simd::kernels(lvl);
+    for (const std::size_t n : {8u, 64u, 4096u}) {
+      std::size_t log2n = 0;
+      while ((std::size_t{1} << log2n) < n) ++log2n;
+      std::vector<std::uint32_t> rev(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        std::size_t r = 0;
+        for (std::size_t b = 0; b < log2n; ++b)
+          r |= ((i >> b) & 1u) << (log2n - 1 - b);
+        rev[i] = static_cast<std::uint32_t>(r);
+      }
+      const auto z = random_complex(n, 61);
+      aligned_vector<double> re(n), im(n);
+      k.deinterleave_rev(z.data(), rev.data(), re.data(), im.data(), n);
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(re[i], z[rev[i]].real()) << simd::to_string(lvl);
+        ASSERT_EQ(im[i], z[rev[i]].imag());
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Scalar-level bit-identity with the pre-SIMD implementation.
+// ---------------------------------------------------------------------
+
+/// Verbatim copy of the pre-SIMD radix-4 transform (twiddle construction,
+/// bit reversal, stage structure, butterfly expressions) as it stood before
+/// the dispatch layer. The library's scalar level must reproduce it BIT FOR
+/// BIT — that is the contract that lets AMOPT_SIMD=scalar reproduce any
+/// historical result exactly.
+class ReferencePlan {
+ public:
+  explicit ReferencePlan(std::size_t n) : n_(n), log2n_(0) {
+    while ((std::size_t{1} << log2n_) < n_) ++log2n_;
+    std::size_t total = 0;
+    for (std::size_t h = (log2n_ & 1) ? 2 : 1; h < n_; h <<= 2) total += 3 * h;
+    twiddle4_.resize(total);
+    cplx* w = twiddle4_.data();
+    for (std::size_t h = (log2n_ & 1) ? 2 : 1; h < n_; h <<= 2) {
+      const double theta = -std::numbers::pi / static_cast<double>(2 * h);
+      for (std::size_t j = 0; j < h; ++j) {
+        const double a = theta * static_cast<double>(j);
+        w[3 * j + 0] = cplx{std::cos(a), std::sin(a)};
+        w[3 * j + 1] = cplx{std::cos(2 * a), std::sin(2 * a)};
+        w[3 * j + 2] = cplx{std::cos(3 * a), std::sin(3 * a)};
+      }
+      w += 3 * h;
+    }
+    bitrev_.resize(n_);
+    for (std::size_t i = 0; i < n_; ++i) {
+      std::size_t r = 0;
+      for (std::size_t b = 0; b < log2n_; ++b)
+        r |= ((i >> b) & 1u) << (log2n_ - 1 - b);
+      bitrev_[i] = static_cast<std::uint32_t>(r);
+    }
+  }
+
+  void transform(cplx* data, bool inverse) const {
+    if (n_ <= 1) return;
+    for (std::size_t i = 0; i < n_; ++i) {
+      const std::size_t r = bitrev_[i];
+      if (i < r) std::swap(data[i], data[r]);
+    }
+    std::size_t h = 1;
+    if (log2n_ & 1) {
+      for (std::size_t base = 0; base < n_; base += 2) {
+        const cplx t = data[base + 1];
+        data[base + 1] = data[base] - t;
+        data[base] += t;
+      }
+      h = 2;
+    }
+    const cplx* w = twiddle4_.data();
+    for (; h < n_; h <<= 2) {
+      for (std::size_t base = 0; base < n_; base += 4 * h) {
+        for (std::size_t j = 0; j < h; ++j) {
+          cplx w1 = w[3 * j + 0];
+          cplx w2 = w[3 * j + 1];
+          cplx w3 = w[3 * j + 2];
+          if (inverse) {
+            w1 = std::conj(w1);
+            w2 = std::conj(w2);
+            w3 = std::conj(w3);
+          }
+          cplx& ra = data[base + j];
+          cplx& rb = data[base + j + h];
+          cplx& rc = data[base + j + 2 * h];
+          cplx& rd = data[base + j + 3 * h];
+          const cplx bb = rb * w2;
+          const cplx cc = rc * w1;
+          const cplx dd = rd * w3;
+          const cplx a1 = ra + bb;
+          const cplx b1 = ra - bb;
+          const cplx s = cc + dd;
+          const cplx t = cc - dd;
+          const cplx it = inverse ? cplx{-t.imag(), t.real()}
+                                  : cplx{t.imag(), -t.real()};
+          ra = a1 + s;
+          rc = a1 - s;
+          rb = b1 + it;
+          rd = b1 - it;
+        }
+      }
+      w += 3 * h;
+    }
+    if (inverse) {
+      const double inv_n = 1.0 / static_cast<double>(n_);
+      for (std::size_t i = 0; i < n_; ++i) data[i] *= inv_n;
+    }
+  }
+
+ private:
+  std::size_t n_;
+  std::size_t log2n_;
+  std::vector<cplx> twiddle4_;
+  std::vector<std::uint32_t> bitrev_;
+};
+
+TEST_F(SimdTest, ScalarLevelBitIdenticalToPreSimdTransform) {
+  simd::set_level(Level::scalar);
+  for (const std::size_t n : {4u, 8u, 64u, 1024u, 4096u, 8192u}) {
+    const ReferencePlan ref(n);
+    auto want = random_complex(n, 71);
+    auto got = want;
+    ref.transform(want.data(), /*inverse=*/false);
+    fft::plan_for(n).forward(got.data());
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(got[i].real(), want[i].real()) << "n=" << n << " i=" << i;
+      ASSERT_EQ(got[i].imag(), want[i].imag()) << "n=" << n << " i=" << i;
+    }
+    ref.transform(want.data(), /*inverse=*/true);
+    fft::plan_for(n).inverse(got.data());
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(got[i].real(), want[i].real()) << "n=" << n << " i=" << i;
+      ASSERT_EQ(got[i].imag(), want[i].imag()) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// End-to-end dispatch parity.
+// ---------------------------------------------------------------------
+
+TEST_F(SimdTest, TransformParityAcrossLevels) {
+  for (const std::size_t n : {64u, 1024u, 8192u}) {
+    simd::set_level(Level::scalar);
+    auto want = random_complex(n, 81);
+    fft::plan_for(n).forward(want.data());
+    double scale = 0.0;
+    for (const cplx& x : want) scale = std::max(scale, std::abs(x));
+    for (const Level lvl : available_levels()) {
+      if (lvl == Level::scalar) continue;
+      simd::set_level(lvl);
+      auto got = random_complex(n, 81);
+      fft::plan_for(n).forward(got.data());
+      for (std::size_t i = 0; i < n; ++i)
+        EXPECT_NEAR(std::abs(got[i] - want[i]), 0.0, kPathTol * scale)
+            << simd::to_string(lvl) << " n=" << n;
+    }
+  }
+}
+
+TEST_F(SimdTest, ConvolutionAndPriceParityAcrossLevels) {
+  const auto a = random_real(3000, 91);
+  const auto b = random_real(2000, 92);
+  simd::set_level(Level::scalar);
+  const auto want_conv =
+      conv::convolve_full(a, b, {conv::Policy::Path::fft});
+  const double want_price =
+      pricing::bopm::american_call_fft(pricing::paper_spec(), 512);
+  for (const Level lvl : available_levels()) {
+    if (lvl == Level::scalar) continue;
+    simd::set_level(lvl);
+    const auto got_conv =
+        conv::convolve_full(a, b, {conv::Policy::Path::fft});
+    ASSERT_EQ(got_conv.size(), want_conv.size());
+    double scale = 1.0;
+    for (double x : want_conv) scale = std::max(scale, std::abs(x));
+    for (std::size_t i = 0; i < want_conv.size(); ++i)
+      EXPECT_NEAR(got_conv[i], want_conv[i], 1e-11 * scale)
+          << simd::to_string(lvl);
+    const double got_price =
+        pricing::bopm::american_call_fft(pricing::paper_spec(), 512);
+    EXPECT_NEAR(got_price, want_price, 1e-10 * want_price)
+        << simd::to_string(lvl);
+  }
+}
+
+}  // namespace
