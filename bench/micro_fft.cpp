@@ -8,7 +8,12 @@
 // of the transform/convolution benches per SIMD dispatch path available on
 // the host — "BM_FftForward<scalar>", "BM_FftForward<avx2>", ... — so
 // BENCH_fft.json records per-path numbers and the CI bench guard can check
-// the vector paths' speedup over scalar.
+// the vector paths' speedup over scalar. The spectral kernel engine adds
+// per-path pairs the guard holds against each other: BM_CorrelateSpectral
+// (cached kernel spectrum) vs BM_CorrelateValidWorkspace (transform per
+// call), BM_PolyPowerFft (aliased csquare squarings) vs its two-transform
+// reference, and BM_KernelLadderDescent (shared squaring ladder) vs
+// BM_KernelPowersUnshared.
 //
 // The binary writes its results to BENCH_fft.json by default (benchmark's
 // own JSON format) so perf can be diffed across commits; set
@@ -16,16 +21,21 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cmath>
 #include <complex>
 #include <cstring>
 #include <random>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "amopt/common/env.hpp"
 #include "amopt/fft/convolution.hpp"
 #include "amopt/fft/fft.hpp"
+#include "amopt/poly/poly_power.hpp"
 #include "amopt/simd/simd.hpp"
+#include "amopt/stencil/kernel_cache.hpp"
 
 namespace {
 
@@ -233,6 +243,146 @@ void BM_ConvolveWorkspacePath(benchmark::State& state,
   }
 }
 
+// Transform-per-call correlation (the pre-spectral kernel path): the
+// denominator of the spectral-path speedup check_bench.py enforces.
+void BM_CorrelateWorkspacePath(benchmark::State& state,
+                               amopt::simd::Level lvl) {
+  const LevelScope scope(lvl);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto in = random_real(2 * n);
+  const auto kernel = random_real(n);
+  std::vector<double> out(n + 1);
+  amopt::conv::Workspace ws;
+  const amopt::conv::Policy fft{amopt::conv::Policy::Path::fft};
+  amopt::conv::correlate_valid(in, kernel, out, ws, fft);  // warm-up
+  for (auto _ : state) {
+    amopt::conv::correlate_valid(in, kernel, out, ws, fft);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+
+// Correlation consuming a precomputed kernel spectrum: what the solvers'
+// run_conv pays once the KernelCache spectrum tier is warm (2 transforms
+// per call instead of 3).
+void BM_CorrelateSpectralPath(benchmark::State& state,
+                              amopt::simd::Level lvl) {
+  const LevelScope scope(lvl);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto in = random_real(2 * n);
+  const auto kernel = random_real(n);
+  std::vector<double> out(n + 1);
+  amopt::conv::Workspace ws;
+  const amopt::fft::RealSpectrum kspec = amopt::conv::kernel_spectrum(
+      kernel, amopt::conv::correlate_fft_size(out.size(), kernel.size()),
+      /*reversed=*/true, ws);
+  amopt::conv::correlate_valid(in, kspec, out, ws);  // warm-up
+  for (auto _ : state) {
+    amopt::conv::correlate_valid(in, kspec, out, ws);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+
+// Production kernel power: binary exponentiation whose squarings ride the
+// aliased one-transform fast path (csquare).
+void BM_PolyPowerFftPath(benchmark::State& state, amopt::simd::Level lvl) {
+  const LevelScope scope(lvl);
+  const std::uint64_t h = static_cast<std::uint64_t>(state.range(0));
+  const std::vector<double> taps{0.24, 0.50, 0.25};
+  amopt::conv::Workspace ws;
+  (void)amopt::poly::power_fft(taps, h, ws);  // warm-up
+  for (auto _ : state) {
+    auto k = amopt::poly::power_fft(taps, h, ws);
+    benchmark::DoNotOptimize(k.data());
+  }
+}
+
+// Pre-PR reference: the same square-and-multiply walk with every squaring
+// forced through the two-operand path (base copied to a second buffer so
+// the operands never alias) — the transform count power_fft used to pay.
+void BM_PolyPowerFftTwoTransformPath(benchmark::State& state,
+                                     amopt::simd::Level lvl) {
+  const LevelScope scope(lvl);
+  const std::uint64_t h = static_cast<std::uint64_t>(state.range(0));
+  const std::vector<double> taps{0.24, 0.50, 0.25};
+  amopt::conv::Workspace ws;
+  const auto clamp = [](std::span<double> k) {
+    double peak = 0.0;
+    for (double x : k) peak = std::max(peak, std::abs(x));
+    const double floor = 1e-12 * peak;
+    for (double& x : k) {
+      if (std::abs(x) < floor) x = 0.0;
+      if (x < 0.0) x = 0.0;
+    }
+  };
+  std::vector<double> base_copy;
+  const auto run = [&] {
+    const std::size_t d = taps.size() - 1;
+    const std::size_t max_len = d * static_cast<std::size_t>(h) + 1;
+    std::span<double> result = ws.acc(max_len);
+    std::span<double> base = ws.tmp(max_len);
+    std::span<double> stage = ws.aux(max_len);
+    base_copy.resize(max_len);
+    std::size_t nr = 1, nb = taps.size();
+    result[0] = 1.0;
+    std::copy(taps.begin(), taps.end(), base.begin());
+    std::uint64_t e = h;
+    while (e > 0) {
+      if (e & 1u) {
+        const std::size_t len = nr + nb - 1;
+        amopt::conv::convolve_full(result.first(nr), base.first(nb),
+                                   stage.first(len), ws);
+        std::copy_n(stage.begin(), len, result.begin());
+        nr = len;
+        clamp(result.first(nr));
+      }
+      e >>= 1;
+      if (e > 0) {
+        const std::size_t len = 2 * nb - 1;
+        std::copy_n(base.begin(), nb, base_copy.begin());
+        amopt::conv::convolve_full(base.first(nb),
+                                   std::span<const double>(base_copy).first(nb),
+                                   stage.first(len), ws);
+        std::copy_n(stage.begin(), len, base.begin());
+        nb = len;
+        clamp(base.first(nb));
+      }
+    }
+    benchmark::DoNotOptimize(result.data());
+  };
+  run();  // warm-up
+  for (auto _ : state) run();
+}
+
+// Kernel-ladder micro: one descent-like height set (h, h/2, ..., 1) served
+// by a fresh KernelCache (rungs shared across heights) vs the same heights
+// each rebuilt from the raw taps.
+void BM_KernelLadderDescentPath(benchmark::State& state,
+                                amopt::simd::Level lvl) {
+  const LevelScope scope(lvl);
+  const std::uint64_t h = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    amopt::stencil::KernelCache cache({{0.24, 0.50, 0.25}, 0});
+    for (std::uint64_t step = h; step >= 1; step /= 2) {
+      const auto k = cache.power(step);
+      benchmark::DoNotOptimize(k.data());
+    }
+  }
+}
+
+void BM_KernelPowersUnsharedPath(benchmark::State& state,
+                                 amopt::simd::Level lvl) {
+  const LevelScope scope(lvl);
+  const std::uint64_t h = static_cast<std::uint64_t>(state.range(0));
+  const std::vector<double> taps{0.24, 0.50, 0.25};
+  amopt::conv::Workspace ws;
+  for (auto _ : state) {
+    for (std::uint64_t step = h; step >= 1; step /= 2) {
+      auto k = amopt::poly::power_fft(taps, step, ws);
+      benchmark::DoNotOptimize(k.data());
+    }
+  }
+}
+
 void register_per_path_benches() {
   using amopt::simd::Level;
   for (const Level lvl : {Level::scalar, Level::avx2, Level::avx512}) {
@@ -252,6 +402,30 @@ void register_per_path_benches() {
                                  BM_ConvolveWorkspacePath, lvl)
         ->RangeMultiplier(4)
         ->Range(1 << 10, 1 << 16);
+    benchmark::RegisterBenchmark(("BM_CorrelateValidWorkspace" + tag).c_str(),
+                                 BM_CorrelateWorkspacePath, lvl)
+        ->RangeMultiplier(4)
+        ->Range(1 << 10, 1 << 16);
+    benchmark::RegisterBenchmark(("BM_CorrelateSpectral" + tag).c_str(),
+                                 BM_CorrelateSpectralPath, lvl)
+        ->RangeMultiplier(4)
+        ->Range(1 << 10, 1 << 16);
+    benchmark::RegisterBenchmark(("BM_PolyPowerFft" + tag).c_str(),
+                                 BM_PolyPowerFftPath, lvl)
+        ->RangeMultiplier(4)
+        ->Range(1 << 10, 1 << 14);
+    benchmark::RegisterBenchmark(("BM_PolyPowerFftTwoTransform" + tag).c_str(),
+                                 BM_PolyPowerFftTwoTransformPath, lvl)
+        ->RangeMultiplier(4)
+        ->Range(1 << 10, 1 << 14);
+    benchmark::RegisterBenchmark(("BM_KernelLadderDescent" + tag).c_str(),
+                                 BM_KernelLadderDescentPath, lvl)
+        ->RangeMultiplier(4)
+        ->Range(1 << 10, 1 << 14);
+    benchmark::RegisterBenchmark(("BM_KernelPowersUnshared" + tag).c_str(),
+                                 BM_KernelPowersUnsharedPath, lvl)
+        ->RangeMultiplier(4)
+        ->Range(1 << 10, 1 << 14);
   }
 }
 

@@ -179,6 +179,16 @@ std::int64_t FdmSolver::solve(std::int64_t n0, std::int64_t f0,
     if (conv_out.empty()) return;
     const std::span<const double> kernel =
         kernels_->power(static_cast<std::uint64_t>(h));
+    // Same spectral routing as LatticeSolver::run_conv: FFT-path sweeps
+    // consume the cache's reversed kernel spectrum and skip its transform.
+    if (conv::correlate_prefers_fft(conv_out.size(), kernel.size(),
+                                    cfg_.conv_policy)) {
+      const fft::RealSpectrum& spec = kernels_->power_spectrum(
+          static_cast<std::uint64_t>(h),
+          conv::correlate_fft_size(conv_out.size(), kernel.size()));
+      conv::correlate_valid(in, spec, conv_out, conv::thread_workspace());
+      return;
+    }
     conv::correlate_valid(in, kernel, conv_out, cfg_.conv_policy);
   };
   if (spawn) {

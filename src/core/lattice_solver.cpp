@@ -87,6 +87,19 @@ void LatticeSolver::run_conv(std::span<const double> ext, std::int64_t h,
                              std::span<double> out) {
   const std::span<const double> kernel =
       kernels_->power(static_cast<std::uint64_t>(h));
+  // FFT-path convolutions consume the cache's ready-made kernel spectrum
+  // (2 transforms per call instead of 3); repeated trapezoids at the same
+  // (height, padded size) — within this pricing and across every pricing
+  // sharing the cache — pay the kernel transform once. Same bits as the
+  // transform-per-call path, so this is pure work elision.
+  if (conv::correlate_prefers_fft(out.size(), kernel.size(),
+                                  cfg_.conv_policy)) {
+    const fft::RealSpectrum& spec = kernels_->power_spectrum(
+        static_cast<std::uint64_t>(h),
+        conv::correlate_fft_size(out.size(), kernel.size()));
+    conv::correlate_valid(ext, spec, out, conv::thread_workspace());
+    return;
+  }
   conv::correlate_valid(ext, kernel, out, cfg_.conv_policy);
 }
 

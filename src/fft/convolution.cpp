@@ -67,6 +67,26 @@ void real_convolve_into(std::span<const double> a, std::span<const double> b,
   std::span<double> ra = ws.real_a(n);
   std::copy(a.begin(), a.end(), ra.begin());
   std::fill(ra.begin() + static_cast<std::ptrdiff_t>(a.size()), ra.end(), 0.0);
+
+  std::span<cplx> sa = ws.spec_a(nspec);
+  // Aliased-operand fast path: convolving a signal with itself (the
+  // squaring rungs of poly::power_fft) needs only ONE forward transform —
+  // the spectrum is squared in place. A second transform of the identical
+  // input would reproduce these bins bit for bit, and csquare evaluates
+  // cmul(sa, sa) on them (exactly at the scalar level, to the documented
+  // last-ulp FMA tolerance on AVX-512), so the fast path is work elision,
+  // not a numerical shortcut.
+  if (!reverse_b && a.data() == b.data() && a.size() == b.size()) {
+    plan.forward(ra.data(), sa.data());
+    simd::kernels().csquare(sa.data(), nspec);
+    plan.inverse(sa.data(), ra.data());
+    AMOPT_EXPECTS(skip + out.size() <= full);
+    std::copy_n(ra.begin() + static_cast<std::ptrdiff_t>(skip), out.size(),
+                out.begin());
+    count_fft_ops(n, 2);
+    return;
+  }
+
   std::span<double> rb = ws.real_b(n);
   if (reverse_b) {
     std::copy(b.rbegin(), b.rend(), rb.begin());
@@ -75,7 +95,6 @@ void real_convolve_into(std::span<const double> a, std::span<const double> b,
   }
   std::fill(rb.begin() + static_cast<std::ptrdiff_t>(b.size()), rb.end(), 0.0);
 
-  std::span<cplx> sa = ws.spec_a(nspec);
   std::span<cplx> sb = ws.spec_b(nspec);
   plan.forward(ra.data(), sa.data());
   plan.forward(rb.data(), sb.data());
@@ -86,6 +105,34 @@ void real_convolve_into(std::span<const double> a, std::span<const double> b,
   std::copy_n(ra.begin() + static_cast<std::ptrdiff_t>(skip), out.size(),
               out.begin());
   count_fft_ops(n, 3);
+}
+
+/// The consumer half of the spectral overloads: transform `a` zero-padded
+/// to `kspec.n`, multiply by the precomputed kernel bins, invert, copy out
+/// from `skip`. Identical arithmetic to real_convolve_into with the kernel
+/// transform hoisted out.
+void real_convolve_spec_into(std::span<const double> a,
+                             const fft::RealSpectrum& kspec, std::size_t skip,
+                             std::span<double> out, Workspace& ws) {
+  const std::size_t full = a.size() + kspec.klen - 1;
+  const std::size_t n = kspec.n;
+  AMOPT_EXPECTS(n >= full);
+  const fft::RealPlan& plan = fft::real_plan_for(n);
+  const std::size_t nspec = plan.spectrum_size();
+  AMOPT_EXPECTS(kspec.bins.size() >= nspec);
+
+  std::span<double> ra = ws.real_a(n);
+  std::copy(a.begin(), a.end(), ra.begin());
+  std::fill(ra.begin() + static_cast<std::ptrdiff_t>(a.size()), ra.end(), 0.0);
+  std::span<cplx> sa = ws.spec_a(nspec);
+  plan.forward(ra.data(), sa.data());
+  simd::kernels().cmul(sa.data(), kspec.bins.data(), nspec);
+  plan.inverse(sa.data(), ra.data());
+
+  AMOPT_EXPECTS(skip + out.size() <= full);
+  std::copy_n(ra.begin() + static_cast<std::ptrdiff_t>(skip), out.size(),
+              out.begin());
+  count_fft_ops(n, 2);
 }
 
 /// Legacy packed-complex cyclic convolution (the seed implementation): pack
@@ -235,6 +282,68 @@ void correlate_valid(std::span<const double> in,
                      std::span<const double> kernel, std::span<double> out,
                      Policy policy) {
   correlate_valid(in, kernel, out, thread_workspace(), policy);
+}
+
+bool correlate_prefers_fft(std::size_t out_len, std::size_t kernel_len,
+                           Policy policy) {
+  if (out_len == 0 || kernel_len == 0) return false;
+  if (policy.path == Policy::Path::fft_packed) return false;
+  const std::size_t in_len = out_len + kernel_len - 1;
+  return !use_direct(in_len, kernel_len, policy);
+}
+
+std::size_t correlate_fft_size(std::size_t out_len, std::size_t kernel_len) {
+  // The trimmed input prefix is out_len + kernel_len - 1; its full linear
+  // convolution with the kernel has length out_len + 2*(kernel_len - 1).
+  return next_pow2(out_len + 2 * (kernel_len - 1));
+}
+
+fft::RealSpectrum kernel_spectrum(std::span<const double> kernel,
+                                  std::size_t n, bool reversed,
+                                  Workspace& ws) {
+  AMOPT_EXPECTS(!kernel.empty());
+  AMOPT_EXPECTS(n >= kernel.size());
+  fft::RealSpectrum spec;
+  fft::real_plan_for(n).spectrum(kernel, reversed, ws.real_b(n), spec);
+  count_fft_ops(n, 1, /*pointwise=*/false);
+  return spec;
+}
+
+void correlate_valid(std::span<const double> in,
+                     const fft::RealSpectrum& kspec, std::span<double> out,
+                     Workspace& ws) {
+  AMOPT_EXPECTS(!kspec.empty() && kspec.reversed);
+  if (out.empty()) return;
+  AMOPT_EXPECTS(in.size() >= out.size() + kspec.klen - 1);
+  const std::size_t needed_in = out.size() + kspec.klen - 1;
+  real_convolve_spec_into(in.subspan(0, needed_in), kspec,
+                          /*skip=*/kspec.klen - 1, out, ws);
+}
+
+void convolve_full(std::span<const double> a, const fft::RealSpectrum& bspec,
+                   std::span<double> out, Workspace& ws) {
+  AMOPT_EXPECTS(!bspec.empty() && !bspec.reversed);
+  if (a.empty()) {
+    AMOPT_EXPECTS(out.empty());
+    return;
+  }
+  AMOPT_EXPECTS(out.size() == a.size() + bspec.klen - 1);
+  real_convolve_spec_into(a, bspec, /*skip=*/0, out, ws);
+}
+
+void convolve_many(std::span<const std::span<const double>> inputs,
+                   const fft::RealSpectrum& kspec,
+                   std::span<std::vector<double>> outs, Workspace& ws) {
+  AMOPT_EXPECTS(outs.size() == inputs.size());
+  AMOPT_EXPECTS(!kspec.empty() && !kspec.reversed);
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    if (inputs[i].empty()) {
+      outs[i].clear();
+      continue;
+    }
+    outs[i].resize(inputs[i].size() + kspec.klen - 1);
+    real_convolve_spec_into(inputs[i], kspec, /*skip=*/0, outs[i], ws);
+  }
 }
 
 void convolve_many(std::span<const std::span<const double>> inputs,

@@ -322,6 +322,27 @@ void RealPlan::inverse(cplx* spec, double* out) const {
   }
 }
 
+void RealPlan::spectrum(std::span<const double> signal, bool reversed,
+                        std::span<double> pad, RealSpectrum& spec) const {
+  AMOPT_EXPECTS(signal.size() <= n_);
+  AMOPT_EXPECTS(pad.size() >= n_);
+  // Pack exactly like the convolution paths (reversal happens while
+  // staging, no reversed copy), so the bins match the in-call transform
+  // bit for bit.
+  if (reversed) {
+    std::copy(signal.rbegin(), signal.rend(), pad.begin());
+  } else {
+    std::copy(signal.begin(), signal.end(), pad.begin());
+  }
+  std::fill(pad.begin() + static_cast<std::ptrdiff_t>(signal.size()),
+            pad.begin() + static_cast<std::ptrdiff_t>(n_), 0.0);
+  spec.n = n_;
+  spec.klen = signal.size();
+  spec.reversed = reversed;
+  spec.bins.resize(spectrum_size());
+  forward(pad.data(), spec.bins.data());
+}
+
 namespace {
 
 /// Append-only plan cache: readers follow one atomic pointer to an immutable

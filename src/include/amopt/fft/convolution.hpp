@@ -21,6 +21,15 @@
 // Every entry point has a span-based overload taking an explicit Workspace
 // (fully allocation-free) and a convenience overload that uses a
 // thread-local arena.
+//
+// Two transform-count reductions on top of that (both bit-identical to the
+// baseline path at a fixed dispatch level):
+//   * aliased operands — `convolve_full(a, a, ...)` runs one forward
+//     transform and squares the spectrum in place (`simd csquare`), the
+//     path poly::power_fft's squaring loop rides;
+//   * precomputed kernel spectra — the `fft::RealSpectrum` overloads below
+//     skip the kernel transform entirely (2 transforms per call instead
+//     of 3); stencil::KernelCache hands the solvers ready spectra.
 
 #include <cstddef>
 #include <span>
@@ -102,6 +111,58 @@ void correlate_valid(std::span<const double> in,
 void correlate_valid(std::span<const double> in,
                      std::span<const double> kernel, std::span<double> out,
                      Workspace& ws, Policy policy = {});
+
+// ------------------------------------------------------- spectral overloads
+//
+// The FFT paths above transform their kernel from the time domain on every
+// call (3 half-size transforms per convolution). When the same kernel is
+// applied repeatedly at one padded size — every trapezoid of a descent at
+// the same recursion depth, every squaring rung of a kernel ladder — the
+// kernel's spectrum can be computed once (`kernel_spectrum`, or the
+// stencil::KernelCache spectrum tier) and passed to the overloads below,
+// which then cost 2 transforms per call. Results are bit-identical to the
+// transform-per-call path at the same dispatch level: the cached bins are
+// the same bins the in-call transform would produce.
+
+/// Whether `correlate_valid` with these lengths would take the real-input
+/// FFT path (false for the direct crossover and for the legacy packed
+/// pipeline, which transforms both operands together).
+[[nodiscard]] bool correlate_prefers_fft(std::size_t out_len,
+                                         std::size_t kernel_len,
+                                         Policy policy);
+
+/// The padded transform size the FFT correlation path uses for these
+/// lengths — the `n` to build a reusable kernel spectrum at.
+[[nodiscard]] std::size_t correlate_fft_size(std::size_t out_len,
+                                             std::size_t kernel_len);
+
+/// Build a reusable kernel spectrum at padded size n (a power of two >= the
+/// full linear length of the intended products). `reversed` selects the
+/// correlation layout consumed by the spectral `correlate_valid`.
+[[nodiscard]] fft::RealSpectrum kernel_spectrum(std::span<const double> kernel,
+                                                std::size_t n, bool reversed,
+                                                Workspace& ws);
+
+/// Valid correlation against a precomputed kernel spectrum (`kspec` built
+/// with reversed = true). Requires in.size() >= out.size() + kspec.klen - 1
+/// and kspec.n >= out.size() + 2*(kspec.klen - 1) (i.e. at least
+/// correlate_fft_size of the lengths; larger sizes just carry more padding).
+/// Always the FFT path — callers gate on `correlate_prefers_fft`.
+void correlate_valid(std::span<const double> in,
+                     const fft::RealSpectrum& kspec, std::span<double> out,
+                     Workspace& ws);
+
+/// Full convolution against a precomputed kernel spectrum (`bspec` built
+/// with reversed = false). `out` must hold a.size() + bspec.klen - 1
+/// elements and bspec.n must cover that full length.
+void convolve_full(std::span<const double> a, const fft::RealSpectrum& bspec,
+                   std::span<double> out, Workspace& ws);
+
+/// `convolve_many` against a precomputed kernel spectrum (reversed = false;
+/// kspec.n must cover the largest item's full linear length).
+void convolve_many(std::span<const std::span<const double>> inputs,
+                   const fft::RealSpectrum& kspec,
+                   std::span<std::vector<double>> outs, Workspace& ws);
 
 /// Batched full convolutions against one shared kernel: outs[i] receives
 /// inputs[i] (*) kernel, resized to inputs[i].size()+kernel.size()-1. On the

@@ -70,6 +70,26 @@ class Plan {
   std::vector<std::uint32_t> bitrev_;
 };
 
+/// A first-class, reusable R2C spectrum: the n/2+1 non-redundant bins of one
+/// real signal zero-padded to a transform size n. This is the currency of
+/// the spectral convolution overloads (conv::correlate_valid /
+/// convolve_full / convolve_many with a precomputed kernel spectrum) and of
+/// the stencil::KernelCache spectrum tier — transform a kernel once, reuse
+/// its bins for every convolution at that padded size. Bins live in 64-byte
+/// aligned storage so the dispatched spectrum products take their fast path.
+struct RealSpectrum {
+  std::size_t n = 0;     ///< padded transform size (power of two; 0 = empty)
+  std::size_t klen = 0;  ///< time-domain signal length the bins encode
+  bool reversed = false; ///< signal was packed back-to-front (the
+                         ///< correlation layout of conv::correlate_valid)
+  aligned_vector<cplx> bins;  ///< the n/2+1 non-redundant bins
+
+  [[nodiscard]] bool empty() const noexcept { return n == 0; }
+  [[nodiscard]] std::size_t spectrum_size() const noexcept {
+    return n / 2 + 1;
+  }
+};
+
 /// Real-input transform of size n (power of two): forward packs the even/odd
 /// samples into a size-n/2 complex signal, runs the half-size complex plan,
 /// and untangles the spectrum with one O(n) twiddle pass. The spectrum is
@@ -93,6 +113,17 @@ class RealPlan {
   /// n/2 are ignored), `out` receives n reals, including the 1/n
   /// normalization. Destroys `spec` (it doubles as the transform scratch).
   void inverse(cplx* spec, double* out) const;
+
+  /// Produce a reusable `RealSpectrum`: `signal` (its length must not
+  /// exceed size()) is zero-padded to size() — packed back-to-front when
+  /// `reversed`, the correlation layout — and forward-transformed into
+  /// `spec.bins`. `pad` is caller scratch of at least size() doubles (the
+  /// padded time-domain staging buffer; conv::Workspace::real_b works).
+  /// The result is bit-identical to what the convolution paths compute
+  /// in-call for the same operand, so consuming a cached spectrum never
+  /// changes a result, only skips its transform.
+  void spectrum(std::span<const double> signal, bool reversed,
+                std::span<double> pad, RealSpectrum& spec) const;
 
  private:
   std::size_t n_;

@@ -65,6 +65,28 @@ struct PricerConfig {
   /// in the last bits (different, fewer iterates); set false to replay the
   /// free-function iteration exactly on every call.
   bool warm_start_iv = true;
+  /// Warm-start repeated batch greeks the way implied vol is warm-started:
+  /// the session remembers the price of every bumped spec a greeks report
+  /// evaluates (keyed by the full spec + discretization + resolved solver
+  /// config), so a recalibration tick that re-requests greeks for an
+  /// unchanged contract replays its finite-difference legs from the store
+  /// instead of re-pricing them. Prices are deterministic in the key, so
+  /// reuse is exact — results are bit-identical to a cold call at the same
+  /// SIMD dispatch level. Set false to re-price every leg on every call.
+  bool warm_start_greeks = true;
+  /// Opt-in cross-expiry kernel sharing: requests in one `price_many` batch
+  /// whose derived taps differ ONLY through the time step (same model /
+  /// right / style / fft engine and same R, V, Y — a chain over expiries)
+  /// are renormalized to their group's finest dt: T becomes
+  /// round(expiry / dt*) and expiry is snapped onto the step grid
+  /// (|change| <= dt*/2, sub-step). Tap vectors across the group then
+  /// coincide bit for bit, so the whole chain shares ONE kernel cache —
+  /// powers, squaring ladder, and spectra are built once per chain instead
+  /// of once per expiry. Prices change by the normalization itself (a
+  /// refinement: T never decreases), bounded by the lattice's own O(1/T)
+  /// discretization error; see DESIGN.md §5. Items whose renormalized T
+  /// would exceed 8x the requested T keep their own discretization.
+  bool share_kernels_across_expiries = false;
 };
 
 class Pricer {
@@ -114,6 +136,8 @@ class Pricer {
     std::uint64_t cache_misses = 0; ///< tap-group lookups that built a cache
     std::uint64_t requests = 0;     ///< items served across all batches
     std::size_t warm_roots = 0;     ///< contracts with a remembered IV root
+    std::size_t warm_bump_prices = 0;   ///< remembered greeks-leg prices
+    std::uint64_t bump_price_hits = 0;  ///< greeks legs served from the store
   };
   [[nodiscard]] Stats stats() const;
 
@@ -148,6 +172,17 @@ class Pricer {
                                     const PricingRequest& req,
                                     const core::SolverConfig& cfg);
 
+  /// price_cached through the session's bumped-price store (the greeks
+  /// warm-start): identical value, remembered across calls so repeated
+  /// greeks over an unchanged contract skip the re-pricing entirely.
+  [[nodiscard]] double price_cached_memo(const OptionSpec& spec,
+                                         const PricingRequest& req,
+                                         const core::SolverConfig& cfg);
+
+  /// The cross-expiry dt normalization behind
+  /// `PricerConfig::share_kernels_across_expiries` (see its comment).
+  static void normalize_expiries(std::vector<PricingRequest>& reqs);
+
   /// Serve one validated item; throws on pricer failure (caught by the
   /// batch loop and converted to Status::error).
   void run_item(const PricingRequest& req, stencil::KernelCache* kernels,
@@ -175,10 +210,14 @@ class Pricer {
   std::vector<Entry> base_caches_;       ///< requests' own tap groups
   std::vector<Entry> transient_caches_;  ///< bump/trial-vol tap groups
   std::unordered_map<std::string, WarmRoot> warm_roots_;  ///< by contract key
+  /// Bumped-spec prices the greeks legs evaluated, by full evaluation key
+  /// (spec + T + model/right/style/engine + resolved solver config).
+  std::unordered_map<std::string, double> bump_prices_;
   std::uint64_t tick_ = 0;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t requests_ = 0;
+  std::uint64_t bump_hits_ = 0;
 };
 
 }  // namespace amopt::pricing

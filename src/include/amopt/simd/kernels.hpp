@@ -30,6 +30,15 @@ struct Kernels {
   /// Pointwise spectrum product a[k] *= b[k] (interleaved complex).
   void (*cmul)(cplx* a, const cplx* b, std::size_t n);
 
+  /// Pointwise spectrum square a[k] *= a[k] — the aliased-operand fast path
+  /// of `convolve_full(a, a, ...)` (one forward transform instead of two).
+  /// The scalar entry IS cmul(a, a) bit for bit; the vector entries run the
+  /// same shuffle/multiply sequence as their cmul with both factors taken
+  /// from one load (the AVX-512 scalar tail may contract its multiply-adds
+  /// differently — last-ulp territory, inside the documented cross-path
+  /// tolerance).
+  void (*csquare)(cplx* a, std::size_t n);
+
   /// Small-tap correlation out[j] = sum_m taps[m] * in[j + m], j < n.
   /// The accumulation order is m ascending from a 0.0 seed (the lattice
   /// solver's historical order).

@@ -1,5 +1,5 @@
 #pragma once
-// Memoized stencil-kernel powers.
+// Memoized stencil-kernel powers, cached in BOTH domains.
 //
 // The trapezoid recursion requests kernels for heights L/2, L/4, ... and the
 // top-level descent re-requests many of the same heights, so each pricing
@@ -9,14 +9,29 @@
 // readers never serialize against each other; the cache is safe to use from
 // the solver's parallel OpenMP tasks and from `pricing::price_batch`'s
 // per-option threads.
+//
+// Two tiers per height:
+//   * TIME DOMAIN — `power(h)`: the coefficients of taps^h. Unchanged
+//     contract (spans stay valid for the cache's lifetime) and unchanged
+//     bits: FFT-built powers replay poly::power_fft's square-and-multiply
+//     walk, drawing the squaring chain taps^(2^k) from one shared ladder so
+//     each squaring is paid once per cache instead of once per height.
+//   * SPECTRAL — `power_spectrum(h, n)`: the reversed (correlation-layout)
+//     R2C spectrum of taps^h at padded size n, materialized lazily on first
+//     use and keyed by (h, n). Repeated convolutions at the same recursion
+//     depth then skip the kernel transform entirely (the conv spectral
+//     overloads run 2 transforms per call instead of 3).
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
+#include "amopt/fft/fft.hpp"
+#include "amopt/poly/poly_power.hpp"
 #include "amopt/stencil/linear_stencil.hpp"
 
 namespace amopt::stencil {
@@ -36,11 +51,38 @@ class KernelCache {
   /// lifetime of the cache (entries are never evicted).
   [[nodiscard]] std::span<const double> power(std::uint64_t h);
 
+  /// The reversed R2C spectrum of taps^h at padded transform size n (a
+  /// power of two >= the full linear length of the intended correlation —
+  /// conv::correlate_fft_size of the call's dimensions). The reference
+  /// stays valid for the lifetime of the cache.
+  [[nodiscard]] const fft::RealSpectrum& power_spectrum(std::uint64_t h,
+                                                        std::size_t n);
+
+  struct Stats {
+    std::size_t powers = 0;        ///< cached time-domain heights
+    std::size_t spectra = 0;       ///< cached (h, n) spectra
+    std::size_t ladder_rungs = 0;  ///< squaring-ladder entries taps^(2^k)
+  };
+  [[nodiscard]] Stats stats() const;
+
  private:
+  /// taps^h, computed the way poly::power would, but with FFT-path heights
+  /// drawing on the shared squaring ladder. Caller holds no lock.
+  [[nodiscard]] std::vector<double> compute_power(std::uint64_t h);
+
   LinearStencil stencil_;
-  std::shared_mutex mu_;
+  mutable std::shared_mutex mu_;
   std::unordered_map<std::uint64_t, std::unique_ptr<std::vector<double>>>
       cache_;
+  /// Spectra keyed by (h, log2 n) packed into one word (log2 n < 64).
+  std::unordered_map<std::uint64_t, std::unique_ptr<fft::RealSpectrum>>
+      spectra_;
+  /// Shared repeated-squaring chain taps^(2^k) for the FFT power path; its
+  /// own mutex, held only while EXTENDING the chain — the combine steps of
+  /// a power build read stable rung snapshots outside it, so concurrent
+  /// cold builds at different heights serialize only on missing rungs.
+  mutable std::mutex ladder_mu_;
+  poly::SquaringLadder ladder_;
 };
 
 }  // namespace amopt::stencil

@@ -59,6 +59,10 @@ void clamp_kernel_noise(std::span<double> k) {
 
 std::vector<double> power_fft(std::span<const double> taps, std::uint64_t h,
                               conv::Workspace& ws) {
+  // extend_ladder/power_from_rungs below replay this walk rung for rung;
+  // any change to the clamp or the convolution order must be mirrored
+  // there, or KernelCache::power loses its bit-identity with poly::power
+  // (asserted in tests/test_stencil.cpp).
   AMOPT_EXPECTS(!taps.empty());
   if (h == 0) return {1.0};
   bool probability_kernel = true;
@@ -100,6 +104,79 @@ std::vector<double> power_fft(std::span<const double> taps, std::uint64_t h,
 
 std::vector<double> power_fft(std::span<const double> taps, std::uint64_t h) {
   return power_fft(taps, h, conv::thread_workspace());
+}
+
+// The two halves below replay power_fft's square-and-multiply walk — same
+// convolutions on the same values in the same order, same clamp placement —
+// which is what makes KernelCache::power bit-identical to poly::power (the
+// contract tests/test_stencil.cpp asserts). Any change to power_fft's clamp
+// threshold, accumulation order, or policy MUST be mirrored here.
+
+void extend_ladder(std::span<const double> taps, std::uint64_t h,
+                   SquaringLadder& ladder, conv::Workspace& ws) {
+  AMOPT_EXPECTS(!taps.empty());
+  if (h == 0) return;
+  bool probability_kernel = true;
+  for (double t : taps) probability_kernel &= (t >= 0.0);
+  if (ladder.empty()) ladder.emplace_back(taps.begin(), taps.end());
+  AMOPT_EXPECTS(ladder[0].size() == taps.size());
+  AMOPT_EXPECTS(std::equal(ladder[0].begin(), ladder[0].end(), taps.begin()));
+  std::size_t kmax = 0;
+  for (std::uint64_t e = h; e >>= 1;) ++kmax;
+  while (ladder.size() <= kmax) {
+    // Rung k+1 = rung k squared: the self-convolution rides the aliased
+    // one-transform fast path, and the clamp matches power_fft's internal
+    // base clamp — a rung built for one height is, bit for bit, the rung
+    // every other height would have recomputed.
+    const std::vector<double>& top = ladder.back();
+    std::vector<double> next(2 * top.size() - 1);
+    conv::convolve_full(top, top, next, ws);
+    if (probability_kernel) clamp_kernel_noise(next);
+    ladder.push_back(std::move(next));
+  }
+}
+
+std::vector<double> power_from_rungs(
+    std::uint64_t h, std::span<const std::span<const double>> rungs,
+    conv::Workspace& ws) {
+  if (h == 0) return {1.0};
+  AMOPT_EXPECTS(!rungs.empty() && !rungs[0].empty());
+  bool probability_kernel = true;
+  for (double t : rungs[0]) probability_kernel &= (t >= 0.0);
+  const std::size_t d = rungs[0].size() - 1;
+  const std::size_t max_len = d * static_cast<std::size_t>(h) + 1;
+  std::span<double> result = ws.acc(max_len);
+  std::span<double> stage = ws.aux(max_len);
+  std::size_t nr = 1;
+  result[0] = 1.0;
+  std::uint64_t e = h;
+  for (std::size_t k = 0; e > 0; ++k, e >>= 1) {
+    if (e & 1u) {
+      AMOPT_EXPECTS(k < rungs.size());
+      const std::span<const double> base = rungs[k];
+      const std::size_t len = nr + base.size() - 1;
+      conv::convolve_full(result.first(nr), base, stage.first(len), ws);
+      std::copy_n(stage.begin(), len, result.begin());
+      nr = len;
+      if (probability_kernel) clamp_kernel_noise(result.first(nr));
+    }
+  }
+  return std::vector<double>(result.begin(),
+                             result.begin() + static_cast<std::ptrdiff_t>(nr));
+}
+
+std::vector<double> power_fft_ladder(std::span<const double> taps,
+                                     std::uint64_t h, SquaringLadder& ladder,
+                                     conv::Workspace& ws) {
+  AMOPT_EXPECTS(!taps.empty());
+  if (h == 0) return {1.0};
+  extend_ladder(taps, h, ladder, ws);
+  std::size_t kmax = 0;
+  for (std::uint64_t e = h; e >>= 1;) ++kmax;
+  std::vector<std::span<const double>> rungs;
+  rungs.reserve(kmax + 1);
+  for (std::size_t k = 0; k <= kmax; ++k) rungs.emplace_back(ladder[k]);
+  return power_from_rungs(h, rungs, ws);
 }
 
 std::vector<double> power_binomial(double a, double b, std::uint64_t h) {

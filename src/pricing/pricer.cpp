@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <exception>
+#include <limits>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -130,6 +131,57 @@ Pricer::CachePtr Pricer::cache_for(const stencil::LinearStencil& st,
   return out;
 }
 
+namespace {
+
+/// Everything a single price evaluation depends on, serialized: the spec,
+/// the discretization, the dispatch selection, and the resolved solver
+/// configuration. Two evaluations with equal keys return bit-identical
+/// prices (at a fixed SIMD dispatch level), which is what lets the greeks
+/// warm-start reuse stored values exactly.
+[[nodiscard]] std::string eval_key(const OptionSpec& spec,
+                                   const PricingRequest& req,
+                                   const core::SolverConfig& cfg) {
+  const double fields[] = {spec.S, spec.K, spec.R,
+                           spec.V, spec.Y, spec.expiry_years};
+  std::string key(reinterpret_cast<const char*>(fields), sizeof(fields));
+  const std::int64_t tags[] = {req.T,
+                               static_cast<std::int64_t>(req.model),
+                               static_cast<std::int64_t>(req.right),
+                               static_cast<std::int64_t>(req.style),
+                               static_cast<std::int64_t>(req.engine),
+                               static_cast<std::int64_t>(cfg.base_case),
+                               cfg.task_cutoff,
+                               static_cast<std::int64_t>(cfg.parallel),
+                               static_cast<std::int64_t>(cfg.drift),
+                               static_cast<std::int64_t>(cfg.conv_policy.path)};
+  key.append(reinterpret_cast<const char*>(tags), sizeof(tags));
+  return key;
+}
+
+}  // namespace
+
+double Pricer::price_cached_memo(const OptionSpec& spec,
+                                 const PricingRequest& req,
+                                 const core::SolverConfig& cfg) {
+  if (!cfg_.warm_start_greeks) return price_cached(spec, req, cfg);
+  const std::string key = eval_key(spec, req, cfg);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = bump_prices_.find(key);
+    if (it != bump_prices_.end()) {
+      ++bump_hits_;
+      return it->second;
+    }
+  }
+  const double p = price_cached(spec, req, cfg);
+  std::lock_guard<std::mutex> lock(mu_);
+  // Same bounded one-victim eviction as the IV warm-root store.
+  if (bump_prices_.size() >= 65536 && !bump_prices_.contains(key))
+    bump_prices_.erase(bump_prices_.begin());
+  bump_prices_[key] = p;
+  return p;
+}
+
 double Pricer::price_cached(const OptionSpec& spec, const PricingRequest& req,
                             const core::SolverConfig& cfg) {
   stencil::KernelCache* kernels = nullptr;
@@ -210,8 +262,11 @@ void Pricer::run_item(const PricingRequest& req, stencil::KernelCache* kernels,
   out.status = Status::ok;
 
   if ((compute & Compute::greeks) != 0u) {
+    // Every finite-difference leg flows through the session's bumped-price
+    // store (the greeks warm-start): a repeated greeks request over an
+    // unchanged contract replays its legs instead of re-pricing them.
     const RepriceFn reprice = [&](const OptionSpec& s) {
-      return price_cached(s, req, cfg);
+      return price_cached_memo(s, req, cfg);
     };
     out.greeks =
         req.right == Right::call
@@ -346,10 +401,87 @@ void Pricer::run_implied_vol(const PricingRequest& req,
   }
 }
 
+namespace {
+
+/// Truncate x to its leading `bits` significand bits (toward zero). The
+/// normalized dt is truncated to 32 bits so that dt * T is EXACTLY
+/// representable for every T < 2^21 — then expiry' = dt * T divides back to
+/// dt bit for bit in derive_bopm/derive_topm/derive_bsm's expiry/T, which
+/// is the channel that makes the group's tap vectors coincide. (Nudging
+/// the expiry a few ulps instead does NOT work: one ulp of expiry moves
+/// fl(expiry/T) by ~2 ulps of dt, so a full-precision dt target is often
+/// unreachable.) The truncation perturbs dt by < 2^-32 relative — orders
+/// below the lattice's own discretization error.
+[[nodiscard]] double truncate_significand(double x, int bits) {
+  int exp = 0;
+  const double m = std::frexp(x, &exp);  // m in [0.5, 1)
+  const double scale = std::ldexp(1.0, bits);
+  return std::ldexp(std::floor(m * scale) / scale, exp);
+}
+
+constexpr std::int64_t kMaxNormalizedT = std::int64_t{1} << 21;
+
+}  // namespace
+
+void Pricer::normalize_expiries(std::vector<PricingRequest>& reqs) {
+  // Group by everything that shapes the derived taps except the time step:
+  // model/right/style (the lattice family) and the spec's rate, vol, and
+  // yield. Strike and spot never enter the taps, so an ordinary
+  // strikes-by-expiries chain collapses into one group per (model, vol).
+  std::unordered_map<std::string, std::vector<std::size_t>> groups;
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    const PricingRequest& q = reqs[i];
+    if (q.engine != Engine::fft || q.T < 1) continue;
+    if (!(q.spec.expiry_years > 0.0) || !(q.spec.V > 0.0)) continue;
+    const double fields[] = {q.spec.R, q.spec.V, q.spec.Y};
+    std::string key(reinterpret_cast<const char*>(fields), sizeof(fields));
+    const std::int64_t tags[] = {static_cast<std::int64_t>(q.model),
+                                 static_cast<std::int64_t>(q.right),
+                                 static_cast<std::int64_t>(q.style)};
+    key.append(reinterpret_cast<const char*>(tags), sizeof(tags));
+    groups[key].push_back(i);
+  }
+  for (auto& [key, members] : groups) {
+    if (members.size() < 2) continue;
+    // The group's finest step: normalization only ever refines (T never
+    // decreases), so no item gets a coarser price than it asked for. The
+    // 32-bit truncation makes dt* * T exact below kMaxNormalizedT.
+    double dt_star = std::numeric_limits<double>::infinity();
+    for (const std::size_t i : members)
+      dt_star = std::min(dt_star, reqs[i].spec.expiry_years /
+                                      static_cast<double>(reqs[i].T));
+    dt_star = truncate_significand(dt_star, 32);
+    if (!(dt_star > 0.0)) continue;
+    for (const std::size_t i : members) {
+      PricingRequest& q = reqs[i];
+      const std::int64_t Tn =
+          std::llround(q.spec.expiry_years / dt_star);
+      // Guard against pathological mixes (a 5-year leg normalized to a
+      // 1-week leg's dt would inflate its lattice unboundedly): such items
+      // keep their own discretization and simply do not share.
+      if (Tn < q.T || Tn > 8 * q.T || Tn >= kMaxNormalizedT) continue;
+      const double e = dt_star * static_cast<double>(Tn);  // exact product
+      if (!(e > 0.0) || e / static_cast<double>(Tn) != dt_star) continue;
+      q.T = Tn;
+      q.spec.expiry_years = e;  // |e - requested| <= dt*/2 + ulps: sub-step
+    }
+  }
+}
+
 std::vector<PricingResult> Pricer::price_many(
     std::span<const PricingRequest> requests) {
   std::vector<PricingResult> out(requests.size());
   if (requests.empty()) return out;
+
+  // Opt-in cross-expiry kernel sharing: renormalize a copy of the batch so
+  // commensurate expiries derive bit-equal taps and the grouping below
+  // lands them in ONE registry entry (see PricerConfig).
+  std::vector<PricingRequest> normalized;
+  if (cfg_.share_kernels_across_expiries) {
+    normalized.assign(requests.begin(), requests.end());
+    normalize_expiries(normalized);
+    requests = normalized;
+  }
 
   // Group phase (serial): resolve each item's tap-group cache up front so
   // the fan-out threads share warm groups instead of racing to build them.
@@ -458,6 +590,8 @@ Pricer::Stats Pricer::stats() const {
   s.cache_misses = misses_;
   s.requests = requests_;
   s.warm_roots = warm_roots_.size();
+  s.warm_bump_prices = bump_prices_.size();
+  s.bump_price_hits = bump_hits_;
   return s;
 }
 
@@ -466,7 +600,8 @@ void Pricer::clear() {
   base_caches_.clear();
   transient_caches_.clear();
   warm_roots_.clear();
-  tick_ = hits_ = misses_ = requests_ = 0;
+  bump_prices_.clear();
+  tick_ = hits_ = misses_ = requests_ = bump_hits_ = 0;
 }
 
 }  // namespace amopt::pricing

@@ -66,6 +66,31 @@ void cmul(cplx* a, const cplx* b, std::size_t n) {
   for (std::size_t k = n & ~std::size_t{1}; k < n; ++k) a[k] *= b[k];
 }
 
+template <class Io>
+void csquare_vec(double* a, std::size_t pairs) {
+  // cmul_vec with both factors read from the one load: same shuffles, same
+  // multiply/addsub sequence, so the result matches cmul(a, a) lane for lane.
+  for (std::size_t k = 0; k + 2 <= pairs; k += 2) {
+    const __m256d va = Io::load(a + 2 * k);
+    const __m256d bre = _mm256_movedup_pd(va);
+    const __m256d bim = _mm256_permute_pd(va, 0xF);
+    const __m256d asw = _mm256_permute_pd(va, 0x5);
+    const __m256d t1 = _mm256_mul_pd(va, bre);
+    const __m256d t2 = _mm256_mul_pd(asw, bim);
+    Io::store(a + 2 * k, _mm256_addsub_pd(t1, t2));
+  }
+}
+
+void csquare(cplx* a, std::size_t n) {
+  auto* ad = reinterpret_cast<double*>(a);
+  if (aligned32(ad)) {
+    csquare_vec<IoAligned>(ad, n & ~std::size_t{1});
+  } else {
+    csquare_vec<IoUnaligned>(ad, n & ~std::size_t{1});
+  }
+  for (std::size_t k = n & ~std::size_t{1}; k < n; ++k) a[k] *= a[k];
+}
+
 // ------------------------------------------- small-tap correlation sweeps
 
 void correlate_taps(const double* in, const double* taps, std::size_t ntaps,
@@ -383,6 +408,85 @@ void radix4_h1(double* re, double* im, std::size_t n, bool inverse) {
   }
 }
 
+/// The h = 2 stage (only present in odd-log2 transforms, after the leading
+/// radix-2 stage): butterflies live on 8-element blocks with j in {0, 1}.
+/// Two blocks are processed per iteration through a 2x4 half-transpose —
+/// 128-bit lane permutes gather the j-pairs of both blocks into one
+/// register, so the whole stage runs the ordinary 4-wide butterfly with a
+/// [w(0), w(1), w(0), w(1)] twiddle broadcast and no unpack traffic.
+template <class Io>
+void radix4_h2(double* re, double* im, std::size_t n, const double* wsoa,
+               bool inverse) {
+  const __m256d conj_mask =
+      inverse ? _mm256_set1_pd(-0.0) : _mm256_setzero_pd();
+  const __m256d rot_mask =
+      inverse ? _mm256_setzero_pd() : _mm256_set1_pd(-0.0);
+  // Six 2-element twiddle arrays; each broadcasts to both 128-bit lanes.
+  const auto bcast2 = [](const double* p) {
+    return _mm256_broadcast_pd(reinterpret_cast<const __m128d*>(p));
+  };
+  const __m256d w1r = bcast2(wsoa);
+  const __m256d w1i = _mm256_xor_pd(bcast2(wsoa + 2), conj_mask);
+  const __m256d w2r = bcast2(wsoa + 4);
+  const __m256d w2i = _mm256_xor_pd(bcast2(wsoa + 6), conj_mask);
+  const __m256d w3r = bcast2(wsoa + 8);
+  const __m256d w3i = _mm256_xor_pd(bcast2(wsoa + 10), conj_mask);
+  std::size_t base = 0;
+  for (; base + 16 <= n; base += 16) {
+    // Half-transpose: [a0 a1 b0 b1 | c0 c1 d0 d1] x 2 blocks into
+    // per-operand registers [x0 x1 x0' x1'].
+    const auto gather = [&](const double* p, __m256d& va, __m256d& vb,
+                            __m256d& vc, __m256d& vd) {
+      const __m256d r0 = Io::load(p);
+      const __m256d r1 = Io::load(p + 4);
+      const __m256d r2 = Io::load(p + 8);
+      const __m256d r3 = Io::load(p + 12);
+      va = _mm256_permute2f128_pd(r0, r2, 0x20);
+      vb = _mm256_permute2f128_pd(r0, r2, 0x31);
+      vc = _mm256_permute2f128_pd(r1, r3, 0x20);
+      vd = _mm256_permute2f128_pd(r1, r3, 0x31);
+    };
+    __m256d ar, br, cr, dr, ai, bi, ci, di;
+    gather(re + base, ar, br, cr, dr);
+    gather(im + base, ai, bi, ci, di);
+    const __m256d bbr = _mm256_sub_pd(_mm256_mul_pd(br, w2r),
+                                      _mm256_mul_pd(bi, w2i));
+    const __m256d bbi = _mm256_add_pd(_mm256_mul_pd(br, w2i),
+                                      _mm256_mul_pd(bi, w2r));
+    const __m256d ccr = _mm256_sub_pd(_mm256_mul_pd(cr, w1r),
+                                      _mm256_mul_pd(ci, w1i));
+    const __m256d cci = _mm256_add_pd(_mm256_mul_pd(cr, w1i),
+                                      _mm256_mul_pd(ci, w1r));
+    const __m256d ddr = _mm256_sub_pd(_mm256_mul_pd(dr, w3r),
+                                      _mm256_mul_pd(di, w3i));
+    const __m256d ddi = _mm256_add_pd(_mm256_mul_pd(dr, w3i),
+                                      _mm256_mul_pd(di, w3r));
+    const __m256d a1r = _mm256_add_pd(ar, bbr);
+    const __m256d a1i = _mm256_add_pd(ai, bbi);
+    const __m256d b1r = _mm256_sub_pd(ar, bbr);
+    const __m256d b1i = _mm256_sub_pd(ai, bbi);
+    const __m256d sr = _mm256_add_pd(ccr, ddr);
+    const __m256d si = _mm256_add_pd(cci, ddi);
+    const __m256d itr = _mm256_xor_pd(_mm256_sub_pd(cci, ddi), conj_mask);
+    const __m256d iti = _mm256_xor_pd(_mm256_sub_pd(ccr, ddr), rot_mask);
+    const auto scatter = [&](double* p, __m256d oa, __m256d ob, __m256d oc,
+                             __m256d od) {
+      Io::store(p, _mm256_permute2f128_pd(oa, ob, 0x20));
+      Io::store(p + 4, _mm256_permute2f128_pd(oc, od, 0x20));
+      Io::store(p + 8, _mm256_permute2f128_pd(oa, ob, 0x31));
+      Io::store(p + 12, _mm256_permute2f128_pd(oc, od, 0x31));
+    };
+    scatter(re + base, _mm256_add_pd(a1r, sr), _mm256_add_pd(b1r, itr),
+            _mm256_sub_pd(a1r, sr), _mm256_sub_pd(b1r, itr));
+    scatter(im + base, _mm256_add_pd(a1i, si), _mm256_add_pd(b1i, iti),
+            _mm256_sub_pd(a1i, si), _mm256_sub_pd(b1i, iti));
+  }
+  if (base < n) {  // odd trailing block (n a multiple of 8, not 16)
+    tables::scalar.radix4_pass(re + base, im + base, n - base, 2, wsoa,
+                               inverse);
+  }
+}
+
 void radix4_pass(double* re, double* im, std::size_t n, std::size_t h,
                  const double* wsoa, bool inverse) {
   if (h == 1) {
@@ -393,9 +497,17 @@ void radix4_pass(double* re, double* im, std::size_t n, std::size_t h,
     }
     return;
   }
+  if (h == 2) {
+    if (aligned32(re) && aligned32(im)) {
+      radix4_h2<IoAligned>(re, im, n, wsoa, inverse);
+    } else {
+      radix4_h2<IoUnaligned>(re, im, n, wsoa, inverse);
+    }
+    return;
+  }
   if (h < 4) {
-    // h = 2 only occurs in odd-log2 transforms (after the leading radix-2
-    // stage); one scalar sweep out of log4(n) stages.
+    // h = 3 never occurs (half-sizes are powers of two); keep the scalar
+    // fallback so the kernel stays total over its argument space.
     tables::scalar.radix4_pass(re, im, n, h, wsoa, inverse);
     return;
   }
@@ -516,9 +628,10 @@ void rfft_retangle(cplx* spec, const cplx* tw, std::size_t m) {
 namespace tables {
 
 const Kernels avx2 = {
-    avx2_impl::cmul,           avx2_impl::correlate_taps,
-    avx2_impl::stencil3,       avx2_impl::deinterleave,
-    avx2_impl::interleave,     avx2_impl::deinterleave_rev,
+    avx2_impl::cmul,           avx2_impl::csquare,
+    avx2_impl::correlate_taps, avx2_impl::stencil3,
+    avx2_impl::deinterleave,   avx2_impl::interleave,
+    avx2_impl::deinterleave_rev,
     avx2_impl::scale2,         avx2_impl::radix2_pass,
     avx2_impl::radix4_pass,    avx2_impl::rfft_untangle,
     avx2_impl::rfft_retangle,

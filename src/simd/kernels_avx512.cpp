@@ -60,6 +60,31 @@ void cmul(cplx* a, const cplx* b, std::size_t n) {
   for (std::size_t k = nv; k < n; ++k) a[k] *= b[k];
 }
 
+template <class Io>
+void csquare_vec(double* a, std::size_t pairs) {
+  // cmul_vec with both factors taken from the single load: identical
+  // shuffle/fmaddsub sequence, so it matches cmul(a, a) lane for lane.
+  for (std::size_t k = 0; k + 4 <= pairs; k += 4) {
+    const __m512d va = Io::load(a + 2 * k);
+    const __m512d bre = _mm512_movedup_pd(va);
+    const __m512d bim = _mm512_permute_pd(va, 0xFF);
+    const __m512d asw = _mm512_permute_pd(va, 0x55);
+    const __m512d t2 = _mm512_mul_pd(asw, bim);
+    Io::store(a + 2 * k, _mm512_fmaddsub_pd(va, bre, t2));
+  }
+}
+
+void csquare(cplx* a, std::size_t n) {
+  auto* ad = reinterpret_cast<double*>(a);
+  const std::size_t nv = n & ~std::size_t{3};
+  if (aligned64(ad)) {
+    csquare_vec<IoAligned>(ad, nv);
+  } else {
+    csquare_vec<IoUnaligned>(ad, nv);
+  }
+  for (std::size_t k = nv; k < n; ++k) a[k] *= a[k];
+}
+
 // ------------------------------------------- small-tap correlation sweeps
 
 void correlate_taps(const double* in, const double* taps, std::size_t ntaps,
@@ -237,9 +262,10 @@ void radix4_pass(double* re, double* im, std::size_t n, std::size_t h,
 namespace tables {
 
 const Kernels avx512 = {
-    avx512_impl::cmul,         avx512_impl::correlate_taps,
-    avx512_impl::stencil3,     avx2_impl::deinterleave,
-    avx2_impl::interleave,     avx512_impl::deinterleave_rev,
+    avx512_impl::cmul,         avx512_impl::csquare,
+    avx512_impl::correlate_taps, avx512_impl::stencil3,
+    avx2_impl::deinterleave,   avx2_impl::interleave,
+    avx512_impl::deinterleave_rev,
     avx512_impl::scale2,       avx2_impl::radix2_pass,
     avx512_impl::radix4_pass,  avx2_impl::rfft_untangle,
     avx2_impl::rfft_retangle,

@@ -20,6 +20,7 @@ namespace scalar_impl {
 #if defined(AMOPT_HAVE_AVX2)
 namespace avx2_impl {
 void cmul(cplx* a, const cplx* b, std::size_t n);
+void csquare(cplx* a, std::size_t n);
 void correlate_taps(const double* in, const double* taps, std::size_t ntaps,
                     double* out, std::size_t n);
 void stencil3(const double* in, double b, double c, double a, double* out,

@@ -20,6 +20,12 @@ void cmul(cplx* __restrict a, const cplx* __restrict b, std::size_t n) {
   for (std::size_t k = 0; k < n; ++k) a[k] *= b[k];
 }
 
+void csquare(cplx* __restrict a, std::size_t n) {
+  // Exactly cmul(a, a): operator*= reads both factors before writing, so
+  // squaring in place evaluates the same expression on the same bits.
+  for (std::size_t k = 0; k < n; ++k) a[k] *= a[k];
+}
+
 void correlate_taps(const double* __restrict in, const double* __restrict taps,
                     std::size_t ntaps, double* __restrict out, std::size_t n) {
   for (std::size_t j = 0; j < n; ++j) {
@@ -152,9 +158,10 @@ void rfft_retangle(cplx* __restrict spec, const cplx* __restrict tw,
 namespace tables {
 
 const Kernels scalar = {
-    scalar_impl::cmul,           scalar_impl::correlate_taps,
-    scalar_impl::stencil3,       scalar_impl::deinterleave,
-    scalar_impl::interleave,     scalar_impl::deinterleave_rev,
+    scalar_impl::cmul,           scalar_impl::csquare,
+    scalar_impl::correlate_taps, scalar_impl::stencil3,
+    scalar_impl::deinterleave,   scalar_impl::interleave,
+    scalar_impl::deinterleave_rev,
     scalar_impl::scale2,         scalar_impl::radix2_pass,
     scalar_impl::radix4_pass,    scalar_impl::rfft_untangle,
     scalar_impl::rfft_retangle,

@@ -1,10 +1,51 @@
 #include "amopt/stencil/kernel_cache.hpp"
 
 #include <mutex>
+#include <utility>
 
-#include "amopt/poly/poly_power.hpp"
+#include "amopt/common/aligned.hpp"
+#include "amopt/common/assert.hpp"
+#include "amopt/fft/convolution.hpp"
 
 namespace amopt::stencil {
+
+namespace {
+
+/// Pack a spectrum key: heights fit far below 2^57 and padded sizes are
+/// powers of two, so (h, log2 n) shares one 64-bit word.
+[[nodiscard]] std::uint64_t spectrum_key(std::uint64_t h, std::size_t n) {
+  std::uint64_t log2n = 0;
+  while ((std::size_t{1} << log2n) < n) ++log2n;
+  return (h << 6) | log2n;
+}
+
+}  // namespace
+
+std::vector<double> KernelCache::compute_power(std::uint64_t h) {
+  const std::span<const double> taps = stencil_.taps;
+  // The closed-form dispatch of poly::power needs no ladder (and must keep
+  // producing the identical closed-form bits); only the FFT square-and-
+  // multiply path shares its squaring chain across heights.
+  const bool closed_form =
+      h == 0 || taps.size() == 1 ||
+      (taps.size() == 2 && taps[0] >= 0.0 && taps[1] >= 0.0);
+  if (closed_form) return poly::power(taps, h);
+  // Extend the shared ladder under its mutex, then combine OUTSIDE it:
+  // rungs are append-only and their heap buffers survive later extensions
+  // (SquaringLadder's documented invariant), so the snapshot spans stay
+  // valid while other threads grow the chain — concurrent cold builds at
+  // different heights serialize only on the squarings themselves.
+  std::size_t kmax = 0;
+  for (std::uint64_t e = h; e >>= 1;) ++kmax;
+  std::vector<std::span<const double>> rungs;
+  rungs.reserve(kmax + 1);
+  {
+    std::lock_guard<std::mutex> lock(ladder_mu_);
+    poly::extend_ladder(taps, h, ladder_, conv::thread_workspace());
+    for (std::size_t k = 0; k <= kmax; ++k) rungs.emplace_back(ladder_[k]);
+  }
+  return poly::power_from_rungs(h, rungs, conv::thread_workspace());
+}
 
 std::span<const double> KernelCache::power(std::uint64_t h) {
   {
@@ -12,14 +53,43 @@ std::span<const double> KernelCache::power(std::uint64_t h) {
     auto it = cache_.find(h);
     if (it != cache_.end()) return *it->second;
   }
-  // Compute outside the lock (scratch comes from the calling thread's
+  // Compute outside the map lock (scratch comes from the calling thread's
   // convolution workspace); a racing duplicate computation is harmless and
-  // the first inserted entry wins.
-  auto kernel =
-      std::make_unique<std::vector<double>>(poly::power(stencil_.taps, h));
+  // the first inserted entry wins. FFT-path heights serialize on the ladder
+  // mutex so the shared squaring chain extends consistently.
+  auto kernel = std::make_unique<std::vector<double>>(compute_power(h));
   std::unique_lock<std::shared_mutex> lock(mu_);
   auto [it, inserted] = cache_.emplace(h, std::move(kernel));
   return *it->second;
+}
+
+const fft::RealSpectrum& KernelCache::power_spectrum(std::uint64_t h,
+                                                     std::size_t n) {
+  AMOPT_EXPECTS(is_pow2(n));
+  const std::uint64_t key = spectrum_key(h, n);
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = spectra_.find(key);
+    if (it != spectra_.end()) return *it->second;
+  }
+  // Materialize outside the lock: time-domain taps first (warm after the
+  // first call at this height), then one reversed R2C transform at n.
+  const std::span<const double> taps_h = power(h);
+  auto spec = std::make_unique<fft::RealSpectrum>(conv::kernel_spectrum(
+      taps_h, n, /*reversed=*/true, conv::thread_workspace()));
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto [it, inserted] = spectra_.emplace(key, std::move(spec));
+  return *it->second;
+}
+
+KernelCache::Stats KernelCache::stats() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::lock_guard<std::mutex> ladder_lock(ladder_mu_);
+  Stats s;
+  s.powers = cache_.size();
+  s.spectra = spectra_.size();
+  s.ladder_rungs = ladder_.size();
+  return s;
 }
 
 }  // namespace amopt::stencil

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <random>
+#include <span>
 #include <vector>
 
 #include "amopt/fft/convolution.hpp"
@@ -156,6 +157,94 @@ TEST(Correlation, PackedComplexPathMatchesDirect) {
   const double tol = 1e-11 * static_cast<double>(in.size());
   for (std::size_t i = 0; i < n_out; ++i)
     EXPECT_NEAR(packed[i], ref[i], tol);
+}
+
+TEST(Convolution, AliasedOperandsMatchTwoOperandProduct) {
+  // convolve_full(a, a) takes the one-transform csquare fast path; it must
+  // reproduce the two-operand product on a bit-distinct copy of the same
+  // values (exactly at the scalar dispatch level — asserted with level
+  // control in test_simd — and within FFT round-off at the ambient level,
+  // where AVX-512's FMA tails may differ in the last ulps).
+  for (const std::size_t n : {33u, 256u, 1000u, 4096u}) {
+    const auto a = random_vec(n, static_cast<unsigned>(n + 71));
+    const std::vector<double> a_copy = a;  // distinct storage, same bits
+    const auto squared = conv::convolve_full(a, a, {conv::Policy::Path::fft});
+    const auto product =
+        conv::convolve_full(a, a_copy, {conv::Policy::Path::fft});
+    ASSERT_EQ(squared.size(), product.size());
+    const double tol = 1e-12 * static_cast<double>(n);
+    for (std::size_t i = 0; i < squared.size(); ++i)
+      EXPECT_NEAR(squared[i], product[i], tol) << "n=" << n << " i=" << i;
+    const auto ref = conv::convolve_full_direct(a, a);
+    const double dtol = 1e-11 * static_cast<double>(n);
+    for (std::size_t i = 0; i < ref.size(); ++i)
+      EXPECT_NEAR(squared[i], ref[i], dtol) << "n=" << n << " i=" << i;
+  }
+}
+
+TEST(Convolution, SpectralOverloadsMatchTimeDomainKernels) {
+  conv::Workspace ws;
+  // correlate_valid against a precomputed (reversed) kernel spectrum.
+  {
+    const auto in = random_vec(3000, 81);
+    const auto kernel = random_vec(500, 82);
+    const std::size_t n_out = in.size() - kernel.size() + 1;
+    ASSERT_TRUE(conv::correlate_prefers_fft(n_out, kernel.size(), {}));
+    const std::size_t n = conv::correlate_fft_size(n_out, kernel.size());
+    const auto kspec = conv::kernel_spectrum(kernel, n, /*reversed=*/true, ws);
+    std::vector<double> want(n_out), got(n_out);
+    conv::correlate_valid(in, kernel, want, {conv::Policy::Path::fft});
+    conv::correlate_valid(in, kspec, got, ws);
+    for (std::size_t i = 0; i < n_out; ++i)
+      ASSERT_EQ(got[i], want[i]) << "i=" << i;  // bit-identical by design
+  }
+  // convolve_full against a precomputed (forward) kernel spectrum.
+  {
+    const auto a = random_vec(700, 83);
+    const auto b = random_vec(300, 84);
+    const std::size_t full = a.size() + b.size() - 1;
+    const auto bspec = conv::kernel_spectrum(b, amopt::next_pow2(full),
+                                             /*reversed=*/false, ws);
+    std::vector<double> got(full);
+    conv::convolve_full(a, bspec, got, ws);
+    const auto want = conv::convolve_full(a, b, {conv::Policy::Path::fft});
+    for (std::size_t i = 0; i < full; ++i)
+      ASSERT_EQ(got[i], want[i]) << "i=" << i;
+  }
+  // convolve_many against a shared precomputed spectrum.
+  {
+    std::vector<std::vector<double>> storage;
+    for (std::size_t i = 0; i < 4; ++i)
+      storage.push_back(random_vec(200 + 100 * i, static_cast<unsigned>(90 + i)));
+    std::vector<std::span<const double>> inputs(storage.begin(), storage.end());
+    const auto kernel = random_vec(256, 95);
+    const std::size_t n = amopt::next_pow2(storage.back().size() + kernel.size() - 1);
+    const auto kspec = conv::kernel_spectrum(kernel, n, /*reversed=*/false, ws);
+    std::vector<std::vector<double>> got(4), want(4);
+    conv::convolve_many(inputs, kspec, got, ws);
+    conv::convolve_many(inputs, kernel, want, ws, {conv::Policy::Path::fft});
+    for (std::size_t i = 0; i < 4; ++i) {
+      ASSERT_EQ(got[i].size(), want[i].size());
+      for (std::size_t j = 0; j < got[i].size(); ++j)
+        ASSERT_EQ(got[i][j], want[i][j]) << "item " << i << " j=" << j;
+    }
+  }
+}
+
+TEST(Convolution, CorrelatePrefersFftMirrorsPolicyCrossover) {
+  // Tiny products stay direct; large ones go FFT; forced policies obeyed;
+  // the packed pipeline never reports a shareable spectrum.
+  EXPECT_FALSE(conv::correlate_prefers_fft(8, 4, {}));
+  EXPECT_TRUE(conv::correlate_prefers_fft(4096, 513, {}));
+  EXPECT_TRUE(
+      conv::correlate_prefers_fft(8, 4, {conv::Policy::Path::fft}));
+  EXPECT_FALSE(
+      conv::correlate_prefers_fft(4096, 513, {conv::Policy::Path::direct}));
+  EXPECT_FALSE(
+      conv::correlate_prefers_fft(4096, 513, {conv::Policy::Path::fft_packed}));
+  EXPECT_FALSE(conv::correlate_prefers_fft(0, 4, {}));
+  // The padded size covers the trimmed input's full linear convolution.
+  EXPECT_EQ(conv::correlate_fft_size(4096, 513), 8192u);
 }
 
 TEST(Convolution, CommutesUnderFft) {

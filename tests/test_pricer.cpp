@@ -555,6 +555,107 @@ TEST(Pricer, TransientGroupPromotedWhenRequestedAsBase) {
             after_iv.transient_kernel_caches - 1);
 }
 
+TEST(Pricer, CrossExpirySharingCollapsesToOneTapGroup) {
+  // A 5-expiry chain whose expiries are commensurate with the finest dt:
+  // with sharing OFF every expiry derives its own taps (5 registry groups);
+  // with sharing ON the batch is renormalized to the common dt and the
+  // whole chain lands in ONE group, with prices within the lattice's own
+  // discretization tolerance of the unshared ones.
+  const double expiries[] = {0.25, 0.5, 0.75, 1.0, 1.25};
+  std::vector<PricingRequest> chain;
+  for (const double e : expiries) {
+    PricingRequest q;
+    q.spec = paper_spec();
+    q.spec.expiry_years = e;
+    q.T = 1024;  // same step count per leg => five distinct dt values
+    chain.push_back(q);
+  }
+
+  Pricer plain;
+  const std::vector<PricingResult> off = plain.price_many(chain);
+  for (const PricingResult& r : off) ASSERT_EQ(r.status, Status::ok);
+  EXPECT_EQ(plain.stats().base_kernel_caches, 5u);
+
+  PricerConfig cfg;
+  cfg.share_kernels_across_expiries = true;
+  Pricer sharing(cfg);
+  const std::vector<PricingResult> on = sharing.price_many(chain);
+  for (const PricingResult& r : on) ASSERT_EQ(r.status, Status::ok);
+  EXPECT_EQ(sharing.stats().base_kernel_caches, 1u);
+
+  // Normalization refines T (never coarsens), so the shared prices sit
+  // within the coarser leg's own O(1/T) discretization error band of the
+  // unshared ones (documented in DESIGN.md §5; generous 1% relative guard
+  // here — observed differences are ~1e-4 relative at T = 1024).
+  for (std::size_t i = 0; i < chain.size(); ++i)
+    EXPECT_NEAR(on[i].price, off[i].price, 0.01 * off[i].price) << "leg " << i;
+  // The finest-dt leg (expiry 0.25 at T = 1024) is the reference grid: its
+  // discretization is unchanged, so its price is bit-identical.
+  EXPECT_EQ(on[0].price, off[0].price);
+}
+
+TEST(Pricer, CrossExpirySharingOffByDefault) {
+  PricerConfig cfg;
+  EXPECT_FALSE(cfg.share_kernels_across_expiries);
+  // And incommensurate mixes never blow up the lattice: a leg whose
+  // renormalized T would exceed 8x its request keeps its own grid.
+  cfg.share_kernels_across_expiries = true;
+  Pricer session(cfg);
+  std::vector<PricingRequest> mix(2);
+  for (PricingRequest& q : mix) q.spec = paper_spec();
+  mix[0].spec.expiry_years = 0.02;  // ~1 week at fine dt
+  mix[0].T = 512;
+  mix[1].spec.expiry_years = 1.0;   // a year at coarse dt
+  mix[1].T = 512;                   // shared dt would need T = 25600
+  const auto res = session.price_many(mix);
+  ASSERT_EQ(res[0].status, Status::ok);
+  ASSERT_EQ(res[1].status, Status::ok);
+  EXPECT_EQ(res[1].price, Pricer(PricerConfig{}).price_one(mix[1]).price);
+  EXPECT_EQ(session.stats().base_kernel_caches, 2u);  // no forced share
+}
+
+TEST(Pricer, GreeksWarmStartReplaysBumpedLegsExactly) {
+  // Tick 1 prices every finite-difference leg; tick 2 re-requests the same
+  // contracts and must serve the legs from the bumped-price store with
+  // bit-identical results. Opting out re-prices every leg and still agrees
+  // exactly (memoization is exact, not approximate).
+  std::vector<PricingRequest> chain;
+  for (int i = 0; i < 4; ++i) {
+    PricingRequest q;
+    q.spec = paper_spec();
+    q.spec.K = 120.0 + 5.0 * i;
+    q.T = 128;
+    chain.push_back(q);
+  }
+
+  Pricer warm;
+  const auto tick1 = warm.greeks_many(chain);
+  for (const PricingResult& r : tick1) ASSERT_EQ(r.status, Status::ok);
+  const Pricer::Stats after1 = warm.stats();
+  EXPECT_GT(after1.warm_bump_prices, 0u);
+
+  const auto tick2 = warm.greeks_many(chain);
+  const Pricer::Stats after2 = warm.stats();
+  EXPECT_GT(after2.bump_price_hits, after1.bump_price_hits);
+  // No new bumped evaluations were priced on the repeat.
+  EXPECT_EQ(after2.warm_bump_prices, after1.warm_bump_prices);
+
+  PricerConfig cold_cfg;
+  cold_cfg.warm_start_greeks = false;
+  Pricer cold(cold_cfg);
+  const auto cold_res = cold.greeks_many(chain);
+  EXPECT_EQ(cold.stats().warm_bump_prices, 0u);
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    ASSERT_EQ(tick2[i].status, Status::ok);
+    EXPECT_EQ(tick1[i].greeks.vega, tick2[i].greeks.vega) << "item " << i;
+    EXPECT_EQ(tick1[i].greeks.rho, tick2[i].greeks.rho);
+    EXPECT_EQ(tick1[i].greeks.delta, tick2[i].greeks.delta);
+    EXPECT_EQ(tick1[i].price, tick2[i].price);
+    EXPECT_EQ(cold_res[i].greeks.vega, tick1[i].greeks.vega) << "item " << i;
+    EXPECT_EQ(cold_res[i].greeks.rho, tick1[i].greeks.rho);
+  }
+}
+
 TEST(Pricer, StatusToString) {
   EXPECT_EQ(to_string(Status::ok), "ok");
   EXPECT_EQ(to_string(Status::unsupported), "unsupported");

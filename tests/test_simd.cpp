@@ -113,6 +113,30 @@ TEST_F(SimdTest, PointwiseKernelsAgreeAcrossPathsAndAlignments) {
           EXPECT_NEAR(std::abs(a0[i + off] - want[i]), 0.0, kPathTol)
               << simd::to_string(lvl) << " off=" << off << " i=" << i;
       }
+      // csquare vs this level's cmul(a, a-copy): bit-identical at the
+      // scalar level (the contract the aliased convolution fast path
+      // leans on); vector levels agree within the documented cross-path
+      // tolerance (the AVX-512 TU may contract the two scalar tails'
+      // multiply-add chains differently).
+      {
+        aligned_vector<cplx> a0(n + off), b0(n + off);
+        auto init = random_complex(n + off, 13);
+        std::copy(init.begin(), init.end(), a0.begin());
+        std::copy(init.begin(), init.end(), b0.begin());
+        aligned_vector<cplx> sq = a0;
+        k.cmul(a0.data() + off, b0.data() + off, n);
+        k.csquare(sq.data() + off, n);
+        for (std::size_t i = 0; i < n; ++i) {
+          if (lvl == Level::scalar) {
+            ASSERT_EQ(sq[i + off].real(), a0[i + off].real())
+                << " off=" << off << " i=" << i;
+            ASSERT_EQ(sq[i + off].imag(), a0[i + off].imag());
+          } else {
+            ASSERT_NEAR(std::abs(sq[i + off] - a0[i + off]), 0.0, kPathTol)
+                << simd::to_string(lvl) << " off=" << off << " i=" << i;
+          }
+        }
+      }
       // correlate_taps / stencil3
       {
         const auto in = random_real(n + 2 + off, 21);
@@ -154,10 +178,16 @@ TEST_F(SimdTest, FftStageKernelsMatchScalarTable) {
   for (const Level lvl : available_levels()) {
     if (lvl == Level::scalar) continue;
     const simd::Kernels& k = simd::kernels(lvl);
-    for (const std::size_t n : {16u, 64u, 256u, 1024u}) {
-      // Stage twiddles for a few half-sizes, in the SoA layout.
-      for (std::size_t h : {std::size_t{1}, std::size_t{4}, n / 4}) {
-        if (4 * h > n) continue;
+    for (const std::size_t n : {8u, 16u, 24u, 64u, 256u, 1024u}) {
+      // Stage twiddles for a few half-sizes, in the SoA layout. h = 2 (the
+      // odd-log2 stage, vectorized by the 2x4 half-transpose kernel) is
+      // exercised at sizes that leave 0 or 1 trailing blocks.
+      for (std::size_t h :
+           {std::size_t{1}, std::size_t{2}, std::size_t{4}, n / 4}) {
+        // Kernel contract: n a multiple of the 4h block, h a power of two
+        // (n = 24 exists in the sweep precisely to hand the h = 2 kernel an
+        // odd trailing block).
+        if (4 * h > n || !is_pow2(h) || n % (4 * h) != 0) continue;
         aligned_vector<double> w(6 * h);
         const double theta = -std::numbers::pi / static_cast<double>(2 * h);
         for (std::size_t j = 0; j < h; ++j) {
@@ -418,6 +448,76 @@ TEST_F(SimdTest, ConvolutionAndPriceParityAcrossLevels) {
         pricing::bopm::american_call_fft(pricing::paper_spec(), 512);
     EXPECT_NEAR(got_price, want_price, 1e-10 * want_price)
         << simd::to_string(lvl);
+  }
+}
+
+TEST_F(SimdTest, SpectralConvolutionParityAcrossLevels) {
+  // The spectral kernel path (precomputed RealSpectrum consumed by the
+  // correlate/convolve overloads, and the KernelCache spectrum tier) must
+  // agree with the transform-per-call path at every dispatch level: bit-
+  // identical WITHIN a level (the cached bins are the bins the in-call
+  // transform produces), and within the documented 1e-12 cross-path
+  // tolerance BETWEEN levels.
+  const auto in = random_real(3000, 101);
+  const auto kernel = random_real(400, 102);
+  const std::size_t n_out = in.size() - kernel.size() + 1;
+  const std::size_t n = conv::correlate_fft_size(n_out, kernel.size());
+
+  simd::set_level(Level::scalar);
+  std::vector<double> want(n_out);
+  conv::correlate_valid(in, kernel, want, {conv::Policy::Path::fft});
+  double scale = 1.0;
+  for (double x : want) scale = std::max(scale, std::abs(x));
+
+  for (const Level lvl : available_levels()) {
+    simd::set_level(lvl);
+    conv::Workspace ws;
+    const fft::RealSpectrum kspec =
+        conv::kernel_spectrum(kernel, n, /*reversed=*/true, ws);
+    std::vector<double> spectral(n_out), timedomain(n_out);
+    conv::correlate_valid(in, kspec, spectral, ws);
+    conv::correlate_valid(in, kernel, timedomain, ws,
+                          {conv::Policy::Path::fft});
+    for (std::size_t i = 0; i < n_out; ++i) {
+      ASSERT_EQ(spectral[i], timedomain[i])
+          << simd::to_string(lvl) << " i=" << i;  // within-level: same bits
+      EXPECT_NEAR(spectral[i], want[i], kPathTol * scale)
+          << simd::to_string(lvl) << " i=" << i;  // cross-level: 1e-12
+    }
+  }
+}
+
+TEST_F(SimdTest, AliasedSquaringBitIdenticalAtScalarLevel) {
+  // The acceptance contract of the convolve_full(a, a) fast path: at the
+  // scalar level (csquare IS cmul(a, a) bit for bit) the one-transform
+  // square must reproduce the historical two-transform product exactly.
+  simd::set_level(Level::scalar);
+  for (const std::size_t n : {33u, 1000u, 4096u}) {
+    const auto a = random_real(n, 111);
+    const std::vector<double> a_copy = a;  // distinct storage, same bits
+    const auto squared = conv::convolve_full(a, a, {conv::Policy::Path::fft});
+    const auto product =
+        conv::convolve_full(a, a_copy, {conv::Policy::Path::fft});
+    ASSERT_EQ(squared.size(), product.size());
+    for (std::size_t i = 0; i < squared.size(); ++i)
+      ASSERT_EQ(squared[i], product[i]) << "n=" << n << " i=" << i;
+  }
+}
+
+TEST_F(SimdTest, KernelCacheSpectralPriceParityAcrossLevels) {
+  // End-to-end: the solvers' spectral run_conv path (KernelCache-owned
+  // spectra) prices identically across dispatch levels within tolerance.
+  // paper_spec has Y > 0, so the call takes the nonlinear boundary descent
+  // — the code path that exercises run_conv's spectrum consumption.
+  simd::set_level(Level::scalar);
+  const double want =
+      pricing::bopm::american_call_fft(pricing::paper_spec(), 1024);
+  for (const Level lvl : available_levels()) {
+    if (lvl == Level::scalar) continue;
+    simd::set_level(lvl);
+    const double got =
+        pricing::bopm::american_call_fft(pricing::paper_spec(), 1024);
+    EXPECT_NEAR(got, want, 1e-10 * want) << simd::to_string(lvl);
   }
 }
 

@@ -4,7 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <random>
 #include <vector>
 
@@ -87,6 +89,82 @@ TEST(KernelCache, ConcurrentRequestsAgree) {
       if (std::abs(k[i] - ref[i]) > 1e-12) mismatches.fetch_add(1);
   }
   EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(KernelCache, LadderPowersMatchNaiveUpTo4096) {
+  // The shared squaring ladder must reproduce the plain repeated-squaring
+  // kernels: request a mix of heights (power-of-two rungs, combined-bit
+  // heights, and the trapezoid's typical halvings) against the O(h^2)
+  // oracle up to h = 2^12. The ladder is also asserted bit-identical to
+  // the ladder-free poly::power at every height — sharing rungs across
+  // heights must not change a single bit.
+  const std::vector<double> taps{0.24, 0.50, 0.25};
+  stencil::KernelCache cache({taps, 0});
+  for (const std::uint64_t h :
+       {1u, 2u, 3u, 5u, 8u, 13u, 64u, 100u, 341u, 1024u, 2048u, 4096u}) {
+    const auto k = cache.power(h);
+    const auto plain = poly::power(taps, h);
+    ASSERT_EQ(k.size(), plain.size()) << "h=" << h;
+    for (std::size_t i = 0; i < plain.size(); ++i)
+      ASSERT_EQ(k[i], plain[i]) << "h=" << h << " i=" << i;
+    if (h > 512) continue;  // the naive oracle is O(h^2)
+    const auto naive = poly::power_naive(taps, h);
+    ASSERT_EQ(k.size(), naive.size());
+    double peak = 0.0;
+    for (double x : naive) peak = std::max(peak, std::abs(x));
+    for (std::size_t i = 0; i < naive.size(); ++i)
+      EXPECT_NEAR(k[i], naive[i], 1e-11 * std::max(peak, 1.0))
+          << "h=" << h << " i=" << i;
+  }
+  const auto naive = poly::power_naive(taps, 4096);
+  const auto k = cache.power(4096);
+  ASSERT_EQ(k.size(), naive.size());
+  double peak = 0.0;
+  for (double x : naive) peak = std::max(peak, std::abs(x));
+  for (std::size_t i = 0; i < naive.size(); ++i)
+    EXPECT_NEAR(k[i], naive[i], 1e-10 * std::max(peak, 1.0)) << "i=" << i;
+  // 12 heights <= 2^12 share one 13-rung chain (taps^1 .. taps^4096).
+  EXPECT_LE(cache.stats().ladder_rungs, 13u);
+}
+
+TEST(KernelCache, SpectraAreCachedPerHeightAndSize) {
+  const std::vector<double> taps{0.2, 0.5, 0.29};
+  stencil::KernelCache cache({taps, 0});
+  const std::size_t n = 256;
+  const fft::RealSpectrum& s1 = cache.power_spectrum(16, n);
+  const fft::RealSpectrum& s2 = cache.power_spectrum(16, n);
+  EXPECT_EQ(&s1, &s2);  // memoized, stable address
+  EXPECT_EQ(s1.n, n);
+  EXPECT_TRUE(s1.reversed);
+  EXPECT_EQ(s1.klen, cache.power(16).size());
+  const fft::RealSpectrum& s3 = cache.power_spectrum(16, 2 * n);
+  EXPECT_NE(&s1, &s3);  // same height, different padded size
+  EXPECT_EQ(cache.stats().spectra, 2u);
+
+  // The cached bins must be exactly what an in-call transform produces.
+  conv::Workspace ws;
+  const fft::RealSpectrum fresh =
+      conv::kernel_spectrum(cache.power(16), n, /*reversed=*/true, ws);
+  ASSERT_EQ(fresh.bins.size(), s1.bins.size());
+  for (std::size_t i = 0; i < fresh.bins.size(); ++i)
+    ASSERT_EQ(fresh.bins[i], s1.bins[i]) << "bin " << i;
+}
+
+TEST(KernelCache, SpectralCorrelationMatchesTimeDomain) {
+  const std::vector<double> taps{0.3, 0.45, 0.22};
+  stencil::KernelCache cache({taps, 0});
+  const std::uint64_t h = 40;
+  const auto kernel = cache.power(h);
+  const auto in = random_vec(400, 77);
+  const std::size_t n_out = in.size() - kernel.size() + 1;
+  std::vector<double> want(n_out), got(n_out);
+  conv::correlate_valid(in, kernel, want, {conv::Policy::Path::fft});
+  conv::Workspace ws;
+  conv::correlate_valid(
+      in, cache.power_spectrum(h, conv::correlate_fft_size(n_out, kernel.size())),
+      got, ws);
+  for (std::size_t i = 0; i < n_out; ++i)
+    ASSERT_EQ(got[i], want[i]) << "i=" << i;  // same bits, not just close
 }
 
 TEST(LinearStencil, NaiveApplyShrinksCorrectly) {

@@ -21,6 +21,12 @@ With --check-simd-speedup (gbench only), additionally asserts the AVX2
 dispatch path's round-trip FFT beats the scalar path by the required factor
 at n >= 4096 whenever both paths appear in the fresh run — the PR 3
 acceptance bar, kept green by CI.
+
+With --pair-speedup SLOW:FAST:FACTOR:MIN_N (gbench only, repeatable),
+asserts that every fresh benchmark named FAST<level>/n with n >= MIN_N
+beats its SLOW<level>/n counterpart by FACTOR — the PR 4 spectral-path
+bars (cached-kernel-spectrum correlation over transform-per-call, and the
+aliased-squaring power_fft over its two-transform reference).
 """
 
 import argparse
@@ -126,6 +132,35 @@ def check_simd_speedup(times, min_speedup, min_n):
               "(host without AVX2?) — speedup check skipped")
 
 
+def check_pair_speedup(times, spec):
+    parts = spec.split(":")
+    if len(parts) != 4:
+        fail(f"--pair-speedup expects SLOW:FAST:FACTOR:MIN_N, got '{spec}'")
+    slow_prefix, fast_prefix = parts[0], parts[1]
+    factor, min_n = float(parts[2]), int(parts[3])
+    pairs = 0
+    for name, fast_t in sorted(times.items()):
+        if not name.startswith(fast_prefix + "<"):
+            continue
+        tail = name.split("/")[-1]
+        if not tail.isdigit() or int(tail) < min_n:
+            continue
+        slow = slow_prefix + name[len(fast_prefix):]
+        if slow not in times:
+            continue
+        speedup = times[slow] / fast_t
+        pairs += 1
+        status = "ok" if speedup >= factor else "FAIL"
+        print(f"check_bench: {status} pair-speedup {name} vs {slow} -> "
+              f"{speedup:.2f}x (need {factor}x)")
+        if speedup < factor:
+            fail(f"{name}: speedup over {slow} is {speedup:.2f}x, below the "
+                 f"required {factor}x at n >= {min_n}")
+    if pairs == 0:
+        print(f"check_bench: no {fast_prefix}/{slow_prefix} pairs at "
+              f"n >= {min_n} — pair-speedup check skipped")
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("--fresh", required=True)
@@ -142,6 +177,10 @@ def main():
     ap.add_argument("--check-simd-speedup", action="store_true")
     ap.add_argument("--min-speedup", type=float, default=1.5)
     ap.add_argument("--min-n", type=int, default=4096)
+    ap.add_argument("--pair-speedup", action="append", default=[],
+                    metavar="SLOW:FAST:FACTOR:MIN_N",
+                    help="gbench kind: require FAST<level>/n to beat "
+                         "SLOW<level>/n by FACTOR for every n >= MIN_N")
     args = ap.parse_args()
 
     fresh_doc = load(args.fresh)
@@ -152,6 +191,8 @@ def main():
         compare(fresh, base, args.factor, "bench")
         if args.check_simd_speedup:
             check_simd_speedup(fresh, args.min_speedup, args.min_n)
+        for spec in args.pair_speedup:
+            check_pair_speedup(fresh, spec)
     else:
         fresh = rows_values(fresh_doc, args.fresh)
         base = rows_values(base_doc, args.baseline)
