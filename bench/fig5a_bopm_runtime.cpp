@@ -5,6 +5,14 @@
 // Results are also dumped to BENCH_bopm.json (override with
 // AMOPT_BENCH_JSON, disable with AMOPT_BENCH_JSON=none) so the perf
 // trajectory can be tracked across commits.
+//
+// Since PR 5 the sweep also times the solver with the pre-arena HEAP memory
+// plane (fft-bopm-heapmem: per-level vector allocations + concatenated
+// green-extension copies + single-row base sweeps — bit-identical results)
+// and reports the in-process ratio as the mem-x series. mem-x isolates the
+// memory-plane win from host-speed drift, which is what the CI bench guard
+// thresholds; the absolute series capture the full end-to-end trajectory
+// against the committed baselines.
 
 #include <string>
 #include <vector>
@@ -18,7 +26,11 @@ int main() {
   const auto spec = pricing::paper_spec();
   const auto sweep = bench::sweep_from_env(1 << 11, 1 << 17, 1 << 14);
 
-  const std::vector<std::string> series{"fft-bopm", "ql-bopm", "zb-bopm"};
+  core::SolverConfig heap_cfg;
+  heap_cfg.memory = core::MemoryPlane::heap;
+
+  const std::vector<std::string> series{"fft-bopm", "fft-bopm-heapmem",
+                                        "mem-x", "ql-bopm", "zb-bopm"};
   bench::print_header("Figure 5(a): BOPM American call, parallel running time",
                       "seconds", series);
   std::vector<std::int64_t> ts;
@@ -26,6 +38,10 @@ int main() {
   for (std::int64_t T = sweep.min_t; T <= sweep.max_t; T *= 2) {
     const double fft = bench::time_best(
         [&] { (void)pricing::bopm::american_call_fft(spec, T); }, sweep.reps);
+    const double fft_heap = bench::time_best(
+        [&] { (void)pricing::bopm::american_call_fft(spec, T, heap_cfg); },
+        sweep.reps);
+    const double memx = fft > 0.0 ? fft_heap / fft : 0.0;
     double ql = -1.0, zb = -1.0;
     if (T <= sweep.slow_max_t) {
       ql = bench::time_best(
@@ -34,9 +50,9 @@ int main() {
       zb = bench::time_best(
           [&] { (void)baselines::zubair_american_call(spec, T); }, sweep.reps);
     }
-    bench::print_row(T, {fft, ql, zb});
+    bench::print_row(T, {fft, fft_heap, memx, ql, zb});
     ts.push_back(T);
-    rows.push_back({fft, ql, zb});
+    rows.push_back({fft, fft_heap, memx, ql, zb});
   }
   std::printf("# '-' entries: Theta(T^2) baselines skipped beyond "
               "AMOPT_BENCH_SLOW_MAX_T=%lld\n",

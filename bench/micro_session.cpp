@@ -12,16 +12,54 @@
 // differ run to run — the warm numbers measure honest reuse, not
 // memoization of identical requests. Emits BENCH_session.json
 // (AMOPT_BENCH_JSON overrides the path, "none" disables).
+//
+// This binary also replaces global operator new/delete with counting
+// versions to emit the allocs-descend series: the number of heap
+// allocations one steady-state LatticeSolver::descend performs after
+// warm-up. The PR 5 scratch arena makes this exactly zero at every T, and
+// tools/check_bench.py --alloc-budget keeps it there in CI.
 
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <vector>
 
+#include "amopt/core/lattice_solver.hpp"
 #include "amopt/pricing/api.hpp"
 #include "amopt/pricing/bopm.hpp"
 #include "amopt/pricing/implied_vol.hpp"
 #include "amopt/pricing/pricer.hpp"
+#include "amopt/stencil/kernel_cache.hpp"
 #include "bench_common.hpp"
+
+#include "counting_new.hpp"
+
+namespace {
+
+/// Heap allocations of one warm LatticeSolver::descend at T: shared kernel
+/// cache, serial solver (deterministic thread placement), one descent to
+/// warm every cache/arena, then a counted repeat from the same top row.
+[[nodiscard]] double allocs_per_descend(const amopt::pricing::OptionSpec& spec,
+                                        std::int64_t T) {
+  using namespace amopt;
+  const auto prm = pricing::derive_bopm(spec, T);
+  const pricing::bopm::CallGreen green(spec, prm);
+  core::SolverConfig cfg;
+  cfg.parallel = false;
+  stencil::KernelCache cache({{prm.s0, prm.s1}, 0});
+  core::LatticeSolver solver(&cache, {{prm.s0, prm.s1}, 0}, green, cfg);
+  core::LatticeRow row = pricing::bopm::expiry_row(prm, green);
+  while (row.i > std::max<std::int64_t>(T - 2, 0))
+    row = solver.step_naive(row, /*unbounded_scan=*/true);
+  core::LatticeRow warm = row;  // keep a reusable top
+  (void)solver.descend(std::move(row), 0);  // warm-up descent
+  core::LatticeRow top = warm;              // copy BEFORE counting
+  const std::uint64_t before = counting_new::count();
+  (void)solver.descend(std::move(top), 0);
+  return static_cast<double>(counting_new::count() - before);
+}
+
+}  // namespace
 
 int main() {
   using namespace amopt;
@@ -32,12 +70,13 @@ int main() {
   const int n_strikes = 16;
 
   bench::print_header("warm-session vs cold implied-vol recalibration "
-                      "(16-strike chain, ms per chain inversion) and "
+                      "(16-strike chain, ms per chain inversion), "
                       "cross-expiry kernel sharing (5-expiry TOPM chain, ms "
-                      "per cold chain pricing)",
+                      "per cold chain pricing), and heap allocations per "
+                      "steady-state descend",
                       "milliseconds",
                       {"cold-iv", "warm-iv", "speedup", "share-off",
-                       "share-on", "share-x"});
+                       "share-on", "share-x", "allocs-descend"});
 
   std::vector<std::int64_t> ts;
   std::vector<std::vector<double>> rows;
@@ -129,11 +168,14 @@ int main() {
         sweep.reps);
     const double share_x = share_on > 0.0 ? share_off / share_on : 0.0;
 
+    // Steady-state allocation counter for the scratch-arena guarantee.
+    const double allocs = allocs_per_descend(base, T);
+
     bench::print_row(T, {cold * 1e3, warm * 1e3, speedup, share_off * 1e3,
-                         share_on * 1e3, share_x});
+                         share_on * 1e3, share_x, allocs});
     ts.push_back(T);
     rows.push_back({cold * 1e3, warm * 1e3, speedup, share_off * 1e3,
-                    share_on * 1e3, share_x});
+                    share_on * 1e3, share_x, allocs});
 
     const Pricer::Stats st = session.stats();
     std::printf("#   session: %zu live group(s), %llu hit(s) / %llu "
@@ -150,7 +192,7 @@ int main() {
   if (!json.empty() && json != "none")
     bench::write_json(json, "micro_session_warm_iv", "milliseconds",
                       {"cold-iv", "warm-iv", "speedup", "share-off",
-                       "share-on", "share-x"},
+                       "share-on", "share-x", "allocs-descend"},
                       ts, rows);
   return 0;
 }

@@ -4,6 +4,7 @@
 
 #include "amopt/common/assert.hpp"
 #include "amopt/common/parallel.hpp"
+#include "amopt/core/scratch.hpp"
 #include "amopt/fft/convolution.hpp"
 #include "amopt/metrics/counters.hpp"
 #include "amopt/simd/kernels.hpp"
@@ -98,8 +99,24 @@ std::int64_t FdmSolver::solve_base(std::int64_t n0, std::int64_t f0,
                                    std::span<double> out) const {
   const std::span<const double> taps = kernels_->stencil().taps;
   const double b = taps[0], c = taps[1], a = taps[2];
-  std::vector<double> cur(in.begin(), in.end());
-  std::vector<double> nxt(cur.size());
+  const simd::Kernels& kern = simd::kernels();  // one dispatch per call
+  // Ping-pong rows from the active memory plane (see LatticeSolver): arena
+  // frames make the base case allocation-free once warm; the heap plane
+  // keeps the historical per-call vectors. Identical bits either way.
+  ScratchStack::Frame frame(thread_scratch());
+  const bool arena = cfg_.memory == MemoryPlane::arena;
+  std::vector<double> cur_own, nxt_own;
+  std::span<double> cur, nxt;
+  if (arena) {
+    cur = frame.alloc(in.size());
+    nxt = frame.alloc(in.size());
+  } else {
+    cur_own.assign(in.size(), 0.0);
+    nxt_own.assign(in.size(), 0.0);
+    cur = cur_own;
+    nxt = nxt_own;
+  }
+  std::copy(in.begin(), in.end(), cur.begin());
   std::int64_t f = f0;
   std::int64_t kright = kr;
   for (std::int64_t step = 0; step < L; ++step) {
@@ -127,7 +144,7 @@ std::int64_t FdmSolver::solve_base(std::int64_t n0, std::int64_t f0,
     }
     if (f + 2 <= kr_next) {
       const std::size_t count = static_cast<std::size_t>(kr_next - f - 1);
-      simd::kernels().stencil3(cur.data(), b, c, a, nxt.data() + t, count);
+      kern.stencil3(cur.data(), b, c, a, nxt.data() + t, count);
 #if defined(AMOPT_DEBUG_CHECKS)
       for (std::int64_t k = f + 2; k <= kr_next; ++k)
         AMOPT_DEBUG_ASSERT(nxt[t + static_cast<std::size_t>(k - f - 2)] >=
@@ -135,7 +152,7 @@ std::int64_t FdmSolver::solve_base(std::int64_t n0, std::int64_t f0,
 #endif
       t += count;
     }
-    cur.swap(nxt);
+    std::swap(cur, nxt);
     f = f_next;
     kright = kr_next;
   }
@@ -163,34 +180,84 @@ std::int64_t FdmSolver::solve(std::int64_t n0, std::int64_t f0,
   const std::int64_t h = (L + 1) / 2;
   const std::int64_t h2 = L - h;
   AMOPT_ENSURES(h >= 1 && h2 >= 1);
+  const bool spawn = cfg_.parallel && h >= cfg_.task_cutoff;
 
-  // ---- first half: row n0 -> n0 + h -----------------------------------
+  // The h-step correlation over the provably-red cells, shared by both
+  // memory planes. Same spectral routing as LatticeSolver::run_conv:
+  // FFT-path sweeps consume the cache's reversed kernel spectrum and skip
+  // its transform.
+  const auto correlate_into = [&](std::span<double> conv_out) {
+    if (conv_out.empty()) return;
+    const std::span<const double> kernel =
+        kernels_->power(static_cast<std::uint64_t>(h));
+    if (conv::correlate_prefers_fft(conv_out.size(), kernel.size(),
+                                    cfg_.conv_policy)) {
+      const auto spec = kernels_->power_spectrum(
+          static_cast<std::uint64_t>(h),
+          conv::correlate_fft_size(conv_out.size(), kernel.size()));
+      conv::correlate_valid(in, *spec, conv_out, conv::thread_workspace());
+      return;
+    }
+    conv::correlate_valid(in, kernel, conv_out, cfg_.conv_policy);
+  };
+
+  if (cfg_.memory == MemoryPlane::arena) {
+    // One arena row with base f0 - h (the lowest reachable f_mid) covering
+    // k in (f0-h, kr-h]: the strip writes its (f_mid, f0+h] cells into the
+    // first 2h slots and the convolution lands on [f0+h+1, kr-h] DIRECTLY
+    // behind them — the mid row is assembled in place, no copies. The two
+    // regions are disjoint, so the task legs never touch the same cell.
+    ScratchStack::Frame frame(thread_scratch());
+    std::span<double> midbuf =
+        frame.alloc(static_cast<std::size_t>(kr - f0));
+    std::int64_t f_mid = f0;
+    const auto run_strip = [&] {
+      f_mid = solve(n0, f0, f0 + 2 * h, h,
+                    in.subspan(0, static_cast<std::size_t>(2 * h)),
+                    midbuf.subspan(0, static_cast<std::size_t>(2 * h)));
+    };
+    const auto run_conv = [&] {
+      correlate_into(midbuf.subspan(
+          static_cast<std::size_t>(2 * h),
+          static_cast<std::size_t>(std::max<std::int64_t>(kr - f0 - 2 * h,
+                                                          0))));
+    };
+    if (spawn) {
+#pragma omp taskgroup
+      {
+#pragma omp task default(shared)
+        run_strip();
+#pragma omp task default(shared)
+        run_conv();
+      }
+    } else {
+      run_strip();
+      run_conv();
+    }
+
+    // ---- second half: row n0 + h -> n0 + L ----------------------------
+    const std::int64_t mid_size = (kr - h) - f_mid;
+    const std::span<const double> mid =
+        midbuf.subspan(static_cast<std::size_t>(f_mid - (f0 - h)),
+                       static_cast<std::size_t>(mid_size));
+    const std::int64_t shift = (f_mid - h2) - (f0 - L);
+    AMOPT_ENSURES(shift >= 0);
+    return solve(n0 + h, f_mid, kr - h, h2, mid,
+                 out.subspan(static_cast<std::size_t>(shift)));
+  }
+
+  // Heap plane (the pre-arena discipline, kept as the fig5 memory-plane
+  // reference): separate strip/conv vectors assembled into a fresh mid row.
   // Strip sub-trapezoid on (f0, f0+2h]; conv on [f0+h+1, kr-h].
   std::vector<double> strip_out(static_cast<std::size_t>(2 * h), 0.0);
   std::vector<double> conv_out(
       static_cast<std::size_t>(std::max<std::int64_t>(kr - f0 - 2 * h, 0)));
   std::int64_t f_mid = f0;
-  const bool spawn = cfg_.parallel && h >= cfg_.task_cutoff;
   const auto run_strip = [&] {
     f_mid = solve(n0, f0, f0 + 2 * h, h,
                   in.subspan(0, static_cast<std::size_t>(2 * h)), strip_out);
   };
-  const auto run_conv = [&] {
-    if (conv_out.empty()) return;
-    const std::span<const double> kernel =
-        kernels_->power(static_cast<std::uint64_t>(h));
-    // Same spectral routing as LatticeSolver::run_conv: FFT-path sweeps
-    // consume the cache's reversed kernel spectrum and skip its transform.
-    if (conv::correlate_prefers_fft(conv_out.size(), kernel.size(),
-                                    cfg_.conv_policy)) {
-      const fft::RealSpectrum& spec = kernels_->power_spectrum(
-          static_cast<std::uint64_t>(h),
-          conv::correlate_fft_size(conv_out.size(), kernel.size()));
-      conv::correlate_valid(in, spec, conv_out, conv::thread_workspace());
-      return;
-    }
-    conv::correlate_valid(in, kernel, conv_out, cfg_.conv_policy);
-  };
+  const auto run_conv = [&] { correlate_into(conv_out); };
   if (spawn) {
 #pragma omp taskgroup
     {
@@ -234,7 +301,15 @@ FdmRow FdmSolver::advance(FdmRow row, std::int64_t L) {
   FdmRow next;
   next.n = row.n + L;
   next.kr = row.kr - L;
-  std::vector<double> out(row.red.size(), 0.0);
+  ScratchStack::Frame frame(thread_scratch());
+  std::vector<double> out_own;
+  std::span<double> out;
+  if (cfg_.memory == MemoryPlane::arena) {
+    out = frame.alloc(row.red.size());
+  } else {
+    out_own.assign(row.red.size(), 0.0);
+    out = out_own;
+  }
   std::int64_t f_new = row.f;
   const auto run = [&] { f_new = solve(row.n, row.f, row.kr, L, row.red, out); };
   if (cfg_.parallel && !in_parallel_region() && hardware_threads() > 1 &&

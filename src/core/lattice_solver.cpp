@@ -1,6 +1,7 @@
 #include "amopt/core/lattice_solver.hpp"
 
 #include <algorithm>
+#include <array>
 
 #include "amopt/common/assert.hpp"
 #include "amopt/common/parallel.hpp"
@@ -10,8 +11,31 @@
 namespace amopt::core {
 
 namespace {
+
 constexpr std::int64_t kMinWindowForRecursion = 4;
+
+/// Below this red-interior width the fused two-row base-case sweep is not
+/// worth its bookkeeping; the plain single-row step runs instead. Purely a
+/// performance switch — both paths produce identical bits. The recursion's
+/// leaf strips are only O(g * base_case) wide, so this must stay small for
+/// the fusion to engage at all.
+constexpr std::int64_t kFuseMinInterior = 8;
+
+/// Green-extension cells per convolution (g - 1) fit here for every
+/// production stencil (g <= 2); wider stencils spill to a heap vector.
+constexpr std::size_t kInlineTailCap = 8;
+
+/// A row buffer from the active memory plane: a frame span on the arena, a
+/// zero-initialized heap vector (the pre-arena discipline) otherwise.
+[[nodiscard]] std::span<double> take_row(ScratchStack::Frame& frame,
+                                         std::vector<double>& own,
+                                         std::size_t n, bool arena) {
+  if (arena) return frame.alloc(n);
+  own.assign(n, 0.0);
+  return own;
 }
+
+}  // namespace
 
 LatticeSolver::LatticeSolver(stencil::LinearStencil st,
                              const LatticeGreen& green, SolverConfig cfg)
@@ -36,16 +60,18 @@ LatticeSolver::LatticeSolver(stencil::KernelCache* shared,
   AMOPT_EXPECTS(cfg_.base_case >= 1);
 }
 
-LatticeRow LatticeSolver::step_naive(const LatticeRow& row,
-                                     bool unbounded_scan) const {
+void LatticeSolver::step_naive_into(const LatticeRow& row, bool unbounded_scan,
+                                    LatticeRow& next) const {
   AMOPT_EXPECTS(row.i >= 1);
   AMOPT_EXPECTS(row.q < 0 ||
                 row.q == static_cast<std::int64_t>(row.red.size()) - 1);
   const bool growing = cfg_.drift == BoundaryDrift::growing;
-  LatticeRow next;
   next.i = row.i - 1;
   next.q = -1;
-  if (row.q < 0 && !growing && !unbounded_scan) return next;  // stays green
+  if (row.q < 0 && !growing && !unbounded_scan) {  // stays green
+    next.red.clear();
+    return;
+  }
 
   const std::span<const double> taps = kernels_->stencil().taps;
   const std::int64_t cap =
@@ -53,10 +79,6 @@ LatticeRow LatticeSolver::step_naive(const LatticeRow& row,
   const std::int64_t jmax = std::min(cap, row_width(next.i));
   next.red.resize(
       static_cast<std::size_t>(std::max<std::int64_t>(jmax + 1, 0)));
-  const auto value_at = [&](std::int64_t j) {
-    return j <= row.q ? row.red[static_cast<std::size_t>(j)]
-                      : green_.value(row.i, j);
-  };
   // Same split as solve_base: dispatched sweep over the cells whose tap
   // windows stay red, scalar tail over the green-extension cells, then the
   // exercise-comparison scan that discovers the new boundary.
@@ -67,40 +89,76 @@ LatticeRow LatticeSolver::step_naive(const LatticeRow& row,
                                    next.red.data(),
                                    static_cast<std::size_t>(jv + 1));
   }
-  for (std::int64_t j = std::max<std::int64_t>(0, jv + 1); j <= jmax; ++j) {
-    double lin = 0.0;
-    for (std::size_t k = 0; k < taps.size(); ++k)
-      lin += taps[k] * value_at(j + static_cast<std::int64_t>(k));
-    next.red[static_cast<std::size_t>(j)] = lin;
+  const std::int64_t j0 = std::max<std::int64_t>(0, jv + 1);
+  if (j0 <= jmax) {
+    // Hoist the green values the tail cells read into one buffer: adjacent
+    // tap windows overlap, so the oracle (often a transcendental) was being
+    // evaluated up to taps.size() times per index. Same values, same
+    // accumulation order — bit-identical, just fewer oracle calls.
+    const std::int64_t glo = row.q + 1;  // first green index a tail cell reads
+    const std::int64_t ghi = jmax + g;
+    ScratchStack::Frame frame(thread_scratch());
+    std::vector<double> gown;
+    std::span<double> gbuf =
+        take_row(frame, gown, static_cast<std::size_t>(ghi - glo + 1),
+                 cfg_.memory == MemoryPlane::arena);
+    for (std::int64_t idx = glo; idx <= ghi; ++idx)
+      gbuf[static_cast<std::size_t>(idx - glo)] = green_.value(row.i, idx);
+    const auto value_at = [&](std::int64_t j) {
+      return j <= row.q ? row.red[static_cast<std::size_t>(j)]
+                        : gbuf[static_cast<std::size_t>(j - glo)];
+    };
+    for (std::int64_t j = j0; j <= jmax; ++j) {
+      double lin = 0.0;
+      for (std::size_t k = 0; k < taps.size(); ++k)
+        lin += taps[k] * value_at(j + static_cast<std::int64_t>(k));
+      next.red[static_cast<std::size_t>(j)] = lin;
+    }
   }
-  for (std::int64_t j = 0; j <= jmax; ++j) {
-    if (next.red[static_cast<std::size_t>(j)] >= green_.value(next.i, j))
+  // Downward early-exit discovery: identical q to the historical upward
+  // full scan (see solve_base), O(jmax - q) instead of O(jmax) oracle calls.
+  for (std::int64_t j = jmax; j >= 0; --j) {
+    if (next.red[static_cast<std::size_t>(j)] >= green_.value(next.i, j)) {
       next.q = j;
+      break;
+    }
   }
   metrics::add_flops(2 * static_cast<std::uint64_t>(jmax + 1) * taps.size());
   metrics::add_bytes(static_cast<std::uint64_t>(jmax + 1) * sizeof(double));
-  next.red.resize(static_cast<std::size_t>(next.q + 1));
+  next.red.resize(
+      static_cast<std::size_t>(std::max<std::int64_t>(next.q + 1, 0)));
+}
+
+LatticeRow LatticeSolver::step_naive(const LatticeRow& row,
+                                     bool unbounded_scan) const {
+  LatticeRow next;
+  step_naive_into(row, unbounded_scan, next);
   return next;
 }
 
-void LatticeSolver::run_conv(std::span<const double> ext, std::int64_t h,
+void LatticeSolver::run_conv(std::span<const double> main,
+                             std::span<const double> tail, std::int64_t h,
                              std::span<double> out) {
-  const std::span<const double> kernel =
-      kernels_->power(static_cast<std::uint64_t>(h));
-  // FFT-path convolutions consume the cache's ready-made kernel spectrum
-  // (2 transforms per call instead of 3); repeated trapezoids at the same
-  // (height, padded size) — within this pricing and across every pricing
-  // sharing the cache — pay the kernel transform once. Same bits as the
-  // transform-per-call path, so this is pure work elision.
-  if (conv::correlate_prefers_fft(out.size(), kernel.size(),
-                                  cfg_.conv_policy)) {
-    const fft::RealSpectrum& spec = kernels_->power_spectrum(
+  // The kernel length is known without materializing the kernel
+  // (taps^h has g*h + 1 coefficients), so the FFT path never touches the
+  // time-domain tier at all. FFT-path convolutions consume the cache's
+  // ready-made kernel spectrum (2 transforms per call instead of 3);
+  // repeated trapezoids at the same (height, padded size) — within this
+  // pricing and across every pricing sharing the cache — pay the kernel
+  // transform once. Same bits as the transform-per-call path, so this is
+  // pure work elision.
+  const std::size_t klen = static_cast<std::size_t>(g_ * h + 1);
+  if (conv::correlate_prefers_fft(out.size(), klen, cfg_.conv_policy)) {
+    const auto spec = kernels_->power_spectrum(
         static_cast<std::uint64_t>(h),
-        conv::correlate_fft_size(out.size(), kernel.size()));
-    conv::correlate_valid(ext, spec, out, conv::thread_workspace());
+        conv::correlate_fft_size(out.size(), klen));
+    conv::correlate_valid(main, tail, *spec, out, conv::thread_workspace());
     return;
   }
-  conv::correlate_valid(ext, kernel, out, cfg_.conv_policy);
+  const std::span<const double> kernel =
+      kernels_->power(static_cast<std::uint64_t>(h));
+  conv::correlate_valid(main, tail, kernel, out, conv::thread_workspace(),
+                        cfg_.conv_policy);
 }
 
 std::int64_t LatticeSolver::solve_base(std::int64_t i0, std::int64_t jL,
@@ -108,63 +166,141 @@ std::int64_t LatticeSolver::solve_base(std::int64_t i0, std::int64_t jL,
                                        std::span<const double> in,
                                        std::span<double> out) const {
   const bool growing = cfg_.drift == BoundaryDrift::growing;
+  const bool arena = cfg_.memory == MemoryPlane::arena;
   const std::span<const double> taps = kernels_->stencil().taps;
-  std::vector<double> cur(in.begin(), in.end());
-  std::vector<double> nxt(in.size() + (growing ? static_cast<std::size_t>(L) : 0));
-  cur.resize(nxt.size());
-  std::int64_t qcur = q0;
-  for (std::int64_t step = 0; step < L; ++step) {
-    const std::int64_t i = i0 - step;   // row being consumed
-    const std::int64_t inext = i - 1;   // row being produced
-    if (qcur < jL && !growing) return jL - 1;  // all green from here down
-    const std::int64_t cap = growing ? std::max(qcur, jL - 1) + 1 : qcur;
-    const std::int64_t jmax = std::min(cap, row_width(inext));
-    std::int64_t qnext = jL - 1;
+  const simd::Kernels& kern = simd::kernels();  // one dispatch per call
+  const std::int64_t g = static_cast<std::int64_t>(taps.size()) - 1;
+  const std::size_t W =
+      in.size() + (growing ? static_cast<std::size_t>(L) : 0);
+
+  ScratchStack::Frame frame(thread_scratch());
+  std::vector<double> cur_own, b1_own, b2_own;
+  std::span<double> cur = take_row(frame, cur_own, W, arena);
+  std::span<double> buf1 = take_row(frame, b1_own, W, arena);
+  // The third row only exists on the arena plane, where the fused two-step
+  // sweep rotates (cur, buf1, buf2); the heap plane keeps the historical
+  // two-buffer single-step shape.
+  std::span<double> buf2 = arena ? frame.alloc(W) : std::span<double>{};
+  std::copy(in.begin(), in.end(), cur.begin());
+
+  // Scalar green-extension tail + boundary-discovery scan for the row that
+  // `src` (boundary q_src, consumed row index i_src) steps into `dst`,
+  // whose red interior [jL, jv] is already in place. Returns the new
+  // boundary. This is the historical per-row epilogue, shared verbatim by
+  // the single-step and fused paths so both produce identical bits.
+  const auto finish_row = [&](std::int64_t i_src, std::int64_t q_src,
+                              std::span<const double> src,
+                              std::span<double> dst, std::int64_t jv,
+                              std::int64_t jmax) -> std::int64_t {
     const auto value_at = [&](std::int64_t j) {
-      return (j <= qcur && j >= jL) ? cur[static_cast<std::size_t>(j - jL)]
-                                    : green_.value(i, j);
+      return (j <= q_src && j >= jL) ? src[static_cast<std::size_t>(j - jL)]
+                                     : green_.value(i_src, j);
     };
-    // Cells whose whole tap window stays inside the red prefix are one
-    // contiguous dispatched sweep over `cur`; the trailing cells that read
-    // green extension values stay scalar. The scalar table's kernel is this
-    // loop's historical accumulation, so the scalar level is bit-identical.
-    const std::int64_t g = static_cast<std::int64_t>(taps.size()) - 1;
-    const std::int64_t jv = std::min(jmax, qcur - g);
-    if (jv >= jL) {
-      simd::kernels().correlate_taps(cur.data(), taps.data(), taps.size(),
-                                     nxt.data(),
-                                     static_cast<std::size_t>(jv - jL + 1));
-    }
     for (std::int64_t j = std::max(jL, jv + 1); j <= jmax; ++j) {
       double lin = 0.0;
       for (std::size_t k = 0; k < taps.size(); ++k)
         lin += taps[k] * value_at(j + static_cast<std::int64_t>(k));
-      nxt[static_cast<std::size_t>(j - jL)] = lin;
+      dst[static_cast<std::size_t>(j - jL)] = lin;
     }
-    // Boundary discovery sweep (the nonlinear exercise-max): same
-    // comparison order as the fused historical loop.
-    for (std::int64_t j = jL; j <= jmax; ++j) {
-      if (nxt[static_cast<std::size_t>(j - jL)] >= green_.value(inext, j))
+    // Boundary discovery sweep (the nonlinear exercise-max). The historical
+    // loop swept upward and kept the LAST j where continuation still beats
+    // exercise; sweeping DOWNWARD and stopping at the first such j yields
+    // the identical q (the predicate has no side effects) while touching
+    // O(1) cells per row instead of the whole window — under the one-cell
+    // motion bound the boundary sits within a couple of cells of the top.
+    std::int64_t qnext = jL - 1;
+    for (std::int64_t j = jmax; j >= jL; --j) {
+      if (dst[static_cast<std::size_t>(j - jL)] >= green_.value(i_src - 1, j)) {
         qnext = j;
+        break;
+      }
     }
-    // One-cell boundary motion, window-local: the boundary moves at most
-    // one cell per step (right for growing, left for shrinking), clipped to
-    // the observable window top jmax (near the lattice tip the row width
-    // g*inext clips it below qcur), with ONE extra cell of slack for
-    // numerical ties — the boundary cell sits exactly where lin == green,
-    // and a last-ulp difference (e.g. the AVX-512 FMA path) can flip that
-    // comparison. (The pre-PR form of this check asserted qnext >= qcur
-    // unclipped and failed on small-T puts; it was dead code until Debug
-    // builds started defining AMOPT_DEBUG_CHECKS.)
-    AMOPT_DEBUG_ASSERT(
-        growing ? (qnext <= cap && qnext >= std::min(qcur, jmax) - 1)
-                : (qnext <= qcur && qnext >= std::min(qcur - 1, jmax) - 1));
     metrics::add_flops(
         2 *
         static_cast<std::uint64_t>(std::max<std::int64_t>(jmax - jL + 1, 0)) *
         taps.size());
-    cur.swap(nxt);
-    qcur = qnext;
+    return qnext;
+  };
+
+  // One-cell boundary motion, window-local: the boundary moves at most one
+  // cell per step (right for growing, left for shrinking), clipped to the
+  // observable window top jmax (near the lattice tip the row width g*i
+  // clips it below q), with ONE extra cell of slack for numerical ties —
+  // the boundary cell sits exactly where lin == green, and a last-ulp
+  // difference (e.g. the AVX-512 FMA path) can flip that comparison.
+  const auto check_motion = [&](std::int64_t q_src, std::int64_t cap,
+                                std::int64_t jmax, std::int64_t qnext) {
+    AMOPT_DEBUG_ASSERT(
+        growing ? (qnext <= cap && qnext >= std::min(q_src, jmax) - 1)
+                : (qnext <= q_src && qnext >= std::min(q_src - 1, jmax) - 1));
+    (void)q_src, (void)cap, (void)jmax, (void)qnext;
+  };
+
+  std::int64_t qcur = q0;
+  std::int64_t step = 0;
+  while (step < L) {
+    const std::int64_t i = i0 - step;  // row being consumed
+    if (qcur < jL && !growing) return jL - 1;  // all green from here down
+    const std::int64_t cap1 = growing ? std::max(qcur, jL - 1) + 1 : qcur;
+    const std::int64_t jmax1 = std::min(cap1, row_width(i - 1));
+    const std::int64_t jv1 = std::min(jmax1, qcur - g);
+    const std::int64_t interior1 = jv1 - jL + 1;
+
+    if (arena && step + 1 < L && interior1 >= kFuseMinInterior) {
+      // Fused two-step sweep: advance rows i -> i-1 -> i-2 in one pass over
+      // `cur` while it is still in L1. Second-row cells are computed
+      // speculatively only where their whole tap window is provably red for
+      // both steps under the one-cell boundary-motion bound WITH its tie
+      // slack (q1 >= qcur - 2); everything nearer the boundary is finished
+      // after q1 is actually discovered, so q evolution — and every cell —
+      // is bit-identical to two single-row steps.
+      // Speculation clipped DOWN to the widest vector width: the top-up
+      // sweep below then starts on the same lane grid a single monolithic
+      // sweep would use, so the fused second row is bit-identical to an
+      // unfused one even on FMA dispatch levels (vector and scalar lanes
+      // round differently there — partition identity is what keeps the
+      // arena and heap memory planes bit-equal).
+      const std::int64_t n2 = std::max<std::int64_t>(
+          0, std::min(qcur - 2, jv1) - g - jL + 1) &
+          ~std::int64_t{7};
+      kern.correlate_taps_2row(
+          cur.data(), taps.data(), taps.size(), buf1.data(), buf2.data(),
+          static_cast<std::size_t>(interior1), static_cast<std::size_t>(n2));
+      const std::int64_t q1 = finish_row(i, qcur, cur, buf1, jv1, jmax1);
+      check_motion(qcur, cap1, jmax1, q1);
+      if (q1 < jL && !growing) return jL - 1;
+      const std::int64_t cap2 = growing ? std::max(q1, jL - 1) + 1 : q1;
+      const std::int64_t jmax2 = std::min(cap2, row_width(i - 2));
+      const std::int64_t jv2 = std::min(jmax2, q1 - g);
+      if (jv2 >= jL + n2) {
+        // Interior cells the speculation could not prove red in advance.
+        // n2 is 8-aligned, so this sweep's vector blocks and scalar tail
+        // land exactly where a single full-interior sweep's would.
+        kern.correlate_taps(buf1.data() + n2, taps.data(), taps.size(),
+                            buf2.data() + n2,
+                            static_cast<std::size_t>(jv2 - (jL + n2) + 1));
+      }
+      const std::int64_t q2 = finish_row(i - 1, q1, buf1, buf2, jv2, jmax2);
+      check_motion(q1, cap2, jmax2, q2);
+      std::swap(cur, buf2);  // rows rotate; old cur becomes scratch
+      qcur = q2;
+      step += 2;
+      continue;
+    }
+
+    // Cells whose whole tap window stays inside the red prefix are one
+    // contiguous dispatched sweep over `cur`; the trailing cells that read
+    // green extension values stay scalar. The scalar table's kernel is this
+    // loop's historical accumulation, so the scalar level is bit-identical.
+    if (jv1 >= jL) {
+      kern.correlate_taps(cur.data(), taps.data(), taps.size(), buf1.data(),
+                          static_cast<std::size_t>(interior1));
+    }
+    const std::int64_t q1 = finish_row(i, qcur, cur, buf1, jv1, jmax1);
+    check_motion(qcur, cap1, jmax1, q1);
+    std::swap(cur, buf1);
+    qcur = q1;
+    step += 1;
   }
   if (qcur >= jL) {
     std::copy_n(cur.begin(), static_cast<std::size_t>(qcur - jL + 1),
@@ -190,6 +326,7 @@ std::int64_t LatticeSolver::solve(std::int64_t i0, std::int64_t jL,
   const std::int64_t h = (L + 1) / 2;
   const std::int64_t h2 = L - h;
   AMOPT_ENSURES(h >= 1 && h2 >= 1);
+  const bool arena = cfg_.memory == MemoryPlane::arena;
 
   // Last provably-convolvable column at depth d below a row with boundary
   // q: every cell of the cone must stay red while the boundary drifts.
@@ -197,32 +334,65 @@ std::int64_t LatticeSolver::solve(std::int64_t i0, std::int64_t jL,
     return growing ? q - g_ * d : q - d - (g_ - 1) * (d - 1);
   };
 
+  // Builds the g-1 green-extension cells of row `i_row` past boundary `q`
+  // into `buf` (heap spill for exotic stencils) and returns them as the
+  // correlation's split tail — the red prefix itself is never copied.
+  std::array<double, kInlineTailCap> tail1_buf, tail2_buf;
+  std::vector<double> tail_spill;
+  const auto green_tail = [&](std::int64_t i_row, std::int64_t q,
+                              std::array<double, kInlineTailCap>& buf)
+      -> std::span<const double> {
+    const std::int64_t n_ext = growing ? 0 : g_ - 1;
+    std::span<double> t;
+    if (n_ext <= static_cast<std::int64_t>(kInlineTailCap)) {
+      t = std::span<double>(buf.data(), static_cast<std::size_t>(n_ext));
+    } else {
+      tail_spill.resize(static_cast<std::size_t>(n_ext));
+      t = tail_spill;
+    }
+    for (std::int64_t e = 1; e <= n_ext; ++e)
+      t[static_cast<std::size_t>(e - 1)] = green_.value(i_row, q + e);
+    return t;
+  };
+
+  ScratchStack::Frame frame(thread_scratch());
+  std::vector<double> mid_own;
+  std::span<double> mid = take_row(
+      frame, mid_own,
+      in.size() + (growing ? static_cast<std::size_t>(h) : 0), arena);
+
   // ---- first half: row i0 -> row i0 - h --------------------------------
-  std::vector<double> mid(in.size() + (growing ? static_cast<std::size_t>(h) : 0));
   std::int64_t q_mid = jL - 1;
   const std::int64_t jC = conv_safe(q0, h);
   if (jC >= jL) {
     // Shrinking cones read g-1 green cells past the red prefix; growing
-    // cones stay inside it.
+    // cones stay inside it. On the arena plane the green cells ride as the
+    // correlation's split tail; the heap plane keeps the historical
+    // concatenated copy (same staged bytes, so same bits either way).
+    std::span<const double> conv_in = in;
+    std::span<const double> tail{};
     std::vector<double> ext;
-    const std::int64_t n_ext = growing ? 0 : g_ - 1;
-    ext.reserve(in.size() + static_cast<std::size_t>(n_ext));
-    ext.assign(in.begin(), in.end());
-    for (std::int64_t e = 1; e <= n_ext; ++e)
-      ext.push_back(green_.value(i0, q0 + e));
+    if (arena) {
+      tail = green_tail(i0, q0, tail1_buf);
+    } else {
+      const std::int64_t n_ext = growing ? 0 : g_ - 1;
+      ext.reserve(in.size() + static_cast<std::size_t>(n_ext));
+      ext.assign(in.begin(), in.end());
+      for (std::int64_t e = 1; e <= n_ext; ++e)
+        ext.push_back(green_.value(i0, q0 + e));
+      conv_in = ext;
+    }
 
     std::int64_t q_strip = jL - 1;
     const bool spawn = cfg_.parallel && h >= cfg_.task_cutoff;
     const auto conv_part = [&] {
-      run_conv(ext, h,
-               std::span<double>(mid).subspan(
-                   0, static_cast<std::size_t>(jC - jL + 1)));
+      run_conv(conv_in, tail, h,
+               mid.subspan(0, static_cast<std::size_t>(jC - jL + 1)));
     };
     const auto strip_part = [&] {
       q_strip = solve(i0, jC + 1, q0, h,
                       in.subspan(static_cast<std::size_t>(jC + 1 - jL)),
-                      std::span<double>(mid).subspan(
-                          static_cast<std::size_t>(jC + 1 - jL)));
+                      mid.subspan(static_cast<std::size_t>(jC + 1 - jL)));
     };
     if (spawn) {
 #pragma omp taskgroup
@@ -237,8 +407,11 @@ std::int64_t LatticeSolver::solve(std::int64_t i0, std::int64_t jL,
       strip_part();
     }
     q_mid = std::max(q_strip, jC);  // conv cells are red by construction
+  } else if (arena) {
+    // Window too narrow to convolve: recurse straight into `mid`.
+    q_mid = solve(i0, jL, q0, h, in, mid);
   } else {
-    q_mid = solve(i0, jL, q0, h, in, out);  // window too narrow: out=scratch
+    q_mid = solve(i0, jL, q0, h, in, out);  // historical: out as scratch
     if (q_mid >= jL)
       std::copy_n(out.begin(), static_cast<std::size_t>(q_mid - jL + 1),
                   mid.begin());
@@ -252,17 +425,24 @@ std::int64_t LatticeSolver::solve(std::int64_t i0, std::int64_t jL,
       mid.data(),
       static_cast<std::size_t>(std::max<std::int64_t>(q_mid - jL + 1, 0)));
   if (jC2 >= jL) {
+    std::span<const double> conv_in = mid_in;
+    std::span<const double> tail{};
     std::vector<double> ext;
-    const std::int64_t n_ext = growing ? 0 : g_ - 1;
-    ext.reserve(mid_in.size() + static_cast<std::size_t>(n_ext));
-    ext.assign(mid_in.begin(), mid_in.end());
-    for (std::int64_t e = 1; e <= n_ext; ++e)
-      ext.push_back(green_.value(im, q_mid + e));
+    if (arena) {
+      tail = green_tail(im, q_mid, tail2_buf);
+    } else {
+      const std::int64_t n_ext = growing ? 0 : g_ - 1;
+      ext.reserve(mid_in.size() + static_cast<std::size_t>(n_ext));
+      ext.assign(mid_in.begin(), mid_in.end());
+      for (std::int64_t e = 1; e <= n_ext; ++e)
+        ext.push_back(green_.value(im, q_mid + e));
+      conv_in = ext;
+    }
 
     std::int64_t q_strip = jL - 1;
     const bool spawn = cfg_.parallel && h2 >= cfg_.task_cutoff;
     const auto conv_part = [&] {
-      run_conv(ext, h2,
+      run_conv(conv_in, tail, h2,
                out.subspan(0, static_cast<std::size_t>(jC2 - jL + 1)));
     };
     const auto strip_part = [&] {
@@ -290,28 +470,41 @@ std::int64_t LatticeSolver::solve(std::int64_t i0, std::int64_t jL,
 LatticeRow LatticeSolver::descend(LatticeRow top, std::int64_t i_stop) {
   AMOPT_EXPECTS(i_stop >= 0 && top.i >= i_stop);
   const bool growing = cfg_.drift == BoundaryDrift::growing;
+  const bool arena = cfg_.memory == MemoryPlane::arena;
   LatticeRow row = std::move(top);
+  // Ping-pong row: `next`'s storage shuttles between descend() calls via
+  // spare_red_, so a warm solver repeats a descent with zero allocations.
+  LatticeRow next;
+  next.red = std::move(spare_red_);
   while (row.i > i_stop) {
     if (row.q < 0) {
       if (!growing) {
         // Entirely green: stays green all the way down (Lemma 2.4 / A.2).
         row.i = i_stop;
         row.red.clear();
-        return row;
+        break;
       }
-      row = step_naive(row);  // red can reappear; probe one row at a time
+      step_naive_into(row, false, next);  // red can reappear; probe one row
+      std::swap(row, next);
       continue;
     }
     const std::int64_t L_red = std::max<std::int64_t>((row.q + 1) / g_, 1);
     const std::int64_t L = std::min(L_red, row.i - i_stop);
     if (L <= cfg_.base_case) {
-      row = step_naive(row);
+      step_naive_into(row, false, next);
+      std::swap(row, next);
       continue;
     }
-    LatticeRow next;
     next.i = row.i - L;
-    next.red.assign(row.red.size() + (growing ? static_cast<std::size_t>(L) : 0),
-                    0.0);
+    const std::size_t n =
+        row.red.size() + (growing ? static_cast<std::size_t>(L) : 0);
+    if (arena) {
+      // resize, not assign: solve() fills every cell up to the returned
+      // boundary, so the old contents need no zeroing pass.
+      next.red.resize(n);
+    } else {
+      std::vector<double>(n, 0.0).swap(next.red);  // the pre-arena discipline
+    }
     const auto run = [&] {
       next.q = solve(row.i, 0, row.q, L, row.red, next.red);
     };
@@ -325,8 +518,9 @@ LatticeRow LatticeSolver::descend(LatticeRow top, std::int64_t i_stop) {
     }
     next.red.resize(
         static_cast<std::size_t>(std::max<std::int64_t>(next.q + 1, 0)));
-    row = std::move(next);
+    std::swap(row, next);
   }
+  spare_red_ = std::move(next.red);
   return row;
 }
 

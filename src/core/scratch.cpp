@@ -1,0 +1,51 @@
+#include "amopt/core/scratch.hpp"
+
+#include <algorithm>
+
+#if defined(AMOPT_DEBUG_CHECKS)
+#include <limits>
+#endif
+
+namespace amopt::core {
+
+namespace {
+// 8 KiB floor keeps tiny first frames from minting a chain of micro-blocks.
+constexpr std::size_t kMinBlockDoubles = 1024;
+constexpr std::size_t kAlignDoubles = kCacheLine / sizeof(double);
+}  // namespace
+
+std::span<double> ScratchStack::alloc(std::size_t n) {
+  if (n == 0) return {};
+  // Round every allocation to a cache line so each span starts 64B-aligned
+  // (block bases are aligned_vector allocations).
+  const std::size_t need = (n + kAlignDoubles - 1) & ~(kAlignDoubles - 1);
+  while (block_ < blocks_.size() &&
+         blocks_[block_].size() - off_ < need) {
+    ++block_;
+    off_ = 0;
+  }
+  if (block_ == blocks_.size()) {
+    // Append a block covering at least everything held so far: outstanding
+    // spans in earlier blocks stay valid, and the next warm pass falls
+    // through to this block alone (the earlier ones only cost address
+    // space until then).
+    const std::size_t sz =
+        std::max({kMinBlockDoubles, need, 2 * capacity()});
+    blocks_.emplace_back(sz);
+    off_ = 0;
+  }
+  double* p = blocks_[block_].data() + off_;
+  off_ += need;
+#if defined(AMOPT_DEBUG_CHECKS)
+  // Poison so Debug builds turn any read-before-write into a NaN price.
+  std::fill_n(p, n, std::numeric_limits<double>::quiet_NaN());
+#endif
+  return {p, n};
+}
+
+ScratchStack& thread_scratch() {
+  thread_local ScratchStack s;
+  return s;
+}
+
+}  // namespace amopt::core

@@ -55,18 +55,26 @@ void count_fft_ops(std::size_t n, std::uint64_t transforms_of_half,
 /// out[j] = c[skip + j] for j in [0, out.size()), where c is the full
 /// convolution — `skip` folds the correlation shift into the copy-out.
 /// `reverse_b` packs b back-to-front (correlation = convolution with the
-/// reversed kernel) without materializing a reversed copy.
-void real_convolve_into(std::span<const double> a, std::span<const double> b,
-                        bool reverse_b, std::size_t skip,
-                        std::span<double> out, Workspace& ws) {
-  const std::size_t full = a.size() + b.size() - 1;
+/// reversed kernel) without materializing a reversed copy. The first
+/// operand is the logical concatenation of `a` and `a_tail` (the solvers'
+/// green-extension cells) — staging both pieces here yields the same
+/// padded buffer, hence the same bits, as a concatenated call.
+void real_convolve_into(std::span<const double> a,
+                        std::span<const double> a_tail,
+                        std::span<const double> b, bool reverse_b,
+                        std::size_t skip, std::span<double> out,
+                        Workspace& ws) {
+  const std::size_t na = a.size() + a_tail.size();
+  const std::size_t full = na + b.size() - 1;
   const std::size_t n = next_pow2(full);
   const fft::RealPlan& plan = fft::real_plan_for(n);
   const std::size_t nspec = plan.spectrum_size();
 
   std::span<double> ra = ws.real_a(n);
   std::copy(a.begin(), a.end(), ra.begin());
-  std::fill(ra.begin() + static_cast<std::ptrdiff_t>(a.size()), ra.end(), 0.0);
+  std::copy(a_tail.begin(), a_tail.end(),
+            ra.begin() + static_cast<std::ptrdiff_t>(a.size()));
+  std::fill(ra.begin() + static_cast<std::ptrdiff_t>(na), ra.end(), 0.0);
 
   std::span<cplx> sa = ws.spec_a(nspec);
   // Aliased-operand fast path: convolving a signal with itself (the
@@ -76,7 +84,8 @@ void real_convolve_into(std::span<const double> a, std::span<const double> b,
   // cmul(sa, sa) on them (exactly at the scalar level, to the documented
   // last-ulp FMA tolerance on AVX-512), so the fast path is work elision,
   // not a numerical shortcut.
-  if (!reverse_b && a.data() == b.data() && a.size() == b.size()) {
+  if (!reverse_b && a_tail.empty() && a.data() == b.data() &&
+      a.size() == b.size()) {
     plan.forward(ra.data(), sa.data());
     simd::kernels().csquare(sa.data(), nspec);
     plan.inverse(sa.data(), ra.data());
@@ -107,14 +116,16 @@ void real_convolve_into(std::span<const double> a, std::span<const double> b,
   count_fft_ops(n, 3);
 }
 
-/// The consumer half of the spectral overloads: transform `a` zero-padded
-/// to `kspec.n`, multiply by the precomputed kernel bins, invert, copy out
-/// from `skip`. Identical arithmetic to real_convolve_into with the kernel
-/// transform hoisted out.
+/// The consumer half of the spectral overloads: transform concat(a, a_tail)
+/// zero-padded to `kspec.n`, multiply by the precomputed kernel bins,
+/// invert, copy out from `skip`. Identical arithmetic to real_convolve_into
+/// with the kernel transform hoisted out.
 void real_convolve_spec_into(std::span<const double> a,
+                             std::span<const double> a_tail,
                              const fft::RealSpectrum& kspec, std::size_t skip,
                              std::span<double> out, Workspace& ws) {
-  const std::size_t full = a.size() + kspec.klen - 1;
+  const std::size_t na = a.size() + a_tail.size();
+  const std::size_t full = na + kspec.klen - 1;
   const std::size_t n = kspec.n;
   AMOPT_EXPECTS(n >= full);
   const fft::RealPlan& plan = fft::real_plan_for(n);
@@ -123,7 +134,9 @@ void real_convolve_spec_into(std::span<const double> a,
 
   std::span<double> ra = ws.real_a(n);
   std::copy(a.begin(), a.end(), ra.begin());
-  std::fill(ra.begin() + static_cast<std::ptrdiff_t>(a.size()), ra.end(), 0.0);
+  std::copy(a_tail.begin(), a_tail.end(),
+            ra.begin() + static_cast<std::ptrdiff_t>(a.size()));
+  std::fill(ra.begin() + static_cast<std::ptrdiff_t>(na), ra.end(), 0.0);
   std::span<cplx> sa = ws.spec_a(nspec);
   plan.forward(ra.data(), sa.data());
   simd::kernels().cmul(sa.data(), kspec.bins.data(), nspec);
@@ -139,14 +152,19 @@ void real_convolve_spec_into(std::span<const double> a,
 /// z = a + i*b, one forward FFT, split the spectrum with conjugate symmetry,
 /// multiply, invert. Kept as Policy::Path::fft_packed so benches can measure
 /// the real-input path against it.
-void packed_convolve_into(std::span<const double> a, std::span<const double> b,
-                          bool reverse_b, std::size_t skip,
-                          std::span<double> out, Workspace& ws) {
-  const std::size_t full = a.size() + b.size() - 1;
+void packed_convolve_into(std::span<const double> a,
+                          std::span<const double> a_tail,
+                          std::span<const double> b, bool reverse_b,
+                          std::size_t skip, std::span<double> out,
+                          Workspace& ws) {
+  const std::size_t na = a.size() + a_tail.size();
+  const std::size_t full = na + b.size() - 1;
   const std::size_t n = next_pow2(full);
   std::span<cplx> z = ws.spec_a(n);
   std::fill(z.begin(), z.end(), cplx{0.0, 0.0});
   for (std::size_t i = 0; i < a.size(); ++i) z[i].real(a[i]);
+  for (std::size_t i = 0; i < a_tail.size(); ++i)
+    z[a.size() + i].real(a_tail[i]);
   if (reverse_b) {
     const std::size_t nb = b.size();
     for (std::size_t i = 0; i < nb; ++i) z[i].imag(b[nb - 1 - i]);
@@ -185,14 +203,28 @@ void packed_convolve_into(std::span<const double> a, std::span<const double> b,
   count_fft_ops(n, 4);  // two full-size transforms = four half-size
 }
 
-void fft_convolve_into(std::span<const double> a, std::span<const double> b,
-                       bool reverse_b, std::size_t skip, std::span<double> out,
-                       Workspace& ws, Policy policy) {
+void fft_convolve_into(std::span<const double> a,
+                       std::span<const double> a_tail,
+                       std::span<const double> b, bool reverse_b,
+                       std::size_t skip, std::span<double> out, Workspace& ws,
+                       Policy policy) {
   if (policy.path == Policy::Path::fft_packed) {
-    packed_convolve_into(a, b, reverse_b, skip, out, ws);
+    packed_convolve_into(a, a_tail, b, reverse_b, skip, out, ws);
   } else {
-    real_convolve_into(a, b, reverse_b, skip, out, ws);
+    real_convolve_into(a, a_tail, b, reverse_b, skip, out, ws);
   }
+}
+
+/// Trim the logical input concat(main, tail) to its first `needed` elements
+/// (the prefix a correlation actually references).
+void trim_split(std::span<const double>& main, std::span<const double>& tail,
+                std::size_t needed) {
+  if (main.size() >= needed) {
+    main = main.subspan(0, needed);
+    tail = {};
+    return;
+  }
+  tail = tail.subspan(0, needed - main.size());
 }
 
 void convolve_full_direct_into(std::span<const double> a,
@@ -247,7 +279,8 @@ void convolve_full(std::span<const double> a, std::span<const double> b,
     convolve_full_direct_into(a, b, out);
     return;
   }
-  fft_convolve_into(a, b, /*reverse_b=*/false, /*skip=*/0, out, ws, policy);
+  fft_convolve_into(a, {}, b, /*reverse_b=*/false, /*skip=*/0, out, ws,
+                    policy);
 }
 
 std::vector<double> convolve_full(std::span<const double> a,
@@ -274,7 +307,7 @@ void correlate_valid(std::span<const double> in,
   // and the shift while copying out. Trim the input to the prefix actually
   // referenced to keep the transform small.
   const std::size_t needed_in = out.size() + kernel.size() - 1;
-  fft_convolve_into(in.subspan(0, needed_in), kernel, /*reverse_b=*/true,
+  fft_convolve_into(in.subspan(0, needed_in), {}, kernel, /*reverse_b=*/true,
                     /*skip=*/kernel.size() - 1, out, ws, policy);
 }
 
@@ -282,6 +315,38 @@ void correlate_valid(std::span<const double> in,
                      std::span<const double> kernel, std::span<double> out,
                      Policy policy) {
   correlate_valid(in, kernel, out, thread_workspace(), policy);
+}
+
+void correlate_valid(std::span<const double> main, std::span<const double> tail,
+                     std::span<const double> kernel, std::span<double> out,
+                     Workspace& ws, Policy policy) {
+  if (tail.empty()) {  // degenerate split: exactly the concatenated call
+    correlate_valid(main, kernel, out, ws, policy);
+    return;
+  }
+  AMOPT_EXPECTS(!kernel.empty());
+  if (out.empty()) return;
+  const std::size_t in_len = main.size() + tail.size();
+  AMOPT_EXPECTS(in_len >= out.size() + kernel.size() - 1);
+  std::span<const double> m = main, t = tail;
+  trim_split(m, t, out.size() + kernel.size() - 1);
+  if (use_direct(in_len, kernel.size(), policy)) {
+    // Small-size crossover: materialize the concatenation in workspace
+    // staging and run the ordinary contiguous sweep. The copy is bounded by
+    // the direct-path cost cap, and it keeps the sweep's vector/scalar
+    // partition — hence every bit on FMA dispatch levels — identical to a
+    // contiguous-input call (the zero-copy win belongs to the FFT path,
+    // where the operands are large).
+    const std::size_t needed = m.size() + t.size();
+    std::span<double> cat = ws.cat(needed);
+    std::copy(m.begin(), m.end(), cat.begin());
+    std::copy(t.begin(), t.end(),
+              cat.begin() + static_cast<std::ptrdiff_t>(m.size()));
+    correlate_valid_direct(cat, kernel, out);
+    return;
+  }
+  fft_convolve_into(m, t, kernel, /*reverse_b=*/true,
+                    /*skip=*/kernel.size() - 1, out, ws, policy);
 }
 
 bool correlate_prefers_fft(std::size_t out_len, std::size_t kernel_len,
@@ -316,8 +381,19 @@ void correlate_valid(std::span<const double> in,
   if (out.empty()) return;
   AMOPT_EXPECTS(in.size() >= out.size() + kspec.klen - 1);
   const std::size_t needed_in = out.size() + kspec.klen - 1;
-  real_convolve_spec_into(in.subspan(0, needed_in), kspec,
+  real_convolve_spec_into(in.subspan(0, needed_in), {}, kspec,
                           /*skip=*/kspec.klen - 1, out, ws);
+}
+
+void correlate_valid(std::span<const double> main, std::span<const double> tail,
+                     const fft::RealSpectrum& kspec, std::span<double> out,
+                     Workspace& ws) {
+  AMOPT_EXPECTS(!kspec.empty() && kspec.reversed);
+  if (out.empty()) return;
+  AMOPT_EXPECTS(main.size() + tail.size() >= out.size() + kspec.klen - 1);
+  std::span<const double> m = main, t = tail;
+  trim_split(m, t, out.size() + kspec.klen - 1);
+  real_convolve_spec_into(m, t, kspec, /*skip=*/kspec.klen - 1, out, ws);
 }
 
 void convolve_full(std::span<const double> a, const fft::RealSpectrum& bspec,
@@ -328,7 +404,7 @@ void convolve_full(std::span<const double> a, const fft::RealSpectrum& bspec,
     return;
   }
   AMOPT_EXPECTS(out.size() == a.size() + bspec.klen - 1);
-  real_convolve_spec_into(a, bspec, /*skip=*/0, out, ws);
+  real_convolve_spec_into(a, {}, bspec, /*skip=*/0, out, ws);
 }
 
 void convolve_many(std::span<const std::span<const double>> inputs,
@@ -342,7 +418,7 @@ void convolve_many(std::span<const std::span<const double>> inputs,
       continue;
     }
     outs[i].resize(inputs[i].size() + kspec.klen - 1);
-    real_convolve_spec_into(inputs[i], kspec, /*skip=*/0, outs[i], ws);
+    real_convolve_spec_into(inputs[i], {}, kspec, /*skip=*/0, outs[i], ws);
   }
 }
 

@@ -29,6 +29,7 @@
 #include <span>
 #include <vector>
 
+#include "amopt/core/scratch.hpp"
 #include "amopt/fft/convolution.hpp"
 #include "amopt/stencil/kernel_cache.hpp"
 #include "amopt/stencil/linear_stencil.hpp"
@@ -60,12 +61,23 @@ struct LatticeRow {
 ///    empirically in tests): q_i in [q_{i+1}, q_{i+1}+1].
 enum class BoundaryDrift { shrinking, growing };
 
+/// Where the solvers draw their transient row buffers from:
+///  * arena — the thread's grow-only `core::ScratchStack` (zero heap
+///    allocations once warm, rows reused while cache-hot, green-extension
+///    cells staged split-operand so the red prefix is never copied);
+///  * heap  — the pre-arena discipline (a fresh std::vector per recursion
+///    level and a concatenated extension copy per convolution), kept as a
+///    measurable reference for the fig5 memory-plane bars. Both planes
+///    produce bit-identical results at a fixed dispatch level.
+enum class MemoryPlane { arena, heap };
+
 struct SolverConfig {
   int base_case = 8;               ///< trapezoid height switch to naive
   std::int64_t task_cutoff = 512;  ///< min height to spawn OpenMP tasks
   bool parallel = true;
   BoundaryDrift drift = BoundaryDrift::shrinking;
   conv::Policy conv_policy{};
+  MemoryPlane memory = MemoryPlane::arena;
 };
 
 class LatticeSolver {
@@ -98,6 +110,12 @@ class LatticeSolver {
   [[nodiscard]] LatticeRow step_naive(const LatticeRow& row,
                                       bool unbounded_scan = false) const;
 
+  /// `step_naive` writing into caller-provided row storage (`next.red`'s
+  /// capacity is reused), so the descend loop can ping-pong two rows with
+  /// no steady-state allocation. `next` must not alias `row`.
+  void step_naive_into(const LatticeRow& row, bool unbounded_scan,
+                       LatticeRow& next) const;
+
   [[nodiscard]] std::int64_t cone_growth() const noexcept { return g_; }
   [[nodiscard]] const SolverConfig& config() const noexcept { return cfg_; }
 
@@ -116,10 +134,11 @@ class LatticeSolver {
                           std::int64_t L, std::span<const double> in,
                           std::span<double> out) const;
 
-  /// Correlate the h-step kernel over `ext` (input row extended by g-1
-  /// green cells) writing `n_out` provably-red cells.
-  void run_conv(std::span<const double> ext, std::int64_t h,
-                std::span<double> out);
+  /// Correlate the h-step kernel over the logical input concat(main, tail)
+  /// (a row's red prefix plus its g-1 green-extension cells, staged
+  /// split-operand) writing `n_out` provably-red cells.
+  void run_conv(std::span<const double> main, std::span<const double> tail,
+                std::int64_t h, std::span<double> out);
 
   [[nodiscard]] std::int64_t row_width(std::int64_t i) const noexcept {
     return g_ * i;
@@ -130,6 +149,9 @@ class LatticeSolver {
   const LatticeGreen& green_;
   SolverConfig cfg_;
   std::int64_t g_;
+  /// Warm row storage handed back and forth with descend()'s ping-pong
+  /// buffer, so repeated descents over one solver stay allocation-free.
+  std::vector<double> spare_red_;
 };
 
 }  // namespace amopt::core

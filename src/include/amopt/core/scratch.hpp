@@ -1,0 +1,93 @@
+#pragma once
+// S5b: the solvers' scratch arena.
+//
+// Every level of the trapezoid recursion needs a handful of short-lived row
+// buffers (`mid`, the base case's ping-pong rows, the FDM assembly row).
+// Allocating them from the heap makes the descent allocation-bound: the
+// recursion performs O(T) vector constructions per pricing, each paying
+// malloc/free plus a cold-page zero-fill, and the buffers land wherever the
+// allocator happens to put them. `ScratchStack` replaces that with the
+// allocation pattern the recursion actually has — strict LIFO — over
+// grow-only, 64-byte-aligned storage: a `Frame` marks the stack on entry to
+// a recursion level and pops everything that level allocated on exit, so a
+// warmed-up stack serves an entire descent without touching the heap, from
+// memory that stays cache-resident across trapezoids.
+//
+// Growth never invalidates outstanding spans: storage is a chain of blocks
+// and growing appends a block at least as large as everything allocated so
+// far, so the stack converges to (at most) one live block per power-of-two
+// high-water mark and every earlier span stays where it was.
+//
+// Threading: one ScratchStack serves one thread (no locking). The library
+// keeps one per thread via `thread_scratch()` — OpenMP task legs of the
+// recursion allocate from their executing thread's stack, which is safe
+// because tied tasks nest stack-like on a thread (a thread that suspends a
+// task at a scheduling point finishes the intervening task before resuming,
+// so frames pushed by the intervening task pop before the suspended frame
+// does). Thread-local rather than per-solver so the warm blocks survive the
+// short-lived solver instances the pricers construct per call — the same
+// lifetime rule as conv::thread_workspace().
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "amopt/common/aligned.hpp"
+
+namespace amopt::core {
+
+class ScratchStack {
+ public:
+  ScratchStack() = default;
+  ScratchStack(const ScratchStack&) = delete;
+  ScratchStack& operator=(const ScratchStack&) = delete;
+
+  /// One recursion level's allocations. Frames must be destroyed in reverse
+  /// construction order on their stack (automatic with scoped locals);
+  /// destruction releases every span alloc()'d through this frame.
+  class Frame {
+   public:
+    explicit Frame(ScratchStack& s) noexcept
+        : s_(s), block_(s.block_), off_(s.off_) {}
+    ~Frame() {
+      s_.block_ = block_;
+      s_.off_ = off_;
+    }
+    Frame(const Frame&) = delete;
+    Frame& operator=(const Frame&) = delete;
+
+    /// A 64-byte-aligned span of n doubles, valid until this frame is
+    /// destroyed. Contents are uninitialized (NaN-poisoned under
+    /// AMOPT_DEBUG_CHECKS, so Debug/sanitize builds catch any read of a
+    /// cell the algorithms were supposed to have written).
+    [[nodiscard]] std::span<double> alloc(std::size_t n) {
+      return s_.alloc(n);
+    }
+
+   private:
+    ScratchStack& s_;
+    std::size_t block_;
+    std::size_t off_;
+  };
+
+  /// Total doubles of backing storage currently held (grow-only).
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    std::size_t c = 0;
+    for (const auto& b : blocks_) c += b.size();
+    return c;
+  }
+
+ private:
+  friend class Frame;
+  [[nodiscard]] std::span<double> alloc(std::size_t n);
+
+  std::vector<aligned_vector<double>> blocks_;
+  std::size_t block_ = 0;  ///< block currently being bumped
+  std::size_t off_ = 0;    ///< next free double inside it
+};
+
+/// The calling thread's scratch stack (created on first use, never freed
+/// while the thread lives).
+[[nodiscard]] ScratchStack& thread_scratch();
+
+}  // namespace amopt::core

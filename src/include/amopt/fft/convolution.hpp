@@ -63,6 +63,11 @@ class Workspace {
   /// the conv layer should not need these directly.
   [[nodiscard]] std::span<double> real_a(std::size_t n) { return grow(ra_, n); }
   [[nodiscard]] std::span<double> real_b(std::size_t n) { return grow(rb_, n); }
+  /// Staging for the split-operand correlation's DIRECT path (the small-
+  /// size crossover), where the concatenation is materialized so the sweep
+  /// partition — and therefore every bit on FMA dispatch levels — matches
+  /// a contiguous-input call exactly.
+  [[nodiscard]] std::span<double> cat(std::size_t n) { return grow(cat_, n); }
   [[nodiscard]] std::span<fft::cplx> spec_a(std::size_t n) {
     return grow(sa_, n);
   }
@@ -82,7 +87,7 @@ class Workspace {
     return {v.data(), n};
   }
 
-  aligned_vector<double> ra_, rb_, acc_, tmp_, aux_;
+  aligned_vector<double> ra_, rb_, cat_, acc_, tmp_, aux_;
   aligned_vector<fft::cplx> sa_, sb_;
 };
 
@@ -111,6 +116,30 @@ void correlate_valid(std::span<const double> in,
 void correlate_valid(std::span<const double> in,
                      std::span<const double> kernel, std::span<double> out,
                      Workspace& ws, Policy policy = {});
+
+// ---------------------------------------------------- split-operand input
+//
+// The trapezoid solvers correlate a row's red prefix EXTENDED by up to g-1
+// green cells. Materializing that concatenation costs an O(row) copy per
+// convolution just to append a couple of cells. The overloads below take
+// the input as (main, tail): the FFT paths stage both pieces directly into
+// the zero-padded transform buffer — the staged bytes are identical to the
+// concatenated call's, so results match it bit for bit at a fixed dispatch
+// level. The DIRECT path (small sizes, where the copy is cheap anyway)
+// materializes the concatenation into workspace staging so its sweep
+// partition matches a contiguous-input call exactly — split and
+// concatenated calls are bit-identical on EVERY path at every level.
+
+/// `correlate_valid` over the logical input concat(main, tail). Requires
+/// main.size() + tail.size() >= out.size() + kernel.size() - 1.
+void correlate_valid(std::span<const double> main, std::span<const double> tail,
+                     std::span<const double> kernel, std::span<double> out,
+                     Workspace& ws, Policy policy = {});
+
+/// Split-operand form of the spectral `correlate_valid` below.
+void correlate_valid(std::span<const double> main, std::span<const double> tail,
+                     const fft::RealSpectrum& kspec, std::span<double> out,
+                     Workspace& ws);
 
 // ------------------------------------------------------- spectral overloads
 //

@@ -56,6 +56,13 @@ struct PricerConfig {
   /// miss costs a rebuild, never correctness.
   std::size_t max_kernel_caches = 64;
   std::size_t max_transient_kernel_caches = 16;
+  /// Byte cap for the spectrum tier ACROSS the whole registry: every
+  /// session cache shares one stencil::SpectrumBudget, which LRU-evicts
+  /// (height, fft-size) spectra — whichever cache owns them — once their
+  /// total bytes exceed this. Time-domain kernel powers are NOT counted
+  /// (they are what the LRU'd caches themselves bound); this cap closes the
+  /// one unbounded tier left inside a cache. 0 = unbounded.
+  std::size_t max_spectrum_bytes = 32u << 20;
   bool parallel = true;  ///< OpenMP fan-out across batch items
   /// Warm-start repeated implied-vol inversions: the session remembers each
   /// contract's last two (vol, price) evaluation points and restarts the
@@ -132,6 +139,9 @@ class Pricer {
     std::size_t kernel_caches = 0;  ///< live registry entries (both tiers)
     std::size_t base_kernel_caches = 0;       ///< base-tier entries
     std::size_t transient_kernel_caches = 0;  ///< transient-tier entries
+    std::size_t spectrum_bytes = 0;     ///< spectra held across all caches
+    std::size_t spectrum_entries = 0;   ///< live (h, n) spectrum entries
+    std::uint64_t spectrum_evictions = 0;  ///< dropped to honor the cap
     std::uint64_t cache_hits = 0;   ///< tap-group lookups served warm
     std::uint64_t cache_misses = 0; ///< tap-group lookups that built a cache
     std::uint64_t requests = 0;     ///< items served across all batches
@@ -209,6 +219,10 @@ class Pricer {
   };
   std::vector<Entry> base_caches_;       ///< requests' own tap groups
   std::vector<Entry> transient_caches_;  ///< bump/trial-vol tap groups
+  /// Registry-wide spectrum-tier byte budget (null when the cap is 0);
+  /// attached to every cache the registry creates. shared_ptr because
+  /// evicted-but-in-flight caches may outlive the registry entry.
+  std::shared_ptr<stencil::SpectrumBudget> spectrum_budget_;
   std::unordered_map<std::string, WarmRoot> warm_roots_;  ///< by contract key
   /// Bumped-spec prices the greeks legs evaluated, by full evaluation key
   /// (spec + T + model/right/style/engine + resolved solver config).

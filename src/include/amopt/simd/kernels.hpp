@@ -45,6 +45,18 @@ struct Kernels {
   void (*correlate_taps)(const double* in, const double* taps,
                          std::size_t ntaps, double* out, std::size_t n);
 
+  /// Fused two-step tap sweep: mid[j] = sum_m taps[m] * in[j + m] for
+  /// j < n_mid, then out[j] = sum_m taps[m] * mid[j + m] for j < n_out
+  /// (requires n_out + ntaps - 1 <= n_mid; in must alias neither output).
+  /// Both rows are materialized — the fusion is temporal: the second row is
+  /// computed block-by-block right behind the first, while the first row's
+  /// cells are still in L1, instead of in a second full pass. Per element
+  /// the arithmetic is exactly `correlate_taps`'s, so the scalar entry is
+  /// bit-identical to two single-row sweeps (asserted in test_simd).
+  void (*correlate_taps_2row)(const double* in, const double* taps,
+                              std::size_t ntaps, double* mid, double* out,
+                              std::size_t n_mid, std::size_t n_out);
+
   /// Centered 3-tap sweep out[j] = b*in[j] + c*in[j+1] + a*in[j+2], j < n —
   /// the BSM FDM solver's historical expression (association order
   /// (b*x + c*y) + a*z).
@@ -55,6 +67,13 @@ struct Kernels {
   void (*deinterleave)(const cplx* z, double* re, double* im, std::size_t n);
   void (*interleave)(const double* re, const double* im, cplx* z,
                      std::size_t n);
+
+  /// `interleave` with the inverse transform's 1/n normalization fused in:
+  /// z[i] = {re[i] * s, im[i] * s}. One pass over the data instead of
+  /// scale2 followed by interleave; the multiply is the same one scale2
+  /// performed, so the fusion is bit-identical.
+  void (*interleave_scaled)(const double* re, const double* im, cplx* z,
+                            std::size_t n, double s);
 
   /// Fused bit-reversal + split: re[i] = z[rev[i]].real(), im[i] =
   /// z[rev[i]].imag(). One gathered pass instead of an in-place swap pass

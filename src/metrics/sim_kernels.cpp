@@ -170,6 +170,52 @@ class FftReplayer {
     for (std::size_t i = 0; i < n_out; ++i) (void)ra[i];  // copy out
   }
 
+  /// A solver-path correlation against the KernelCache's CACHED kernel
+  /// spectrum (PR 4/5 production pipeline): the kernel transform is paid
+  /// once per (kernel length, padded size) — modeled by building the cached
+  /// bins on first touch — and every later convolution at that key runs
+  /// just the input transform, the pointwise product against the cached
+  /// bins, and the inverse (2 half-size transforms instead of 3). The input
+  /// row is staged split-operand (PR 5), so no concatenated copy of the red
+  /// prefix is modeled either.
+  void correlation_spectral(std::size_t n_in, std::size_t n_kernel,
+                            std::size_t n_out) {
+    const std::size_t full = n_in + n_kernel - 1;
+    const std::size_t n = next_pow2(full);
+    if (n < 4) {
+      convolution_packed(n_in, n_kernel, n_out);  // degenerate tiny sizes
+      return;
+    }
+    const std::size_t m = n / 2;
+    SimVec<double>& ra = cached(real_a_, n);
+    SimVec<cplx>& sa = cached(spec_a_, m + 1);
+    SimVec<cplx>& tw = cached(half_tw_, m);
+    SimVec<cplx>& rtw = cached(real_tw_, m / 2 + 1);
+    // The cached kernel spectrum, keyed like KernelCache's (h, log2 n):
+    // first touch builds it (pack + one forward), later touches only read.
+    const std::size_t key = (n_kernel << 24) | n;
+    auto it = kspec_.find(key);
+    if (it == kspec_.end()) {
+      SimVec<double>& rb = cached(real_b_, n);
+      for (std::size_t i = 0; i < n; ++i) rb[i] = i < n_kernel ? 1.0 : 0.0;
+      SimVec<cplx>& sb = cached(spec_b_, m + 1);
+      forward_r2c(rb, sb, tw, rtw, m);
+      it = kspec_.emplace(key, std::make_unique<SimVec<cplx>>(sim_, m + 1))
+               .first;
+      for (std::size_t k = 0; k < m + 1; ++k) (*it->second)[k] = sb[k];
+    }
+    SimVec<cplx>& ks = *it->second;
+
+    for (std::size_t i = 0; i < n; ++i) ra[i] = i < n_in ? 1.0 : 0.0;
+    forward_r2c(ra, sa, tw, rtw, m);
+    for (std::size_t k = 0; k < m + 1; ++k) {  // pointwise vs cached bins
+      (void)ks[k];
+      sa[k] *= cplx{0.5, 0.5};
+    }
+    inverse_c2r(sa, ra, tw, rtw, m);
+    for (std::size_t i = 0; i < n_out; ++i) (void)ra[i];  // copy out
+  }
+
   /// The seed's packed-complex two-for-one pipeline
   /// (conv::Policy::Path::fft_packed), kept for model-parity tests.
   void convolution_packed(std::size_t n_in, std::size_t n_kernel,
@@ -264,6 +310,9 @@ class FftReplayer {
   Cache<cplx> real_tw_;
   Cache<cplx> z_cache_;
   Cache<cplx> tw_cache_;
+  /// Cached kernel spectra keyed by (kernel length, padded size) — the
+  /// replay mirror of the KernelCache spectrum tier.
+  std::map<std::size_t, std::unique_ptr<SimVec<cplx>>> kspec_;
 };
 
 /// Kernel-power construction traffic: closed form (table write) for 2-tap,
@@ -330,9 +379,9 @@ struct LatticeReplay {
     const std::int64_t jC = q0 - h - (g - 1) * (h - 1);
     if (jC >= jL) {
       replay_kernel_power(fr, sim, g + 1, h, kernel_heights);
-      fr.convolution(static_cast<std::size_t>(q0 - jL + g),
-                     static_cast<std::size_t>(g * h + 1),
-                     static_cast<std::size_t>(jC - jL + 1));
+      fr.correlation_spectral(static_cast<std::size_t>(q0 - jL + g),
+                              static_cast<std::size_t>(g * h + 1),
+                              static_cast<std::size_t>(jC - jL + 1));
       solve(i0, jC + 1, q0, h);
     } else {
       solve(i0, jL, q0, h);
@@ -342,9 +391,9 @@ struct LatticeReplay {
     const std::int64_t jC2 = q_mid - h2 - (g - 1) * (h2 - 1);
     if (jC2 >= jL) {
       replay_kernel_power(fr, sim, g + 1, h2, kernel_heights);
-      fr.convolution(static_cast<std::size_t>(q_mid - jL + g),
-                     static_cast<std::size_t>(g * h2 + 1),
-                     static_cast<std::size_t>(jC2 - jL + 1));
+      fr.correlation_spectral(static_cast<std::size_t>(q_mid - jL + g),
+                              static_cast<std::size_t>(g * h2 + 1),
+                              static_cast<std::size_t>(jC2 - jL + 1));
       solve(i0 - h, jC2 + 1, q_mid, h2);
     } else {
       solve(i0 - h, jL, q_mid, h2);
@@ -412,9 +461,9 @@ struct FdmReplay {
     solve(n0, f0, f0 + 2 * h, h);
     replay_kernel_power(fr, sim, 3, h, kernel_heights);
     if (kr - f0 - 2 * h > 0)
-      fr.convolution(static_cast<std::size_t>(kr - f0),
-                     static_cast<std::size_t>(2 * h + 1),
-                     static_cast<std::size_t>(kr - f0 - 2 * h));
+      fr.correlation_spectral(static_cast<std::size_t>(kr - f0),
+                              static_cast<std::size_t>(2 * h + 1),
+                              static_cast<std::size_t>(kr - f0 - 2 * h));
     const std::int64_t f_mid =
         std::max(f[static_cast<std::size_t>(n0 + h)], f0 - h);
     solve(n0 + h, f_mid, kr - h, h2);

@@ -12,18 +12,28 @@ namespace {
 
 /// log(k!) for k in [0, n] with compensated (Kahan) summation; the absolute
 /// error stays O(sqrt(n)·eps), i.e. ~1e-12 relative on the exponentiated
-/// value even at h = 2^20.
-[[nodiscard]] std::vector<double> log_factorials(std::uint64_t n) {
-  std::vector<double> lf(n + 1, 0.0);
-  double sum = 0.0, comp = 0.0;
-  for (std::uint64_t k = 1; k <= n; ++k) {
-    const double term = std::log(static_cast<double>(k)) - comp;
-    const double next = sum + term;
-    comp = (next - sum) - term;
-    sum = next;
-    lf[k] = sum;
+/// value even at h = 2^20. Cached per thread and grown by continuing the
+/// SAME recurrence from its saved (sum, comp) state, so every prefix is
+/// bit-identical to a fresh computation — a descent requests ~log T
+/// binomial heights whose log chains summed to O(T) transcendentals per
+/// pricing before the cache.
+[[nodiscard]] std::span<const double> log_factorials(std::uint64_t n) {
+  struct State {
+    std::vector<double> lf{0.0};  // lf[0] = log(0!) = 0
+    double sum = 0.0, comp = 0.0;
+  };
+  thread_local State st;
+  if (st.lf.size() <= n) {
+    st.lf.reserve(static_cast<std::size_t>(n + 1));
+    for (std::uint64_t k = st.lf.size(); k <= n; ++k) {
+      const double term = std::log(static_cast<double>(k)) - st.comp;
+      const double next = st.sum + term;
+      st.comp = (next - st.sum) - term;
+      st.sum = next;
+      st.lf.push_back(st.sum);
+    }
   }
-  return lf;
+  return {st.lf.data(), static_cast<std::size_t>(n + 1)};
 }
 
 }  // namespace
@@ -194,7 +204,7 @@ std::vector<double> power_binomial(double a, double b, std::uint64_t h) {
     return only;
   }
   AMOPT_EXPECTS(a > 0.0 && b > 0.0);
-  const std::vector<double> lf = log_factorials(h);
+  const std::span<const double> lf = log_factorials(h);
   const double la = std::log(a), lb = std::log(b);
   const double hd = static_cast<double>(h);
   for (std::uint64_t m = 0; m <= h; ++m) {

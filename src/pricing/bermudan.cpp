@@ -60,12 +60,10 @@ double price_fft(const OptionSpec& spec, std::int64_t T,
     // Equal inter-date gaps re-request the same height; consume the cached
     // kernel spectrum on the FFT path like the trapezoid solvers do.
     if (conv::correlate_prefers_fft(next.size(), kernel.size(), {})) {
-      conv::correlate_valid(
-          row,
-          kernels.power_spectrum(static_cast<std::uint64_t>(h),
-                                 conv::correlate_fft_size(next.size(),
-                                                          kernel.size())),
-          next, conv::thread_workspace());
+      const auto spec = kernels.power_spectrum(
+          static_cast<std::uint64_t>(h),
+          conv::correlate_fft_size(next.size(), kernel.size()));
+      conv::correlate_valid(row, *spec, next, conv::thread_workspace());
     } else {
       conv::correlate_valid(row, kernel, next);
     }

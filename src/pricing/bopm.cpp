@@ -1,10 +1,12 @@
 #include "amopt/pricing/bopm.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <vector>
 
 #include "amopt/common/assert.hpp"
+#include "amopt/fft/convolution.hpp"
 #include "amopt/metrics/counters.hpp"
 #include "amopt/poly/poly_power.hpp"
 
@@ -292,26 +294,60 @@ LowNodes american_call_nodes_fft(const OptionSpec& spec, std::int64_t T,
   if (spec.Y <= 0.0 && spec.R >= 0.0) {
     // Linear everywhere: evaluate rows 0..2 with kernel powers. All nodes of
     // row i share the (T-i)-step kernel, so compute it once per row rather
-    // than once per node — or draw it from the shared chain cache.
+    // than once per node — or draw it from the shared chain cache. The
+    // expiry payoff row is materialized once and shared by all three rows
+    // (it was being re-evaluated through the oracle per node and tap).
     const std::vector<double> taps{prm.s0, prm.s1};
-    std::vector<double> storage;
-    std::span<const double> kernel;
-    const auto node_value = [&](std::int64_t j) {
+    std::vector<double> s0, s1, s2;
+    const std::span<const double> kT = kernel_power(kernels, taps, T, s0);
+    const std::span<const double> kT1 = kernel_power(kernels, taps, T - 1, s1);
+    const std::span<const double> kT2 = kernel_power(kernels, taps, T - 2, s2);
+    std::vector<double> payoff(static_cast<std::size_t>(T + 1));
+    for (std::int64_t j = 0; j <= T; ++j)
+      payoff[static_cast<std::size_t>(j)] = payoff_expiry(green, T, j);
+
+    if (cfg.conv_policy.path == conv::Policy::Path::fft) {
+      // Batched spectral route: all three rows correlate against the SAME
+      // payoff row, so its spectrum is transformed once and shared via the
+      // convolve_many spectral overload — using
+      //   corr(payoff, K)[j] = conv(reverse(payoff), K)[T - j].
+      // Engaged only when the caller pins the FFT path: with just six
+      // output nodes the direct dot products are O(T) total, cheaper than
+      // any transform, so `automatic` keeps them.
+      conv::Workspace& ws = conv::thread_workspace();
+      std::vector<double> rev(payoff.rbegin(), payoff.rend());
+      const std::size_t n =
+          next_pow2(static_cast<std::size_t>(2 * T + 1));
+      const fft::RealSpectrum pspec =
+          conv::kernel_spectrum(rev, n, /*reversed=*/false, ws);
+      const std::array<std::span<const double>, 3> inputs{kT, kT1, kT2};
+      std::array<std::vector<double>, 3> outs;
+      conv::convolve_many(inputs, pspec, outs, ws);
+      const auto node = [&](std::size_t row, std::int64_t j) {
+        return outs[row][static_cast<std::size_t>(T - j)];
+      };
+      nodes.g00 = node(0, 0);
+      nodes.g10 = node(1, 0);
+      nodes.g11 = node(1, 1);
+      nodes.g20 = node(2, 0);
+      nodes.g21 = node(2, 1);
+      nodes.g22 = node(2, 2);
+      return nodes;
+    }
+
+    const auto node_value = [&](std::span<const double> kernel,
+                                std::int64_t j) {
       double acc = 0.0;
       for (std::size_t m = 0; m < kernel.size(); ++m)
-        acc += kernel[m] *
-               payoff_expiry(green, T, j + static_cast<std::int64_t>(m));
+        acc += kernel[m] * payoff[static_cast<std::size_t>(j) + m];
       return acc;
     };
-    kernel = kernel_power(kernels, taps, T, storage);
-    nodes.g00 = node_value(0);
-    kernel = kernel_power(kernels, taps, T - 1, storage);
-    nodes.g10 = node_value(0);
-    nodes.g11 = node_value(1);
-    kernel = kernel_power(kernels, taps, T - 2, storage);
-    nodes.g20 = node_value(0);
-    nodes.g21 = node_value(1);
-    nodes.g22 = node_value(2);
+    nodes.g00 = node_value(kT, 0);
+    nodes.g10 = node_value(kT1, 0);
+    nodes.g11 = node_value(kT1, 1);
+    nodes.g20 = node_value(kT2, 0);
+    nodes.g21 = node_value(kT2, 1);
+    nodes.g22 = node_value(kT2, 2);
     return nodes;
   }
 

@@ -29,6 +29,9 @@ Pricer::Pricer(PricerConfig cfg) : cfg_(cfg) {
   if (cfg_.max_kernel_caches == 0) cfg_.max_kernel_caches = 1;
   if (cfg_.max_transient_kernel_caches == 0)
     cfg_.max_transient_kernel_caches = 1;
+  if (cfg_.max_spectrum_bytes > 0)
+    spectrum_budget_ =
+        std::make_shared<stencil::SpectrumBudget>(cfg_.max_spectrum_bytes);
 }
 
 bool Pricer::supports(Model m, Right r, Style s, Engine e) noexcept {
@@ -119,6 +122,7 @@ Pricer::CachePtr Pricer::cache_for(const stencil::LinearStencil& st,
   ++misses_;
   Entry entry;
   entry.cache = std::make_shared<stencil::KernelCache>(st);
+  if (spectrum_budget_) entry.cache->set_spectrum_budget(spectrum_budget_);
   entry.last_used = ++tick_;
   CachePtr out = entry.cache;
   if (tier == Tier::base) {
@@ -592,6 +596,12 @@ Pricer::Stats Pricer::stats() const {
   s.warm_roots = warm_roots_.size();
   s.warm_bump_prices = bump_prices_.size();
   s.bump_price_hits = bump_hits_;
+  if (spectrum_budget_) {
+    const stencil::SpectrumBudget::Stats b = spectrum_budget_->stats();
+    s.spectrum_bytes = b.bytes;
+    s.spectrum_entries = b.entries;
+    s.spectrum_evictions = b.evictions;
+  }
   return s;
 }
 

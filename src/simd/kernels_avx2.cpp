@@ -114,6 +114,39 @@ void correlate_taps(const double* in, const double* taps, std::size_t ntaps,
   }
 }
 
+namespace {
+/// The 4-wide body of `correlate_taps` over [j0, j1) (same mul/add chain —
+/// this TU builds without FMA, so each lane is the scalar expression).
+inline void taps_sweep_range(const double* in, const double* taps,
+                             std::size_t ntaps, double* out, std::size_t j0,
+                             std::size_t j1) {
+  std::size_t j = j0;
+  for (; j + 4 <= j1; j += 4) {
+    __m256d acc = _mm256_setzero_pd();
+    for (std::size_t m = 0; m < ntaps; ++m) {
+      const __m256d t = _mm256_set1_pd(taps[m]);
+      acc = _mm256_add_pd(acc, _mm256_mul_pd(t, _mm256_loadu_pd(in + j + m)));
+    }
+    _mm256_storeu_pd(out + j, acc);
+  }
+  for (; j < j1; ++j) {
+    double acc = 0.0;
+    for (std::size_t m = 0; m < ntaps; ++m) acc += taps[m] * in[j + m];
+    out[j] = acc;
+  }
+}
+}  // namespace
+
+void correlate_taps_2row(const double* in, const double* taps,
+                         std::size_t ntaps, double* mid, double* out,
+                         std::size_t n_mid, std::size_t n_out) {
+  two_row_sweep_driver(
+      in, taps, ntaps, mid, out, n_mid, n_out,
+      [&](const double* src, double* dst, std::size_t j0, std::size_t j1) {
+        taps_sweep_range(src, taps, ntaps, dst, j0, j1);
+      });
+}
+
 void stencil3(const double* in, double b, double c, double a, double* out,
               std::size_t n) {
   const __m256d vb = _mm256_set1_pd(b);
@@ -180,6 +213,32 @@ void interleave(const double* re, const double* im, cplx* z, std::size_t n) {
     interleave_vec<IoUnaligned>(re, im, zd, nv / 4);
   }
   for (std::size_t i = nv; i < n; ++i) z[i] = cplx{re[i], im[i]};
+}
+
+template <class Io>
+void interleave_scaled_vec(const double* re, const double* im, double* z,
+                           std::size_t quads, double s) {
+  const __m256d vs = _mm256_set1_pd(s);
+  for (std::size_t i = 0; i + 4 <= quads * 4; i += 4) {
+    const __m256d vr = _mm256_mul_pd(Io::load(re + i), vs);
+    const __m256d vi = _mm256_mul_pd(Io::load(im + i), vs);
+    const __m256d t0 = _mm256_unpacklo_pd(vr, vi);
+    const __m256d t1 = _mm256_unpackhi_pd(vr, vi);
+    Io::store(z + 2 * i, _mm256_permute2f128_pd(t0, t1, 0x20));
+    Io::store(z + 2 * i + 4, _mm256_permute2f128_pd(t0, t1, 0x31));
+  }
+}
+
+void interleave_scaled(const double* re, const double* im, cplx* z,
+                       std::size_t n, double s) {
+  auto* zd = reinterpret_cast<double*>(z);
+  const std::size_t nv = n & ~std::size_t{3};
+  if (aligned32(zd) && aligned32(re) && aligned32(im)) {
+    interleave_scaled_vec<IoAligned>(re, im, zd, nv / 4, s);
+  } else {
+    interleave_scaled_vec<IoUnaligned>(re, im, zd, nv / 4, s);
+  }
+  for (std::size_t i = nv; i < n; ++i) z[i] = cplx{re[i] * s, im[i] * s};
 }
 
 void deinterleave_rev(const cplx* z, const std::uint32_t* rev, double* re,
@@ -262,7 +321,9 @@ void radix2_pass(double* re, double* im, std::size_t n) {
 // Above this half-size one stage's SoA twiddle block (48h bytes) no longer
 // sits in L1/L2, so streaming it costs as much as the data itself; compute
 // W^2j, W^3j from W^j in registers instead (ComputeW) — a few extra
-// multiplies against four cold-memory loads per butterfly.
+// multiplies against four cold-memory loads per butterfly. This TU has no
+// FMA, so the in-register powers cost 16 multiplies per lane group and the
+// crossover stays high; the AVX-512 table (FMA) switches earlier.
 constexpr std::size_t kComputeTwiddleH = 2048;
 
 template <class Io, bool ComputeW>
@@ -629,8 +690,10 @@ namespace tables {
 
 const Kernels avx2 = {
     avx2_impl::cmul,           avx2_impl::csquare,
-    avx2_impl::correlate_taps, avx2_impl::stencil3,
+    avx2_impl::correlate_taps, avx2_impl::correlate_taps_2row,
+    avx2_impl::stencil3,
     avx2_impl::deinterleave,   avx2_impl::interleave,
+    avx2_impl::interleave_scaled,
     avx2_impl::deinterleave_rev,
     avx2_impl::scale2,         avx2_impl::radix2_pass,
     avx2_impl::radix4_pass,    avx2_impl::rfft_untangle,

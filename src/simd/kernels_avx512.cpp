@@ -1,9 +1,10 @@
 // AVX-512F kernel table: 8 doubles (4 complex) per 512-bit lane. The
 // arithmetic-dense kernels (radix-4 butterflies, pointwise products, tap
-// sweeps) are widened to 512 bits; the shuffle-bound layout helpers
-// (de/interleave, R2C/C2R pair twiddles, radix-2) reuse the AVX2
-// implementations — at 512 bits those are almost pure permute traffic and
-// gain nothing from the wider lanes. This TU is compiled with
+// sweeps) are widened to 512 bits, and since PR 5 so are the shuffle-bound
+// layout helpers (de/interleave, R2C/C2R pair twiddles, radix-2): vpermt2pd
+// crosses all 128-bit lanes in one instruction, which halves their shuffle
+// and load/store counts — profiling the end-to-end pricers showed those
+// helpers carrying ~15% of a descent. This TU is compiled with
 // -mavx512f -mavx512dq (and AVX2 implied), so multiply-add chains may be
 // contracted to FMA here: the AVX-512 path can differ from scalar/AVX2 in
 // the last ulps (it is the more accurate rounding), bounded by the
@@ -104,6 +105,37 @@ void correlate_taps(const double* in, const double* taps, std::size_t ntaps,
   }
 }
 
+namespace {
+/// The 8-wide fmadd body of `correlate_taps` over [j0, j1).
+inline void taps_sweep_range(const double* in, const double* taps,
+                             std::size_t ntaps, double* out, std::size_t j0,
+                             std::size_t j1) {
+  std::size_t j = j0;
+  for (; j + 8 <= j1; j += 8) {
+    __m512d acc = _mm512_setzero_pd();
+    for (std::size_t m = 0; m < ntaps; ++m)
+      acc = _mm512_fmadd_pd(_mm512_set1_pd(taps[m]),
+                            _mm512_loadu_pd(in + j + m), acc);
+    _mm512_storeu_pd(out + j, acc);
+  }
+  for (; j < j1; ++j) {
+    double acc = 0.0;
+    for (std::size_t m = 0; m < ntaps; ++m) acc += taps[m] * in[j + m];
+    out[j] = acc;
+  }
+}
+}  // namespace
+
+void correlate_taps_2row(const double* in, const double* taps,
+                         std::size_t ntaps, double* mid, double* out,
+                         std::size_t n_mid, std::size_t n_out) {
+  two_row_sweep_driver(
+      in, taps, ntaps, mid, out, n_mid, n_out,
+      [&](const double* src, double* dst, std::size_t j0, std::size_t j1) {
+        taps_sweep_range(src, taps, ntaps, dst, j0, j1);
+      });
+}
+
 void stencil3(const double* in, double b, double c, double a, double* out,
               std::size_t n) {
   const __m512d vb = _mm512_set1_pd(b);
@@ -158,12 +190,181 @@ void scale2(double* re, double* im, std::size_t n, double s) {
   }
 }
 
+// ---------------------------------------------- 512-bit layout conversions
+//
+// PR 3 left the shuffle-bound layout helpers on their AVX2 implementations;
+// profiling the end-to-end pricers showed they carry ~15% of a descent, so
+// they are widened here after all. vpermt2pd crosses all 128-bit lanes in
+// one instruction, so the 512-bit versions halve both the shuffle and the
+// load/store counts. Arithmetic (where any) is the same mul/add per
+// element, inside the documented AVX-512 tolerance.
+
+namespace {
+inline __m512i idx8(long long a, long long b, long long c, long long d,
+                    long long e, long long f, long long g, long long h) {
+  return _mm512_setr_epi64(a, b, c, d, e, f, g, h);
+}
+
+/// Load 8 interleaved complex (unaligned) and split into re/im registers.
+inline void load_split8(const double* p, __m512d& re, __m512d& im) {
+  const __m512d z0 = _mm512_loadu_pd(p);
+  const __m512d z1 = _mm512_loadu_pd(p + 8);
+  re = _mm512_permutex2var_pd(z0, idx8(0, 2, 4, 6, 8, 10, 12, 14), z1);
+  im = _mm512_permutex2var_pd(z0, idx8(1, 3, 5, 7, 9, 11, 13, 15), z1);
+}
+
+inline void store_join8(double* p, __m512d re, __m512d im) {
+  _mm512_storeu_pd(
+      p, _mm512_permutex2var_pd(re, idx8(0, 8, 1, 9, 2, 10, 3, 11), im));
+  _mm512_storeu_pd(
+      p + 8, _mm512_permutex2var_pd(re, idx8(4, 12, 5, 13, 6, 14, 7, 15), im));
+}
+
+inline __m512d reverse8(__m512d v) {
+  return _mm512_permutexvar_pd(idx8(7, 6, 5, 4, 3, 2, 1, 0), v);
+}
+}  // namespace
+
+void deinterleave(const cplx* z, double* re, double* im, std::size_t n) {
+  const auto* zd = reinterpret_cast<const double*>(z);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m512d vr, vi;
+    load_split8(zd + 2 * i, vr, vi);
+    _mm512_storeu_pd(re + i, vr);
+    _mm512_storeu_pd(im + i, vi);
+  }
+  for (; i < n; ++i) {
+    re[i] = z[i].real();
+    im[i] = z[i].imag();
+  }
+}
+
+void interleave(const double* re, const double* im, cplx* z, std::size_t n) {
+  auto* zd = reinterpret_cast<double*>(z);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8)
+    store_join8(zd + 2 * i, _mm512_loadu_pd(re + i), _mm512_loadu_pd(im + i));
+  for (; i < n; ++i) z[i] = cplx{re[i], im[i]};
+}
+
+void interleave_scaled(const double* re, const double* im, cplx* z,
+                       std::size_t n, double s) {
+  auto* zd = reinterpret_cast<double*>(z);
+  const __m512d vs = _mm512_set1_pd(s);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8)
+    store_join8(zd + 2 * i, _mm512_mul_pd(_mm512_loadu_pd(re + i), vs),
+                _mm512_mul_pd(_mm512_loadu_pd(im + i), vs));
+  for (; i < n; ++i) z[i] = cplx{re[i] * s, im[i] * s};
+}
+
+void radix2_pass(double* re, double* im, std::size_t n) {
+  const std::size_t nv = n & ~std::size_t{7};
+  for (double* p : {re, im}) {
+    std::size_t base = 0;
+    for (; base + 8 <= nv; base += 8) {
+      const __m512d v = _mm512_loadu_pd(p + base);
+      const __m512d sw = _mm512_permute_pd(v, 0x55);  // swap within pairs
+      const __m512d sum = _mm512_add_pd(v, sw);
+      const __m512d dif = _mm512_sub_pd(sw, v);
+      _mm512_storeu_pd(p + base, _mm512_mask_blend_pd(0xAA, sum, dif));
+    }
+    for (; base < n; base += 2) {
+      const double t = p[base + 1];
+      p[base + 1] = p[base] - t;
+      p[base] += t;
+    }
+  }
+}
+
+// ----------------------------------------------- R2C / C2R pair twiddles
+
+void rfft_untangle(cplx* spec, const cplx* tw, std::size_t m) {
+  auto* sd = reinterpret_cast<double*>(spec);
+  const auto* td = reinterpret_cast<const double*>(tw);
+  const __m512d half = _mm512_set1_pd(0.5);
+  std::size_t k = 1, j = m - 1;
+  for (; k + 15 <= j; k += 8, j -= 8) {
+    __m512d kr, ki, jr, ji, twr, twi;
+    load_split8(sd + 2 * k, kr, ki);
+    load_split8(sd + 2 * (j - 7), jr, ji);
+    jr = reverse8(jr);  // lane l now holds index j - l
+    ji = reverse8(ji);
+    load_split8(td + 2 * k, twr, twi);
+    // xe = (Z[k] + conj(Z[j]))/2, xo = (Z[k] - conj(Z[j]))/(2i)
+    const __m512d xer = _mm512_mul_pd(half, _mm512_add_pd(kr, jr));
+    const __m512d xei = _mm512_mul_pd(half, _mm512_sub_pd(ki, ji));
+    const __m512d xor_ = _mm512_mul_pd(half, _mm512_add_pd(ki, ji));
+    const __m512d xoi = _mm512_mul_pd(half, _mm512_sub_pd(jr, kr));
+    // txo = t_k * xo
+    const __m512d txr = _mm512_sub_pd(_mm512_mul_pd(twr, xor_),
+                                      _mm512_mul_pd(twi, xoi));
+    const __m512d txi = _mm512_add_pd(_mm512_mul_pd(twr, xoi),
+                                      _mm512_mul_pd(twi, xor_));
+    // spec[k] = xe + txo, spec[j] = conj(xe - txo)
+    store_join8(sd + 2 * k, _mm512_add_pd(xer, txr), _mm512_add_pd(xei, txi));
+    const __m512d ojr = reverse8(_mm512_sub_pd(xer, txr));
+    const __m512d oji = reverse8(_mm512_sub_pd(txi, xei));  // -(xei-txi)
+    store_join8(sd + 2 * (j - 7), ojr, oji);
+  }
+  for (; k < j; ++k, --j) {
+    const cplx zk = spec[k], zj = spec[j];
+    const cplx xe = 0.5 * (zk + std::conj(zj));
+    const cplx xo = cplx{0.0, -0.5} * (zk - std::conj(zj));
+    const cplx txo = tw[k] * xo;
+    spec[k] = xe + txo;
+    spec[j] = std::conj(xe - txo);
+  }
+}
+
+void rfft_retangle(cplx* spec, const cplx* tw, std::size_t m) {
+  auto* sd = reinterpret_cast<double*>(spec);
+  const auto* td = reinterpret_cast<const double*>(tw);
+  const __m512d half = _mm512_set1_pd(0.5);
+  std::size_t k = 1, j = m - 1;
+  for (; k + 15 <= j; k += 8, j -= 8) {
+    __m512d kr, ki, jr, ji, twr, twi;
+    load_split8(sd + 2 * k, kr, ki);
+    load_split8(sd + 2 * (j - 7), jr, ji);
+    jr = reverse8(jr);
+    ji = reverse8(ji);
+    load_split8(td + 2 * k, twr, twi);
+    // xe = (X[k] + conj(X[j]))/2, u = (X[k] - conj(X[j]))/2,
+    // xo = u * conj(t_k)
+    const __m512d xer = _mm512_mul_pd(half, _mm512_add_pd(kr, jr));
+    const __m512d xei = _mm512_mul_pd(half, _mm512_sub_pd(ki, ji));
+    const __m512d ur = _mm512_mul_pd(half, _mm512_sub_pd(kr, jr));
+    const __m512d ui = _mm512_mul_pd(half, _mm512_add_pd(ki, ji));
+    const __m512d xor_ = _mm512_add_pd(_mm512_mul_pd(ur, twr),
+                                       _mm512_mul_pd(ui, twi));
+    const __m512d xoi = _mm512_sub_pd(_mm512_mul_pd(ui, twr),
+                                      _mm512_mul_pd(ur, twi));
+    // Z[k] = xe + i xo, Z[j] = conj(xe) + i conj(xo)
+    store_join8(sd + 2 * k, _mm512_sub_pd(xer, xoi), _mm512_add_pd(xei, xor_));
+    const __m512d ojr = reverse8(_mm512_add_pd(xer, xoi));
+    const __m512d oji = reverse8(_mm512_sub_pd(xor_, xei));
+    store_join8(sd + 2 * (j - 7), ojr, oji);
+  }
+  for (; k < j; ++k, --j) {
+    const cplx xk = spec[k], xj = spec[j];
+    const cplx xe = 0.5 * (xk + std::conj(xj));
+    const cplx xo = 0.5 * (xk - std::conj(xj)) * std::conj(tw[k]);
+    spec[k] = xe + cplx{0.0, 1.0} * xo;
+    spec[j] = std::conj(xe) + cplx{0.0, 1.0} * std::conj(xo);
+  }
+}
+
 // ------------------------------------------------------------ FFT stages
 
-// Same large-stage twiddle strategy as the AVX2 kernel: past this
+// Same large-stage twiddle strategy as the AVX2 kernel — past this
 // half-size, compute W^2j / W^3j from W^j in registers instead of
-// streaming the cold 48h-byte twiddle block.
-constexpr std::size_t kComputeTwiddleH = 2048;
+// streaming the cold 48h-byte twiddle block — but with a LOWER crossover:
+// FMA makes the in-register powers cheap here, and in a real descent (many
+// distinct transform sizes, unlike a single-size micro loop) the 48h-byte
+// blocks arrive cold, which is where computing wins end-to-end (~5% on the
+// fig5 pricers on the PR 5 build box).
+constexpr std::size_t kComputeTwiddleH = 512;
 
 template <class Io, bool ComputeW>
 void radix4_vec(double* re, double* im, std::size_t n, std::size_t h,
@@ -235,11 +436,186 @@ void radix4_vec(double* re, double* im, std::size_t n, std::size_t h,
   }
 }
 
+/// The h = 4 stage widened to 512 bits: two butterfly groups (32 elements
+/// per array) per iteration, gathered and scattered with cross-lane
+/// vpermt2pd. Multiplies and adds only — no FMA — so every lane evaluates
+/// exactly the expression the AVX2/scalar h = 4 stage evaluates and the
+/// result is bit-identical to them. The small-transform stages dominate
+/// the many narrow convolutions of a descent, which is why this one gets
+/// its own kernel.
+void radix4_h4(double* re, double* im, std::size_t n, const double* wsoa,
+               bool inverse) {
+  const __m512d conj_mask =
+      inverse ? _mm512_set1_pd(-0.0) : _mm512_setzero_pd();
+  const __m512d rot_mask =
+      inverse ? _mm512_setzero_pd() : _mm512_set1_pd(-0.0);
+  const auto bcast4 = [](const double* p) {
+    return _mm512_broadcast_f64x4(_mm256_loadu_pd(p));
+  };
+  // Six 4-element twiddle arrays, each broadcast to both 256-bit halves.
+  const __m512d w1r = bcast4(wsoa);
+  const __m512d w1i = _mm512_xor_pd(bcast4(wsoa + 4), conj_mask);
+  const __m512d w2r = bcast4(wsoa + 8);
+  const __m512d w2i = _mm512_xor_pd(bcast4(wsoa + 12), conj_mask);
+  const __m512d w3r = bcast4(wsoa + 16);
+  const __m512d w3i = _mm512_xor_pd(bcast4(wsoa + 20), conj_mask);
+  const __m512i lo_idx = idx8(0, 1, 2, 3, 8, 9, 10, 11);
+  const __m512i hi_idx = idx8(4, 5, 6, 7, 12, 13, 14, 15);
+  std::size_t base = 0;
+  for (; base + 32 <= n; base += 32) {
+    // [a0..3 b0..3 c0..3 d0..3] x 2 groups -> per-operand registers
+    // [x(g1) | x(g2)].
+    const auto gather = [&](const double* p, __m512d& a, __m512d& b,
+                            __m512d& c, __m512d& d) {
+      const __m512d v0 = _mm512_loadu_pd(p);
+      const __m512d v1 = _mm512_loadu_pd(p + 8);
+      const __m512d v2 = _mm512_loadu_pd(p + 16);
+      const __m512d v3 = _mm512_loadu_pd(p + 24);
+      a = _mm512_permutex2var_pd(v0, lo_idx, v2);
+      b = _mm512_permutex2var_pd(v0, hi_idx, v2);
+      c = _mm512_permutex2var_pd(v1, lo_idx, v3);
+      d = _mm512_permutex2var_pd(v1, hi_idx, v3);
+    };
+    __m512d ar, br, cr, dr, ai, bi, ci, di;
+    gather(re + base, ar, br, cr, dr);
+    gather(im + base, ai, bi, ci, di);
+    // bb = b W^2j, cc = c W^j, dd = d W^3j — the AVX2 mul/add chain.
+    const __m512d bbr = _mm512_sub_pd(_mm512_mul_pd(br, w2r),
+                                      _mm512_mul_pd(bi, w2i));
+    const __m512d bbi = _mm512_add_pd(_mm512_mul_pd(br, w2i),
+                                      _mm512_mul_pd(bi, w2r));
+    const __m512d ccr = _mm512_sub_pd(_mm512_mul_pd(cr, w1r),
+                                      _mm512_mul_pd(ci, w1i));
+    const __m512d cci = _mm512_add_pd(_mm512_mul_pd(cr, w1i),
+                                      _mm512_mul_pd(ci, w1r));
+    const __m512d ddr = _mm512_sub_pd(_mm512_mul_pd(dr, w3r),
+                                      _mm512_mul_pd(di, w3i));
+    const __m512d ddi = _mm512_add_pd(_mm512_mul_pd(dr, w3i),
+                                      _mm512_mul_pd(di, w3r));
+    const __m512d a1r = _mm512_add_pd(ar, bbr);
+    const __m512d a1i = _mm512_add_pd(ai, bbi);
+    const __m512d b1r = _mm512_sub_pd(ar, bbr);
+    const __m512d b1i = _mm512_sub_pd(ai, bbi);
+    const __m512d sr = _mm512_add_pd(ccr, ddr);
+    const __m512d si = _mm512_add_pd(cci, ddi);
+    const __m512d itr = _mm512_xor_pd(_mm512_sub_pd(cci, ddi), conj_mask);
+    const __m512d iti = _mm512_xor_pd(_mm512_sub_pd(ccr, ddr), rot_mask);
+    const auto scatter = [&](double* p, __m512d oa, __m512d ob, __m512d oc,
+                             __m512d od) {
+      _mm512_storeu_pd(p, _mm512_permutex2var_pd(oa, lo_idx, ob));
+      _mm512_storeu_pd(p + 8, _mm512_permutex2var_pd(oc, lo_idx, od));
+      _mm512_storeu_pd(p + 16, _mm512_permutex2var_pd(oa, hi_idx, ob));
+      _mm512_storeu_pd(p + 24, _mm512_permutex2var_pd(oc, hi_idx, od));
+    };
+    scatter(re + base, _mm512_add_pd(a1r, sr), _mm512_add_pd(b1r, itr),
+            _mm512_sub_pd(a1r, sr), _mm512_sub_pd(b1r, itr));
+    scatter(im + base, _mm512_add_pd(a1i, si), _mm512_add_pd(b1i, iti),
+            _mm512_sub_pd(a1i, si), _mm512_sub_pd(b1i, iti));
+  }
+  if (base < n) {  // odd trailing group (n a multiple of 16, not 32)
+    avx2_impl::radix4_pass(re + base, im + base, n - base, 4, wsoa, inverse);
+  }
+}
+
+/// The h = 2 stage (odd-log2 transforms) widened to 512 bits: four 8-element
+/// butterfly groups per iteration. Two vpermt2pd's pack the (a, b) halves of
+/// two groups into one register and vshuff64x2 merges four groups into full
+/// 8-wide operands; twiddles broadcast as [w(0), w(1)] x 4. Multiplies and
+/// adds only (no FMA) — bit-identical to the AVX2/scalar stage.
+void radix4_h2(double* re, double* im, std::size_t n, const double* wsoa,
+               bool inverse) {
+  const __m512d conj_mask =
+      inverse ? _mm512_set1_pd(-0.0) : _mm512_setzero_pd();
+  const __m512d rot_mask =
+      inverse ? _mm512_setzero_pd() : _mm512_set1_pd(-0.0);
+  const auto bcast2 = [](const double* p) {
+    return _mm512_broadcast_f64x2(_mm_loadu_pd(p));
+  };
+  const __m512d w1r = bcast2(wsoa);
+  const __m512d w1i = _mm512_xor_pd(bcast2(wsoa + 2), conj_mask);
+  const __m512d w2r = bcast2(wsoa + 4);
+  const __m512d w2i = _mm512_xor_pd(bcast2(wsoa + 6), conj_mask);
+  const __m512d w3r = bcast2(wsoa + 8);
+  const __m512d w3i = _mm512_xor_pd(bcast2(wsoa + 10), conj_mask);
+  // [a0 a1 b0 b1 | a0' a1' b0' b1'] packers for two 8-element groups.
+  const __m512i ab_idx = idx8(0, 1, 8, 9, 2, 3, 10, 11);
+  const __m512i cd_idx = idx8(4, 5, 12, 13, 6, 7, 14, 15);
+  std::size_t base = 0;
+  for (; base + 32 <= n; base += 32) {
+    const auto gather = [&](const double* p, __m512d& a, __m512d& b,
+                            __m512d& c, __m512d& d) {
+      const __m512d v0 = _mm512_loadu_pd(p);
+      const __m512d v1 = _mm512_loadu_pd(p + 8);
+      const __m512d v2 = _mm512_loadu_pd(p + 16);
+      const __m512d v3 = _mm512_loadu_pd(p + 24);
+      const __m512d ab01 = _mm512_permutex2var_pd(v0, ab_idx, v1);
+      const __m512d ab23 = _mm512_permutex2var_pd(v2, ab_idx, v3);
+      const __m512d cd01 = _mm512_permutex2var_pd(v0, cd_idx, v1);
+      const __m512d cd23 = _mm512_permutex2var_pd(v2, cd_idx, v3);
+      a = _mm512_shuffle_f64x2(ab01, ab23, 0x44);  // low 256s: a-halves
+      b = _mm512_shuffle_f64x2(ab01, ab23, 0xEE);  // high 256s: b-halves
+      c = _mm512_shuffle_f64x2(cd01, cd23, 0x44);
+      d = _mm512_shuffle_f64x2(cd01, cd23, 0xEE);
+    };
+    __m512d ar, br, cr, dr, ai, bi, ci, di;
+    gather(re + base, ar, br, cr, dr);
+    gather(im + base, ai, bi, ci, di);
+    const __m512d bbr = _mm512_sub_pd(_mm512_mul_pd(br, w2r),
+                                      _mm512_mul_pd(bi, w2i));
+    const __m512d bbi = _mm512_add_pd(_mm512_mul_pd(br, w2i),
+                                      _mm512_mul_pd(bi, w2r));
+    const __m512d ccr = _mm512_sub_pd(_mm512_mul_pd(cr, w1r),
+                                      _mm512_mul_pd(ci, w1i));
+    const __m512d cci = _mm512_add_pd(_mm512_mul_pd(cr, w1i),
+                                      _mm512_mul_pd(ci, w1r));
+    const __m512d ddr = _mm512_sub_pd(_mm512_mul_pd(dr, w3r),
+                                      _mm512_mul_pd(di, w3i));
+    const __m512d ddi = _mm512_add_pd(_mm512_mul_pd(dr, w3i),
+                                      _mm512_mul_pd(di, w3r));
+    const __m512d a1r = _mm512_add_pd(ar, bbr);
+    const __m512d a1i = _mm512_add_pd(ai, bbi);
+    const __m512d b1r = _mm512_sub_pd(ar, bbr);
+    const __m512d b1i = _mm512_sub_pd(ai, bbi);
+    const __m512d sr = _mm512_add_pd(ccr, ddr);
+    const __m512d si = _mm512_add_pd(cci, ddi);
+    const __m512d itr = _mm512_xor_pd(_mm512_sub_pd(cci, ddi), conj_mask);
+    const __m512d iti = _mm512_xor_pd(_mm512_sub_pd(ccr, ddr), rot_mask);
+    const auto scatter = [&](double* p, __m512d oa, __m512d ob, __m512d oc,
+                             __m512d od) {
+      const __m512d ab01 = _mm512_shuffle_f64x2(oa, ob, 0x44);
+      const __m512d ab23 = _mm512_shuffle_f64x2(oa, ob, 0xEE);
+      const __m512d cd01 = _mm512_shuffle_f64x2(oc, od, 0x44);
+      const __m512d cd23 = _mm512_shuffle_f64x2(oc, od, 0xEE);
+      // ab01 = [a(g1) a(g2) b(g1) b(g2)] pairs -> regroup per group.
+      const __m512i g0_idx = idx8(0, 1, 4, 5, 8, 9, 12, 13);
+      const __m512i g1_idx = idx8(2, 3, 6, 7, 10, 11, 14, 15);
+      _mm512_storeu_pd(p, _mm512_permutex2var_pd(ab01, g0_idx, cd01));
+      _mm512_storeu_pd(p + 8, _mm512_permutex2var_pd(ab01, g1_idx, cd01));
+      _mm512_storeu_pd(p + 16, _mm512_permutex2var_pd(ab23, g0_idx, cd23));
+      _mm512_storeu_pd(p + 24, _mm512_permutex2var_pd(ab23, g1_idx, cd23));
+    };
+    scatter(re + base, _mm512_add_pd(a1r, sr), _mm512_add_pd(b1r, itr),
+            _mm512_sub_pd(a1r, sr), _mm512_sub_pd(b1r, itr));
+    scatter(im + base, _mm512_add_pd(a1i, si), _mm512_add_pd(b1i, iti),
+            _mm512_sub_pd(a1i, si), _mm512_sub_pd(b1i, iti));
+  }
+  if (base < n) {  // trailing groups (n a multiple of 8, not 32)
+    avx2_impl::radix4_pass(re + base, im + base, n - base, 2, wsoa, inverse);
+  }
+}
+
 void radix4_pass(double* re, double* im, std::size_t n, std::size_t h,
                  const double* wsoa, bool inverse) {
+  if (h == 4) {
+    radix4_h4(re, im, n, wsoa, inverse);
+    return;
+  }
+  if (h == 2) {
+    radix4_h2(re, im, n, wsoa, inverse);
+    return;
+  }
   if (h < 8) {
-    // h = 4 keeps 256-bit butterflies; h < 4 bottoms out in the scalar
-    // loop inside the AVX2 entry.
+    // h < 2 bottoms out in the scalar loop inside the AVX2 entry.
     avx2_impl::radix4_pass(re, im, n, h, wsoa, inverse);
     return;
   }
@@ -263,12 +639,14 @@ namespace tables {
 
 const Kernels avx512 = {
     avx512_impl::cmul,         avx512_impl::csquare,
-    avx512_impl::correlate_taps, avx512_impl::stencil3,
-    avx2_impl::deinterleave,   avx2_impl::interleave,
+    avx512_impl::correlate_taps, avx512_impl::correlate_taps_2row,
+    avx512_impl::stencil3,
+    avx512_impl::deinterleave, avx512_impl::interleave,
+    avx512_impl::interleave_scaled,
     avx512_impl::deinterleave_rev,
-    avx512_impl::scale2,       avx2_impl::radix2_pass,
-    avx512_impl::radix4_pass,  avx2_impl::rfft_untangle,
-    avx2_impl::rfft_retangle,
+    avx512_impl::scale2,       avx512_impl::radix2_pass,
+    avx512_impl::radix4_pass,  avx512_impl::rfft_untangle,
+    avx512_impl::rfft_retangle,
 };
 
 }  // namespace tables

@@ -5,11 +5,47 @@
 // little arithmetic), so those symbols must be linkable across the kernel
 // translation units. Not installed; include only from src/simd/*.cpp.
 
+#include <algorithm>
 #include <cstddef>
 
 #include "amopt/simd/kernels.hpp"
 
 namespace amopt::simd {
+
+/// Shared block-interleave driver behind every level's correlate_taps_2row:
+/// each kBlock stripe of the first row is produced and immediately consumed
+/// by the second row while still in L1. `sweep(in, out, j0, j1)` evaluates
+/// the level's correlate_taps body over [j0, j1). EVERY chunk boundary is
+/// aligned down to kSweepAlign so the vector/scalar partition inside each
+/// sweep is exactly the partition one monolithic sweep would use — which
+/// makes the fused result bit-identical to two single-row sweeps at every
+/// dispatch level (FMA levels round vector and scalar lanes differently,
+/// so partition identity is what the solvers' plane-parity rests on).
+template <class Sweep>
+inline void two_row_sweep_driver(const double* in, const double* taps,
+                                 std::size_t ntaps, double* mid, double* out,
+                                 std::size_t n_mid, std::size_t n_out,
+                                 Sweep&& sweep) {
+  constexpr std::size_t kBlock = 512;     // multiple of every vector width
+  constexpr std::size_t kSweepAlign = 8;  // widest vector lane count
+  (void)taps;
+  const std::size_t lag = ntaps - 1;
+  std::size_t done_out = 0;
+  for (std::size_t j0 = 0; j0 < n_mid; j0 += kBlock) {
+    const std::size_t j1 = std::min(j0 + kBlock, n_mid);
+    sweep(in, mid, j0, j1);
+    // Second-row cells whose whole window [j, j + lag] is now available,
+    // clipped DOWN to the alignment grid (the final flush below completes
+    // the row, so clipping costs at most one stripe of locality).
+    std::size_t ready = j1 > lag ? std::min(j1 - lag, n_out) : 0;
+    if (ready < n_out) ready &= ~(kSweepAlign - 1);
+    if (ready > done_out) {
+      sweep(mid, out, done_out, ready);
+      done_out = ready;
+    }
+  }
+  sweep(mid, out, done_out, n_out);
+}
 
 namespace scalar_impl {
 // The scalar table itself is the fallback surface; vector TUs reach it
@@ -23,10 +59,15 @@ void cmul(cplx* a, const cplx* b, std::size_t n);
 void csquare(cplx* a, std::size_t n);
 void correlate_taps(const double* in, const double* taps, std::size_t ntaps,
                     double* out, std::size_t n);
+void correlate_taps_2row(const double* in, const double* taps,
+                         std::size_t ntaps, double* mid, double* out,
+                         std::size_t n_mid, std::size_t n_out);
 void stencil3(const double* in, double b, double c, double a, double* out,
               std::size_t n);
 void deinterleave(const cplx* z, double* re, double* im, std::size_t n);
 void interleave(const double* re, const double* im, cplx* z, std::size_t n);
+void interleave_scaled(const double* re, const double* im, cplx* z,
+                       std::size_t n, double s);
 void deinterleave_rev(const cplx* z, const std::uint32_t* rev, double* re,
                       double* im, std::size_t n);
 void scale2(double* re, double* im, std::size_t n, double s);

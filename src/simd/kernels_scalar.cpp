@@ -6,9 +6,10 @@
 // restrict-qualified: no caller aliases them, and the qualifier lets the
 // autovectorizer do what it can without changing the arithmetic.
 
+#include <algorithm>
 #include <cstddef>
 
-#include "amopt/simd/kernels.hpp"
+#include "kernels_internal.hpp"
 
 namespace amopt::simd {
 
@@ -35,6 +36,24 @@ void correlate_taps(const double* __restrict in, const double* __restrict taps,
   }
 }
 
+void correlate_taps_2row(const double* __restrict in,
+                         const double* __restrict taps, std::size_t ntaps,
+                         double* __restrict mid, double* __restrict out,
+                         std::size_t n_mid, std::size_t n_out) {
+  // Shared block-interleave driver (kernels_internal.hpp); per element the
+  // expression and accumulation order are exactly correlate_taps's, so any
+  // interleaving is bit-identical to two separate sweeps.
+  two_row_sweep_driver(
+      in, taps, ntaps, mid, out, n_mid, n_out,
+      [&](const double* src, double* dst, std::size_t j0, std::size_t j1) {
+        for (std::size_t j = j0; j < j1; ++j) {
+          double acc = 0.0;
+          for (std::size_t m = 0; m < ntaps; ++m) acc += taps[m] * src[j + m];
+          dst[j] = acc;
+        }
+      });
+}
+
 void stencil3(const double* __restrict in, double b, double c, double a,
               double* __restrict out, std::size_t n) {
   for (std::size_t j = 0; j < n; ++j)
@@ -52,6 +71,12 @@ void deinterleave(const cplx* __restrict z, double* __restrict re,
 void interleave(const double* __restrict re, const double* __restrict im,
                 cplx* __restrict z, std::size_t n) {
   for (std::size_t i = 0; i < n; ++i) z[i] = cplx{re[i], im[i]};
+}
+
+void interleave_scaled(const double* __restrict re,
+                       const double* __restrict im, cplx* __restrict z,
+                       std::size_t n, double s) {
+  for (std::size_t i = 0; i < n; ++i) z[i] = cplx{re[i] * s, im[i] * s};
 }
 
 void deinterleave_rev(const cplx* __restrict z,
@@ -159,8 +184,10 @@ namespace tables {
 
 const Kernels scalar = {
     scalar_impl::cmul,           scalar_impl::csquare,
-    scalar_impl::correlate_taps, scalar_impl::stencil3,
+    scalar_impl::correlate_taps, scalar_impl::correlate_taps_2row,
+    scalar_impl::stencil3,
     scalar_impl::deinterleave,   scalar_impl::interleave,
+    scalar_impl::interleave_scaled,
     scalar_impl::deinterleave_rev,
     scalar_impl::scale2,         scalar_impl::radix2_pass,
     scalar_impl::radix4_pass,    scalar_impl::rfft_untangle,

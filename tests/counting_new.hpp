@@ -1,0 +1,49 @@
+#pragma once
+// Counting replacements for the global allocation functions, shared by the
+// operator-new-counter test binaries (test_workspace, test_alloc). Each
+// binary that includes this header gets its own replacement of the global
+// operator new/delete set — which is why those tests are one-executable-
+// per-file — with every allocation bumping `counting_new::allocations`.
+// Include from exactly ONE translation unit per binary.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+namespace counting_new {
+inline std::atomic<std::uint64_t> allocations{0};
+[[nodiscard]] inline std::uint64_t count() {
+  return allocations.load(std::memory_order_relaxed);
+}
+}  // namespace counting_new
+
+void* operator new(std::size_t sz) {
+  counting_new::allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(sz > 0 ? sz : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t sz) { return ::operator new(sz); }
+void* operator new(std::size_t sz, std::align_val_t al) {
+  counting_new::allocations.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t a = static_cast<std::size_t>(al);
+  const std::size_t rounded = (sz + a - 1) / a * a;
+  if (void* p = std::aligned_alloc(a, rounded > 0 ? rounded : a)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t sz, std::align_val_t al) {
+  return ::operator new(sz, al);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}

@@ -217,4 +217,35 @@ TEST(BopmNodes, LowNodesMatchVanillaGrid) {
   EXPECT_NEAR(nodes.g22, r2[2], 1e-9);
 }
 
+TEST(BopmNodes, EuropeanFastPathSpectralBatchMatchesDirectDots) {
+  // Y <= 0 makes the call European everywhere and the low nodes are three
+  // kernel-row correlations against one payoff row. Pinning the FFT policy
+  // routes them through the convolve_many spectral overload (one shared
+  // payoff spectrum); the default policy keeps the direct dot products.
+  // Same numbers up to FFT round-off.
+  pricing::OptionSpec spec = pricing::paper_spec();
+  spec.Y = 0.0;
+  for (const std::int64_t T : {64LL, 1024LL, 4096LL}) {
+    const auto direct = pricing::bopm::american_call_nodes_fft(spec, T);
+    core::SolverConfig cfg;
+    cfg.conv_policy.path = conv::Policy::Path::fft;
+    const auto spectral = pricing::bopm::american_call_nodes_fft(spec, T, cfg);
+    // FFT round-off scales with the LARGEST payoff cell entering the
+    // correlation (~S e^{V sqrt(expiry T)}), not with the node values.
+    const double maxpay =
+        spec.S * std::exp(spec.V * std::sqrt(spec.expiry_years *
+                                             static_cast<double>(T)));
+    const double tol = 1e-13 * maxpay + 1e-10;
+    EXPECT_NEAR(spectral.g00, direct.g00, tol) << "T=" << T;
+    EXPECT_NEAR(spectral.g10, direct.g10, tol);
+    EXPECT_NEAR(spectral.g11, direct.g11, tol);
+    EXPECT_NEAR(spectral.g20, direct.g20, tol);
+    EXPECT_NEAR(spectral.g21, direct.g21, tol);
+    EXPECT_NEAR(spectral.g22, direct.g22, tol);
+    // The fast path must agree with the one-shot pricer too.
+    EXPECT_NEAR(direct.g00, pricing::bopm::american_call_fft(spec, T),
+                1e-9 * std::max(1.0, direct.g00));
+  }
+}
+
 }  // namespace

@@ -247,6 +247,77 @@ TEST(Convolution, CorrelatePrefersFftMirrorsPolicyCrossover) {
   EXPECT_EQ(conv::correlate_fft_size(4096, 513), 8192u);
 }
 
+TEST(Correlation, SplitOperandMatchesConcatenatedBitForBit) {
+  // The solvers stage (red prefix, green tail) without materializing the
+  // concatenation; on every FFT path the staged transform buffer is the
+  // same bytes, so the result must be IDENTICAL at a fixed dispatch level.
+  conv::Workspace ws;
+  for (const auto path :
+       {conv::Policy::Path::fft, conv::Policy::Path::fft_packed,
+        conv::Policy::Path::automatic}) {
+    for (const std::size_t n_tail : {0u, 1u, 2u, 7u}) {
+      for (const std::size_t n_main : {40u, 700u, 4096u}) {
+        const auto main = random_vec(n_main, 61);
+        const auto tail = random_vec(n_tail, 62);
+        std::vector<double> cat(main);
+        cat.insert(cat.end(), tail.begin(), tail.end());
+        const auto kernel = random_vec(n_main / 3 + n_tail + 1, 63);
+        std::vector<double> out(cat.size() - kernel.size() + 1);
+        std::vector<double> want(out.size());
+        const conv::Policy policy{path};
+        conv::correlate_valid(cat, kernel, want, ws, policy);
+        conv::correlate_valid(main, tail, kernel, out, ws, policy);
+        // Bit-identical on EVERY path: the FFT paths stage the same bytes
+        // and the direct path materializes the concatenation precisely so
+        // its sweep partition matches (FMA levels would otherwise diverge
+        // in the last ulp on the tail-reading cells).
+        for (std::size_t i = 0; i < out.size(); ++i)
+          ASSERT_EQ(out[i], want[i])
+              << "path=" << static_cast<int>(path) << " tail=" << n_tail
+              << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(Correlation, SplitOperandSpectralMatchesConcatenated) {
+  conv::Workspace ws;
+  const auto main = random_vec(3000, 71);
+  const auto tail = random_vec(2, 72);
+  const auto kernel = random_vec(1025, 73);
+  std::vector<double> cat(main);
+  cat.insert(cat.end(), tail.begin(), tail.end());
+  std::vector<double> out(cat.size() - kernel.size() + 1);
+  const std::size_t n = conv::correlate_fft_size(out.size(), kernel.size());
+  const fft::RealSpectrum kspec =
+      conv::kernel_spectrum(kernel, n, /*reversed=*/true, ws);
+  std::vector<double> want(out.size());
+  conv::correlate_valid(cat, kspec, want, ws);
+  conv::correlate_valid(main, tail, kspec, out, ws);
+  for (std::size_t i = 0; i < out.size(); ++i)
+    ASSERT_EQ(out[i], want[i]) << "i=" << i;  // same staged bytes, same bits
+}
+
+TEST(Correlation, SplitOperandMatchesDirectOracle) {
+  // Against the reference oracle at 1e-12, covering windows that read
+  // several tail cells.
+  conv::Workspace ws;
+  const auto main = random_vec(300, 81);
+  const auto tail = random_vec(4, 82);
+  const auto kernel = random_vec(32, 83);
+  std::vector<double> cat(main);
+  cat.insert(cat.end(), tail.begin(), tail.end());
+  std::vector<double> want(cat.size() - kernel.size() + 1);
+  conv::correlate_valid_direct(cat, kernel, want);
+  for (const auto path : {conv::Policy::Path::direct, conv::Policy::Path::fft}) {
+    std::vector<double> out(want.size());
+    conv::correlate_valid(main, tail, kernel, out, ws, {path});
+    for (std::size_t i = 0; i < out.size(); ++i)
+      ASSERT_NEAR(out[i], want[i], 1e-12)
+          << "path=" << static_cast<int>(path) << " i=" << i;
+  }
+}
+
 TEST(Convolution, CommutesUnderFft) {
   const auto a = random_vec(100, 41);
   const auto b = random_vec(37, 43);

@@ -656,6 +656,41 @@ TEST(Pricer, GreeksWarmStartReplaysBumpedLegsExactly) {
   }
 }
 
+TEST(Pricer, SpectrumBudgetCapsRegistryBytes) {
+  // A deliberately tiny spectrum budget: pricing a mixed-T batch on the fft
+  // engine materializes more spectra than the cap holds, so the registry
+  // must evict (stats expose it) while every price stays correct — eviction
+  // only forgets warm state.
+  PricerConfig tiny;
+  // Holds a handful of spectra, comfortably above the largest single entry
+  // these T produce (~64 KiB) but far below their ~300 KiB total.
+  tiny.max_spectrum_bytes = 200 << 10;
+  Pricer session(tiny);
+  std::vector<PricingRequest> reqs;
+  for (const std::int64_t T : {1024LL, 2048LL, 3000LL}) {
+    PricingRequest q;
+    q.spec = paper_spec();
+    q.T = T;
+    reqs.push_back(q);
+  }
+  const auto out = session.price_many(reqs);
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    ASSERT_EQ(out[i].status, Status::ok) << out[i].message;
+    const double want = bopm::american_call_fft(reqs[i].spec, reqs[i].T);
+    EXPECT_EQ(out[i].price, want) << "item " << i;
+  }
+  const Pricer::Stats st = session.stats();
+  EXPECT_LE(st.spectrum_bytes, tiny.max_spectrum_bytes);
+  EXPECT_GT(st.spectrum_evictions, 0u);
+
+  // Unbounded sessions never evict and report their footprint.
+  PricerConfig unbounded;
+  unbounded.max_spectrum_bytes = 0;
+  Pricer big(unbounded);
+  (void)big.price_many(reqs);
+  EXPECT_EQ(big.stats().spectrum_evictions, 0u);
+}
+
 TEST(Pricer, StatusToString) {
   EXPECT_EQ(to_string(Status::ok), "ok");
   EXPECT_EQ(to_string(Status::unsupported), "unsupported");

@@ -504,6 +504,103 @@ TEST_F(SimdTest, AliasedSquaringBitIdenticalAtScalarLevel) {
   }
 }
 
+TEST_F(SimdTest, CorrelateTaps2RowScalarIsBitIdenticalToTwoSweeps) {
+  // The fused two-step sweep must replay exactly two single-row sweeps at
+  // the scalar level (the solve_base q-evolution bit-identity rests on it).
+  const simd::Kernels& k = simd::tables::scalar;
+  for (const std::size_t ntaps : {2u, 3u, 5u}) {
+    for (const std::size_t n_mid : {9u, 64u, 700u, 1321u}) {
+      const std::size_t n_out = n_mid - (ntaps - 1);
+      const auto in = random_real(n_mid + ntaps - 1, 21);
+      const auto taps = random_real(ntaps, 22);
+      std::vector<double> mid_ref(n_mid), out_ref(n_out);
+      k.correlate_taps(in.data(), taps.data(), ntaps, mid_ref.data(), n_mid);
+      k.correlate_taps(mid_ref.data(), taps.data(), ntaps, out_ref.data(),
+                       n_out);
+      std::vector<double> mid(n_mid), out(n_out);
+      k.correlate_taps_2row(in.data(), taps.data(), ntaps, mid.data(),
+                            out.data(), n_mid, n_out);
+      for (std::size_t j = 0; j < n_mid; ++j)
+        ASSERT_EQ(mid[j], mid_ref[j]) << "mid ntaps=" << ntaps << " j=" << j;
+      for (std::size_t j = 0; j < n_out; ++j)
+        ASSERT_EQ(out[j], out_ref[j]) << "out ntaps=" << ntaps << " j=" << j;
+    }
+  }
+}
+
+TEST_F(SimdTest, CorrelateTaps2RowIsBitIdenticalToTwoSweepsAtEveryLevel) {
+  // Not just close: at EVERY dispatch level the fused kernel must reproduce
+  // two same-level single-row sweeps bit for bit. On FMA levels the vector
+  // and scalar lanes round differently, so this pins the partition-identity
+  // property the solvers' arena/heap plane parity rests on. Cross-level
+  // agreement (scalar vs vector) is covered at kPathTol.
+  const simd::Kernels& scalar_ref = simd::tables::scalar;
+  for (const Level lvl : available_levels()) {
+    const simd::Kernels& k = simd::kernels(lvl);
+    for (const std::size_t ntaps : {2u, 3u}) {
+      for (const std::size_t n_mid : {17u, 530u, 1333u}) {
+        // n_out deliberately SHORTER than the maximum (the solver clips the
+        // speculative second row at the boundary), plus the zero case and
+        // non-multiple-of-8 counts to stress the chunk alignment.
+        for (const std::size_t n_out :
+             {std::size_t{0}, n_mid / 3, n_mid / 3 + 3,
+              n_mid - (ntaps - 1)}) {
+          const auto in = random_real(n_mid + ntaps - 1, 31);
+          const auto taps = random_real(ntaps, 32);
+          std::vector<double> mid_ref(n_mid), out_ref(n_out);
+          k.correlate_taps(in.data(), taps.data(), ntaps, mid_ref.data(),
+                           n_mid);
+          k.correlate_taps(mid_ref.data(), taps.data(), ntaps, out_ref.data(),
+                           n_out);
+          std::vector<double> mid(n_mid), out(n_out);
+          k.correlate_taps_2row(in.data(), taps.data(), ntaps, mid.data(),
+                                out.data(), n_mid, n_out);
+          for (std::size_t j = 0; j < n_mid; ++j)
+            ASSERT_EQ(mid[j], mid_ref[j])
+                << simd::to_string(lvl) << " mid j=" << j;
+          for (std::size_t j = 0; j < n_out; ++j)
+            ASSERT_EQ(out[j], out_ref[j])
+                << simd::to_string(lvl) << " out j=" << j;
+          // Cross-level sanity vs the scalar table.
+          std::vector<double> mid_s(n_mid), out_s(n_out);
+          scalar_ref.correlate_taps_2row(in.data(), taps.data(), ntaps,
+                                         mid_s.data(), out_s.data(), n_mid,
+                                         n_out);
+          for (std::size_t j = 0; j < n_out; ++j)
+            ASSERT_NEAR(out[j], out_s[j], kPathTol)
+                << simd::to_string(lvl) << " xlevel j=" << j;
+        }
+      }
+    }
+  }
+}
+
+TEST_F(SimdTest, InterleaveScaledMatchesScaleThenInterleave) {
+  // The fused inverse-normalization pass must equal scale2 followed by
+  // interleave bit for bit at every level (it performs the same multiply).
+  const std::size_t n = 1029;
+  for (const Level lvl : available_levels()) {
+    const simd::Kernels& k = simd::kernels(lvl);
+    for (const std::size_t off : {0u, 1u}) {
+      aligned_vector<double> re(n + off), im(n + off);
+      const auto rinit = random_real(n + off, 41);
+      const auto iinit = random_real(n + off, 42);
+      std::copy(rinit.begin(), rinit.end(), re.begin());
+      std::copy(iinit.begin(), iinit.end(), im.begin());
+      const double s = 1.0 / 1024.0;
+      aligned_vector<double> re2 = re, im2 = im;
+      aligned_vector<cplx> want(n + off), got(n + off);
+      k.scale2(re2.data() + off, im2.data() + off, n, s);
+      k.interleave(re2.data() + off, im2.data() + off, want.data() + off, n);
+      k.interleave_scaled(re.data() + off, im.data() + off, got.data() + off,
+                          n, s);
+      for (std::size_t i = 0; i < n; ++i)
+        ASSERT_EQ(got[i + off], want[i + off])
+            << simd::to_string(lvl) << " i=" << i;
+    }
+  }
+}
+
 TEST_F(SimdTest, KernelCacheSpectralPriceParityAcrossLevels) {
   // End-to-end: the solvers' spectral run_conv path (KernelCache-owned
   // spectra) prices identically across dispatch levels within tolerance.

@@ -131,14 +131,15 @@ TEST(KernelCache, SpectraAreCachedPerHeightAndSize) {
   const std::vector<double> taps{0.2, 0.5, 0.29};
   stencil::KernelCache cache({taps, 0});
   const std::size_t n = 256;
-  const fft::RealSpectrum& s1 = cache.power_spectrum(16, n);
-  const fft::RealSpectrum& s2 = cache.power_spectrum(16, n);
-  EXPECT_EQ(&s1, &s2);  // memoized, stable address
+  const auto sp1 = cache.power_spectrum(16, n);
+  const auto sp2 = cache.power_spectrum(16, n);
+  const fft::RealSpectrum& s1 = *sp1;
+  EXPECT_EQ(sp1.get(), sp2.get());  // memoized, stable entry
   EXPECT_EQ(s1.n, n);
   EXPECT_TRUE(s1.reversed);
   EXPECT_EQ(s1.klen, cache.power(16).size());
-  const fft::RealSpectrum& s3 = cache.power_spectrum(16, 2 * n);
-  EXPECT_NE(&s1, &s3);  // same height, different padded size
+  const auto sp3 = cache.power_spectrum(16, 2 * n);
+  EXPECT_NE(sp1.get(), sp3.get());  // same height, different padded size
   EXPECT_EQ(cache.stats().spectra, 2u);
 
   // The cached bins must be exactly what an in-call transform produces.
@@ -161,10 +162,61 @@ TEST(KernelCache, SpectralCorrelationMatchesTimeDomain) {
   conv::correlate_valid(in, kernel, want, {conv::Policy::Path::fft});
   conv::Workspace ws;
   conv::correlate_valid(
-      in, cache.power_spectrum(h, conv::correlate_fft_size(n_out, kernel.size())),
+      in,
+      *cache.power_spectrum(h, conv::correlate_fft_size(n_out, kernel.size())),
       got, ws);
   for (std::size_t i = 0; i < n_out; ++i)
     ASSERT_EQ(got[i], want[i]) << "i=" << i;  // same bits, not just close
+}
+
+TEST(SpectrumBudget, CapsBytesWithLruEvictionAcrossCaches) {
+  // Two caches share one registry-level budget sized for roughly two
+  // spectra at n = 256 (a 129-bin spectrum is 2064 bytes): inserting a
+  // third evicts the least-recently-used entry, whichever cache owns it.
+  const std::vector<double> taps{0.2, 0.5, 0.29};
+  auto budget = std::make_shared<stencil::SpectrumBudget>(2 * 2064);
+  stencil::KernelCache a({taps, 0}), b({taps, 0});
+  a.set_spectrum_budget(budget);
+  b.set_spectrum_budget(budget);
+
+  const auto s1 = a.power_spectrum(8, 256);
+  const auto s2 = b.power_spectrum(8, 256);
+  EXPECT_EQ(budget->stats().entries, 2u);
+  EXPECT_LE(budget->stats().bytes, budget->max_bytes());
+  // Touch a's entry so b's becomes the LRU victim of the next insert.
+  (void)a.power_spectrum(8, 256);
+  const auto s3 = a.power_spectrum(16, 256);
+  const auto st = budget->stats();
+  EXPECT_EQ(st.entries, 2u);
+  EXPECT_EQ(st.evictions, 1u);
+  EXPECT_LE(st.bytes, budget->max_bytes());
+  EXPECT_EQ(a.stats().spectra, 2u);  // both survivors live in cache a
+  EXPECT_EQ(b.stats().spectra, 0u);  // b's entry was the victim
+  // The evicted shared_ptr is still safe to use (in-flight consumers).
+  EXPECT_EQ(s2->n, 256u);
+  EXPECT_FALSE(s2->bins.empty());
+
+  // Re-requesting the evicted entry rebuilds the identical bits.
+  const auto s2b = b.power_spectrum(8, 256);
+  ASSERT_EQ(s2b->bins.size(), s2->bins.size());
+  for (std::size_t i = 0; i < s2->bins.size(); ++i)
+    ASSERT_EQ(s2b->bins[i], s2->bins[i]) << "bin " << i;
+  (void)s1;
+  (void)s3;
+}
+
+TEST(SpectrumBudget, DyingCacheUnregistersItsEntries) {
+  const std::vector<double> taps{0.2, 0.5, 0.29};
+  auto budget = std::make_shared<stencil::SpectrumBudget>(1u << 20);
+  {
+    stencil::KernelCache c({taps, 0});
+    c.set_spectrum_budget(budget);
+    (void)c.power_spectrum(8, 256);
+    (void)c.power_spectrum(16, 512);
+    EXPECT_EQ(budget->stats().entries, 2u);
+  }
+  EXPECT_EQ(budget->stats().entries, 0u);
+  EXPECT_EQ(budget->stats().bytes, 0u);
 }
 
 TEST(LinearStencil, NaiveApplyShrinksCorrectly) {

@@ -5,48 +5,14 @@
 
 #include <gtest/gtest.h>
 
-#include <atomic>
 #include <cstdint>
-#include <cstdlib>
-#include <new>
 #include <random>
 #include <vector>
 
 #include "amopt/fft/convolution.hpp"
 #include "amopt/poly/poly_power.hpp"
 
-namespace {
-std::atomic<std::uint64_t> g_allocs{0};
-}  // namespace
-
-void* operator new(std::size_t sz) {
-  g_allocs.fetch_add(1, std::memory_order_relaxed);
-  if (void* p = std::malloc(sz > 0 ? sz : 1)) return p;
-  throw std::bad_alloc();
-}
-void* operator new[](std::size_t sz) { return ::operator new(sz); }
-void* operator new(std::size_t sz, std::align_val_t al) {
-  g_allocs.fetch_add(1, std::memory_order_relaxed);
-  const std::size_t a = static_cast<std::size_t>(al);
-  const std::size_t rounded = (sz + a - 1) / a * a;
-  if (void* p = std::aligned_alloc(a, rounded > 0 ? rounded : a)) return p;
-  throw std::bad_alloc();
-}
-void* operator new[](std::size_t sz, std::align_val_t al) {
-  return ::operator new(sz, al);
-}
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
-void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
-  std::free(p);
-}
-void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
-  std::free(p);
-}
+#include "counting_new.hpp"
 
 namespace {
 
@@ -60,9 +26,7 @@ std::vector<double> random_vec(std::size_t n, unsigned seed) {
   return v;
 }
 
-[[nodiscard]] std::uint64_t allocs() {
-  return g_allocs.load(std::memory_order_relaxed);
-}
+[[nodiscard]] std::uint64_t allocs() { return counting_new::count(); }
 
 TEST(Workspace, ConvolveFullMatchesVectorOverloadBitForBit) {
   const auto a = random_vec(1000, 1);

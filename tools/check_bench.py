@@ -27,6 +27,18 @@ asserts that every fresh benchmark named FAST<level>/n with n >= MIN_N
 beats its SLOW<level>/n counterpart by FACTOR — the PR 4 spectral-path
 bars (cached-kernel-spectrum correlation over transform-per-call, and the
 aliased-squaring power_fft over its two-transform reference).
+
+With --row-speedup SERIES:FACTOR:MIN_T (rows only, repeatable), asserts the
+fresh run's SERIES is at least FACTOR faster than the SAME series in the
+baseline file at every shared T >= MIN_T — the PR 5 end-to-end memory-plane
+bars, checked against the committed pre-PR fig5 baselines (meaningful on
+the machine that recorded them; cross-machine runs should prefer the
+in-process mem-x ratio via --min-series).
+
+With --alloc-budget SERIES=MAX (rows only, repeatable), asserts the fresh
+SERIES never exceeds MAX on any row — the steady-state
+allocations-per-descend counter emitted by bench/micro_session.cpp, which
+the PR 5 scratch arena pins at zero.
 """
 
 import argparse
@@ -132,6 +144,45 @@ def check_simd_speedup(times, min_speedup, min_n):
               "(host without AVX2?) — speedup check skipped")
 
 
+def check_row_speedup(fresh, base, spec):
+    parts = spec.split(":")
+    if len(parts) != 3:
+        fail(f"--row-speedup expects SERIES:FACTOR:MIN_T, got '{spec}'")
+    series, factor, min_t = parts[0], float(parts[1]), int(parts[2])
+    pairs = 0
+    for (t, name), base_v in sorted(base.items()):
+        if name != series or t < min_t or (t, name) not in fresh:
+            continue
+        speedup = base_v / fresh[(t, name)]
+        pairs += 1
+        status = "ok" if speedup >= factor else "FAIL"
+        print(f"check_bench: {status} row-speedup {series} T={t} -> "
+              f"{speedup:.2f}x (need {factor}x)")
+        if speedup < factor:
+            fail(f"{series} at T={t}: {speedup:.2f}x over the baseline, "
+                 f"below the required {factor}x")
+    if pairs == 0:
+        fail(f"--row-speedup {spec}: no shared {series} rows at T >= {min_t}")
+
+
+def check_alloc_budget(fresh, spec):
+    name, _, value = spec.partition("=")
+    budget = float(value)
+    found = False
+    for (t, s), v in sorted(fresh.items()):
+        if s != name:
+            continue
+        found = True
+        status = "ok" if v <= budget else "FAIL"
+        print(f"check_bench: {status} alloc-budget {name} T={t}: {v:.0f} "
+              f"(budget {budget:.0f})")
+        if v > budget:
+            fail(f"series {name} at T={t}: {v:.0f} allocations exceed the "
+                 f"budget of {budget:.0f}")
+    if not found:
+        fail(f"--alloc-budget: series {name} not present in the fresh run")
+
+
 def check_pair_speedup(times, spec):
     parts = spec.split(":")
     if len(parts) != 4:
@@ -181,6 +232,14 @@ def main():
                     metavar="SLOW:FAST:FACTOR:MIN_N",
                     help="gbench kind: require FAST<level>/n to beat "
                          "SLOW<level>/n by FACTOR for every n >= MIN_N")
+    ap.add_argument("--row-speedup", action="append", default=[],
+                    metavar="SERIES:FACTOR:MIN_T",
+                    help="rows kind: require the fresh SERIES to be FACTOR "
+                         "faster than the baseline's at every T >= MIN_T")
+    ap.add_argument("--alloc-budget", action="append", default=[],
+                    metavar="SERIES=MAX",
+                    help="rows kind: require fresh SERIES <= MAX on every "
+                         "row (allocation counters)")
     args = ap.parse_args()
 
     fresh_doc = load(args.fresh)
@@ -203,6 +262,10 @@ def main():
         else:
             fresh_cmp, base_cmp = fresh, base
         compare(fresh_cmp, base_cmp, args.factor, "row")
+        for spec in args.row_speedup:
+            check_row_speedup(fresh, base, spec)
+        for spec in args.alloc_budget:
+            check_alloc_budget(fresh, spec)
         for spec in args.min_series:
             name, _, value = spec.partition("=")
             floor = float(value)
