@@ -63,7 +63,9 @@ int main() {
     ps.push_back(p);
     rows.push_back({fft * 1e3, ql * 1e3, batch * 1e3});
   }
-  const std::string json = env_string("AMOPT_BENCH_JSON", "");
+  // Machine-readable by default, like every other bench binary (override
+  // the path with AMOPT_BENCH_JSON, disable with AMOPT_BENCH_JSON=none).
+  const std::string json = env_string("AMOPT_BENCH_JSON", "BENCH_table5.json");
   if (!json.empty() && json != "none")
     bench::write_json(json, "table5_scalability", "milliseconds",
                       {"fft-bopm", "ql-bopm", "batch-chain"}, ps, rows);

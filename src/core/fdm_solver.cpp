@@ -100,66 +100,133 @@ std::int64_t FdmSolver::solve_base(std::int64_t n0, std::int64_t f0,
   const std::span<const double> taps = kernels_->stencil().taps;
   const double b = taps[0], c = taps[1], a = taps[2];
   const simd::Kernels& kern = simd::kernels();  // one dispatch per call
-  // Ping-pong rows from the active memory plane (see LatticeSolver): arena
+  // Rows live at slots relative to the max-descent line: after s steps,
+  // cell k sits at index k - (f0 - s) - 1. The boundary can drop at most
+  // one cell per step (Theorem 4.3), so slots only grow rightward and two
+  // consecutive rows land at fixed, known offsets — which is what lets a
+  // step PAIR run as one fused stencil3_2row call (the second row chases
+  // the first through L1) with only the boundary-adjacent cells of the
+  // second row done by scalar probes. The fused sweeps use the shared
+  // aligned-chunk driver, so each row's bulk carries exactly the bits of a
+  // single monolithic stencil3 sweep; the step-0 layout equals `in`'s and
+  // the step-L layout equals `out`'s, so the repack below is a straight
+  // copy. Rows come from the active memory plane (see LatticeSolver): arena
   // frames make the base case allocation-free once warm; the heap plane
   // keeps the historical per-call vectors. Identical bits either way.
   ScratchStack::Frame frame(thread_scratch());
   const bool arena = cfg_.memory == MemoryPlane::arena;
-  std::vector<double> cur_own, nxt_own;
-  std::span<double> cur, nxt;
+  std::vector<double> cur_own, mid_own, nxt_own;
+  std::span<double> cur, mid, nxt;
   if (arena) {
     cur = frame.alloc(in.size());
+    mid = frame.alloc(in.size());
     nxt = frame.alloc(in.size());
   } else {
     cur_own.assign(in.size(), 0.0);
+    mid_own.assign(in.size(), 0.0);
     nxt_own.assign(in.size(), 0.0);
     cur = cur_own;
+    mid = mid_own;
     nxt = nxt_own;
   }
   std::copy(in.begin(), in.end(), cur.begin());
   std::int64_t f = f0;
   std::int64_t kright = kr;
-  for (std::int64_t step = 0; step < L; ++step) {
+  std::int64_t step = 0;
+  while (step < L) {
     const std::int64_t n = n0 + step;
+    const std::int64_t lag = f - (f0 - step);  // slot of cell f+1 in `cur`
     const auto value_at = [&](std::int64_t k) {
       return k <= f ? green_.value(n, k)
-                    : cur[static_cast<std::size_t>(k - f - 1)];
+                    : cur[static_cast<std::size_t>(lag + k - f - 1)];
     };
-    const std::int64_t kr_next = kright - 1;
+    const std::int64_t kr1 = kright - 1;
     const double lin_f =
         b * value_at(f - 1) + c * value_at(f) + a * value_at(f + 1);
     const bool f_goes_red = lin_f >= green_.value(n + 1, f);
-    const std::int64_t f_next = f_goes_red ? f - 1 : f;
-    std::size_t t = 0;
-    if (f_goes_red) nxt[t++] = lin_f;
+    const std::int64_t f1 = f_goes_red ? f - 1 : f;
+    const std::int64_t bulk = kr1 - f - 1;  // cells f+2..kr1 of row s+1
+    if (step + 1 < L && bulk >= 2) {
+      // ---- fused step pair: rows s+1 (mid) and s+2 (nxt) ---------------
+      // Row s+1 boundary cells first (the kernel never reads them).
+      if (f_goes_red) mid[static_cast<std::size_t>(lag)] = lin_f;
+      {
+        const double lin =
+            b * value_at(f) + c * value_at(f + 1) + a * value_at(f + 2);
+        AMOPT_DEBUG_ASSERT(lin >= green_.value(n + 1, f + 1) - 1e-9);
+        mid[static_cast<std::size_t>(lag + 1)] = lin;
+      }
+      // Both bulks in one temporally fused call: row s+1 cells f+2..kr1,
+      // row s+2 cells f+3..kr1-1 (every stencil input of those is a row
+      // s+1 bulk cell, so they are independent of the boundary probes).
+      kern.stencil3_2row(cur.data() + lag, b, c, a, mid.data() + lag + 2,
+                         nxt.data() + lag + 4,
+                         static_cast<std::size_t>(bulk),
+                         static_cast<std::size_t>(bulk - 2));
+      // Row s+2 boundary: the probe at f1 reads greens and the two scalar
+      // cells above; cells f1+1..f+2 read at most one fused bulk cell.
+      const auto value_at1 = [&](std::int64_t k) {
+        return k <= f1 ? green_.value(n + 1, k)
+                       : mid[static_cast<std::size_t>(k - f0 + step)];
+      };
+      const double lin_f1 = b * value_at1(f1 - 1) + c * value_at1(f1) +
+                            a * value_at1(f1 + 1);
+      const bool f1_goes_red = lin_f1 >= green_.value(n + 2, f1);
+      const std::int64_t f2 = f1_goes_red ? f1 - 1 : f1;
+      if (f1_goes_red)
+        nxt[static_cast<std::size_t>(f1 - f0 + step + 1)] = lin_f1;
+      for (std::int64_t k = f1 + 1; k <= std::min(f + 2, kr1 - 1); ++k) {
+        const double lin = b * value_at1(k - 1) + c * value_at1(k) +
+                           a * value_at1(k + 1);
+        AMOPT_DEBUG_ASSERT(lin >= green_.value(n + 2, k) - 1e-9);
+        nxt[static_cast<std::size_t>(k - f0 + step + 1)] = lin;
+      }
+#if defined(AMOPT_DEBUG_CHECKS)
+      for (std::int64_t k = f + 2; k <= kr1; ++k)
+        AMOPT_DEBUG_ASSERT(mid[static_cast<std::size_t>(k - f0 + step)] >=
+                           green_.value(n + 1, k) - 1e-9);
+      for (std::int64_t k = f + 3; k <= kr1 - 1; ++k)
+        AMOPT_DEBUG_ASSERT(nxt[static_cast<std::size_t>(k - f0 + step + 1)] >=
+                           green_.value(n + 2, k) - 1e-9);
+#endif
+      std::swap(cur, nxt);  // row s+2 becomes current; mid is spare again
+      f = f2;
+      kright = kright - 2;
+      step += 2;
+      continue;
+    }
+    // ---- single step (odd tail, or a row too narrow to pair) -----------
+    if (f_goes_red) mid[static_cast<std::size_t>(lag)] = lin_f;
     // Cell k = f+1 reads one green value (at k-1 = f); every cell beyond it
     // has its whole 3-cell stencil inside `cur`, so the bulk of the row is
     // one contiguous dispatched sweep (the scalar level's kernel is the
     // historical inline expression, bit-for-bit).
-    if (f + 1 <= kr_next) {
+    if (f + 1 <= kr1) {
       const double lin =
           b * value_at(f) + c * value_at(f + 1) + a * value_at(f + 2);
       AMOPT_DEBUG_ASSERT(lin >= green_.value(n + 1, f + 1) - 1e-9);
-      nxt[t++] = lin;
+      mid[static_cast<std::size_t>(lag + 1)] = lin;
     }
-    if (f + 2 <= kr_next) {
-      const std::size_t count = static_cast<std::size_t>(kr_next - f - 1);
-      kern.stencil3(cur.data(), b, c, a, nxt.data() + t, count);
+    if (f + 2 <= kr1) {
+      kern.stencil3(cur.data() + lag, b, c, a, mid.data() + lag + 2,
+                    static_cast<std::size_t>(bulk));
 #if defined(AMOPT_DEBUG_CHECKS)
-      for (std::int64_t k = f + 2; k <= kr_next; ++k)
-        AMOPT_DEBUG_ASSERT(nxt[t + static_cast<std::size_t>(k - f - 2)] >=
+      for (std::int64_t k = f + 2; k <= kr1; ++k)
+        AMOPT_DEBUG_ASSERT(mid[static_cast<std::size_t>(k - f0 + step)] >=
                            green_.value(n + 1, k) - 1e-9);
 #endif
-      t += count;
     }
-    std::swap(cur, nxt);
-    f = f_next;
-    kright = kr_next;
+    std::swap(cur, mid);
+    f = f1;
+    kright = kr1;
+    step += 1;
   }
-  // Repack into the caller's base (f0 - L).
+  // Repack into the caller's base (f0 - L): the step-L slot layout already
+  // matches `out`'s, so the occupied range copies straight across.
   const std::int64_t base = f0 - L;
   const std::int64_t count = kright - f;
-  std::copy_n(cur.begin(), static_cast<std::size_t>(count),
+  std::copy_n(cur.begin() + static_cast<std::ptrdiff_t>(f - base),
+              static_cast<std::size_t>(count),
               out.begin() + static_cast<std::ptrdiff_t>(f - base));
   metrics::add_flops(5 * static_cast<std::uint64_t>(L) *
                      static_cast<std::uint64_t>(kr - f0));

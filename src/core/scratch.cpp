@@ -43,6 +43,23 @@ std::span<double> ScratchStack::alloc(std::size_t n) {
   return {p, n};
 }
 
+bool ScratchStack::trim(std::size_t retain_bytes) noexcept {
+  if (frames_ != 0) return false;  // mid-descent: stay grow-only
+  // Blocks grow toward the back (each append covers everything before it),
+  // so the suffix holds the most storage per block: keep the longest suffix
+  // fitting the budget and drop the dead prefix.
+  const std::size_t retain_doubles = retain_bytes / sizeof(double);
+  std::size_t keep = blocks_.size(), held = 0;
+  while (keep > 0 && held + blocks_[keep - 1].size() <= retain_doubles)
+    held += blocks_[--keep].size();
+  if (keep == 0) return false;
+  blocks_.erase(blocks_.begin(),
+                blocks_.begin() + static_cast<std::ptrdiff_t>(keep));
+  block_ = 0;
+  off_ = 0;
+  return true;
+}
+
 ScratchStack& thread_scratch() {
   thread_local ScratchStack s;
   return s;

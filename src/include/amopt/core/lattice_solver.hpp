@@ -78,6 +78,14 @@ struct SolverConfig {
   BoundaryDrift drift = BoundaryDrift::shrinking;
   conv::Policy conv_policy{};
   MemoryPlane memory = MemoryPlane::arena;
+  /// Accuracy knobs of the pricing::Engine::boundary (ALO) engine — the
+  /// lattice/FDM solvers ignore them. Defaults are the "accurate" preset
+  /// (~1e-8 relative price error, DESIGN.md §6); sessions key their cached
+  /// node tables on (alo_nodes, alo_quad), so batches sharing one setting
+  /// share one table.
+  int alo_nodes = 13;      ///< Chebyshev collocation nodes over sqrt(tau)
+  int alo_quad = 25;       ///< tanh-sinh quadrature points per integral
+  int alo_iterations = 8;  ///< fixed-point sweeps over the boundary
 };
 
 class LatticeSolver {

@@ -48,8 +48,11 @@ class ScratchStack {
   class Frame {
    public:
     explicit Frame(ScratchStack& s) noexcept
-        : s_(s), block_(s.block_), off_(s.off_) {}
+        : s_(s), block_(s.block_), off_(s.off_) {
+      ++s_.frames_;
+    }
     ~Frame() {
+      --s_.frames_;
       s_.block_ = block_;
       s_.off_ = off_;
     }
@@ -70,20 +73,31 @@ class ScratchStack {
     std::size_t off_;
   };
 
-  /// Total doubles of backing storage currently held (grow-only).
+  /// Total doubles of backing storage currently held (grow-only between
+  /// trim() calls).
   [[nodiscard]] std::size_t capacity() const noexcept {
     std::size_t c = 0;
     for (const auto& b : blocks_) c += b.size();
     return c;
   }
 
+  /// Opt-in high-water-mark decay for long-lived sessions mixing huge and
+  /// tiny problem sizes: releases backing blocks, largest (most recent)
+  /// first to keep, until at most `retain_bytes` of storage remain. A call
+  /// while any Frame is outstanding is ignored — outstanding spans stay
+  /// valid and the descent keeps its grow-only guarantee; only a between-
+  /// batches caller (no live frames) actually shrinks storage. Returns
+  /// whether a shrink happened.
+  bool trim(std::size_t retain_bytes) noexcept;
+
  private:
   friend class Frame;
   [[nodiscard]] std::span<double> alloc(std::size_t n);
 
   std::vector<aligned_vector<double>> blocks_;
-  std::size_t block_ = 0;  ///< block currently being bumped
-  std::size_t off_ = 0;    ///< next free double inside it
+  std::size_t block_ = 0;   ///< block currently being bumped
+  std::size_t off_ = 0;     ///< next free double inside it
+  std::size_t frames_ = 0;  ///< live Frame count (trim() guard)
 };
 
 /// The calling thread's scratch stack (created on first use, never freed

@@ -30,7 +30,9 @@ enum class Engine {
   vanilla_parallel,  ///< Θ(T^2) loop, OpenMP row-parallel
   tiled,             ///< zb-bopm: cache-aware split tiling (BOPM call only)
   cache_oblivious,   ///< Frigo-Strumpen recursion (BOPM call only)
-  quantlib           ///< ql-bopm: QuantLib-style rollback (BOPM call only)
+  quantlib,          ///< ql-bopm: QuantLib-style rollback (BOPM call only)
+  boundary           ///< Chebyshev/tanh-sinh exercise-boundary engine
+                     ///< (BSM American vanilla put AND call; alo_engine.hpp)
 };
 
 [[nodiscard]] std::string_view to_string(Model m);

@@ -36,6 +36,10 @@
 #include "amopt/stencil/kernel_cache.hpp"
 #include "amopt/stencil/linear_stencil.hpp"
 
+namespace amopt::pricing::alo {
+struct NodeTable;
+}
+
 namespace amopt::pricing {
 
 /// Session-level configuration.
@@ -94,6 +98,14 @@ struct PricerConfig {
   /// discretization error; see DESIGN.md §5. Items whose renormalized T
   /// would exceed 8x the requested T keep their own discretization.
   bool share_kernels_across_expiries = false;
+  /// Opt-in scratch-arena high-water-mark decay: after each batch, every
+  /// thread that served items trims its ScratchStack down to at most this
+  /// many bytes (core::ScratchStack::trim), so a long-lived session mixing
+  /// huge and tiny T releases the dead blocks between batches while the
+  /// descent itself keeps PR-5's grow-only guarantee (trim is a no-op while
+  /// any frame is live). 0 (default) disables trimming — the arena keeps
+  /// its high-water mark forever, exactly the pre-trim behavior.
+  std::size_t scratch_trim_bytes = 0;
 };
 
 class Pricer {
@@ -145,6 +157,7 @@ class Pricer {
     std::uint64_t cache_hits = 0;   ///< tap-group lookups served warm
     std::uint64_t cache_misses = 0; ///< tap-group lookups that built a cache
     std::uint64_t requests = 0;     ///< items served across all batches
+    std::size_t node_tables = 0;    ///< cached boundary-engine node tables
     std::size_t warm_roots = 0;     ///< contracts with a remembered IV root
     std::size_t warm_bump_prices = 0;   ///< remembered greeks-leg prices
     std::uint64_t bump_price_hits = 0;  ///< greeks legs served from the store
@@ -174,6 +187,13 @@ class Pricer {
   /// Drop the least-recently-used entry of `tier` if it exceeds `cap`.
   /// Caller holds mu_.
   static void evict_lru(std::vector<Entry>& tier, std::size_t cap);
+
+  /// Find-or-create the session's boundary-engine node table for the
+  /// config's (alo_nodes, alo_quad); thread-safe. Lives next to the kernel
+  /// registry so steady-state boundary quotes (and their IV trials) are
+  /// pure evaluation — the table build is a once-per-setting setup cost.
+  [[nodiscard]] std::shared_ptr<const alo::NodeTable> node_table_for(
+      const core::SolverConfig& cfg);
 
   /// Price `spec` under the request's (model, right, style, engine) with
   /// the session cache for its derived taps — the evaluation primitive the
@@ -223,6 +243,12 @@ class Pricer {
   /// attached to every cache the registry creates. shared_ptr because
   /// evicted-but-in-flight caches may outlive the registry entry.
   std::shared_ptr<stencil::SpectrumBudget> spectrum_budget_;
+  /// Boundary-engine node tables by (alo_nodes << 32) | alo_quad (clamped
+  /// values). Unbounded by design: entries are ~O(nodes^2) doubles and the
+  /// key space is the handful of accuracy presets a session uses.
+  std::unordered_map<std::uint64_t,
+                     std::shared_ptr<const alo::NodeTable>>
+      node_tables_;
   std::unordered_map<std::string, WarmRoot> warm_roots_;  ///< by contract key
   /// Bumped-spec prices the greeks legs evaluated, by full evaluation key
   /// (spec + T + model/right/style/engine + resolved solver config).

@@ -63,6 +63,21 @@ struct Kernels {
   void (*stencil3)(const double* in, double b, double c, double a, double* out,
                    std::size_t n);
 
+  /// Fused two-step 3-tap stencil sweep: mid[j] = b*in[j] + c*in[j+1] +
+  /// a*in[j+2] for j < n_mid, then out[j] = b*mid[j] + c*mid[j+1] +
+  /// a*mid[j+2] for j < n_out (requires n_out + 2 <= n_mid; in must alias
+  /// neither output). The `correlate_taps_2row` temporal fusion applied to
+  /// the stencil3 expression: the second row chases the first block-by-block
+  /// while its cells are still in L1. Per element the arithmetic is exactly
+  /// stencil3's — unseeded (b*x + c*y) + a*z, which preserves the -0.0 bits
+  /// a 0.0-seeded accumulation would flush — so the scalar entry is
+  /// bit-identical to two single-row stencil3 sweeps (asserted in
+  /// test_simd), and the vector entries keep the single-sweep vector/scalar
+  /// partition via the shared aligned-chunk driver.
+  void (*stencil3_2row)(const double* in, double b, double c, double a,
+                        double* mid, double* out, std::size_t n_mid,
+                        std::size_t n_out);
+
   /// Split interleaved complex into SoA halves and back.
   void (*deinterleave)(const cplx* z, double* re, double* im, std::size_t n);
   void (*interleave)(const double* re, const double* im, cplx* z,
@@ -104,6 +119,25 @@ struct Kernels {
 
   /// The C2R retangle pair loop of RealPlan::inverse (same index ranges).
   void (*rfft_retangle)(cplx* spec, const cplx* tw, std::size_t m);
+
+  /// Black-Scholes d± over node arrays — the boundary engine's quadrature
+  /// inner loop. base = (logz[i] + drift_t[i]) * inv_vs[i];
+  /// dp[i] = base + half_vs[i]; dm[i] = base - half_vs[i]. The caller
+  /// precomputes the per-node geometry (drift*dt, 1/(vol*sqrt(dt)),
+  /// vol*sqrt(dt)/2) once per quote, so the kernel is pure mul/add over
+  /// contiguous arrays.
+  void (*bs_dpm)(const double* logz, const double* drift_t,
+                 const double* inv_vs, const double* half_vs, double* dp,
+                 double* dm, std::size_t n);
+
+  /// Standard normal CDF over an array, libm-free: Phi(x) = 0.5*erfc(z),
+  /// z = |x|/sqrt(2), with erfc via the Abramowitz–Stegun 7.1.26 rational
+  /// polynomial and an in-house range-reduced exp(-z^2) (|error| <= 7.5e-8
+  /// absolute — the boundary engine's documented accuracy floor, DESIGN.md
+  /// §6). Every level evaluates the same operation sequence; the AVX2 lanes
+  /// reproduce the scalar bits exactly (no FMA), the AVX-512 entry contracts
+  /// its Horner chains to FMA and may differ in the last ulps.
+  void (*norm_cdf)(const double* x, double* out, std::size_t n);
 };
 
 /// Kernel table for one explicit level (clamped to max_supported()).

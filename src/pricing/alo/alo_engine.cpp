@@ -1,0 +1,437 @@
+// The boundary-engine core (alo_engine.hpp): QD+ initial guess, Chebyshev
+// collocation of the Kim fixed point, tanh-sinh premium integral. The hot
+// path works entirely in LOG boundary space (ln B = ln X - sqrt(H)) so the
+// per-iteration inner loops are pure Clenshaw arithmetic plus the
+// dispatched bs_dpm / norm_cdf kernels — no exp/log, no heap.
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <memory>
+#include <numbers>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "amopt/core/scratch.hpp"
+#include "amopt/pricing/alo/alo_engine.hpp"
+#include "amopt/pricing/black_scholes.hpp"
+#include "amopt/simd/kernels.hpp"
+#include "amopt/simd/simd.hpp"
+
+namespace amopt::pricing::alo {
+
+namespace {
+
+/// The put problem the solver actually runs (calls arrive here through
+/// put-call symmetry: C(S,K,r,q) = P(K,S,q,r)).
+struct PutProblem {
+  double S, K, r, q, vol, T;
+};
+
+[[nodiscard]] double sq(double x) { return x * x; }
+
+/// p(z) = a[0] + sum_{k>=1} a[k] T_k(z) (coefficients from NodeTable's
+/// interpolation matrix, which pre-halves the endpoint terms).
+[[nodiscard]] double clenshaw(const double* a, int n, double z) {
+  double b1 = 0.0, b2 = 0.0;
+  for (int k = n - 1; k >= 1; --k) {
+    const double b0 = a[k] + 2.0 * z * b1 - b2;
+    b2 = b1;
+    b1 = b0;
+  }
+  return a[0] + z * b1 - b2;
+}
+
+/// ln B(tau) from the H interpolant: ln X - sqrt(max(H, 0)); the clamp
+/// absorbs the interpolant's sub-ulp wiggle below 0 near tau = 0.
+[[nodiscard]] double log_boundary(const double* a, int n, double z,
+                                  double log_x) {
+  return log_x - std::sqrt(std::max(clenshaw(a, n, z), 0.0));
+}
+
+[[nodiscard]] double norm_pdf(double x) {
+  return std::exp(-0.5 * x * x) / std::numbers::sqrt2 /
+         std::sqrt(std::numbers::pi);
+}
+
+/// Everything one request stages in the thread's scratch frame. All spans
+/// come from a single Frame in american_put / put_boundary.
+struct Work {
+  // Collocation state (n each).
+  std::span<double> log_b;  ///< ln B at node j (current iterate)
+  std::span<double> hval;   ///< H_j samples
+  std::span<double> acoef;  ///< Chebyshev coefficients of H
+  // Request-constant quadrature geometry (n*q each, node-major).
+  std::span<double> zarg;     ///< Clenshaw z of u_{j,i}
+  std::span<double> drift_t;  ///< (r-q)(tau_j - u_{j,i})
+  std::span<double> inv_vs;   ///< 1 / (vol sqrt(tau_j - u_{j,i}))
+  std::span<double> half_vs;  ///< vol sqrt(tau_j - u_{j,i}) / 2
+  std::span<double> exp_r;    ///< e^{r u_{j,i}}
+  std::span<double> exp_q;    ///< e^{q u_{j,i}}
+  // Shared temporaries, sized max(n, q): the QD+ warm start sweeps them
+  // node-wise (n-1 wide), the fixed point quad-wise (q wide).
+  std::span<double> logz, dp, dm, phi_m, phi_p;
+  // QD+ warm-start state: 13 contiguous slices of n (per-node residual
+  // constants plus the lockstep bisection brackets), carved in solve().
+  std::span<double> qd;
+};
+
+[[nodiscard]] Work stage(core::ScratchStack::Frame& frame, std::size_t n,
+                         std::size_t q) {
+  Work w;
+  const std::size_t t = std::max(n, q);
+  w.log_b = frame.alloc(n);
+  w.hval = frame.alloc(n);
+  w.acoef = frame.alloc(n);
+  w.zarg = frame.alloc(n * q);
+  w.drift_t = frame.alloc(n * q);
+  w.inv_vs = frame.alloc(n * q);
+  w.half_vs = frame.alloc(n * q);
+  w.exp_r = frame.alloc(n * q);
+  w.exp_q = frame.alloc(n * q);
+  w.logz = frame.alloc(t);
+  w.dp = frame.alloc(t);
+  w.dm = frame.alloc(t);
+  w.phi_m = frame.alloc(t);
+  w.phi_p = frame.alloc(t);
+  w.qd = frame.alloc(13 * n);
+  return w;
+}
+
+/// Solve the boundary on the table's nodes: fills w.log_b / w.hval and
+/// leaves the final Chebyshev coefficients in w.acoef. Returns ln X.
+/// Requires r > 0 (callers shortcut r <= 0 to the European price).
+double solve_boundary(const PutProblem& m, const NodeTable& tbl,
+                      int iterations, Work& w) {
+  const int n = tbl.nodes, q = tbl.quad;
+  const double X = m.q > m.r ? m.K * (m.r / m.q) : m.K;
+  const double log_x = std::log(X);
+  const double log_k = std::log(m.K);
+
+  // Request-constant geometry: for node j and quad point i the integrals
+  // read u = tau_j (1+y_i)/2, so tau_j - u = tau_j sm_i^2 and the Clenshaw
+  // argument of B(u) is 2 sqrt(u/T) - 1 = 2 xhat_j sp_i - 1. One pass of
+  // scalar exp/sqrt here, then the fixed point never calls libm again.
+  for (int j = 1; j < n; ++j) {
+    const double xh = tbl.xhat[static_cast<std::size_t>(j)];
+    const double tau = m.T * xh * xh;
+    const double vst = m.vol * std::sqrt(tau);
+    double* zz = w.zarg.data() + static_cast<std::size_t>(j) * q;
+    double* dr = w.drift_t.data() + static_cast<std::size_t>(j) * q;
+    double* iv = w.inv_vs.data() + static_cast<std::size_t>(j) * q;
+    double* hv = w.half_vs.data() + static_cast<std::size_t>(j) * q;
+    double* er = w.exp_r.data() + static_cast<std::size_t>(j) * q;
+    double* eq = w.exp_q.data() + static_cast<std::size_t>(j) * q;
+    for (int i = 0; i < q; ++i) {
+      const double sp = tbl.sp[static_cast<std::size_t>(i)];
+      const double sm = tbl.sm[static_cast<std::size_t>(i)];
+      const double u = tau * sp * sp;
+      const double vs = vst * sm;  // vol sqrt(tau - u) > 0 (sm > 0)
+      zz[i] = 2.0 * xh * sp - 1.0;
+      dr[i] = (m.r - m.q) * tau * sm * sm;
+      iv[i] = 1.0 / vs;
+      hv[i] = 0.5 * vs;
+      er[i] = std::exp(m.r * u);
+      eq[i] = std::exp(m.q * u);
+    }
+  }
+
+  const simd::Kernels& kern = simd::kernels();
+
+  // QD+ warm start (Li 2010's refined quadratic approximation: the
+  // smooth-pasting condition of the (S/B)^lambda value extension with the
+  // c0 curvature correction), bisected in LOCKSTEP across all nodes: each
+  // round evaluates every node's residual with ONE bs_dpm sweep and ONE
+  // norm_cdf sweep, leaving a single log and exp per node per round as the
+  // only scalar libm — this loop is the fixed per-quote overhead, so it
+  // rides the same dispatched kernels as the collocation sweeps. Node 0
+  // (tau = 0) is pinned at the known limit B = X, H = 0.
+  w.log_b[0] = log_x;
+  w.hval[0] = 0.0;
+  {
+    const int nb = n - 1;  // bisected nodes (array index j <-> node j+1)
+    const std::size_t nbz = static_cast<std::size_t>(nb);
+    const double sig2 = m.vol * m.vol;
+    const double M = 2.0 * m.r / sig2;
+    const double Nn = 2.0 * (m.r - m.q) / sig2;
+    const auto slice = [&](int s) {
+      return w.qd.subspan(static_cast<std::size_t>(s) * n, nbz);
+    };
+    const auto ivs = slice(0), hvs = slice(1), drift = slice(2),
+               emr = slice(3), emq = slice(4), lam = slice(5),
+               lamp = slice(6), tlam = slice(7), hh = slice(8),
+               lo = slice(9), hi = slice(10), flo = slice(11),
+               mid = slice(12);
+    for (int j = 0; j < nb; ++j) {
+      const double xh = tbl.xhat[static_cast<std::size_t>(j + 1)];
+      const double tau = m.T * xh * xh;
+      const double vs = m.vol * std::sqrt(tau);
+      ivs[j] = 1.0 / vs;
+      hvs[j] = 0.5 * vs;
+      drift[j] = (m.r - m.q) * tau;
+      emr[j] = std::exp(-m.r * tau);
+      emq[j] = std::exp(-m.q * tau);
+      const double h = 1.0 - emr[j];  // r > 0 -> h > 0
+      const double root = std::sqrt(sq(Nn - 1.0) + 4.0 * M / h);
+      lam[j] = -0.5 * (Nn - 1.0) - 0.5 * root;
+      lamp[j] = M / (h * h * root);
+      tlam[j] = 2.0 * lam[j] + Nn - 1.0;
+      hh[j] = h;
+    }
+    // Residual f(B_j) of every node at once; w.dm doubles as the output
+    // (its Phi is consumed before the store). pdf(dp) survives the in-place
+    // negation below because the Gaussian density is even.
+    const auto residuals = [&](std::span<const double> B,
+                               std::span<double> f_out) {
+      for (int j = 0; j < nb; ++j) w.logz[j] = std::log(B[j] / m.K);
+      kern.bs_dpm(w.logz.data(), drift.data(), ivs.data(), hvs.data(),
+                  w.dp.data(), w.dm.data(), nbz);
+      for (int j = 0; j < nb; ++j) w.dp[j] = -w.dp[j];
+      for (int j = 0; j < nb; ++j) w.dm[j] = -w.dm[j];
+      kern.norm_cdf(w.dm.data(), w.phi_m.data(), nbz);  // Phi(-d-)
+      kern.norm_cdf(w.dp.data(), w.phi_p.data(), nbz);  // Phi(-d+)
+      for (int j = 0; j < nb; ++j) {
+        const double pm = w.phi_m[j], pp = w.phi_p[j];
+        const double disc_put = m.K * emr[j] * pm - B[j] * emq[j] * pp;
+        const double gap = m.K - B[j] - disc_put;
+        // Theta of the European put at S = B; 1/sqrt(tau) = vol * ivs.
+        const double theta =
+            m.r * m.K * emr[j] * pm - m.q * B[j] * emq[j] * pp -
+            0.5 * m.vol * m.vol * B[j] * emq[j] * norm_pdf(w.dp[j]) * ivs[j];
+        double c0 = 0.0;
+        if (gap > 1e-12 * m.K)
+          c0 = -(1.0 - hh[j]) * M / tlam[j] *
+               (1.0 / hh[j] - theta / (emr[j] * m.r * gap) +
+                lamp[j] / tlam[j]);
+        f_out[j] = 1.0 - emq[j] * pp + (lam[j] + c0) * gap / B[j];
+      }
+    };
+    for (int j = 0; j < nb; ++j) lo[j] = 1e-4 * X;
+    for (int j = 0; j < nb; ++j) hi[j] = X * (1.0 - 1e-12);
+    residuals(lo, flo);
+    residuals(hi, mid);  // mid temporarily holds f(hi)
+    for (int j = 0; j < nb; ++j) {
+      if (!(flo[j] * mid[j] < 0.0) || !std::isfinite(flo[j]) ||
+          !std::isfinite(mid[j])) {
+        // Non-bracketing pathological case: a one-term exponential guess,
+        // crude but inside the region; freeze the bracket on it.
+        const double fb = X * std::exp(-2.0 * hvs[j]);
+        lo[j] = fb;
+        hi[j] = fb;
+      }
+    }
+    // 24 rounds pin each root to ~1e-5 relative; the collocation sweeps
+    // contract any leftover warm-start error below the preset's own
+    // discretization error.
+    for (int round = 0; round < 24; ++round) {
+      for (int j = 0; j < nb; ++j) mid[j] = 0.5 * (lo[j] + hi[j]);
+      residuals(mid, w.dm);
+      for (int j = 0; j < nb; ++j) {
+        if (!std::isfinite(w.dm[j])) continue;
+        if (flo[j] * w.dm[j] <= 0.0) {
+          hi[j] = mid[j];
+        } else {
+          lo[j] = mid[j];
+          flo[j] = w.dm[j];
+        }
+      }
+    }
+    for (int j = 0; j < nb; ++j) {
+      const double lb =
+          std::min(std::log(0.5 * (lo[j] + hi[j])), log_x);
+      w.log_b[static_cast<std::size_t>(j + 1)] = lb;
+      w.hval[static_cast<std::size_t>(j + 1)] = sq(lb - log_x);
+    }
+  }
+  for (int it = 0; it < iterations; ++it) {
+    // Coefficients of the current H iterate (dense n x n multiply — with
+    // n <= 64 this is noise next to the Phi sweeps).
+    for (int k = 0; k < n; ++k) {
+      const double* row =
+          tbl.coeff.data() + static_cast<std::size_t>(k) * n;
+      double acc = 0.0;
+      for (int j = 0; j < n; ++j) acc += row[j] * w.hval[j];
+      w.acoef[static_cast<std::size_t>(k)] = acc;
+    }
+    // Jacobi sweep: every node's update reads the SAME interpolant.
+    for (int j = 1; j < n; ++j) {
+      const double xh = tbl.xhat[static_cast<std::size_t>(j)];
+      const double tau = m.T * xh * xh;
+      const double vs = m.vol * std::sqrt(tau);
+      const double lb = w.log_b[static_cast<std::size_t>(j)];
+      // Boundary terms Phi(d-+(tau, B_j/K)).
+      const double base = (lb - log_k + (m.r - m.q) * tau) / vs;
+      double n_val = bs::norm_cdf(base - 0.5 * vs);
+      double d_val = bs::norm_cdf(base + 0.5 * vs);
+      // Integral terms, batched through the dispatched kernels.
+      const double* zz = w.zarg.data() + static_cast<std::size_t>(j) * q;
+      const double* er = w.exp_r.data() + static_cast<std::size_t>(j) * q;
+      const double* eq = w.exp_q.data() + static_cast<std::size_t>(j) * q;
+      for (int i = 0; i < q; ++i)
+        w.logz[static_cast<std::size_t>(i)] =
+            lb - log_boundary(w.acoef.data(), n, zz[i], log_x);
+      kern.bs_dpm(w.logz.data(),
+                  w.drift_t.data() + static_cast<std::size_t>(j) * q,
+                  w.inv_vs.data() + static_cast<std::size_t>(j) * q,
+                  w.half_vs.data() + static_cast<std::size_t>(j) * q,
+                  w.dp.data(), w.dm.data(), static_cast<std::size_t>(q));
+      kern.norm_cdf(w.dm.data(), w.phi_m.data(), static_cast<std::size_t>(q));
+      kern.norm_cdf(w.dp.data(), w.phi_p.data(), static_cast<std::size_t>(q));
+      double n_int = 0.0, d_int = 0.0;
+      for (int i = 0; i < q; ++i) {
+        const double wt = tbl.w[static_cast<std::size_t>(i)];
+        n_int += wt * er[i] * w.phi_m[static_cast<std::size_t>(i)];
+        d_int += wt * eq[i] * w.phi_p[static_cast<std::size_t>(i)];
+      }
+      n_val += m.r * (0.5 * tau) * n_int;
+      d_val += m.q * (0.5 * tau) * d_int;
+      // B' = K e^{-(r-q)tau} N/D, folded straight into log space. D >=
+      // Phi(d+) > 0, so the ratio is always well-defined.
+      const double lb_new =
+          log_k - (m.r - m.q) * tau + std::log(n_val / d_val);
+      w.hval[static_cast<std::size_t>(j)] =
+          lb_new < log_x ? sq(lb_new - log_x) : 0.0;
+    }
+    for (int j = 1; j < n; ++j)
+      w.log_b[static_cast<std::size_t>(j)] =
+          log_x - std::sqrt(w.hval[static_cast<std::size_t>(j)]);
+  }
+  // Final interpolant for the premium / boundary readers.
+  for (int k = 0; k < n; ++k) {
+    const double* row = tbl.coeff.data() + static_cast<std::size_t>(k) * n;
+    double acc = 0.0;
+    for (int j = 0; j < n; ++j) acc += row[j] * w.hval[j];
+    w.acoef[static_cast<std::size_t>(k)] = acc;
+  }
+  return log_x;
+}
+
+/// Kim early-exercise premium at spot S from the solved boundary:
+///   Int_0^T [ rK e^{-r h} Phi(-d-(h, S/B(T-h)))
+///           - qS e^{-q h} Phi(-d+(h, S/B(T-h))) ] dh
+/// with h = T (1+y)/2, so the boundary argument T-h = T sm^2 reads the
+/// interpolant at z = 2 sm - 1. Reuses the iteration temporaries.
+double premium(const PutProblem& m, const NodeTable& tbl, const Work& w,
+               double log_x, double log_s) {
+  const int n = tbl.nodes, q = tbl.quad;
+  const double vst = m.vol * std::sqrt(m.T);
+  const simd::Kernels& kern = simd::kernels();
+  // Geometry into the (request-constant) j = 0 slots, unused by tau_0 = 0.
+  double* dr = w.drift_t.data();
+  double* iv = w.inv_vs.data();
+  double* hv = w.half_vs.data();
+  double* er = w.exp_r.data();
+  double* eq = w.exp_q.data();
+  for (int i = 0; i < q; ++i) {
+    const double sp = tbl.sp[static_cast<std::size_t>(i)];
+    const double sm = tbl.sm[static_cast<std::size_t>(i)];
+    const double hh = m.T * sp * sp;
+    const double vs = vst * sp;
+    w.logz[static_cast<std::size_t>(i)] =
+        log_s - log_boundary(w.acoef.data(), n, 2.0 * sm - 1.0, log_x);
+    dr[i] = (m.r - m.q) * hh;
+    iv[i] = 1.0 / vs;
+    hv[i] = 0.5 * vs;
+    er[i] = std::exp(-m.r * hh);
+    eq[i] = std::exp(-m.q * hh);
+  }
+  kern.bs_dpm(w.logz.data(), dr, iv, hv, w.dp.data(), w.dm.data(),
+              static_cast<std::size_t>(q));
+  // Phi(-d): negate in place, then one kernel sweep per sign.
+  for (int i = 0; i < q; ++i) {
+    w.dp[static_cast<std::size_t>(i)] = -w.dp[static_cast<std::size_t>(i)];
+    w.dm[static_cast<std::size_t>(i)] = -w.dm[static_cast<std::size_t>(i)];
+  }
+  kern.norm_cdf(w.dm.data(), w.phi_m.data(), static_cast<std::size_t>(q));
+  kern.norm_cdf(w.dp.data(), w.phi_p.data(), static_cast<std::size_t>(q));
+  double acc = 0.0;
+  for (int i = 0; i < q; ++i) {
+    const double wt = tbl.w[static_cast<std::size_t>(i)];
+    acc += wt * (m.r * m.K * er[i] * w.phi_m[static_cast<std::size_t>(i)] -
+                 m.q * m.S * eq[i] * w.phi_p[static_cast<std::size_t>(i)]);
+  }
+  return 0.5 * m.T * acc;
+}
+
+[[nodiscard]] OptionSpec to_spec(const PutProblem& m) {
+  OptionSpec s;
+  s.S = m.S;
+  s.K = m.K;
+  s.R = m.r;
+  s.V = m.vol;
+  s.Y = m.q;
+  s.expiry_years = m.T;
+  return s;
+}
+
+/// The full put pricing path (symmetry-mapped calls included): European
+/// shortcut for r <= 0, otherwise boundary solve + premium integral.
+double american_put(const PutProblem& m, const NodeTable& tbl,
+                    int iterations) {
+  if (m.r == 0.0) {
+    // No interest on the strike: the put's early-exercise premium is zero
+    // and the boundary collapses to 0 (X = K min(1, r/q) -> 0).
+    return bs::european_put(to_spec(m));
+  }
+  core::ScratchStack::Frame frame(core::thread_scratch());
+  Work w = stage(frame, static_cast<std::size_t>(tbl.nodes),
+                 static_cast<std::size_t>(tbl.quad));
+  const double log_x = solve_boundary(m, tbl, iterations, w);
+  // Spot at or below today's boundary: exercise now.
+  if (std::log(m.S) <=
+      w.log_b[static_cast<std::size_t>(tbl.nodes - 1)])
+    return m.K - m.S;
+  const double v_eur = bs::european_put(to_spec(m));
+  const double prem = premium(m, tbl, w, log_x, std::log(m.S));
+  // The premium is non-negative by construction of the integrand on the
+  // solved boundary; clamp quadrature noise, then enforce intrinsic.
+  return std::max(v_eur + std::max(prem, 0.0), m.K - m.S);
+}
+
+[[nodiscard]] PutProblem as_put(const OptionSpec& spec, Right right) {
+  if (!(spec.R >= 0.0) || !(spec.Y >= 0.0))
+    throw std::invalid_argument(
+        "amopt: boundary engine requires R >= 0 and Y >= 0");
+  if (right == Right::put)
+    return {spec.S, spec.K, spec.R, spec.Y, spec.V, spec.expiry_years};
+  // Put-call symmetry: C(S, K, r, q, vol, T) = P(K, S, q, r, vol, T).
+  return {spec.K, spec.S, spec.Y, spec.R, spec.V, spec.expiry_years};
+}
+
+}  // namespace
+
+double american_price(const OptionSpec& spec, Right right,
+                      const core::SolverConfig& cfg, const NodeTable* table) {
+  const PutProblem m = as_put(spec, right);
+  std::shared_ptr<const NodeTable> local;
+  if (table == nullptr || table->nodes != std::clamp(cfg.alo_nodes, 3, 64) ||
+      table->quad != std::clamp(cfg.alo_quad, 3, 401)) {
+    local = build_node_table(cfg.alo_nodes, cfg.alo_quad);
+    table = local.get();
+  }
+  return american_put(m, *table, std::max(cfg.alo_iterations, 1));
+}
+
+std::vector<double> put_boundary(const OptionSpec& spec,
+                                 const core::SolverConfig& cfg,
+                                 std::span<const double> taus) {
+  const PutProblem m = as_put(spec, Right::put);
+  std::vector<double> out(taus.size(), 0.0);
+  if (m.r == 0.0) return out;  // boundary collapses with the premium
+  const auto tbl = build_node_table(cfg.alo_nodes, cfg.alo_quad);
+  core::ScratchStack::Frame frame(core::thread_scratch());
+  Work w = stage(frame, static_cast<std::size_t>(tbl->nodes),
+                 static_cast<std::size_t>(tbl->quad));
+  const double log_x =
+      solve_boundary(m, *tbl, std::max(cfg.alo_iterations, 1), w);
+  for (std::size_t i = 0; i < taus.size(); ++i) {
+    const double tau = std::clamp(taus[i], 0.0, m.T);
+    const double z = 2.0 * std::sqrt(tau / m.T) - 1.0;
+    out[i] =
+        std::exp(log_boundary(w.acoef.data(), tbl->nodes, z, log_x));
+  }
+  return out;
+}
+
+}  // namespace amopt::pricing::alo

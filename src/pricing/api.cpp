@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "amopt/baselines/baselines.hpp"
+#include "amopt/pricing/alo/alo_engine.hpp"
 #include "amopt/pricing/bopm.hpp"
 #include "amopt/pricing/bsm_fdm.hpp"
 #include "amopt/pricing/pricer.hpp"
@@ -35,6 +36,7 @@ std::string_view to_string(Engine e) {
     case Engine::tiled: return "tiled";
     case Engine::cache_oblivious: return "cache-oblivious";
     case Engine::quantlib: return "quantlib";
+    case Engine::boundary: return "boundary";
   }
   return "?";
 }
@@ -89,6 +91,7 @@ double price_with_cache(const OptionSpec& spec, std::int64_t T, Model model,
             return baselines::cache_oblivious_american_call(spec, T);
           case Engine::quantlib:
             return baselines::quantlib_style_american_call(spec, T);
+          case Engine::boundary: unsupported(model, right, style, engine);
         }
       } else {
         switch (engine) {
@@ -118,6 +121,12 @@ double price_with_cache(const OptionSpec& spec, std::int64_t T, Model model,
       }
       break;
     case Model::bsm:
+      // The boundary engine serves BOTH rights (the only American call
+      // path under BSM, via put-call symmetry). No kernel cache applies;
+      // session callers pass their cached NodeTable through
+      // Pricer::price_cached instead of this null-table convenience path.
+      if (engine == Engine::boundary)
+        return alo::american_price(spec, right, cfg, nullptr);
       if (right == Right::put) {
         switch (engine) {
           case Engine::fft:

@@ -8,6 +8,8 @@
 #include <string>
 #include <utility>
 
+#include "amopt/core/scratch.hpp"
+#include "amopt/pricing/alo/alo_engine.hpp"
 #include "amopt/pricing/api.hpp"
 #include "amopt/pricing/bopm.hpp"
 #include "amopt/pricing/greeks.hpp"
@@ -47,7 +49,7 @@ bool Pricer::supports(Model m, Right r, Style s, Engine e) noexcept {
   }
   switch (m) {
     case Model::bopm:
-      if (r == Right::call) return true;  // all six engines
+      if (r == Right::call) return e != Engine::boundary;  // all six lattices
       return e == Engine::fft || e == Engine::vanilla;
     case Model::topm:
       if (r == Right::call)
@@ -55,6 +57,9 @@ bool Pricer::supports(Model m, Right r, Style s, Engine e) noexcept {
                e == Engine::vanilla_parallel;
       return e == Engine::fft || e == Engine::vanilla;
     case Model::bsm:
+      // The boundary (ALO) engine is the one American BSM path that serves
+      // BOTH rights (calls via put-call symmetry).
+      if (e == Engine::boundary) return true;
       return r == Right::put &&
              (e == Engine::fft || e == Engine::vanilla ||
               e == Engine::vanilla_parallel);
@@ -65,11 +70,21 @@ bool Pricer::supports(Model m, Right r, Style s, Engine e) noexcept {
 bool Pricer::supports(Model m, Right r, Style s, Engine e,
                       unsigned compute) noexcept {
   if (!supports(m, r, s, e)) return false;
-  if ((compute & (Compute::greeks | Compute::implied_vol)) != 0u) {
-    // Greeks and implied vol ride on the BOPM American fft pricers (both
-    // rights); the other models have no sensitivity/inversion path yet.
+  if ((compute & Compute::greeks) != 0u) {
+    // Greeks ride on the BOPM American fft pricers (both rights); the
+    // other models have no sensitivity path yet.
     if (m != Model::bopm || s != Style::american || e != Engine::fft)
       return false;
+  }
+  if ((compute & Compute::implied_vol) != 0u) {
+    // Implied vol inverts through BOPM American fft (the lattice path) or
+    // through the boundary engine for BSM American vanillas, whose
+    // microsecond re-quotes are what make per-tick inversion cheap.
+    const bool lattice_iv =
+        m == Model::bopm && s == Style::american && e == Engine::fft;
+    const bool boundary_iv =
+        m == Model::bsm && s == Style::american && e == Engine::boundary;
+    if (!lattice_iv && !boundary_iv) return false;
   }
   return true;
 }
@@ -157,7 +172,10 @@ namespace {
                                cfg.task_cutoff,
                                static_cast<std::int64_t>(cfg.parallel),
                                static_cast<std::int64_t>(cfg.drift),
-                               static_cast<std::int64_t>(cfg.conv_policy.path)};
+                               static_cast<std::int64_t>(cfg.conv_policy.path),
+                               static_cast<std::int64_t>(cfg.alo_nodes),
+                               static_cast<std::int64_t>(cfg.alo_quad),
+                               static_cast<std::int64_t>(cfg.alo_iterations)};
   key.append(reinterpret_cast<const char*>(tags), sizeof(tags));
   return key;
 }
@@ -186,8 +204,34 @@ double Pricer::price_cached_memo(const OptionSpec& spec,
   return p;
 }
 
+std::shared_ptr<const alo::NodeTable> Pricer::node_table_for(
+    const core::SolverConfig& cfg) {
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(
+           static_cast<std::uint32_t>(std::clamp(cfg.alo_nodes, 3, 64)))
+       << 32) |
+      static_cast<std::uint32_t>(std::clamp(cfg.alo_quad, 3, 401));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = node_tables_.find(key);
+    if (it != node_tables_.end()) return it->second;
+  }
+  // Build outside the lock (pure function of the knobs: a racing duplicate
+  // build is wasted work, never a wrong table).
+  auto tbl = alo::build_node_table(cfg.alo_nodes, cfg.alo_quad);
+  std::lock_guard<std::mutex> lock(mu_);
+  return node_tables_.try_emplace(key, std::move(tbl)).first->second;
+}
+
 double Pricer::price_cached(const OptionSpec& spec, const PricingRequest& req,
                             const core::SolverConfig& cfg) {
+  if (req.engine == Engine::boundary && req.model == Model::bsm &&
+      req.style == Style::american) {
+    // Boundary quotes (and every IV trial riding on them) draw the node
+    // table from the session cache: steady state is pure evaluation.
+    const auto tbl = node_table_for(cfg);
+    return alo::american_price(spec, req.right, cfg, tbl.get());
+  }
   stencil::KernelCache* kernels = nullptr;
   CachePtr hold;  // keeps the group alive across a concurrent LRU eviction
   if (req.engine == Engine::fft) {
@@ -254,8 +298,8 @@ void Pricer::run_item(const PricingRequest& req, stencil::KernelCache* kernels,
   }
   if (!supports(req.model, req.right, req.style, req.engine, compute)) {
     out.status = Status::unsupported;
-    out.message = "amopt: greeks/implied-vol only available for "
-                  "bopm/american/fft (requested " +
+    out.message = "amopt: greeks need bopm/american/fft; implied vol needs "
+                  "bopm/american/fft or bsm/american/boundary (requested " +
                   std::string(to_string(req.model)) + "/" +
                   std::string(to_string(req.style)) + "/" +
                   std::string(to_string(req.engine)) + ")";
@@ -286,10 +330,17 @@ void Pricer::run_item(const PricingRequest& req, stencil::KernelCache* kernels,
     // descent split, so the price target keeps its own authoritative run.
     const bool priced_by_greeks =
         (compute & Compute::greeks) != 0u && req.right == Right::put;
-    if (!priced_by_greeks)
-      out.price = detail::price_with_cache(req.spec, req.T, req.model,
-                                           req.right, req.style, req.engine,
-                                           cfg, kernels);
+    if (!priced_by_greeks) {
+      if (req.engine == Engine::boundary && req.model == Model::bsm &&
+          req.style == Style::american)
+        // Through the session's node-table cache (price_cached routes
+        // boundary items there; no kernel cache applies to this engine).
+        out.price = price_cached(req.spec, req, cfg);
+      else
+        out.price = detail::price_with_cache(req.spec, req.T, req.model,
+                                             req.right, req.style, req.engine,
+                                             cfg, kernels);
+    }
   }
 
   if ((compute & Compute::implied_vol) != 0u) {
@@ -333,7 +384,10 @@ namespace {
                                cfg.task_cutoff,
                                static_cast<std::int64_t>(cfg.parallel),
                                static_cast<std::int64_t>(cfg.drift),
-                               static_cast<std::int64_t>(cfg.conv_policy.path)};
+                               static_cast<std::int64_t>(cfg.conv_policy.path),
+                               static_cast<std::int64_t>(cfg.alo_nodes),
+                               static_cast<std::int64_t>(cfg.alo_quad),
+                               static_cast<std::int64_t>(cfg.alo_iterations)};
   key.append(reinterpret_cast<const char*>(tags), sizeof(tags));
   return key;
 }
@@ -547,14 +601,24 @@ std::vector<PricingResult> Pricer::price_many(
   if (cfg_.parallel && requests.size() > 1) {
     // Parallelize across items; the inner solvers see the enclosing region
     // and stay serial, so one item never oversubscribes the machine.
-#pragma omp parallel for schedule(dynamic, 1)
-    for (std::ptrdiff_t i = 0;
-         i < static_cast<std::ptrdiff_t>(requests.size()); ++i)
-      serve(static_cast<std::size_t>(i));
+#pragma omp parallel
+    {
+#pragma omp for schedule(dynamic, 1)
+      for (std::ptrdiff_t i = 0;
+           i < static_cast<std::ptrdiff_t>(requests.size()); ++i)
+        serve(static_cast<std::size_t>(i));
+      // Between-batches arena decay (opt-in): each fan-out thread trims its
+      // own scratch stack once its share of the batch is done — no frames
+      // are live here, so trim actually releases.
+      if (cfg_.scratch_trim_bytes > 0)
+        core::thread_scratch().trim(cfg_.scratch_trim_bytes);
+    }
   } else {
     // Single item (or serial session): keep the solver's own internal
     // parallelism available, like a legacy scalar price() call.
     for (std::size_t i = 0; i < requests.size(); ++i) serve(i);
+    if (cfg_.scratch_trim_bytes > 0)
+      core::thread_scratch().trim(cfg_.scratch_trim_bytes);
   }
   return out;
 }
@@ -590,6 +654,7 @@ Pricer::Stats Pricer::stats() const {
   s.base_kernel_caches = base_caches_.size();
   s.transient_kernel_caches = transient_caches_.size();
   s.kernel_caches = s.base_kernel_caches + s.transient_kernel_caches;
+  s.node_tables = node_tables_.size();
   s.cache_hits = hits_;
   s.cache_misses = misses_;
   s.requests = requests_;
@@ -609,6 +674,7 @@ void Pricer::clear() {
   std::lock_guard<std::mutex> lock(mu_);
   base_caches_.clear();
   transient_caches_.clear();
+  node_tables_.clear();
   warm_roots_.clear();
   bump_prices_.clear();
   tick_ = hits_ = misses_ = requests_ = bump_hits_ = 0;

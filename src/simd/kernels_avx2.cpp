@@ -162,6 +162,101 @@ void stencil3(const double* in, double b, double c, double a, double* out,
   for (; j < n; ++j) out[j] = b * in[j] + c * in[j + 1] + a * in[j + 2];
 }
 
+namespace {
+/// The 4-wide body of `stencil3` over [j0, j1): greedy vectors from j0 plus
+/// a scalar tail, so chunks that start on the alignment grid reproduce the
+/// monolithic sweep's vector/scalar partition exactly.
+inline void stencil3_range(const double* in, double b, double c, double a,
+                           double* out, std::size_t j0, std::size_t j1) {
+  const __m256d vb = _mm256_set1_pd(b);
+  const __m256d vc = _mm256_set1_pd(c);
+  const __m256d va = _mm256_set1_pd(a);
+  std::size_t j = j0;
+  for (; j + 4 <= j1; j += 4) {
+    const __m256d lo = _mm256_mul_pd(vb, _mm256_loadu_pd(in + j));
+    const __m256d mid = _mm256_mul_pd(vc, _mm256_loadu_pd(in + j + 1));
+    const __m256d hi = _mm256_mul_pd(va, _mm256_loadu_pd(in + j + 2));
+    _mm256_storeu_pd(out + j, _mm256_add_pd(_mm256_add_pd(lo, mid), hi));
+  }
+  for (; j < j1; ++j) out[j] = b * in[j] + c * in[j + 1] + a * in[j + 2];
+}
+}  // namespace
+
+void stencil3_2row(const double* in, double b, double c, double a, double* mid,
+                   double* out, std::size_t n_mid, std::size_t n_out) {
+  two_row_sweep_driver(
+      in, nullptr, 3, mid, out, n_mid, n_out,
+      [&](const double* src, double* dst, std::size_t j0, std::size_t j1) {
+        stencil3_range(src, b, c, a, dst, j0, j1);
+      });
+}
+
+// --------------------------------------- boundary-engine quadrature loops
+
+void bs_dpm(const double* logz, const double* drift_t, const double* inv_vs,
+            const double* half_vs, double* dp, double* dm, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d base =
+        _mm256_mul_pd(_mm256_add_pd(_mm256_loadu_pd(logz + i),
+                                    _mm256_loadu_pd(drift_t + i)),
+                      _mm256_loadu_pd(inv_vs + i));
+    const __m256d h = _mm256_loadu_pd(half_vs + i);
+    _mm256_storeu_pd(dp + i, _mm256_add_pd(base, h));
+    _mm256_storeu_pd(dm + i, _mm256_sub_pd(base, h));
+  }
+  for (; i < n; ++i) {
+    const double base = (logz[i] + drift_t[i]) * inv_vs[i];
+    dp[i] = base + half_vs[i];
+    dm[i] = base - half_vs[i];
+  }
+}
+
+void norm_cdf(const double* x, double* out, std::size_t n) {
+  namespace pd = phi_detail;
+  const __m256d sign_mask = _mm256_set1_pd(-0.0);
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256d half = _mm256_set1_pd(0.5);
+  std::size_t i = 0;
+  // Each step is the mul/add/div sequence of phi_detail::phi_reference; no
+  // FMA in this TU, so every lane carries the scalar bits.
+  for (; i + 4 <= n; i += 4) {
+    const __m256d vx = _mm256_loadu_pd(x + i);
+    const __m256d z = _mm256_mul_pd(_mm256_andnot_pd(sign_mask, vx),
+                                    _mm256_set1_pd(pd::kInvSqrt2));
+    const __m256d t = _mm256_div_pd(
+        one, _mm256_add_pd(one, _mm256_mul_pd(_mm256_set1_pd(pd::kP), z)));
+    __m256d poly = _mm256_set1_pd(pd::kA5);
+    poly = _mm256_add_pd(_mm256_mul_pd(poly, t), _mm256_set1_pd(pd::kA4));
+    poly = _mm256_add_pd(_mm256_mul_pd(poly, t), _mm256_set1_pd(pd::kA3));
+    poly = _mm256_add_pd(_mm256_mul_pd(poly, t), _mm256_set1_pd(pd::kA2));
+    poly = _mm256_add_pd(_mm256_mul_pd(poly, t), _mm256_set1_pd(pd::kA1));
+    poly = _mm256_mul_pd(poly, t);
+    // exp(-z^2), range-reduced: y = k ln2 + r, e^y = 2^k P(r).
+    const __m256d y = _mm256_max_pd(
+        _mm256_xor_pd(_mm256_mul_pd(z, z), sign_mask),
+        _mm256_set1_pd(pd::kExpFloor));
+    const __m256d k = _mm256_round_pd(
+        _mm256_mul_pd(y, _mm256_set1_pd(pd::kLog2E)),
+        _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+    const __m256d r = _mm256_sub_pd(
+        _mm256_sub_pd(y, _mm256_mul_pd(k, _mm256_set1_pd(pd::kLn2Hi))),
+        _mm256_mul_pd(k, _mm256_set1_pd(pd::kLn2Lo)));
+    __m256d p = _mm256_set1_pd(pd::kC[11]);
+    for (int c = 10; c >= 0; --c)
+      p = _mm256_add_pd(_mm256_mul_pd(p, r), _mm256_set1_pd(pd::kC[c]));
+    const __m256i kq = _mm256_cvtepi32_epi64(_mm256_cvtpd_epi32(k));
+    const __m256i bits = _mm256_slli_epi64(
+        _mm256_add_epi64(kq, _mm256_set1_epi64x(1023)), 52);
+    const __m256d e = _mm256_mul_pd(p, _mm256_castsi256_pd(bits));
+    const __m256d tail = _mm256_mul_pd(_mm256_mul_pd(half, poly), e);
+    const __m256d ge = _mm256_cmp_pd(vx, _mm256_setzero_pd(), _CMP_GE_OQ);
+    _mm256_storeu_pd(out + i,
+                     _mm256_blendv_pd(tail, _mm256_sub_pd(one, tail), ge));
+  }
+  for (; i < n; ++i) out[i] = pd::phi_reference(x[i]);
+}
+
 // ------------------------------------------------- SoA layout conversions
 
 template <class Io>
@@ -691,13 +786,14 @@ namespace tables {
 const Kernels avx2 = {
     avx2_impl::cmul,           avx2_impl::csquare,
     avx2_impl::correlate_taps, avx2_impl::correlate_taps_2row,
-    avx2_impl::stencil3,
+    avx2_impl::stencil3,       avx2_impl::stencil3_2row,
     avx2_impl::deinterleave,   avx2_impl::interleave,
     avx2_impl::interleave_scaled,
     avx2_impl::deinterleave_rev,
     avx2_impl::scale2,         avx2_impl::radix2_pass,
     avx2_impl::radix4_pass,    avx2_impl::rfft_untangle,
     avx2_impl::rfft_retangle,
+    avx2_impl::bs_dpm,         avx2_impl::norm_cdf,
 };
 
 }  // namespace tables

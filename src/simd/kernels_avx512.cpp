@@ -151,6 +151,104 @@ void stencil3(const double* in, double b, double c, double a, double* out,
   for (; j < n; ++j) out[j] = b * in[j] + c * in[j + 1] + a * in[j + 2];
 }
 
+namespace {
+/// The 8-wide fmadd body of `stencil3` over [j0, j1); aligned chunk starts
+/// keep the fused sweep on the monolithic vector/scalar partition.
+inline void stencil3_range(const double* in, double b, double c, double a,
+                           double* out, std::size_t j0, std::size_t j1) {
+  const __m512d vb = _mm512_set1_pd(b);
+  const __m512d vc = _mm512_set1_pd(c);
+  const __m512d va = _mm512_set1_pd(a);
+  std::size_t j = j0;
+  for (; j + 8 <= j1; j += 8) {
+    __m512d acc = _mm512_mul_pd(vb, _mm512_loadu_pd(in + j));
+    acc = _mm512_fmadd_pd(vc, _mm512_loadu_pd(in + j + 1), acc);
+    acc = _mm512_fmadd_pd(va, _mm512_loadu_pd(in + j + 2), acc);
+    _mm512_storeu_pd(out + j, acc);
+  }
+  for (; j < j1; ++j) out[j] = b * in[j] + c * in[j + 1] + a * in[j + 2];
+}
+}  // namespace
+
+void stencil3_2row(const double* in, double b, double c, double a, double* mid,
+                   double* out, std::size_t n_mid, std::size_t n_out) {
+  two_row_sweep_driver(
+      in, nullptr, 3, mid, out, n_mid, n_out,
+      [&](const double* src, double* dst, std::size_t j0, std::size_t j1) {
+        stencil3_range(src, b, c, a, dst, j0, j1);
+      });
+}
+
+// --------------------------------------- boundary-engine quadrature loops
+
+void bs_dpm(const double* logz, const double* drift_t, const double* inv_vs,
+            const double* half_vs, double* dp, double* dm, std::size_t n) {
+  // base feeds the following add/sub, and in this TU the compiler is free
+  // to contract that into FMA — like the other AVX-512 kernels this entry
+  // is last-ulp from scalar, within the DESIGN.md §4 cross-path tolerance.
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512d base =
+        _mm512_mul_pd(_mm512_add_pd(_mm512_loadu_pd(logz + i),
+                                    _mm512_loadu_pd(drift_t + i)),
+                      _mm512_loadu_pd(inv_vs + i));
+    const __m512d h = _mm512_loadu_pd(half_vs + i);
+    _mm512_storeu_pd(dp + i, _mm512_add_pd(base, h));
+    _mm512_storeu_pd(dm + i, _mm512_sub_pd(base, h));
+  }
+  for (; i < n; ++i) {
+    const double base = (logz[i] + drift_t[i]) * inv_vs[i];
+    dp[i] = base + half_vs[i];
+    dm[i] = base - half_vs[i];
+  }
+}
+
+void norm_cdf(const double* x, double* out, std::size_t n) {
+  namespace pd = phi_detail;
+  const __m512d sign_mask = _mm512_set1_pd(-0.0);
+  const __m512d one = _mm512_set1_pd(1.0);
+  const __m512d half = _mm512_set1_pd(0.5);
+  std::size_t i = 0;
+  // Same operation sequence as phi_detail::phi_reference with the Horner
+  // chains contracted to FMA — last-ulp divergence from scalar/AVX2,
+  // inside the documented cross-path tolerance.
+  for (; i + 8 <= n; i += 8) {
+    const __m512d vx = _mm512_loadu_pd(x + i);
+    const __m512d z = _mm512_mul_pd(_mm512_abs_pd(vx),
+                                    _mm512_set1_pd(pd::kInvSqrt2));
+    const __m512d t = _mm512_div_pd(
+        one, _mm512_fmadd_pd(_mm512_set1_pd(pd::kP), z, one));
+    __m512d poly = _mm512_set1_pd(pd::kA5);
+    poly = _mm512_fmadd_pd(poly, t, _mm512_set1_pd(pd::kA4));
+    poly = _mm512_fmadd_pd(poly, t, _mm512_set1_pd(pd::kA3));
+    poly = _mm512_fmadd_pd(poly, t, _mm512_set1_pd(pd::kA2));
+    poly = _mm512_fmadd_pd(poly, t, _mm512_set1_pd(pd::kA1));
+    poly = _mm512_mul_pd(poly, t);
+    const __m512d y = _mm512_max_pd(
+        _mm512_xor_pd(_mm512_mul_pd(z, z), sign_mask),
+        _mm512_set1_pd(pd::kExpFloor));
+    const __m512d k = _mm512_roundscale_pd(
+        _mm512_mul_pd(y, _mm512_set1_pd(pd::kLog2E)),
+        _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+    const __m512d r = _mm512_sub_pd(
+        _mm512_sub_pd(y, _mm512_mul_pd(k, _mm512_set1_pd(pd::kLn2Hi))),
+        _mm512_mul_pd(k, _mm512_set1_pd(pd::kLn2Lo)));
+    __m512d p = _mm512_set1_pd(pd::kC[11]);
+    for (int c = 10; c >= 0; --c)
+      p = _mm512_fmadd_pd(p, r, _mm512_set1_pd(pd::kC[c]));
+    const __m512i bits = _mm512_slli_epi64(
+        _mm512_add_epi64(_mm512_cvtpd_epi64(k), _mm512_set1_epi64(1023)),
+        52);
+    const __m512d e = _mm512_mul_pd(p, _mm512_castsi512_pd(bits));
+    const __m512d tail = _mm512_mul_pd(_mm512_mul_pd(half, poly), e);
+    const __mmask8 ge =
+        _mm512_cmp_pd_mask(vx, _mm512_setzero_pd(), _CMP_GE_OQ);
+    _mm512_storeu_pd(out + i,
+                     _mm512_mask_blend_pd(ge, tail, _mm512_sub_pd(one, tail)));
+  }
+  for (; i < n; ++i) out[i] = pd::phi_reference(x[i]);
+}
+
 void deinterleave_rev(const cplx* z, const std::uint32_t* rev, double* re,
                       double* im, std::size_t n) {
   const auto* zd = reinterpret_cast<const double*>(z);
@@ -640,13 +738,14 @@ namespace tables {
 const Kernels avx512 = {
     avx512_impl::cmul,         avx512_impl::csquare,
     avx512_impl::correlate_taps, avx512_impl::correlate_taps_2row,
-    avx512_impl::stencil3,
+    avx512_impl::stencil3,     avx512_impl::stencil3_2row,
     avx512_impl::deinterleave, avx512_impl::interleave,
     avx512_impl::interleave_scaled,
     avx512_impl::deinterleave_rev,
     avx512_impl::scale2,       avx512_impl::radix2_pass,
     avx512_impl::radix4_pass,  avx512_impl::rfft_untangle,
     avx512_impl::rfft_retangle,
+    avx512_impl::bs_dpm,       avx512_impl::norm_cdf,
 };
 
 }  // namespace tables

@@ -6,7 +6,10 @@
 // translation units. Not installed; include only from src/simd/*.cpp.
 
 #include <algorithm>
+#include <cmath>
 #include <cstddef>
+#include <cstdint>
+#include <cstring>
 
 #include "amopt/simd/kernels.hpp"
 
@@ -53,6 +56,69 @@ namespace scalar_impl {
 // other TU's kernels at call time).
 }
 
+// Shared constants and the scalar reference evaluation of the libm-free
+// normal CDF (Kernels::norm_cdf). Every level follows this exact operation
+// sequence; the scalar table loops over phi_reference, the vector TUs map
+// each step 1:1 onto lanes (the AVX2 TU builds without FMA, so its lanes
+// reproduce these bits exactly) and use phi_reference for their scalar
+// tails. Accuracy: the A&S 7.1.26 erf rational bounds the absolute error by
+// 7.5e-8 on Phi; the in-house exp is accurate to ~1 ulp over its reduced
+// range.
+namespace phi_detail {
+inline constexpr double kInvSqrt2 = 0.70710678118654752440;
+// A&S 7.1.26 erfc(z) = t*(a1 + t*(a2 + ...)) * exp(-z^2), t = 1/(1 + p z).
+inline constexpr double kP = 0.3275911;
+inline constexpr double kA1 = 0.254829592;
+inline constexpr double kA2 = -0.284496736;
+inline constexpr double kA3 = 1.421413741;
+inline constexpr double kA4 = -1.453152027;
+inline constexpr double kA5 = 1.061405429;
+// exp(y) for y in [-708, 0]: y = k ln2 + r, e^y = 2^k P(r).
+inline constexpr double kLog2E = 1.4426950408889634074;
+inline constexpr double kLn2Hi = 6.93147180369123816490e-01;
+inline constexpr double kLn2Lo = 1.90821492927058770002e-10;
+inline constexpr double kExpFloor = -708.0;  // below this, 2^k denormalizes
+// Reciprocal factorials for the degree-11 Taylor P(r) (|r| <= ln2/2, so the
+// truncation error sits below 1e-14 — far under the rational's 7.5e-8).
+inline constexpr double kC[12] = {
+    1.0,
+    1.0,
+    1.0 / 2,
+    1.0 / 6,
+    1.0 / 24,
+    1.0 / 120,
+    1.0 / 720,
+    1.0 / 5040,
+    1.0 / 40320,
+    1.0 / 362880,
+    1.0 / 3628800,
+    1.0 / 39916800,
+};
+
+/// exp(y) for y <= 0 (clamped at kExpFloor; callers only feed -z^2).
+[[nodiscard]] inline double exp_neg(double y) noexcept {
+  y = y > kExpFloor ? y : kExpFloor;
+  const double k = std::nearbyint(y * kLog2E);
+  const double r = (y - k * kLn2Hi) - k * kLn2Lo;
+  double p = kC[11];
+  for (int i = 10; i >= 0; --i) p = p * r + kC[i];
+  std::uint64_t bits =
+      static_cast<std::uint64_t>(static_cast<std::int64_t>(k) + 1023) << 52;
+  double scale;
+  std::memcpy(&scale, &bits, sizeof scale);
+  return p * scale;
+}
+
+[[nodiscard]] inline double phi_reference(double x) noexcept {
+  const double z = std::fabs(x) * kInvSqrt2;
+  const double t = 1.0 / (1.0 + kP * z);
+  const double poly =
+      ((((kA5 * t + kA4) * t + kA3) * t + kA2) * t + kA1) * t;
+  const double tail = 0.5 * poly * exp_neg(-(z * z));
+  return x >= 0.0 ? 1.0 - tail : tail;
+}
+}  // namespace phi_detail
+
 #if defined(AMOPT_HAVE_AVX2)
 namespace avx2_impl {
 void cmul(cplx* a, const cplx* b, std::size_t n);
@@ -64,6 +130,11 @@ void correlate_taps_2row(const double* in, const double* taps,
                          std::size_t n_mid, std::size_t n_out);
 void stencil3(const double* in, double b, double c, double a, double* out,
               std::size_t n);
+void stencil3_2row(const double* in, double b, double c, double a, double* mid,
+                   double* out, std::size_t n_mid, std::size_t n_out);
+void bs_dpm(const double* logz, const double* drift_t, const double* inv_vs,
+            const double* half_vs, double* dp, double* dm, std::size_t n);
+void norm_cdf(const double* x, double* out, std::size_t n);
 void deinterleave(const cplx* z, double* re, double* im, std::size_t n);
 void interleave(const double* re, const double* im, cplx* z, std::size_t n);
 void interleave_scaled(const double* re, const double* im, cplx* z,

@@ -60,6 +60,36 @@ void stencil3(const double* __restrict in, double b, double c, double a,
     out[j] = b * in[j] + c * in[j + 1] + a * in[j + 2];
 }
 
+void stencil3_2row(const double* __restrict in, double b, double c, double a,
+                   double* __restrict mid, double* __restrict out,
+                   std::size_t n_mid, std::size_t n_out) {
+  // Same block-interleave driver as correlate_taps_2row, with stencil3's
+  // unseeded expression as the sweep body — any interleaving is
+  // bit-identical to two separate stencil3 sweeps (including the -0.0 cells
+  // a seeded accumulation would flush to +0.0).
+  two_row_sweep_driver(
+      in, nullptr, 3, mid, out, n_mid, n_out,
+      [&](const double* src, double* dst, std::size_t j0, std::size_t j1) {
+        for (std::size_t j = j0; j < j1; ++j)
+          dst[j] = b * src[j] + c * src[j + 1] + a * src[j + 2];
+      });
+}
+
+void bs_dpm(const double* __restrict logz, const double* __restrict drift_t,
+            const double* __restrict inv_vs, const double* __restrict half_vs,
+            double* __restrict dp, double* __restrict dm, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double base = (logz[i] + drift_t[i]) * inv_vs[i];
+    dp[i] = base + half_vs[i];
+    dm[i] = base - half_vs[i];
+  }
+}
+
+void norm_cdf(const double* __restrict x, double* __restrict out,
+              std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = phi_detail::phi_reference(x[i]);
+}
+
 void deinterleave(const cplx* __restrict z, double* __restrict re,
                   double* __restrict im, std::size_t n) {
   for (std::size_t i = 0; i < n; ++i) {
@@ -185,13 +215,14 @@ namespace tables {
 const Kernels scalar = {
     scalar_impl::cmul,           scalar_impl::csquare,
     scalar_impl::correlate_taps, scalar_impl::correlate_taps_2row,
-    scalar_impl::stencil3,
+    scalar_impl::stencil3,       scalar_impl::stencil3_2row,
     scalar_impl::deinterleave,   scalar_impl::interleave,
     scalar_impl::interleave_scaled,
     scalar_impl::deinterleave_rev,
     scalar_impl::scale2,         scalar_impl::radix2_pass,
     scalar_impl::radix4_pass,    scalar_impl::rfft_untangle,
     scalar_impl::rfft_retangle,
+    scalar_impl::bs_dpm,         scalar_impl::norm_cdf,
 };
 
 }  // namespace tables

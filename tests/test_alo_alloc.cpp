@@ -1,0 +1,84 @@
+// Steady-state allocation guarantee of the boundary engine (DESIGN.md §6):
+// with a prebuilt NodeTable and a warm thread ScratchStack, a quote is
+// pure evaluation — Clenshaw recurrences and simd kernel sweeps over
+// arena spans — and must not touch the heap at all. Like test_alloc and
+// test_workspace this binary replaces global operator new/delete with
+// counting versions, so it must stay its own executable.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "amopt/core/lattice_solver.hpp"
+#include "amopt/core/scratch.hpp"
+#include "amopt/pricing/alo/alo_engine.hpp"
+#include "amopt/pricing/params.hpp"
+
+#include "counting_new.hpp"
+
+namespace {
+
+using namespace amopt;
+using namespace amopt::pricing;
+
+[[nodiscard]] std::uint64_t allocs() { return counting_new::count(); }
+
+TEST(AloAlloc, WarmQuoteWithPrebuiltTableIsAllocationFree) {
+  const core::SolverConfig cfg;  // default preset: 13 nodes / 25 quad
+  const auto table = alo::build_node_table(cfg.alo_nodes, cfg.alo_quad);
+  const OptionSpec put{100.0, 100.0, 0.05, 0.25, 0.02, 1.0};
+  const OptionSpec call{100.0, 100.0, 0.03, 0.25, 0.06, 0.5};
+
+  // Warm-up: grows the thread arena to this preset's high-water mark.
+  const double p0 = alo::american_price(put, Right::put, cfg, table.get());
+  const double c0 = alo::american_price(call, Right::call, cfg, table.get());
+
+  const std::uint64_t before = allocs();
+  int mismatches = 0;  // same inputs must give the same bits every rep
+  for (int rep = 0; rep < 32; ++rep) {
+    if (alo::american_price(put, Right::put, cfg, table.get()) != p0)
+      ++mismatches;
+    if (alo::american_price(call, Right::call, cfg, table.get()) != c0)
+      ++mismatches;
+  }
+  const std::uint64_t after = allocs();
+  EXPECT_EQ(after - before, 0u) << "steady-state quotes must not allocate";
+  EXPECT_EQ(mismatches, 0);
+}
+
+TEST(AloAlloc, VaryingTheContractStaysAllocationFree) {
+  // Different strikes/vols/expiries reuse the same spans: the arena
+  // footprint depends only on (nodes, quad), never on the contract.
+  const core::SolverConfig cfg;
+  const auto table = alo::build_node_table(cfg.alo_nodes, cfg.alo_quad);
+  OptionSpec spec{100.0, 100.0, 0.05, 0.25, 0.0, 1.0};
+  (void)alo::american_price(spec, Right::put, cfg, table.get());
+
+  const std::uint64_t before = allocs();
+  double acc = 0.0;
+  for (int i = 0; i < 24; ++i) {
+    spec.K = 80.0 + 2.0 * static_cast<double>(i);
+    spec.V = 0.15 + 0.01 * static_cast<double>(i);
+    spec.expiry_years = 0.25 + 0.125 * static_cast<double>(i);
+    acc += alo::american_price(spec, Right::put, cfg, table.get());
+  }
+  EXPECT_EQ(allocs() - before, 0u);
+  EXPECT_GT(acc, 0.0);
+}
+
+TEST(AloAlloc, LargerPresetGrowsOnceThenStaysFlat) {
+  const auto table = alo::build_node_table(25, 65);
+  core::SolverConfig cfg;
+  cfg.alo_nodes = 25;
+  cfg.alo_quad = 65;
+  cfg.alo_iterations = 32;
+  const OptionSpec spec{100.0, 100.0, 0.05, 0.25, 0.0, 1.0};
+  (void)alo::american_price(spec, Right::put, cfg, table.get());
+
+  const std::uint64_t before = allocs();
+  for (int rep = 0; rep < 8; ++rep)
+    (void)alo::american_price(spec, Right::put, cfg, table.get());
+  EXPECT_EQ(allocs() - before, 0u);
+}
+
+}  // namespace

@@ -575,6 +575,147 @@ TEST_F(SimdTest, CorrelateTaps2RowIsBitIdenticalToTwoSweepsAtEveryLevel) {
   }
 }
 
+TEST_F(SimdTest, Stencil32RowIsBitIdenticalToTwoSweepsAtEveryLevel) {
+  // Same contract as the correlate fusion, for the BSM FDM stencil: at
+  // EVERY level the fused kernel must reproduce two same-level stencil3
+  // sweeps bit for bit (solve_base pairs its base-case steps through it).
+  const simd::Kernels& scalar_ref = simd::tables::scalar;
+  for (const Level lvl : available_levels()) {
+    const simd::Kernels& k = simd::kernels(lvl);
+    for (const std::size_t n_mid : {9u, 17u, 530u, 1333u}) {
+      for (const std::size_t n_out :
+           {std::size_t{0}, n_mid / 3, n_mid / 3 + 3, n_mid - 2}) {
+        const auto in = random_real(n_mid + 2, 51);
+        const auto taps = random_real(3, 52);
+        const double b = taps[0], c = taps[1], a = taps[2];
+        std::vector<double> mid_ref(n_mid), out_ref(n_out);
+        k.stencil3(in.data(), b, c, a, mid_ref.data(), n_mid);
+        k.stencil3(mid_ref.data(), b, c, a, out_ref.data(), n_out);
+        std::vector<double> mid(n_mid), out(n_out);
+        k.stencil3_2row(in.data(), b, c, a, mid.data(), out.data(), n_mid,
+                        n_out);
+        for (std::size_t j = 0; j < n_mid; ++j)
+          ASSERT_EQ(mid[j], mid_ref[j])
+              << simd::to_string(lvl) << " mid j=" << j;
+        for (std::size_t j = 0; j < n_out; ++j)
+          ASSERT_EQ(out[j], out_ref[j])
+              << simd::to_string(lvl) << " out j=" << j;
+        std::vector<double> mid_s(n_mid), out_s(n_out);
+        scalar_ref.stencil3_2row(in.data(), b, c, a, mid_s.data(),
+                                 out_s.data(), n_mid, n_out);
+        for (std::size_t j = 0; j < n_out; ++j)
+          ASSERT_NEAR(out[j], out_s[j], kPathTol)
+              << simd::to_string(lvl) << " xlevel j=" << j;
+      }
+    }
+  }
+}
+
+TEST_F(SimdTest, Stencil32RowPreservesNegativeZeroAtEveryLevel) {
+  // The -0.0 corner that rules out routing this sweep through the
+  // correlate kernels: with all -0.0 input and positive taps every product
+  // is -0.0 and the unseeded stencil3 expression keeps
+  // (-0.0 + -0.0) + -0.0 = -0.0 in both rows, while a 0.0-seeded
+  // accumulation (correlate_taps) flushes it to +0.0. The fused kernel
+  // must keep the sign bit in BOTH rows at every level.
+  const std::size_t n_mid = 67, n_out = 65;
+  const std::vector<double> in(n_mid + 2, -0.0);
+  for (const Level lvl : available_levels()) {
+    const simd::Kernels& k = simd::kernels(lvl);
+    std::vector<double> mid(n_mid, 42.0), out(n_out, 42.0);
+    k.stencil3_2row(in.data(), 1.0, 2.0, 3.0, mid.data(), out.data(), n_mid,
+                    n_out);
+    for (std::size_t j = 0; j < n_mid; ++j) {
+      ASSERT_EQ(mid[j], 0.0) << simd::to_string(lvl) << " j=" << j;
+      ASSERT_TRUE(std::signbit(mid[j]))
+          << simd::to_string(lvl) << " mid j=" << j << " lost -0.0";
+    }
+    for (std::size_t j = 0; j < n_out; ++j) {
+      ASSERT_EQ(out[j], 0.0) << simd::to_string(lvl) << " j=" << j;
+      ASSERT_TRUE(std::signbit(out[j]))
+          << simd::to_string(lvl) << " out j=" << j << " lost -0.0";
+    }
+    // The seeded correlate kernel on the same data flushes the sign — the
+    // behavioral difference this kernel exists for.
+    const double taps[3] = {1.0, 2.0, 3.0};
+    std::vector<double> flushed(n_mid, 42.0);
+    k.correlate_taps(in.data(), taps, 3, flushed.data(), n_mid);
+    ASSERT_FALSE(std::signbit(flushed[0]));
+  }
+}
+
+TEST_F(SimdTest, BsDpmAgreesAcrossLevels) {
+  // The d± geometry kernel is pure mul/add; scalar and AVX2 (no FMA in
+  // that TU) are bit-identical, AVX-512 may contract (logz+drift)*inv_vs
+  // into the following add/sub and sits within kPathTol.
+  for (const std::size_t n : {1u, 7u, 64u, 257u}) {
+    const auto logz = random_real(n, 61);
+    const auto drift_t = random_real(n, 62);
+    auto inv_vs = random_real(n, 63);
+    auto half_vs = random_real(n, 64);
+    for (auto& v : inv_vs) v = 0.5 + std::abs(v) * 4.0;
+    for (auto& v : half_vs) v = 0.01 + std::abs(v);
+    std::vector<double> dp_ref(n), dm_ref(n);
+    simd::tables::scalar.bs_dpm(logz.data(), drift_t.data(), inv_vs.data(),
+                                half_vs.data(), dp_ref.data(), dm_ref.data(),
+                                n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double base = (logz[i] + drift_t[i]) * inv_vs[i];
+      ASSERT_EQ(dp_ref[i], base + half_vs[i]);
+      ASSERT_EQ(dm_ref[i], base - half_vs[i]);
+    }
+    for (const Level lvl : available_levels()) {
+      std::vector<double> dp(n), dm(n);
+      simd::kernels(lvl).bs_dpm(logz.data(), drift_t.data(), inv_vs.data(),
+                                half_vs.data(), dp.data(), dm.data(), n);
+      for (std::size_t i = 0; i < n; ++i) {
+        if (lvl == Level::avx512) {
+          ASSERT_NEAR(dp[i], dp_ref[i], kPathTol)
+              << simd::to_string(lvl) << " i=" << i;
+          ASSERT_NEAR(dm[i], dm_ref[i], kPathTol)
+              << simd::to_string(lvl) << " i=" << i;
+        } else {
+          ASSERT_EQ(dp[i], dp_ref[i]) << simd::to_string(lvl) << " i=" << i;
+          ASSERT_EQ(dm[i], dm_ref[i]) << simd::to_string(lvl) << " i=" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST_F(SimdTest, NormCdfMatchesErfcAndAgreesAcrossLevels) {
+  // Accuracy: the libm-free Phi must sit within the A&S rational's 7.5e-8
+  // bound of the erfc-based reference everywhere (including the far tails
+  // and the exp clamp region). Cross-path: AVX2 carries the scalar bits
+  // exactly (no FMA); AVX-512 contracts its Horner chains and may differ in
+  // the last ulps, within kPathTol.
+  std::vector<double> x;
+  for (double v = -40.0; v <= 40.0; v += 0.37) x.push_back(v);
+  for (const double v : {-1e-12, 0.0, 1e-12, -6.5, 6.5, -38.6, 38.6, 1e3})
+    x.push_back(v);
+  const std::size_t n = x.size();
+  std::vector<double> ref(n);
+  simd::tables::scalar.norm_cdf(x.data(), ref.data(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double want = 0.5 * std::erfc(-x[i] / std::numbers::sqrt2);
+    ASSERT_NEAR(ref[i], want, 7.5e-8) << "x=" << x[i];
+    ASSERT_GE(ref[i], 0.0);
+    ASSERT_LE(ref[i], 1.0);
+  }
+  for (const Level lvl : available_levels()) {
+    std::vector<double> got(n);
+    simd::kernels(lvl).norm_cdf(x.data(), got.data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (lvl == Level::avx512) {
+        ASSERT_NEAR(got[i], ref[i], kPathTol)
+            << simd::to_string(lvl) << " x=" << x[i];
+      } else {
+        ASSERT_EQ(got[i], ref[i]) << simd::to_string(lvl) << " x=" << x[i];
+      }
+    }
+  }
+}
+
 TEST_F(SimdTest, InterleaveScaledMatchesScaleThenInterleave) {
   // The fused inverse-normalization pass must equal scale2 followed by
   // interleave bit for bit at every level (it performs the same multiply).

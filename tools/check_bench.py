@@ -22,11 +22,15 @@ dispatch path's round-trip FFT beats the scalar path by the required factor
 at n >= 4096 whenever both paths appear in the fresh run — the PR 3
 acceptance bar, kept green by CI.
 
-With --pair-speedup SLOW:FAST:FACTOR:MIN_N (gbench only, repeatable),
-asserts that every fresh benchmark named FAST<level>/n with n >= MIN_N
-beats its SLOW<level>/n counterpart by FACTOR — the PR 4 spectral-path
-bars (cached-kernel-spectrum correlation over transform-per-call, and the
-aliased-squaring power_fft over its two-transform reference).
+With --pair-speedup SLOW:FAST:FACTOR:MIN_N (repeatable), asserts a
+within-run speedup of FAST over SLOW by FACTOR. For gbench, FAST/SLOW are
+benchmark-name prefixes and every FAST<level>/n with n >= MIN_N is
+compared against its SLOW<level>/n counterpart — the PR 4 spectral-path
+bars. For rows, FAST/SLOW are series names of the SAME fresh file and
+every shared row with T >= MIN_N is compared — the PR 6 boundary-engine
+bars (quote-fft over quote-boundary, iv-lattice over iv-boundary from
+bench/micro_alo.cpp). Both compare within one run on one machine, so the
+bars are load-tolerant in a way baseline comparisons are not.
 
 With --row-speedup SERIES:FACTOR:MIN_T (rows only, repeatable), asserts the
 fresh run's SERIES is at least FACTOR faster than the SAME series in the
@@ -183,6 +187,29 @@ def check_alloc_budget(fresh, spec):
         fail(f"--alloc-budget: series {name} not present in the fresh run")
 
 
+def check_rows_pair_speedup(fresh, spec):
+    parts = spec.split(":")
+    if len(parts) != 4:
+        fail(f"--pair-speedup expects SLOW:FAST:FACTOR:MIN_T, got '{spec}'")
+    slow, fast = parts[0], parts[1]
+    factor, min_t = float(parts[2]), int(parts[3])
+    pairs = 0
+    for (t, name), slow_v in sorted(fresh.items()):
+        if name != slow or t < min_t or (t, fast) not in fresh:
+            continue
+        speedup = slow_v / fresh[(t, fast)]
+        pairs += 1
+        status = "ok" if speedup >= factor else "FAIL"
+        print(f"check_bench: {status} pair-speedup {fast} vs {slow} T={t} "
+              f"-> {speedup:.2f}x (need {factor}x)")
+        if speedup < factor:
+            fail(f"{fast} at T={t}: {speedup:.2f}x over {slow}, below the "
+                 f"required {factor}x")
+    if pairs == 0:
+        fail(f"--pair-speedup {spec}: no rows with both {slow} and {fast} "
+             f"at T >= {min_t}")
+
+
 def check_pair_speedup(times, spec):
     parts = spec.split(":")
     if len(parts) != 4:
@@ -230,8 +257,9 @@ def main():
     ap.add_argument("--min-n", type=int, default=4096)
     ap.add_argument("--pair-speedup", action="append", default=[],
                     metavar="SLOW:FAST:FACTOR:MIN_N",
-                    help="gbench kind: require FAST<level>/n to beat "
-                         "SLOW<level>/n by FACTOR for every n >= MIN_N")
+                    help="require FAST to beat SLOW by FACTOR within the "
+                         "fresh run: gbench matches FAST<level>/n names "
+                         "(n >= MIN_N), rows matches series at T >= MIN_N")
     ap.add_argument("--row-speedup", action="append", default=[],
                     metavar="SERIES:FACTOR:MIN_T",
                     help="rows kind: require the fresh SERIES to be FACTOR "
@@ -262,6 +290,8 @@ def main():
         else:
             fresh_cmp, base_cmp = fresh, base
         compare(fresh_cmp, base_cmp, args.factor, "row")
+        for spec in args.pair_speedup:
+            check_rows_pair_speedup(fresh, spec)
         for spec in args.row_speedup:
             check_row_speedup(fresh, base, spec)
         for spec in args.alloc_budget:
