@@ -1,0 +1,109 @@
+// A minimal daemon client: talk to an in-process pricing `Server` over
+// the loopback `Transport` pair using the versioned wire format — the
+// exact code an out-of-process client would run against the TCP
+// transport, with only `loopback_pair()` swapped for `tcp_connect()`.
+//
+// The flow is the service plane end to end (DESIGN.md §8): encode a
+// request batch into a length-prefixed frame, write it, read the reply
+// stream until one complete result frame decodes, and fan the per-item
+// Status back out. A second round trip reuses every buffer — at steady
+// state neither side of the loopback allocates.
+
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include <amopt/amopt.hpp>
+
+int main(int argc, char** argv) {
+  using namespace amopt::pricing;
+  using namespace amopt::service;
+  const std::int64_t T = argc > 1 ? std::atoll(argv[1]) : 4096;
+
+  // The daemon: two shards, each owning a long-lived Pricer session, with
+  // a 50 us coalescing window so bursts merge into one price_many.
+  ServerConfig cfg;
+  cfg.shards = 2;
+  Server server(cfg);
+  auto [client, daemon] = loopback_pair();
+  std::thread conn([&server, t = daemon.get()] { server.serve(*t); });
+
+  // An 8-strike put chain plus one deliberately unsupported request: the
+  // daemon answers it with a per-item Status, never a dropped connection.
+  std::vector<PricingRequest> chain;
+  for (double k : {100.0, 110.0, 115.0, 120.0, 125.0, 130.0, 140.0, 150.0}) {
+    PricingRequest q;
+    q.spec = paper_spec();
+    q.spec.K = k;
+    q.right = Right::put;
+    q.T = T;
+    chain.push_back(q);
+  }
+  {
+    PricingRequest bad;
+    bad.spec = paper_spec();
+    bad.model = Model::topm;
+    bad.engine = Engine::tiled;  // TOPM has no tiled engine: unsupported
+    bad.T = T;
+    chain.push_back(bad);
+  }
+
+  std::vector<std::byte> frame;
+  std::vector<std::byte> inbuf(std::size_t{1} << 16);
+  std::vector<PricingResult> results;
+  const auto round_trip = [&] {
+    frame.clear();
+    wire::encode_request_batch(chain, frame);
+    if (!client->write_all(frame)) return false;
+    std::size_t have = 0;
+    for (;;) {
+      std::size_t consumed = 0;
+      const wire::DecodeError e =
+          wire::decode_result_batch({inbuf.data(), have}, results, consumed);
+      if (e == wire::DecodeError::ok) return true;
+      if (e != wire::DecodeError::need_more) return false;
+      const std::size_t n =
+          client->read_some({inbuf.data() + have, inbuf.size() - have});
+      if (n == 0) return false;
+      have += n;
+    }
+  };
+
+  amopt::WallTimer timer;
+  if (!round_trip()) {
+    std::fprintf(stderr, "quote_client: round trip failed\n");
+    return 1;
+  }
+  const double cold = timer.seconds();
+
+  std::printf("American put chain over the wire (T=%lld steps/contract)\n",
+              static_cast<long long>(T));
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const PricingResult& r = results[i];
+    if (r.ok()) {
+      std::printf("  K=%-7.1f -> %10.4f\n", chain[i].spec.K, r.price);
+    } else {
+      const std::string_view st = to_string(r.status);
+      std::printf("  K=%-7.1f -> %.*s: %s\n", chain[i].spec.K,
+                  static_cast<int>(st.size()), st.data(), r.message.c_str());
+    }
+  }
+
+  timer.reset();
+  if (!round_trip()) {
+    std::fprintf(stderr, "quote_client: warm round trip failed\n");
+    return 1;
+  }
+  const double warm = timer.seconds();
+
+  const Server::Stats st = server.stats();
+  std::printf("cold round trip %.3f ms, warm %.3f ms "
+              "(%llu quote(s) over %llu batch(es) across %zu shard(s))\n",
+              cold * 1e3, warm * 1e3,
+              static_cast<unsigned long long>(st.completed),
+              static_cast<unsigned long long>(st.batches), st.shard.size());
+
+  client->close();
+  conn.join();
+  return 0;
+}

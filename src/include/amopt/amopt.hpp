@@ -32,5 +32,8 @@
 #include "amopt/pricing/request.hpp"
 #include "amopt/pricing/topm.hpp"
 #include "amopt/baselines/baselines.hpp"
+#include "amopt/service/server.hpp"
+#include "amopt/service/transport.hpp"
+#include "amopt/service/wire.hpp"
 #include "amopt/stencil/kernel_cache.hpp"
 #include "amopt/stencil/linear_stencil.hpp"

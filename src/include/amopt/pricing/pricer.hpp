@@ -25,6 +25,7 @@
 // over a temporary session and return bit-identical values (asserted by
 // tests/test_pricer.cpp).
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -130,6 +131,24 @@ class Pricer {
   [[nodiscard]] std::vector<PricingResult> price_many(
       std::span<const PricingRequest> requests);
 
+  /// Reusable per-caller workspace for `price_many_into`: the batch-local
+  /// vectors `price_many` would otherwise allocate per call. A long-lived
+  /// caller (a server shard's hot loop) keeps one and reuses it, so a
+  /// steady-state batch of a stable size performs no heap allocations at
+  /// the batching layer — the capacities converge to the high-water mark
+  /// and stay there.
+  struct BatchScratch {
+    std::vector<std::shared_ptr<stencil::KernelCache>> cache_of;
+    std::vector<PricingRequest> normalized;
+  };
+
+  /// `price_many` writing into caller-owned storage: `out` is resized to
+  /// requests.size() (capacity reused across calls) and `scratch` supplies
+  /// the batch-local buffers. Semantics and per-item results are identical
+  /// to `price_many` (which wraps this with fresh vectors).
+  void price_many_into(std::span<const PricingRequest> requests,
+                       std::vector<PricingResult>& out, BatchScratch& scratch);
+
   /// Single-request convenience (no OpenMP fan-out, so the solver's own
   /// internal parallelism stays available, like a legacy `price()` call).
   [[nodiscard]] PricingResult price_one(const PricingRequest& request);
@@ -161,6 +180,14 @@ class Pricer {
     std::size_t warm_roots = 0;     ///< contracts with a remembered IV root
     std::size_t warm_bump_prices = 0;   ///< remembered greeks-leg prices
     std::uint64_t bump_price_hits = 0;  ///< greeks legs served from the store
+    /// Admission-control inputs for the service plane (service/server.hpp):
+    std::uint64_t batches = 0;  ///< price_many/price_many_into calls served
+    /// Largest per-thread ScratchStack footprint observed at the end of any
+    /// batch this session served, in bytes and measured BEFORE the opt-in
+    /// between-batches trim — the true arena high-water mark, which is what
+    /// an admission controller sizing a shard's memory ceiling needs.
+    std::size_t scratch_high_water_bytes = 0;
+    std::uint64_t scratch_trim_events = 0;  ///< trims that actually released
   };
   [[nodiscard]] Stats stats() const;
 
@@ -258,6 +285,11 @@ class Pricer {
   std::uint64_t misses_ = 0;
   std::uint64_t requests_ = 0;
   std::uint64_t bump_hits_ = 0;
+  std::uint64_t batches_ = 0;
+  /// Atomic (not mu_-guarded): updated by every fan-out thread at the end
+  /// of a batch, where taking the registry mutex would serialize the join.
+  std::atomic<std::size_t> scratch_high_water_{0};
+  std::atomic<std::uint64_t> trim_events_{0};
 };
 
 }  // namespace amopt::pricing

@@ -33,6 +33,9 @@ enum class Status {
   failed_to_converge,  ///< implied-vol Newton exhausted its budget or the
                        ///< target lies outside the attainable range
   error,               ///< the pricer threw; `message`/`error` carry details
+  overloaded,          ///< the service plane's admission control rejected the
+                       ///< item instead of queueing it unboundedly; `message`
+                       ///< carries a retry hint (see service/server.hpp)
 };
 
 [[nodiscard]] std::string_view to_string(Status s);

@@ -1,0 +1,79 @@
+#pragma once
+// W2: byte transports for the pricing daemon (DESIGN.md §8).
+//
+// The daemon speaks the framed wire format of wire.hpp over a minimal
+// blocking byte-stream interface, so the request router is testable without
+// a network: `loopback_pair()` returns two ends of an in-process duplex
+// pipe (preallocated ring buffers, condvar-signalled, zero steady-state
+// allocations) that tests, the example client, and the allocation guard
+// drive exactly like a socket; `TcpListener`/`tcp_connect` provide the
+// plain-TCP production transport over the same interface.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <utility>
+
+namespace amopt::service {
+
+/// A blocking, bidirectional byte stream. One reader and one writer thread
+/// per end at a time (the daemon serves one connection per thread; the
+/// loopback enforces nothing but is only exercised that way).
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Block until at least one byte is available, then read up to
+  /// `dst.size()` bytes. Returns the count read; 0 means the peer closed
+  /// (clean EOF) — a transport error reads as EOF too, the framing layer
+  /// treats both as end-of-stream.
+  [[nodiscard]] virtual std::size_t read_some(std::span<std::byte> dst) = 0;
+
+  /// Write the whole span (blocking). False when the peer is gone.
+  [[nodiscard]] virtual bool write_all(std::span<const std::byte> src) = 0;
+
+  /// Shut the stream down; wakes any blocked reader/writer on BOTH ends.
+  /// Idempotent.
+  virtual void close() = 0;
+};
+
+/// Two connected in-process endpoints: bytes written to `first` are read
+/// from `second` and vice versa. Each direction buffers up to
+/// `buffer_bytes` before writers block (backpressure, like a socket's
+/// kernel buffer). Destroying either end closes the pair.
+[[nodiscard]] std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>>
+loopback_pair(std::size_t buffer_bytes = std::size_t{1} << 20);
+
+/// Plain-TCP acceptor (IPv4, loopback-or-any binding). Throws
+/// std::runtime_error when the socket cannot be created/bound.
+class TcpListener {
+ public:
+  /// Binds 127.0.0.1:`port` (`port` 0 picks an ephemeral port — read it
+  /// back with `port()`); `any_interface` binds 0.0.0.0 instead.
+  explicit TcpListener(std::uint16_t port, bool any_interface = false);
+  ~TcpListener();
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Block for the next connection; null once close() was called (or on
+  /// accept failure).
+  [[nodiscard]] std::unique_ptr<Transport> accept();
+
+  /// Unblock accept() and refuse further connections. Idempotent.
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+/// Connect to `host`:`port` (numeric IPv4 or a resolvable name). Null on
+/// failure.
+[[nodiscard]] std::unique_ptr<Transport> tcp_connect(const std::string& host,
+                                                     std::uint16_t port);
+
+}  // namespace amopt::service

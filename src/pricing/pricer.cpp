@@ -23,6 +23,7 @@ std::string_view to_string(Status s) {
     case Status::unsupported: return "unsupported";
     case Status::failed_to_converge: return "failed-to-converge";
     case Status::error: return "error";
+    case Status::overloaded: return "overloaded";
   }
   return "?";
 }
@@ -528,17 +529,29 @@ void Pricer::normalize_expiries(std::vector<PricingRequest>& reqs) {
 
 std::vector<PricingResult> Pricer::price_many(
     std::span<const PricingRequest> requests) {
-  std::vector<PricingResult> out(requests.size());
-  if (requests.empty()) return out;
+  std::vector<PricingResult> out;
+  BatchScratch scratch;
+  price_many_into(requests, out, scratch);
+  return out;
+}
+
+void Pricer::price_many_into(std::span<const PricingRequest> requests,
+                             std::vector<PricingResult>& out,
+                             BatchScratch& scratch) {
+  out.assign(requests.size(), PricingResult{});
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++batches_;
+  }
+  if (requests.empty()) return;
 
   // Opt-in cross-expiry kernel sharing: renormalize a copy of the batch so
   // commensurate expiries derive bit-equal taps and the grouping below
   // lands them in ONE registry entry (see PricerConfig).
-  std::vector<PricingRequest> normalized;
   if (cfg_.share_kernels_across_expiries) {
-    normalized.assign(requests.begin(), requests.end());
-    normalize_expiries(normalized);
-    requests = normalized;
+    scratch.normalized.assign(requests.begin(), requests.end());
+    normalize_expiries(scratch.normalized);
+    requests = scratch.normalized;
   }
 
   // Group phase (serial): resolve each item's tap-group cache up front so
@@ -547,7 +560,8 @@ std::vector<PricingResult> Pricer::price_many(
   // the LRU rotates meanwhile. Deriving model parameters can itself reject
   // a bad quote (e.g. a vol too small for a valid CRR lattice) — that must
   // surface as that item's Status, not as a batch-wide throw.
-  std::vector<CachePtr> cache_of(requests.size());
+  std::vector<CachePtr>& cache_of = scratch.cache_of;
+  cache_of.assign(requests.size(), nullptr);
   for (std::size_t i = 0; i < requests.size(); ++i) {
     const PricingRequest& q = requests[i];
     std::string invalid = validate_request(q);
@@ -598,6 +612,23 @@ std::vector<PricingResult> Pricer::price_many(
     }
   };
 
+  // Per-thread batch epilogue: record the arena footprint this thread
+  // reached (max over the session -> Stats::scratch_high_water_bytes), then
+  // run the opt-in between-batches decay — no frames are live here, so trim
+  // actually releases. Atomics, not mu_: every fan-out thread runs this at
+  // the join and must not serialize on the registry lock.
+  const auto finish_thread = [&] {
+    const std::size_t bytes =
+        core::thread_scratch().capacity() * sizeof(double);
+    std::size_t seen = scratch_high_water_.load(std::memory_order_relaxed);
+    while (bytes > seen && !scratch_high_water_.compare_exchange_weak(
+                               seen, bytes, std::memory_order_relaxed)) {
+    }
+    if (cfg_.scratch_trim_bytes > 0 &&
+        core::thread_scratch().trim(cfg_.scratch_trim_bytes))
+      trim_events_.fetch_add(1, std::memory_order_relaxed);
+  };
+
   if (cfg_.parallel && requests.size() > 1) {
     // Parallelize across items; the inner solvers see the enclosing region
     // and stay serial, so one item never oversubscribes the machine.
@@ -607,20 +638,14 @@ std::vector<PricingResult> Pricer::price_many(
       for (std::ptrdiff_t i = 0;
            i < static_cast<std::ptrdiff_t>(requests.size()); ++i)
         serve(static_cast<std::size_t>(i));
-      // Between-batches arena decay (opt-in): each fan-out thread trims its
-      // own scratch stack once its share of the batch is done — no frames
-      // are live here, so trim actually releases.
-      if (cfg_.scratch_trim_bytes > 0)
-        core::thread_scratch().trim(cfg_.scratch_trim_bytes);
+      finish_thread();
     }
   } else {
     // Single item (or serial session): keep the solver's own internal
     // parallelism available, like a legacy scalar price() call.
     for (std::size_t i = 0; i < requests.size(); ++i) serve(i);
-    if (cfg_.scratch_trim_bytes > 0)
-      core::thread_scratch().trim(cfg_.scratch_trim_bytes);
+    finish_thread();
   }
-  return out;
 }
 
 PricingResult Pricer::price_one(const PricingRequest& request) {
@@ -661,6 +686,10 @@ Pricer::Stats Pricer::stats() const {
   s.warm_roots = warm_roots_.size();
   s.warm_bump_prices = bump_prices_.size();
   s.bump_price_hits = bump_hits_;
+  s.batches = batches_;
+  s.scratch_high_water_bytes =
+      scratch_high_water_.load(std::memory_order_relaxed);
+  s.scratch_trim_events = trim_events_.load(std::memory_order_relaxed);
   if (spectrum_budget_) {
     const stencil::SpectrumBudget::Stats b = spectrum_budget_->stats();
     s.spectrum_bytes = b.bytes;
@@ -677,7 +706,9 @@ void Pricer::clear() {
   node_tables_.clear();
   warm_roots_.clear();
   bump_prices_.clear();
-  tick_ = hits_ = misses_ = requests_ = bump_hits_ = 0;
+  tick_ = hits_ = misses_ = requests_ = bump_hits_ = batches_ = 0;
+  scratch_high_water_.store(0, std::memory_order_relaxed);
+  trim_events_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace amopt::pricing

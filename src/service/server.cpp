@@ -1,0 +1,297 @@
+#include "amopt/service/server.hpp"
+
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "amopt/service/wire.hpp"
+
+namespace amopt::service {
+
+using pricing::PricingRequest;
+using pricing::PricingResult;
+
+/// One worker shard: a bounded MPSC item ring, a long-lived Pricer session,
+/// and the reusable buffers that keep the hot loop allocation-free.
+struct Server::Shard {
+  struct Item {
+    const PricingRequest* req = nullptr;
+    PricingResult* out = nullptr;
+    Batch* done = nullptr;
+  };
+
+  explicit Shard(const ServerConfig& cfg)
+      : pricer(cfg.pricer), ring(cfg.queue_capacity) {}
+
+  pricing::Pricer pricer;
+
+  // Queue state, under `m`. `cv` signals both "item arrived" (to the
+  // worker) and "stopping" — submitters never wait, they reject instead.
+  std::mutex m;
+  std::condition_variable cv;
+  std::vector<Item> ring;
+  std::size_t head = 0;
+  std::size_t size = 0;
+  bool stopping = false;
+
+  // Worker-owned, reused across batches (capacities converge, then stay).
+  std::vector<Item> items;
+  std::vector<PricingRequest> batch;
+  std::vector<PricingResult> results;
+  pricing::Pricer::BatchScratch scratch;
+  std::thread worker;
+
+  // Published after every batch for lock-free admission checks and stats.
+  std::atomic<std::size_t> scratch_hwm{0};
+  std::atomic<std::size_t> spectrum_bytes{0};
+  std::atomic<std::uint64_t> accepted{0};
+  std::atomic<std::uint64_t> rejected{0};
+  std::atomic<std::uint64_t> served{0};
+  std::atomic<std::uint64_t> batches{0};
+
+  void run(const ServerConfig& cfg) {
+    for (;;) {
+      items.clear();
+      {
+        std::unique_lock<std::mutex> lock(m);
+        cv.wait(lock, [&] { return size > 0 || stopping; });
+        if (size == 0) return;  // stopping and fully drained
+        if (cfg.coalesce_window_us > 0 && size < cfg.max_coalesced_items &&
+            !stopping) {
+          // First item of the batch is in hand; linger for stragglers so a
+          // burst of single-quote submissions merges into one price_many.
+          const auto deadline =
+              std::chrono::steady_clock::now() +
+              std::chrono::microseconds(cfg.coalesce_window_us);
+          while (size < cfg.max_coalesced_items && !stopping &&
+                 cv.wait_until(lock, deadline) != std::cv_status::timeout) {
+          }
+        }
+        const std::size_t n = std::min(size, cfg.max_coalesced_items);
+        for (std::size_t i = 0; i < n; ++i) {
+          items.push_back(ring[head]);
+          head = head + 1 == ring.size() ? 0 : head + 1;
+        }
+        size -= n;
+      }
+
+      batch.clear();
+      for (const Item& it : items) batch.push_back(*it.req);
+      pricer.price_many_into(batch, results, scratch);
+      for (std::size_t i = 0; i < items.size(); ++i)
+        *items[i].out = std::move(results[i]);
+
+      // Publish the admission/stats snapshot BEFORE signalling completion,
+      // so a caller that waits on its batch and then submits again is
+      // admitted against figures at least as fresh as its own work.
+      const pricing::Pricer::Stats st = pricer.stats();
+      scratch_hwm.store(st.scratch_high_water_bytes,
+                        std::memory_order_relaxed);
+      spectrum_bytes.store(st.spectrum_bytes, std::memory_order_relaxed);
+      served.fetch_add(items.size(), std::memory_order_relaxed);
+      batches.fetch_add(1, std::memory_order_relaxed);
+
+      // Complete each run of items sharing a Batch handle with one lock.
+      // The handle's mutex also sequences the result writes above before
+      // any wait() that observes pending == 0.
+      for (std::size_t i = 0; i < items.size();) {
+        Batch* b = items[i].done;
+        std::size_t n = 1;
+        while (i + n < items.size() && items[i + n].done == b) ++n;
+        {
+          std::lock_guard<std::mutex> lock(b->m_);
+          b->pending_ -= n;
+          if (b->pending_ == 0) b->cv_.notify_all();
+        }
+        i += n;
+      }
+    }
+  }
+};
+
+Server::Server(ServerConfig cfg) : cfg_(cfg) {
+  if (cfg_.shards == 0) cfg_.shards = 1;
+  if (cfg_.queue_capacity == 0) cfg_.queue_capacity = 1;
+  if (cfg_.max_coalesced_items == 0) cfg_.max_coalesced_items = 1;
+  shards_.reserve(cfg_.shards);
+  for (std::size_t i = 0; i < cfg_.shards; ++i)
+    shards_.push_back(std::make_unique<Shard>(cfg_));
+  for (auto& sp : shards_)
+    sp->worker = std::thread([this, s = sp.get()] { s->run(cfg_); });
+}
+
+Server::~Server() { stop(); }
+
+void Server::stop() {
+  for (auto& sp : shards_) {
+    std::lock_guard<std::mutex> lock(sp->m);
+    sp->stopping = true;
+    sp->cv.notify_all();
+  }
+  for (auto& sp : shards_)
+    if (sp->worker.joinable()) sp->worker.join();
+}
+
+std::size_t Server::shard_of(const PricingRequest& q) const noexcept {
+  if (shards_.size() <= 1) return 0;
+  // FNV-1a over the kernel-identity axes: requests that can share a
+  // kernel cache (and, under cross-expiry sharing, a whole chain) must
+  // hash identically, so they meet in one session's warm state. Spot,
+  // strike, expiry and T deliberately do NOT contribute.
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= v >> (8 * i) & 0xffu;
+      h *= 1099511628211ull;
+    }
+  };
+  mix(static_cast<std::uint64_t>(q.model) |
+      static_cast<std::uint64_t>(q.right) << 8 |
+      static_cast<std::uint64_t>(q.style) << 16 |
+      static_cast<std::uint64_t>(q.engine) << 24);
+  mix(std::bit_cast<std::uint64_t>(q.spec.R));
+  mix(std::bit_cast<std::uint64_t>(q.spec.V));
+  mix(std::bit_cast<std::uint64_t>(q.spec.Y));
+  return static_cast<std::size_t>(h % shards_.size());
+}
+
+void Server::submit(std::span<const PricingRequest> requests,
+                    PricingResult* out, Batch& done) {
+  if (requests.empty()) return;
+  {
+    // The full count goes pending before any item is enqueued, so `done`
+    // cannot ring empty while later items of this span are still in
+    // flight through this loop.
+    std::lock_guard<std::mutex> lock(done.m_);
+    done.pending_ += requests.size();
+  }
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    Shard& s = *shards_[shard_of(requests[i])];
+    const std::size_t depth_cap =
+        cfg_.admit_queue_depth == 0
+            ? s.ring.size()
+            : std::min(cfg_.admit_queue_depth, s.ring.size());
+    const char* why = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(s.m);
+      if (s.stopping) {
+        why = "server stopping";
+      } else if (s.size >= depth_cap) {
+        why = "shard queue full";
+      } else if (cfg_.admit_scratch_bytes != 0 &&
+                 s.scratch_hwm.load(std::memory_order_relaxed) >
+                     cfg_.admit_scratch_bytes) {
+        why = "shard scratch high-water mark over ceiling";
+      } else if (cfg_.admit_spectrum_bytes != 0 &&
+                 s.spectrum_bytes.load(std::memory_order_relaxed) >
+                     cfg_.admit_spectrum_bytes) {
+        why = "shard spectrum bytes over ceiling";
+      } else {
+        std::size_t tail = s.head + s.size;
+        if (tail >= s.ring.size()) tail -= s.ring.size();
+        s.ring[tail] = Shard::Item{&requests[i], &out[i], &done};
+        ++s.size;
+        s.cv.notify_one();
+      }
+    }
+    if (why == nullptr) {
+      s.accepted.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      // Shed load instead of queueing: the item completes right here with
+      // a retry hint. (This path allocates the message — rejection is not
+      // the steady state the zero-allocation guard covers.)
+      out[i] = PricingResult{};
+      out[i].status = pricing::Status::overloaded;
+      out[i].message =
+          std::string("overloaded: ") + why + "; retry after a backoff";
+      s.rejected.fetch_add(1, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(done.m_);
+      if (--done.pending_ == 0) done.cv_.notify_all();
+    }
+  }
+}
+
+void Server::price_into(std::span<const PricingRequest> requests,
+                        std::vector<PricingResult>& out) {
+  out.resize(requests.size());
+  Batch done;
+  submit(requests, out.data(), done);
+  done.wait();
+}
+
+std::vector<PricingResult> Server::price(
+    std::span<const PricingRequest> requests) {
+  std::vector<PricingResult> out;
+  price_into(requests, out);
+  return out;
+}
+
+void Server::serve(Transport& transport) {
+  // All connection state lives in these reused buffers: at steady state
+  // (stable frame shape) the loop performs no heap allocations.
+  std::vector<std::byte> in(std::size_t{1} << 16);
+  std::vector<std::byte> reply;
+  std::vector<PricingRequest> requests;
+  std::vector<PricingResult> results;
+  Batch done;
+  std::size_t have = 0;
+  for (;;) {
+    // Drain every complete frame already buffered.
+    for (;;) {
+      std::size_t consumed = 0;
+      const wire::DecodeError e = wire::decode_request_batch(
+          std::span<const std::byte>(in.data(), have), requests, consumed);
+      if (e == wire::DecodeError::need_more) break;
+      if (e != wire::DecodeError::ok) {
+        // Malformed frame: the stream is desynchronized, so answer with a
+        // one-record diagnostic and hang up rather than guess at resync.
+        std::vector<PricingResult> diag(1);
+        diag[0].status = pricing::Status::error;
+        diag[0].message =
+            std::string("decode: ") + std::string(wire::to_string(e));
+        reply.clear();
+        wire::encode_result_batch(diag, reply);
+        (void)transport.write_all(reply);
+        transport.close();
+        return;
+      }
+      results.resize(requests.size());
+      submit(requests, results.data(), done);
+      done.wait();
+      reply.clear();
+      wire::encode_result_batch(results, reply);
+      if (!transport.write_all(reply)) return;
+      std::memmove(in.data(), in.data() + consumed, have - consumed);
+      have -= consumed;
+    }
+    // Make room for the announced frame (when the header is readable) or
+    // one more read chunk, then pull bytes.
+    wire::FrameHeader hdr;
+    std::size_t want = have + (std::size_t{1} << 16);
+    if (wire::peek_header({in.data(), have}, hdr) == wire::DecodeError::ok)
+      want = std::max(want, wire::frame_bytes(hdr));
+    if (in.size() < want) in.resize(want);
+    const std::size_t n = transport.read_some(
+        std::span<std::byte>(in.data() + have, in.size() - have));
+    if (n == 0) return;  // clean EOF (or transport failure — same exit)
+    have += n;
+  }
+}
+
+Server::Stats Server::stats() const {
+  Stats out;
+  out.shard.reserve(shards_.size());
+  for (const auto& sp : shards_) {
+    out.submitted += sp->accepted.load(std::memory_order_relaxed);
+    out.rejected += sp->rejected.load(std::memory_order_relaxed);
+    out.completed += sp->served.load(std::memory_order_relaxed);
+    out.batches += sp->batches.load(std::memory_order_relaxed);
+    out.shard.push_back(sp->pricer.stats());
+  }
+  return out;
+}
+
+}  // namespace amopt::service

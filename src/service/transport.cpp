@@ -1,0 +1,257 @@
+#include "amopt/service/transport.hpp"
+
+#include "amopt/service/wire.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstring>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define AMOPT_HAVE_SOCKETS 1
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#else
+#define AMOPT_HAVE_SOCKETS 0
+#endif
+
+namespace amopt::service {
+
+namespace {
+
+// ------------------------------------------------------------- loopback
+// One direction of the in-process pipe: a fixed-capacity ring. The buffer
+// is allocated once at construction, so steady-state traffic through a
+// loopback pair never touches the heap — a requirement of the shard
+// hot-path allocation guard (tests/test_server_alloc.cpp).
+class Ring {
+ public:
+  explicit Ring(std::size_t capacity) : buf_(capacity) {}
+
+  std::size_t read_some(std::span<std::byte> dst) {
+    std::unique_lock<std::mutex> lock(m_);
+    cv_readable_.wait(lock, [&] { return size_ > 0 || closed_; });
+    if (size_ == 0) return 0;  // closed and drained: clean EOF
+    const std::size_t n = std::min(dst.size(), size_);
+    for (std::size_t i = 0; i < n; ++i) {
+      dst[i] = buf_[head_];
+      head_ = head_ + 1 == buf_.size() ? 0 : head_ + 1;
+    }
+    size_ -= n;
+    cv_writable_.notify_one();
+    return n;
+  }
+
+  bool write_all(std::span<const std::byte> src) {
+    std::size_t off = 0;
+    while (off < src.size()) {
+      std::unique_lock<std::mutex> lock(m_);
+      cv_writable_.wait(lock, [&] { return size_ < buf_.size() || closed_; });
+      if (closed_) return false;
+      const std::size_t n = std::min(src.size() - off, buf_.size() - size_);
+      std::size_t tail = head_ + size_ >= buf_.size()
+                             ? head_ + size_ - buf_.size()
+                             : head_ + size_;
+      for (std::size_t i = 0; i < n; ++i) {
+        buf_[tail] = src[off + i];
+        tail = tail + 1 == buf_.size() ? 0 : tail + 1;
+      }
+      size_ += n;
+      off += n;
+      cv_readable_.notify_one();
+    }
+    return true;
+  }
+
+  void close() {
+    std::lock_guard<std::mutex> lock(m_);
+    closed_ = true;
+    cv_readable_.notify_all();
+    cv_writable_.notify_all();
+  }
+
+ private:
+  std::mutex m_;
+  std::condition_variable cv_readable_;
+  std::condition_variable cv_writable_;
+  std::vector<std::byte> buf_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  bool closed_ = false;
+};
+
+/// Both directions, shared by the two endpoints via shared_ptr so either
+/// end may outlive the other.
+struct LoopbackState {
+  LoopbackState(std::size_t cap) : a_to_b(cap), b_to_a(cap) {}
+  Ring a_to_b;
+  Ring b_to_a;
+};
+
+class LoopbackTransport final : public Transport {
+ public:
+  LoopbackTransport(std::shared_ptr<LoopbackState> st, bool is_a)
+      : st_(std::move(st)), is_a_(is_a) {}
+  ~LoopbackTransport() override { close(); }
+
+  std::size_t read_some(std::span<std::byte> dst) override {
+    return (is_a_ ? st_->b_to_a : st_->a_to_b).read_some(dst);
+  }
+  bool write_all(std::span<const std::byte> src) override {
+    return (is_a_ ? st_->a_to_b : st_->b_to_a).write_all(src);
+  }
+  void close() override {
+    st_->a_to_b.close();
+    st_->b_to_a.close();
+  }
+
+ private:
+  std::shared_ptr<LoopbackState> st_;
+  bool is_a_;
+};
+
+// ------------------------------------------------------------------ TCP
+#if AMOPT_HAVE_SOCKETS
+class TcpTransport final : public Transport {
+ public:
+  explicit TcpTransport(int fd) : fd_(fd) {
+    // Request/response framing sends small frames; waiting for Nagle
+    // coalescing just adds latency to every quote.
+    int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+  ~TcpTransport() override { close(); }
+
+  std::size_t read_some(std::span<std::byte> dst) override {
+    for (;;) {
+      const ssize_t n = ::recv(fd_, dst.data(), dst.size(), 0);
+      if (n > 0) return static_cast<std::size_t>(n);
+      if (n < 0 && errno == EINTR) continue;
+      return 0;  // peer closed or hard error: EOF either way
+    }
+  }
+
+  bool write_all(std::span<const std::byte> src) override {
+    std::size_t off = 0;
+    while (off < src.size()) {
+      const ssize_t n =
+          ::send(fd_, src.data() + off, src.size() - off, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      off += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  void close() override {
+    if (fd_ >= 0) {
+      ::shutdown(fd_, SHUT_RDWR);
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+ private:
+  int fd_ = -1;
+};
+#endif  // AMOPT_HAVE_SOCKETS
+
+}  // namespace
+
+std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>>
+loopback_pair(std::size_t buffer_bytes) {
+  auto st = std::make_shared<LoopbackState>(std::max<std::size_t>(
+      buffer_bytes, wire::kHeaderBytes));
+  return {std::make_unique<LoopbackTransport>(st, true),
+          std::make_unique<LoopbackTransport>(st, false)};
+}
+
+#if AMOPT_HAVE_SOCKETS
+
+TcpListener::TcpListener(std::uint16_t port, bool any_interface) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw std::runtime_error("amopt: cannot create TCP socket");
+  int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(any_interface ? INADDR_ANY : INADDR_LOOPBACK);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd_, 64) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("amopt: cannot bind/listen TCP socket");
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) == 0)
+    port_ = ntohs(addr.sin_port);
+}
+
+TcpListener::~TcpListener() { close(); }
+
+std::unique_ptr<Transport> TcpListener::accept() {
+  if (fd_ < 0) return nullptr;
+  for (;;) {
+    const int client = ::accept(fd_, nullptr, nullptr);
+    if (client >= 0) return std::make_unique<TcpTransport>(client);
+    if (errno == EINTR) continue;
+    return nullptr;  // closed under us, or a hard accept failure
+  }
+}
+
+void TcpListener::close() {
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::unique_ptr<Transport> tcp_connect(const std::string& host,
+                                       std::uint16_t port) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  if (::getaddrinfo(host.c_str(), nullptr, &hints, &res) != 0 || res == nullptr)
+    return nullptr;
+  sockaddr_in addr{};
+  std::memcpy(&addr, res->ai_addr,
+              std::min(sizeof(addr), static_cast<std::size_t>(res->ai_addrlen)));
+  ::freeaddrinfo(res);
+  addr.sin_port = htons(port);
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return nullptr;
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return nullptr;
+  }
+  return std::make_unique<TcpTransport>(fd);
+}
+
+#else  // !AMOPT_HAVE_SOCKETS — stubbed so non-POSIX builds still link; the
+       // loopback transport (and therefore the daemon, tests and bench)
+       // works everywhere.
+
+TcpListener::TcpListener(std::uint16_t, bool) {
+  throw std::runtime_error("amopt: TCP transport not available on this platform");
+}
+TcpListener::~TcpListener() = default;
+std::unique_ptr<Transport> TcpListener::accept() { return nullptr; }
+void TcpListener::close() {}
+std::unique_ptr<Transport> tcp_connect(const std::string&, std::uint16_t) {
+  return nullptr;
+}
+
+#endif  // AMOPT_HAVE_SOCKETS
+
+}  // namespace amopt::service

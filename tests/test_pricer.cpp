@@ -696,6 +696,45 @@ TEST(Pricer, StatusToString) {
   EXPECT_EQ(to_string(Status::unsupported), "unsupported");
   EXPECT_EQ(to_string(Status::failed_to_converge), "failed-to-converge");
   EXPECT_EQ(to_string(Status::error), "error");
+  EXPECT_EQ(to_string(Status::overloaded), "overloaded");
+}
+
+TEST(Pricer, ServiceStatsCountBatchesScratchHighWaterAndTrims) {
+  // The admission-control inputs the service plane keys on: batch count,
+  // the arena's true high-water mark (measured BEFORE the between-batches
+  // trim), and how many trims actually released memory.
+  PricerConfig cfg;
+  cfg.parallel = false;  // one thread -> one arena to reason about
+  cfg.scratch_trim_bytes = std::size_t{1} << 12;
+  Pricer session(cfg);
+  EXPECT_EQ(session.stats().batches, 0u);
+  EXPECT_EQ(session.stats().scratch_high_water_bytes, 0u);
+  EXPECT_EQ(session.stats().scratch_trim_events, 0u);
+
+  PricingRequest big;
+  big.spec = paper_spec();
+  big.T = 512;  // fft descent: arena grows far beyond the 4 KiB retain
+  ASSERT_EQ(session.price_many({&big, 1}).at(0).status, Status::ok);
+  const Pricer::Stats st1 = session.stats();
+  EXPECT_EQ(st1.batches, 1u);
+  EXPECT_GT(st1.scratch_high_water_bytes, cfg.scratch_trim_bytes)
+      << "high-water mark must be measured before the trim";
+  EXPECT_GE(st1.scratch_trim_events, 1u);
+
+  // A smaller batch cannot lower the mark (it is a session-lifetime max),
+  // and every price_many counts, whatever its size.
+  PricingRequest small = big;
+  small.T = 64;
+  ASSERT_EQ(session.price_many({&small, 1}).at(0).status, Status::ok);
+  const Pricer::Stats st2 = session.stats();
+  EXPECT_EQ(st2.batches, 2u);
+  EXPECT_GE(st2.scratch_high_water_bytes, st1.scratch_high_water_bytes);
+
+  session.clear();
+  const Pricer::Stats st3 = session.stats();
+  EXPECT_EQ(st3.batches, 0u);
+  EXPECT_EQ(st3.scratch_high_water_bytes, 0u);
+  EXPECT_EQ(st3.scratch_trim_events, 0u);
 }
 
 }  // namespace

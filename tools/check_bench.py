@@ -43,6 +43,13 @@ With --alloc-budget SERIES=MAX (rows only, repeatable), asserts the fresh
 SERIES never exceeds MAX on any row — the steady-state
 allocations-per-descend counter emitted by bench/micro_session.cpp, which
 the PR 5 scratch arena pins at zero.
+
+With --latency-budget SERIES=MAX (rows only, repeatable), asserts the
+fresh SERIES stays at or below MAX (a float, typically microseconds) on
+every row — the daemon's p50/p99 round-trip columns from
+bench/micro_server.cpp. Budgets are absolute per-row ceilings, so CI sets
+them generously (they catch a coalescing window accidentally left in the
+latency path, not scheduler jitter).
 """
 
 import argparse
@@ -187,6 +194,24 @@ def check_alloc_budget(fresh, spec):
         fail(f"--alloc-budget: series {name} not present in the fresh run")
 
 
+def check_latency_budget(fresh, spec):
+    name, _, value = spec.partition("=")
+    budget = float(value)
+    found = False
+    for (t, s), v in sorted(fresh.items()):
+        if s != name:
+            continue
+        found = True
+        status = "ok" if v <= budget else "FAIL"
+        print(f"check_bench: {status} latency-budget {name} T={t}: "
+              f"{v:.3g} (budget {budget:.3g})")
+        if v > budget:
+            fail(f"series {name} at T={t}: {v:.3g} exceeds the latency "
+                 f"budget of {budget:.3g}")
+    if not found:
+        fail(f"--latency-budget: series {name} not present in the fresh run")
+
+
 def check_rows_pair_speedup(fresh, spec):
     parts = spec.split(":")
     if len(parts) != 4:
@@ -268,6 +293,10 @@ def main():
                     metavar="SERIES=MAX",
                     help="rows kind: require fresh SERIES <= MAX on every "
                          "row (allocation counters)")
+    ap.add_argument("--latency-budget", action="append", default=[],
+                    metavar="SERIES=MAX",
+                    help="rows kind: require fresh SERIES <= MAX on every "
+                         "row (absolute latency ceilings, e.g. p99-us)")
     args = ap.parse_args()
 
     fresh_doc = load(args.fresh)
@@ -296,6 +325,8 @@ def main():
             check_row_speedup(fresh, base, spec)
         for spec in args.alloc_budget:
             check_alloc_budget(fresh, spec)
+        for spec in args.latency_budget:
+            check_latency_budget(fresh, spec)
         for spec in args.min_series:
             name, _, value = spec.partition("=")
             floor = float(value)
