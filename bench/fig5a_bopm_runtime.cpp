@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "amopt/baselines/baselines.hpp"
+#include "amopt/common/parallel.hpp"
 #include "amopt/pricing/bopm.hpp"
 #include "bench_common.hpp"
 
@@ -29,8 +30,13 @@ int main() {
   core::SolverConfig heap_cfg;
   heap_cfg.memory = core::MemoryPlane::heap;
 
-  const std::vector<std::string> series{"fft-bopm", "fft-bopm-heapmem",
-                                        "mem-x", "ql-bopm", "zb-bopm"};
+  // fft-bopm runs at the session's inherited pool width; fft-bopm-4t pins
+  // width 4 so the task-parallel descent's scaling shows in the same sweep
+  // (on a >= 4-core box it tracks the paper's parallel trajectory; on a
+  // smaller one it documents oversubscription).
+  const std::vector<std::string> series{"fft-bopm", "fft-bopm-4t",
+                                        "fft-bopm-heapmem", "mem-x",
+                                        "ql-bopm", "zb-bopm"};
   bench::print_header("Figure 5(a): BOPM American call, parallel running time",
                       "seconds", series);
   std::vector<std::int64_t> ts;
@@ -38,6 +44,13 @@ int main() {
   for (std::int64_t T = sweep.min_t; T <= sweep.max_t; T *= 2) {
     const double fft = bench::time_best(
         [&] { (void)pricing::bopm::american_call_fft(spec, T); }, sweep.reps);
+    double fft_4t = -1.0;
+    {
+      ThreadScope scope(4);
+      fft_4t = bench::time_best(
+          [&] { (void)pricing::bopm::american_call_fft(spec, T); },
+          sweep.reps);
+    }
     const double fft_heap = bench::time_best(
         [&] { (void)pricing::bopm::american_call_fft(spec, T, heap_cfg); },
         sweep.reps);
@@ -50,9 +63,9 @@ int main() {
       zb = bench::time_best(
           [&] { (void)baselines::zubair_american_call(spec, T); }, sweep.reps);
     }
-    bench::print_row(T, {fft, fft_heap, memx, ql, zb});
+    bench::print_row(T, {fft, fft_4t, fft_heap, memx, ql, zb});
     ts.push_back(T);
-    rows.push_back({fft, fft_heap, memx, ql, zb});
+    rows.push_back({fft, fft_4t, fft_heap, memx, ql, zb});
   }
   std::printf("# '-' entries: Theta(T^2) baselines skipped beyond "
               "AMOPT_BENCH_SLOW_MAX_T=%lld\n",

@@ -36,6 +36,7 @@
 #include <thread>
 #include <vector>
 
+#include "amopt/common/parallel.hpp"
 #include "amopt/pricing/pricer.hpp"
 #include "amopt/service/server.hpp"
 #include "amopt/service/transport.hpp"
@@ -195,6 +196,10 @@ struct Latency {
 /// chain over the loopback): mirrors tests/test_server_alloc.cpp so CI can
 /// guard allocs-steady=0 from the bench artifact too.
 [[nodiscard]] double measure_allocs_steady() {
+  // Shard drains execute on pool workers now; width 1 pins every drain to
+  // the single housekeeping worker so one warm-up warms the one arena that
+  // serves every counted round trip.
+  ThreadScope width(1);
   ServerConfig cfg;
   cfg.pricer.parallel = false;
   cfg.coalesce_window_us = 0;

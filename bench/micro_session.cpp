@@ -24,6 +24,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "amopt/common/parallel.hpp"
 #include "amopt/core/lattice_solver.hpp"
 #include "amopt/pricing/api.hpp"
 #include "amopt/pricing/bopm.hpp"
@@ -76,7 +77,8 @@ int main() {
                       "steady-state descend",
                       "milliseconds",
                       {"cold-iv", "warm-iv", "speedup", "share-off",
-                       "share-on", "share-x", "allocs-descend"});
+                       "share-on", "share-x", "allocs-descend", "batch-1t",
+                       "batch-2t", "batch-4t", "batch-8t"});
 
   std::vector<std::int64_t> ts;
   std::vector<std::vector<double>> rows;
@@ -171,11 +173,37 @@ int main() {
     // Steady-state allocation counter for the scratch-arena guarantee.
     const double allocs = allocs_per_descend(base, T);
 
+    // Thread-scaling of the warm batch fan-out: the same 16-strike chain
+    // priced through ONE warm session at pool widths 1/2/4/8 (width 1 is
+    // the serial library bit for bit; widths beyond the machine's cores
+    // oversubscribe and mostly measure scheduling overhead).
+    double batch_ms[4] = {0.0, 0.0, 0.0, 0.0};
+    {
+      Pricer bs;
+      double batch_sink = 0.0;
+      (void)bs.price_many(chain);  // warm caches and arenas once
+      int slot = 0;
+      for (const int p : {1, 2, 4, 8}) {
+        ThreadScope scope(p);
+        batch_ms[slot++] = 1e3 * bench::time_best(
+                                     [&] {
+                                       for (const PricingResult& r :
+                                            bs.price_many(chain))
+                                         batch_sink += r.price;
+                                     },
+                                     sweep.reps);
+      }
+      volatile double sink = batch_sink;  // keep the measured work observable
+      (void)sink;
+    }
+
     bench::print_row(T, {cold * 1e3, warm * 1e3, speedup, share_off * 1e3,
-                         share_on * 1e3, share_x, allocs});
+                         share_on * 1e3, share_x, allocs, batch_ms[0],
+                         batch_ms[1], batch_ms[2], batch_ms[3]});
     ts.push_back(T);
     rows.push_back({cold * 1e3, warm * 1e3, speedup, share_off * 1e3,
-                    share_on * 1e3, share_x, allocs});
+                    share_on * 1e3, share_x, allocs, batch_ms[0],
+                    batch_ms[1], batch_ms[2], batch_ms[3]});
 
     const Pricer::Stats st = session.stats();
     std::printf("#   session: %zu live group(s), %llu hit(s) / %llu "
@@ -192,7 +220,8 @@ int main() {
   if (!json.empty() && json != "none")
     bench::write_json(json, "micro_session_warm_iv", "milliseconds",
                       {"cold-iv", "warm-iv", "speedup", "share-off",
-                       "share-on", "share-x", "allocs-descend"},
+                       "share-on", "share-x", "allocs-descend", "batch-1t",
+                       "batch-2t", "batch-4t", "batch-8t"},
                       ts, rows);
   return 0;
 }

@@ -4,6 +4,7 @@
 
 #include "amopt/baselines/baselines.hpp"
 #include "amopt/common/assert.hpp"
+#include "amopt/common/parallel.hpp"
 #include "amopt/metrics/counters.hpp"
 
 namespace amopt::baselines {
@@ -73,9 +74,11 @@ class DiscretizedAmericanCall {
     for (std::int64_t i = lattice_.steps() - 1; i >= target; --i) {
       std::vector<double> next(static_cast<std::size_t>(i + 1));
       if (parallel_) {
-#pragma omp parallel for schedule(static)
-        for (std::int64_t j = 0; j <= i; ++j)
-          next[static_cast<std::size_t>(j)] = step_node(i, j, p, disc);
+        parallel_for_chunks(i + 1, 256, [&](std::ptrdiff_t lo,
+                                            std::ptrdiff_t hi) {
+          for (std::ptrdiff_t j = lo; j < hi; ++j)
+            next[static_cast<std::size_t>(j)] = step_node(i, j, p, disc);
+        });
       } else {
         for (std::int64_t j = 0; j <= i; ++j)
           next[static_cast<std::size_t>(j)] = step_node(i, j, p, disc);

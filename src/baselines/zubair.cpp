@@ -4,6 +4,7 @@
 
 #include "amopt/baselines/baselines.hpp"
 #include "amopt/common/assert.hpp"
+#include "amopt/common/parallel.hpp"
 #include "amopt/metrics/counters.hpp"
 
 namespace amopt::baselines {
@@ -62,8 +63,7 @@ double zubair_american_call(const pricing::OptionSpec& spec, std::int64_t T,
     const std::int64_t H = std::min<std::int64_t>(W - 1, i0);
 
     // ---- pass 1: left-aligned trapezoid per tile ----------------------
-#pragma omp parallel for schedule(dynamic) if (cfg.parallel)
-    for (std::int64_t k = 0; k < n_tiles; ++k) {
+    const auto pass1 = [&](std::int64_t k) {
       const std::int64_t lo = k * W;
       const std::int64_t hi = std::min((k + 1) * W - 1, T);
       auto& h = halo[static_cast<std::size_t>(k)];
@@ -73,7 +73,7 @@ double zubair_american_call(const pricing::OptionSpec& spec, std::int64_t T,
       // entries from depths at which the update did run.
       h.assign(static_cast<std::size_t>(H + 1),
                G[static_cast<std::size_t>(lo)]);
-      if (lo > i0 - 1) continue;  // whole tile above the triangle diagonal
+      if (lo > i0 - 1) return;  // whole tile above the triangle diagonal
       for (std::int64_t t = 1; t <= H; ++t) {
         const std::int64_t i = i0 - t;
         const std::int64_t jhi = std::min(hi - t, i);
@@ -84,13 +84,12 @@ double zubair_american_call(const pricing::OptionSpec& spec, std::int64_t T,
         }
         h[static_cast<std::size_t>(t)] = G[static_cast<std::size_t>(lo)];
       }
-    }
+    };
 
     // ---- pass 2: gap triangles between consecutive tiles ---------------
-#pragma omp parallel for schedule(dynamic) if (cfg.parallel)
-    for (std::int64_t k = 0; k < n_tiles; ++k) {
+    const auto pass2 = [&](std::int64_t k) {
       const std::int64_t hi = std::min((k + 1) * W - 1, T);
-      if (hi >= T) continue;  // no tile to the right of the last one
+      if (hi >= T) return;  // no tile to the right of the last one
       const auto& h = halo[static_cast<std::size_t>(k + 1)];
       for (std::int64_t t = 1; t <= H; ++t) {
         const std::int64_t i = i0 - t;
@@ -105,6 +104,21 @@ double zubair_american_call(const pricing::OptionSpec& spec, std::int64_t T,
           G[static_cast<std::size_t>(j)] = std::max(lin, payoff(i, j));
         }
       }
+    };
+
+    // Tiles write disjoint column ranges in both passes (the halo carries
+    // the one cross-tile read), so the pool fan-out is bit-stable.
+    auto& pool = core::TaskPool::instance();
+    if (cfg.parallel && pool.concurrency() > 1) {
+      pool.for_each(n_tiles, [&](std::size_t k) {
+        pass1(static_cast<std::int64_t>(k));
+      });
+      pool.for_each(n_tiles, [&](std::size_t k) {
+        pass2(static_cast<std::int64_t>(k));
+      });
+    } else {
+      for (std::int64_t k = 0; k < n_tiles; ++k) pass1(k);
+      for (std::int64_t k = 0; k < n_tiles; ++k) pass2(k);
     }
 
     i0 -= H;

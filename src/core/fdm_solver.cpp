@@ -3,8 +3,8 @@
 #include <algorithm>
 
 #include "amopt/common/assert.hpp"
-#include "amopt/common/parallel.hpp"
 #include "amopt/core/scratch.hpp"
+#include "amopt/core/task_pool.hpp"
 #include "amopt/fft/convolution.hpp"
 #include "amopt/metrics/counters.hpp"
 #include "amopt/simd/kernels.hpp"
@@ -289,14 +289,10 @@ std::int64_t FdmSolver::solve(std::int64_t n0, std::int64_t f0,
           static_cast<std::size_t>(std::max<std::int64_t>(kr - f0 - 2 * h,
                                                           0))));
     };
+    // The legs write disjoint regions of the mid row; at pool width 1
+    // invoke2 degrades to exactly the serial order below.
     if (spawn) {
-#pragma omp taskgroup
-      {
-#pragma omp task default(shared)
-        run_strip();
-#pragma omp task default(shared)
-        run_conv();
-      }
+      TaskPool::instance().invoke2(run_strip, run_conv);
     } else {
       run_strip();
       run_conv();
@@ -326,13 +322,7 @@ std::int64_t FdmSolver::solve(std::int64_t n0, std::int64_t f0,
   };
   const auto run_conv = [&] { correlate_into(conv_out); };
   if (spawn) {
-#pragma omp taskgroup
-    {
-#pragma omp task default(shared)
-      run_strip();
-#pragma omp task default(shared)
-      run_conv();
-    }
+    TaskPool::instance().invoke2(run_strip, run_conv);
   } else {
     run_strip();
     run_conv();
@@ -377,16 +367,9 @@ FdmRow FdmSolver::advance(FdmRow row, std::int64_t L) {
     out_own.assign(row.red.size(), 0.0);
     out = out_own;
   }
-  std::int64_t f_new = row.f;
-  const auto run = [&] { f_new = solve(row.n, row.f, row.kr, L, row.red, out); };
-  if (cfg_.parallel && !in_parallel_region() && hardware_threads() > 1 &&
-      L >= cfg_.task_cutoff) {
-#pragma omp parallel
-#pragma omp single
-    run();
-  } else {
-    run();
-  }
+  // No parallel-region wrapper anymore: solve() forks its own pool tasks
+  // at every level whose height clears the cutoff.
+  const std::int64_t f_new = solve(row.n, row.f, row.kr, L, row.red, out);
   next.f = f_new;
   const std::int64_t base = row.f - L;
   next.red.assign(out.begin() + static_cast<std::ptrdiff_t>(f_new - base),

@@ -4,7 +4,7 @@
 #include <array>
 
 #include "amopt/common/assert.hpp"
-#include "amopt/common/parallel.hpp"
+#include "amopt/core/task_pool.hpp"
 #include "amopt/metrics/counters.hpp"
 #include "amopt/simd/kernels.hpp"
 
@@ -394,14 +394,10 @@ std::int64_t LatticeSolver::solve(std::int64_t i0, std::int64_t jL,
                       in.subspan(static_cast<std::size_t>(jC + 1 - jL)),
                       mid.subspan(static_cast<std::size_t>(jC + 1 - jL)));
     };
+    // The legs write disjoint regions of `mid`; at pool width 1 invoke2
+    // degrades to exactly the serial order below.
     if (spawn) {
-#pragma omp taskgroup
-      {
-#pragma omp task default(shared)
-        conv_part();
-#pragma omp task default(shared)
-        strip_part();
-      }
+      TaskPool::instance().invoke2(conv_part, strip_part);
     } else {
       conv_part();
       strip_part();
@@ -451,13 +447,7 @@ std::int64_t LatticeSolver::solve(std::int64_t i0, std::int64_t jL,
                       out.subspan(static_cast<std::size_t>(jC2 + 1 - jL)));
     };
     if (spawn) {
-#pragma omp taskgroup
-      {
-#pragma omp task default(shared)
-        conv_part();
-#pragma omp task default(shared)
-        strip_part();
-      }
+      TaskPool::instance().invoke2(conv_part, strip_part);
     } else {
       conv_part();
       strip_part();
@@ -505,17 +495,9 @@ LatticeRow LatticeSolver::descend(LatticeRow top, std::int64_t i_stop) {
     } else {
       std::vector<double>(n, 0.0).swap(next.red);  // the pre-arena discipline
     }
-    const auto run = [&] {
-      next.q = solve(row.i, 0, row.q, L, row.red, next.red);
-    };
-    if (cfg_.parallel && !in_parallel_region() && hardware_threads() > 1 &&
-        L >= cfg_.task_cutoff) {
-#pragma omp parallel
-#pragma omp single
-      run();
-    } else {
-      run();
-    }
+    // No parallel-region wrapper anymore: solve() forks its own pool tasks
+    // at every level whose height clears the cutoff.
+    next.q = solve(row.i, 0, row.q, L, row.red, next.red);
     next.red.resize(
         static_cast<std::size_t>(std::max<std::int64_t>(next.q + 1, 0)));
     std::swap(row, next);

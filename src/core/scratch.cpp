@@ -1,6 +1,8 @@
 #include "amopt/core/scratch.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <mutex>
 
 #if defined(AMOPT_DEBUG_CHECKS)
 #include <limits>
@@ -9,33 +11,59 @@
 namespace amopt::core {
 
 namespace {
-// 8 KiB floor keeps tiny first frames from minting a chain of micro-blocks.
-constexpr std::size_t kMinBlockDoubles = 1024;
 constexpr std::size_t kAlignDoubles = kCacheLine / sizeof(double);
+
+// Every live arena, so aggregate_scratch() can report the process-wide
+// footprint. Leaked rather than a static object: pool workers' thread-local
+// arenas unregister during thread exit, which can run after static
+// destruction has begun.
+struct Registry {
+  std::mutex mu;
+  std::vector<ScratchStack*> stacks;
+};
+Registry& registry() {
+  static Registry* r = new Registry;
+  return *r;
+}
+
 }  // namespace
 
-std::span<double> ScratchStack::alloc(std::size_t n) {
+struct Block {
+  explicit Block(std::size_t n) : data(n) {}
+  aligned_vector<double> data;
+  Block* next = nullptr;  ///< free-list / lease-chain link
+  bool keep = false;      ///< trim() scratch mark
+};
+
+int ScratchStack::size_class(std::size_t pow2_doubles) noexcept {
+  const int c =
+      std::bit_width(pow2_doubles) - std::bit_width(kClass0Doubles);
+  return std::clamp(c, 0, kNumClasses - 1);
+}
+
+ScratchStack::ScratchStack() {
+  auto& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  r.stacks.push_back(this);
+}
+
+ScratchStack::~ScratchStack() {
+  auto& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  std::erase(r.stacks, this);
+}
+
+std::span<double> ScratchStack::Frame::alloc(std::size_t n) {
   if (n == 0) return {};
   // Round every allocation to a cache line so each span starts 64B-aligned
   // (block bases are aligned_vector allocations).
   const std::size_t need = (n + kAlignDoubles - 1) & ~(kAlignDoubles - 1);
-  while (block_ < blocks_.size() &&
-         blocks_[block_].size() - off_ < need) {
-    ++block_;
-    off_ = 0;
+  if (head_ == nullptr || head_->data.size() - used_ < need) {
+    head_ = s_.lease(need, head_);
+    used_ = 0;
   }
-  if (block_ == blocks_.size()) {
-    // Append a block covering at least everything held so far: outstanding
-    // spans in earlier blocks stay valid, and the next warm pass falls
-    // through to this block alone (the earlier ones only cost address
-    // space until then).
-    const std::size_t sz =
-        std::max({kMinBlockDoubles, need, 2 * capacity()});
-    blocks_.emplace_back(sz);
-    off_ = 0;
-  }
-  double* p = blocks_[block_].data() + off_;
-  off_ += need;
+  double* p = head_->data.data() + used_;
+  used_ += need;
 #if defined(AMOPT_DEBUG_CHECKS)
   // Poison so Debug builds turn any read-before-write into a NaN price.
   std::fill_n(p, n, std::numeric_limits<double>::quiet_NaN());
@@ -43,26 +71,98 @@ std::span<double> ScratchStack::alloc(std::size_t n) {
   return {p, n};
 }
 
+Block* ScratchStack::lease(std::size_t need, Block* chain) {
+  // Power-of-two size classes, smallest adequate class first — with every
+  // block pow2-sized, class fit IS best fit, which is what makes warm reuse
+  // exact: a small request never strands a later large request by grabbing
+  // the one big block, so a steady-state descent re-allocates nothing.
+  // Owner-thread only (like all arena mutation), hence no locking.
+  const std::size_t sz = std::max(kClass0Doubles, std::bit_ceil(need));
+  for (int c = size_class(sz); c < kNumClasses; ++c) {
+    for (Block** p = &free_[c]; *p != nullptr; p = &(*p)->next) {
+      // Classes below the last hold exactly one size; the last mixes
+      // oversized blocks, so re-check the fit there.
+      if ((*p)->data.size() < need) continue;
+      Block* b = *p;
+      *p = b->next;
+      b->next = chain;
+      return b;
+    }
+  }
+  blocks_.push_back(std::make_unique<Block>(sz));
+  capacity_.fetch_add(sz, std::memory_order_relaxed);
+  Block* b = blocks_.back().get();
+  b->next = chain;
+  return b;
+}
+
+void ScratchStack::release(Block* chain) noexcept {
+  while (chain != nullptr) {
+    Block* next = chain->next;
+    const int c = size_class(chain->data.size());
+    chain->next = free_[c];
+    free_[c] = chain;
+    chain = next;
+  }
+}
+
+std::size_t ScratchStack::capacity() const noexcept {
+  return capacity_.load(std::memory_order_relaxed);
+}
+
 bool ScratchStack::trim(std::size_t retain_bytes) noexcept {
   if (frames_ != 0) return false;  // mid-descent: stay grow-only
-  // Blocks grow toward the back (each append covers everything before it),
-  // so the suffix holds the most storage per block: keep the longest suffix
-  // fitting the budget and drop the dead prefix.
-  const std::size_t retain_doubles = retain_bytes / sizeof(double);
-  std::size_t keep = blocks_.size(), held = 0;
-  while (keep > 0 && held + blocks_[keep - 1].size() <= retain_doubles)
-    held += blocks_[--keep].size();
-  if (keep == 0) return false;
-  blocks_.erase(blocks_.begin(),
-                blocks_.begin() + static_cast<std::ptrdiff_t>(keep));
-  block_ = 0;
-  off_ = 0;
+  // Greedily keep the largest free blocks that fit the budget (largest
+  // first: fewer, bigger blocks serve more shapes than many small ones).
+  std::size_t budget = retain_bytes / sizeof(double);
+  for (int c = kNumClasses - 1; c >= 0; --c)
+    for (Block* b = free_[c]; b != nullptr; b = b->next)
+      b->keep = false;
+  for (;;) {
+    Block* best = nullptr;
+    for (int c = kNumClasses - 1; c >= 0; --c)
+      for (Block* b = free_[c]; b != nullptr; b = b->next)
+        if (!b->keep && b->data.size() <= budget &&
+            (best == nullptr || b->data.size() > best->data.size()))
+          best = b;
+    if (best == nullptr) break;
+    best->keep = true;
+    budget -= best->data.size();
+  }
+  const std::size_t before = blocks_.size();
+  std::erase_if(blocks_, [](const std::unique_ptr<Block>& b) {
+    return !b->keep;
+  });
+  if (blocks_.size() == before) return false;
+  std::fill(std::begin(free_), std::end(free_), nullptr);
+  std::size_t doubles = 0;
+  for (const auto& b : blocks_) {
+    b->keep = false;
+    const int c = size_class(b->data.size());
+    b->next = free_[c];
+    free_[c] = b.get();
+    doubles += b->data.size();
+  }
+  capacity_.store(doubles, std::memory_order_relaxed);
   return true;
 }
 
 ScratchStack& thread_scratch() {
   thread_local ScratchStack s;
   return s;
+}
+
+ScratchAggregate aggregate_scratch() {
+  ScratchAggregate agg;
+  auto& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  for (const ScratchStack* s : r.stacks) {
+    const std::size_t bytes = s->capacity() * sizeof(double);
+    agg.total_bytes += bytes;
+    agg.max_bytes = std::max(agg.max_bytes, bytes);
+  }
+  agg.arenas = r.stacks.size();
+  return agg;
 }
 
 }  // namespace amopt::core

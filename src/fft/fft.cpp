@@ -108,13 +108,18 @@ void Plan::bit_reverse_permute(cplx* data) const {
 void Plan::radix2_stage(cplx* data, bool parallel) const {
   // Half-size-1 butterflies carry twiddle w = 1 in both directions.
   if (parallel) {
-#pragma omp parallel for schedule(static)
-    for (std::ptrdiff_t base = 0; base < static_cast<std::ptrdiff_t>(n_);
-         base += 2) {
-      const cplx t = data[base + 1];
-      data[base + 1] = data[base] - t;
-      data[base] += t;
-    }
+    // Pool chunks are disjoint and the per-butterfly arithmetic does not
+    // depend on the split, so the bits match the serial sweep.
+    constexpr std::size_t kChunk = std::size_t{1} << 13;
+    core::TaskPool::instance().for_each(
+        static_cast<std::ptrdiff_t>(n_ / kChunk), [&](std::size_t c) {
+          const std::size_t hi = (c + 1) * kChunk;
+          for (std::size_t base = c * kChunk; base < hi; base += 2) {
+            const cplx t = data[base + 1];
+            data[base + 1] = data[base] - t;
+            data[base] += t;
+          }
+        });
   } else {
     for (std::size_t base = 0; base < n_; base += 2) {
       const cplx t = data[base + 1];
@@ -166,11 +171,16 @@ void Plan::radix4_pass(cplx* data, std::size_t h, const cplx* w,
     }
   };
   if (parallel) {
-#pragma omp parallel for schedule(static)
-    for (std::ptrdiff_t base = 0; base < static_cast<std::ptrdiff_t>(n_);
-         base += static_cast<std::ptrdiff_t>(step)) {
-      block(static_cast<std::size_t>(base));
-    }
+    // Several blocks per chunk while h is small, one block per chunk once
+    // step dominates; block order is irrelevant (disjoint ranges).
+    const std::size_t chunk = std::max(step, std::size_t{1} << 13);
+    core::TaskPool::instance().for_each(
+        static_cast<std::ptrdiff_t>((n_ + chunk - 1) / chunk),
+        [&](std::size_t c) {
+          const std::size_t hi = std::min((c + 1) * chunk, n_);
+          for (std::size_t base = c * chunk; base < hi; base += step)
+            block(base);
+        });
   } else {
     for (std::size_t base = 0; base < n_; base += step) block(base);
   }
@@ -223,12 +233,11 @@ void Plan::transform_simd(cplx* data, bool inverse, simd::Level lvl) const {
   if (log2n_ & 1) {
     if (parallel) {
       // Chunks align to butterfly pairs; any power-of-two split works.
-      constexpr std::ptrdiff_t kChunk = 1 << 13;
-#pragma omp parallel for schedule(static)
-      for (std::ptrdiff_t base = 0; base < static_cast<std::ptrdiff_t>(n_);
-           base += kChunk)
-        kn.radix2_pass(re + base, im + base,
-                       static_cast<std::size_t>(kChunk));
+      constexpr std::size_t kChunk = std::size_t{1} << 13;
+      core::TaskPool::instance().for_each(
+          static_cast<std::ptrdiff_t>(n_ / kChunk), [&](std::size_t c) {
+            kn.radix2_pass(re + c * kChunk, im + c * kChunk, kChunk);
+          });
     } else {
       kn.radix2_pass(re, im, n_);
     }
@@ -243,10 +252,11 @@ void Plan::transform_simd(cplx* data, bool inverse, simd::Level lvl) const {
     // would feed h = 1 four elements at a time and fall back to scalar.
     const std::size_t chunk = std::max(step, std::size_t{1} << 13);
     if (parallel && n_ > chunk) {
-#pragma omp parallel for schedule(static)
-      for (std::ptrdiff_t base = 0; base < static_cast<std::ptrdiff_t>(n_);
-           base += static_cast<std::ptrdiff_t>(chunk))
-        kn.radix4_pass(re + base, im + base, chunk, h, w, inverse);
+      core::TaskPool::instance().for_each(
+          static_cast<std::ptrdiff_t>(n_ / chunk), [&](std::size_t c) {
+            kn.radix4_pass(re + c * chunk, im + c * chunk, chunk, h, w,
+                           inverse);
+          });
     } else {
       kn.radix4_pass(re, im, n_, h, w, inverse);
     }

@@ -1,34 +1,44 @@
 #pragma once
-// S5b: the solvers' scratch arena.
+// S5b: the solvers' scratch arena — per-task frames over per-thread blocks.
 //
 // Every level of the trapezoid recursion needs a handful of short-lived row
 // buffers (`mid`, the base case's ping-pong rows, the FDM assembly row).
 // Allocating them from the heap makes the descent allocation-bound: the
 // recursion performs O(T) vector constructions per pricing, each paying
-// malloc/free plus a cold-page zero-fill, and the buffers land wherever the
-// allocator happens to put them. `ScratchStack` replaces that with the
-// allocation pattern the recursion actually has — strict LIFO — over
-// grow-only, 64-byte-aligned storage: a `Frame` marks the stack on entry to
-// a recursion level and pops everything that level allocated on exit, so a
-// warmed-up stack serves an entire descent without touching the heap, from
-// memory that stays cache-resident across trapezoids.
+// malloc/free plus a cold-page zero-fill. `ScratchStack` replaces that with
+// grow-only, 64-byte-aligned storage: a `Frame` leases blocks from its
+// thread's arena on entry to a recursion level and returns them on exit, so
+// a warmed-up arena serves an entire descent without touching the heap,
+// from memory that stays cache-resident across trapezoids.
 //
-// Growth never invalidates outstanding spans: storage is a chain of blocks
-// and growing appends a block at least as large as everything allocated so
-// far, so the stack converges to (at most) one live block per power-of-two
-// high-water mark and every earlier span stays where it was.
+// The arena was originally a single strictly-LIFO bump stack, which was
+// correct while the recursion ran on one thread (frames nest stack-like).
+// Task-parallel descent breaks that discipline: a worker that steals the
+// sibling leg of a fork holds a frame whose lifetime is NOT nested inside
+// the frames already live on the victim's thread. Frames are therefore
+// independent block *leases* now — each frame owns a private chain of
+// blocks checked out from the arena's per-size-class free lists (blocks are
+// power-of-two sized, so class-fit IS best-fit and warm reuse is exact
+// across repeated identical descents) and bump-allocates inside its chain.
+// Growth never invalidates outstanding spans: blocks are immovable once
+// created, and a frame that outgrows its head block leases another.
 //
-// Threading: one ScratchStack serves one thread (no locking). The library
-// keeps one per thread via `thread_scratch()` — OpenMP task legs of the
-// recursion allocate from their executing thread's stack, which is safe
-// because tied tasks nest stack-like on a thread (a thread that suspends a
-// task at a scheduling point finishes the intervening task before resuming,
-// so frames pushed by the intervening task pop before the suspended frame
-// does). Thread-local rather than per-solver so the warm blocks survive the
-// short-lived solver instances the pricers construct per call — the same
-// lifetime rule as conv::thread_workspace().
+// Threading: one ScratchStack serves one thread's frames (the library keeps
+// one per thread via `thread_scratch()` — pool tasks allocate from their
+// executing worker's arena, and the TaskPool's join rules confine each
+// worker's live frames to one solve's nesting, which is what keeps the
+// per-worker footprint — and the zero-steady-state-allocation counter tests
+// — deterministic). Every *mutation* (frames, lease/release, trim) happens
+// on the owning thread, so the whole hot path is synchronization-free — a
+// frame costs two plain increments and a pointer pop, which is what keeps
+// the task-parallel descent as cheap per level as the old single-stack
+// bump arena. Cross-thread readers (`capacity()`, the process-wide
+// `aggregate_scratch()` behind the server's admission control) see the
+// footprint through one atomic counter instead of walking the block list.
 
+#include <atomic>
 #include <cstddef>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -38,23 +48,21 @@ namespace amopt::core {
 
 class ScratchStack {
  public:
-  ScratchStack() = default;
+  ScratchStack();
+  ~ScratchStack();
   ScratchStack(const ScratchStack&) = delete;
   ScratchStack& operator=(const ScratchStack&) = delete;
 
-  /// One recursion level's allocations. Frames must be destroyed in reverse
-  /// construction order on their stack (automatic with scoped locals);
-  /// destruction releases every span alloc()'d through this frame.
+  /// One task's (or recursion level's) allocations: a private lease of
+  /// arena blocks, released wholesale on destruction. Frames on one thread
+  /// may be destroyed in any order relative to sibling tasks' frames; a
+  /// frame must simply outlive the spans alloc()'d through it.
   class Frame {
    public:
-    explicit Frame(ScratchStack& s) noexcept
-        : s_(s), block_(s.block_), off_(s.off_) {
-      ++s_.frames_;
-    }
+    explicit Frame(ScratchStack& s) noexcept : s_(s) { ++s_.frames_; }
     ~Frame() {
+      if (head_) s_.release(head_);
       --s_.frames_;
-      s_.block_ = block_;
-      s_.off_ = off_;
     }
     Frame(const Frame&) = delete;
     Frame& operator=(const Frame&) = delete;
@@ -63,45 +71,60 @@ class ScratchStack {
     /// destroyed. Contents are uninitialized (NaN-poisoned under
     /// AMOPT_DEBUG_CHECKS, so Debug/sanitize builds catch any read of a
     /// cell the algorithms were supposed to have written).
-    [[nodiscard]] std::span<double> alloc(std::size_t n) {
-      return s_.alloc(n);
-    }
+    [[nodiscard]] std::span<double> alloc(std::size_t n);
 
    private:
     ScratchStack& s_;
-    std::size_t block_;
-    std::size_t off_;
+    struct Block* head_ = nullptr;  ///< lease chain, newest first
+    std::size_t used_ = 0;          ///< doubles bumped in *head_
   };
 
-  /// Total doubles of backing storage currently held (grow-only between
-  /// trim() calls).
-  [[nodiscard]] std::size_t capacity() const noexcept {
-    std::size_t c = 0;
-    for (const auto& b : blocks_) c += b.size();
-    return c;
-  }
+  /// Total doubles of backing storage currently held, leased or free
+  /// (grow-only between trim() calls).
+  [[nodiscard]] std::size_t capacity() const noexcept;
 
   /// Opt-in high-water-mark decay for long-lived sessions mixing huge and
-  /// tiny problem sizes: releases backing blocks, largest (most recent)
-  /// first to keep, until at most `retain_bytes` of storage remain. A call
-  /// while any Frame is outstanding is ignored — outstanding spans stay
-  /// valid and the descent keeps its grow-only guarantee; only a between-
-  /// batches caller (no live frames) actually shrinks storage. Returns
-  /// whether a shrink happened.
+  /// tiny problem sizes: releases free backing blocks, keeping the largest
+  /// set that fits in `retain_bytes`. A call while any Frame is outstanding
+  /// is ignored — outstanding spans stay valid and the descent keeps its
+  /// grow-only guarantee; only a between-batches caller (no live frames)
+  /// actually shrinks storage. Returns whether a shrink happened.
   bool trim(std::size_t retain_bytes) noexcept;
 
  private:
   friend class Frame;
-  [[nodiscard]] std::span<double> alloc(std::size_t n);
+  /// Free blocks segregated by power-of-two size class; kClass0Doubles is
+  /// the minting floor, the last class additionally holds every oversized
+  /// block.
+  static constexpr std::size_t kClass0Doubles = 1024;  ///< 8 KiB
+  static constexpr int kNumClasses = 24;               ///< up to 64 GiB
 
-  std::vector<aligned_vector<double>> blocks_;
-  std::size_t block_ = 0;   ///< block currently being bumped
-  std::size_t off_ = 0;     ///< next free double inside it
-  std::size_t frames_ = 0;  ///< live Frame count (trim() guard)
+  /// Class of a power-of-two block size (or the class a need mints into).
+  [[nodiscard]] static int size_class(std::size_t pow2_doubles) noexcept;
+
+  [[nodiscard]] struct Block* lease(std::size_t need_doubles,
+                                    struct Block* chain);
+  void release(struct Block* chain) noexcept;
+
+  std::vector<std::unique_ptr<struct Block>> blocks_;  ///< all owned blocks
+  struct Block* free_[kNumClasses] = {};  ///< unleased blocks, per class
+  std::size_t frames_ = 0;  ///< live Frame count (trim() guard, owner-only)
+  std::atomic<std::size_t> capacity_{0};  ///< doubles held, for readers
 };
 
-/// The calling thread's scratch stack (created on first use, never freed
+/// The calling thread's scratch arena (created on first use, never freed
 /// while the thread lives).
 [[nodiscard]] ScratchStack& thread_scratch();
+
+/// Process-wide snapshot over every live arena (all threads' thread_scratch
+/// instances plus any standalone stacks): the true multi-thread scratch
+/// footprint, which is what the server's admission control must compare
+/// against its byte ceiling once solves fan out across pool workers.
+struct ScratchAggregate {
+  std::size_t total_bytes = 0;  ///< sum of capacities across arenas
+  std::size_t max_bytes = 0;    ///< largest single arena
+  std::size_t arenas = 0;
+};
+[[nodiscard]] ScratchAggregate aggregate_scratch();
 
 }  // namespace amopt::core

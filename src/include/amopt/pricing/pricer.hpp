@@ -68,7 +68,14 @@ struct PricerConfig {
   /// (they are what the LRU'd caches themselves bound); this cap closes the
   /// one unbounded tier left inside a cache. 0 = unbounded.
   std::size_t max_spectrum_bytes = 32u << 20;
-  bool parallel = true;  ///< OpenMP fan-out across batch items
+  bool parallel = true;  ///< task-pool fan-out across batch items
+  /// Cap on this session's batch fan-out width (number of pool executors a
+  /// price_many call may occupy, caller included). 0 = the pool's current
+  /// width (AMOPT_THREADS / set_threads); 1 pins the session serial without
+  /// narrowing the process-wide pool. The cap bounds only the per-batch
+  /// item fan-out — the solvers' intra-solve tasks still use the shared
+  /// pool, which is what `SolverConfig::parallel` gates.
+  int threads = 0;
   /// Warm-start repeated implied-vol inversions: the session remembers each
   /// contract's last two (vol, price) evaluation points and restarts the
   /// safeguarded secant from them, so a recalibration tick typically costs
@@ -188,6 +195,12 @@ class Pricer {
     /// an admission controller sizing a shard's memory ceiling needs.
     std::size_t scratch_high_water_bytes = 0;
     std::uint64_t scratch_trim_events = 0;  ///< trims that actually released
+    /// Current PROCESS-WIDE arena footprint summed over every live thread
+    /// arena (core::aggregate_scratch) — once batches fan out across pool
+    /// workers, the true multi-thread footprint is this sum, not any single
+    /// thread's high-water mark. Snapshot at stats() time (after any
+    /// between-batches trim), shared by all sessions in the process.
+    std::size_t scratch_total_bytes = 0;
   };
   [[nodiscard]] Stats stats() const;
 

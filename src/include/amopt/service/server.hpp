@@ -2,8 +2,12 @@
 // W3: the pricing daemon — an async request router over `pricing::Pricer`
 // (DESIGN.md §8).
 //
-// A `Server` owns N worker shards, each a thread with its own long-lived
-// `Pricer` session, fed through a bounded MPSC queue. Items are routed by
+// A `Server` owns N shards, each a long-lived `Pricer` session fed
+// through a bounded MPSC queue. Shards own no threads: the first
+// submission to an idle shard arms a detached drain task on the shared
+// `core::TaskPool` (DESIGN.md §10), so daemon housekeeping and
+// intra-solve parallelism draw from one set of workers instead of
+// oversubscribing the machine. Items are routed by
 // `shard_of` — a hash of the request's kernel identity (model, right,
 // style, engine, R, V, Y), the same axes `PricerConfig::
 // share_kernels_across_expiries` groups by — so every quote for one
@@ -30,8 +34,9 @@
 //
 // Admission control instead of unbounded queueing: `submit` consults the
 // shard's queue depth and the memory figures its `Pricer::stats()`
-// published after the last batch (scratch high-water mark, spectrum-tier
-// bytes). An item that would exceed the configured ceilings completes
+// published after the last batch (total scratch-arena footprint across
+// every pool worker, spectrum-tier bytes). An item that would exceed the
+// configured ceilings completes
 // immediately with `Status::overloaded` and a retry hint in `message` —
 // the caller sheds load; the daemon never grows without bound.
 
@@ -53,7 +58,7 @@ struct ServerConfig {
   /// shard's Pricer trims its arena between batches exactly as a direct
   /// session would.
   pricing::PricerConfig pricer{};
-  std::size_t shards = 1;          ///< worker threads, one Pricer each
+  std::size_t shards = 1;  ///< pricing shards (pool-drained), one Pricer each
   std::size_t queue_capacity = 4096;  ///< per-shard item ring (hard bound)
   /// After the first item of a batch arrives, wait up to this long for
   /// more before pricing, so a burst of single-quote submissions merges
@@ -64,8 +69,9 @@ struct ServerConfig {
   /// Admission ceilings (0 = disabled). `admit_queue_depth` rejects once a
   /// shard's queue holds this many items (it additionally never exceeds
   /// `queue_capacity`); the byte ceilings reject while the shard session's
-  /// last-published `scratch_high_water_bytes` / `spectrum_bytes` exceed
-  /// them — backpressure keyed on real memory, not guesses.
+  /// last-published `scratch_total_bytes` (every pool worker's arena, the
+  /// true multi-thread footprint) / `spectrum_bytes` exceed them —
+  /// backpressure keyed on real memory, not guesses.
   std::size_t admit_queue_depth = 0;
   std::size_t admit_scratch_bytes = 0;
   std::size_t admit_spectrum_bytes = 0;
@@ -140,8 +146,8 @@ class Server {
   };
   [[nodiscard]] Stats stats() const;
 
-  /// Stop accepting, drain every queued item, join the workers.
-  /// Idempotent; the destructor calls it.
+  /// Stop accepting, drain every queued item, and wait until every
+  /// shard's drain task has disarmed. Idempotent; the destructor calls it.
   void stop();
 
   [[nodiscard]] const ServerConfig& config() const noexcept { return cfg_; }

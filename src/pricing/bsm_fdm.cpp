@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "amopt/common/assert.hpp"
+#include "amopt/common/parallel.hpp"
 #include "amopt/metrics/counters.hpp"
 #include "amopt/poly/poly_power.hpp"
 
@@ -128,14 +129,17 @@ template <bool kParallel>
     std::vector<double> nxt(cur.size());
     for (std::int64_t n = 1; n <= T; ++n) {
       const std::int64_t lo = n, hi = width - 1 - n;
-#pragma omp parallel for schedule(static)
-      for (std::int64_t t = lo; t <= hi; ++t) {
-        const double lin = b * cur[static_cast<std::size_t>(t - 1)] +
-                           c * cur[static_cast<std::size_t>(t)] +
-                           a * cur[static_cast<std::size_t>(t + 1)];
-        nxt[static_cast<std::size_t>(t)] =
-            american ? std::max(lin, payoff[static_cast<std::size_t>(t)]) : lin;
-      }
+      parallel_for_chunks(hi - lo + 1, 1024, [&](std::ptrdiff_t clo,
+                                                 std::ptrdiff_t chi) {
+        for (std::ptrdiff_t t = lo + clo; t < lo + chi; ++t) {
+          const double lin = b * cur[static_cast<std::size_t>(t - 1)] +
+                             c * cur[static_cast<std::size_t>(t)] +
+                             a * cur[static_cast<std::size_t>(t + 1)];
+          nxt[static_cast<std::size_t>(t)] =
+              american ? std::max(lin, payoff[static_cast<std::size_t>(t)])
+                       : lin;
+        }
+      });
       cur.swap(nxt);
     }
   }

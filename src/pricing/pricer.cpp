@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "amopt/core/scratch.hpp"
+#include "amopt/core/task_pool.hpp"
 #include "amopt/pricing/alo/alo_engine.hpp"
 #include "amopt/pricing/api.hpp"
 #include "amopt/pricing/bopm.hpp"
@@ -629,17 +630,15 @@ void Pricer::price_many_into(std::span<const PricingRequest> requests,
       trim_events_.fetch_add(1, std::memory_order_relaxed);
   };
 
-  if (cfg_.parallel && requests.size() > 1) {
-    // Parallelize across items; the inner solvers see the enclosing region
-    // and stay serial, so one item never oversubscribes the machine.
-#pragma omp parallel
-    {
-#pragma omp for schedule(dynamic, 1)
-      for (std::ptrdiff_t i = 0;
-           i < static_cast<std::ptrdiff_t>(requests.size()); ++i)
-        serve(static_cast<std::size_t>(i));
-      finish_thread();
-    }
+  auto& pool = core::TaskPool::instance();
+  if (cfg_.parallel && requests.size() > 1 && cfg_.threads != 1 &&
+      pool.concurrency() > 1) {
+    // Parallelize across items (counter-scheduled, like the old
+    // schedule(dynamic,1)); the inner solvers see the enclosing region and
+    // stay serial, so one item never oversubscribes the machine. Every
+    // executor runs finish_thread at the join, on its own thread.
+    pool.for_each(static_cast<std::ptrdiff_t>(requests.size()), serve,
+                  finish_thread, cfg_.threads);
   } else {
     // Single item (or serial session): keep the solver's own internal
     // parallelism available, like a legacy scalar price() call.
@@ -690,6 +689,7 @@ Pricer::Stats Pricer::stats() const {
   s.scratch_high_water_bytes =
       scratch_high_water_.load(std::memory_order_relaxed);
   s.scratch_trim_events = trim_events_.load(std::memory_order_relaxed);
+  s.scratch_total_bytes = core::aggregate_scratch().total_bytes;
   if (spectrum_budget_) {
     const stencil::SpectrumBudget::Stats b = spectrum_budget_->stats();
     s.spectrum_bytes = b.bytes;

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "amopt/common/assert.hpp"
+#include "amopt/common/parallel.hpp"
 #include "amopt/metrics/counters.hpp"
 #include "amopt/poly/poly_power.hpp"
 
@@ -48,14 +49,16 @@ template <bool kParallel, class Payoff>
   } else {
     std::vector<double> nxt(cur.size());
     for (std::int64_t i = T - 1; i >= 0; --i) {
-#pragma omp parallel for schedule(static)
-      for (std::int64_t j = 0; j <= 2 * i; ++j) {
-        const double lin = prm.s0 * cur[static_cast<std::size_t>(j)] +
-                           prm.s1 * cur[static_cast<std::size_t>(j + 1)] +
-                           prm.s2 * cur[static_cast<std::size_t>(j + 2)];
-        nxt[static_cast<std::size_t>(j)] =
-            american ? std::max(lin, payoff(i, j)) : lin;
-      }
+      parallel_for_chunks(2 * i + 1, 1024, [&](std::ptrdiff_t lo,
+                                               std::ptrdiff_t hi) {
+        for (std::ptrdiff_t j = lo; j < hi; ++j) {
+          const double lin = prm.s0 * cur[static_cast<std::size_t>(j)] +
+                             prm.s1 * cur[static_cast<std::size_t>(j + 1)] +
+                             prm.s2 * cur[static_cast<std::size_t>(j + 2)];
+          nxt[static_cast<std::size_t>(j)] =
+              american ? std::max(lin, payoff(i, j)) : lin;
+        }
+      });
       cur.swap(nxt);
     }
   }

@@ -7,6 +7,7 @@
 #include <string>
 #include <thread>
 
+#include "amopt/core/task_pool.hpp"
 #include "amopt/service/wire.hpp"
 
 namespace amopt::service {
@@ -14,8 +15,11 @@ namespace amopt::service {
 using pricing::PricingRequest;
 using pricing::PricingResult;
 
-/// One worker shard: a bounded MPSC item ring, a long-lived Pricer session,
-/// and the reusable buffers that keep the hot loop allocation-free.
+/// One shard: a bounded MPSC item ring, a long-lived Pricer session, and
+/// the reusable buffers that keep the hot loop allocation-free. Since the
+/// execution-plane rework a shard owns no thread of its own: the first
+/// submission to an idle shard arms a detached drain task on the shared
+/// `core::TaskPool`, and that task loops until the queue is empty.
 struct Server::Shard {
   struct Item {
     const PricingRequest* req = nullptr;
@@ -23,54 +27,74 @@ struct Server::Shard {
     Batch* done = nullptr;
   };
 
-  explicit Shard(const ServerConfig& cfg)
-      : pricer(cfg.pricer), ring(cfg.queue_capacity) {}
+  explicit Shard(const ServerConfig& c)
+      : pricer(c.pricer), cfg(&c), ring(c.queue_capacity) {
+    drain_task.fn = &drain_entry;
+    drain_task.arg = this;
+    drain_task.join = nullptr;
+  }
 
   pricing::Pricer pricer;
+  const ServerConfig* cfg;  ///< the owning Server's config (stable address)
 
-  // Queue state, under `m`. `cv` signals both "item arrived" (to the
-  // worker) and "stopping" — submitters never wait, they reject instead.
+  // Queue state, under `m`. `cv` wakes a lingering drain ("item arrived"
+  // or "stopping") — submitters never wait, they reject instead. `armed`
+  // is true while a drain task is scheduled or running for this shard;
+  // it guarantees exactly one drain executor at a time, so the reused
+  // batch buffers below need no further synchronization.
   std::mutex m;
   std::condition_variable cv;
   std::vector<Item> ring;
   std::size_t head = 0;
   std::size_t size = 0;
   bool stopping = false;
+  bool armed = false;
+  core::TaskPool::Task drain_task;  ///< reusable: re-pushed on each arm
 
-  // Worker-owned, reused across batches (capacities converge, then stay).
+  // Drain-owned, reused across batches (capacities converge, then stay).
+  // Exclusive ownership follows from the `armed` protocol above.
   std::vector<Item> items;
   std::vector<PricingRequest> batch;
   std::vector<PricingResult> results;
   pricing::Pricer::BatchScratch scratch;
-  std::thread worker;
 
   // Published after every batch for lock-free admission checks and stats.
-  std::atomic<std::size_t> scratch_hwm{0};
+  // `scratch_bytes` is the process-wide arena footprint (the sum over
+  // every pool worker's arena), not one thread's high-water mark — with
+  // pooled execution that is the figure admission must compare against.
+  std::atomic<std::size_t> scratch_bytes{0};
   std::atomic<std::size_t> spectrum_bytes{0};
   std::atomic<std::uint64_t> accepted{0};
   std::atomic<std::uint64_t> rejected{0};
   std::atomic<std::uint64_t> served{0};
   std::atomic<std::uint64_t> batches{0};
 
-  void run(const ServerConfig& cfg) {
+  static void drain_entry(void* p) { static_cast<Shard*>(p)->drain(); }
+
+  void drain() {
     for (;;) {
       items.clear();
       {
         std::unique_lock<std::mutex> lock(m);
-        cv.wait(lock, [&] { return size > 0 || stopping; });
-        if (size == 0) return;  // stopping and fully drained
-        if (cfg.coalesce_window_us > 0 && size < cfg.max_coalesced_items &&
+        if (size == 0) {
+          // Fully drained: disarm under the same lock submitters check,
+          // so either they see the queue empty-and-disarmed and schedule
+          // a fresh drain, or this loop sees their item. No lost wakeups.
+          armed = false;
+          return;
+        }
+        if (cfg->coalesce_window_us > 0 && size < cfg->max_coalesced_items &&
             !stopping) {
           // First item of the batch is in hand; linger for stragglers so a
           // burst of single-quote submissions merges into one price_many.
           const auto deadline =
               std::chrono::steady_clock::now() +
-              std::chrono::microseconds(cfg.coalesce_window_us);
-          while (size < cfg.max_coalesced_items && !stopping &&
+              std::chrono::microseconds(cfg->coalesce_window_us);
+          while (size < cfg->max_coalesced_items && !stopping &&
                  cv.wait_until(lock, deadline) != std::cv_status::timeout) {
           }
         }
-        const std::size_t n = std::min(size, cfg.max_coalesced_items);
+        const std::size_t n = std::min(size, cfg->max_coalesced_items);
         for (std::size_t i = 0; i < n; ++i) {
           items.push_back(ring[head]);
           head = head + 1 == ring.size() ? 0 : head + 1;
@@ -88,8 +112,7 @@ struct Server::Shard {
       // so a caller that waits on its batch and then submits again is
       // admitted against figures at least as fresh as its own work.
       const pricing::Pricer::Stats st = pricer.stats();
-      scratch_hwm.store(st.scratch_high_water_bytes,
-                        std::memory_order_relaxed);
+      scratch_bytes.store(st.scratch_total_bytes, std::memory_order_relaxed);
       spectrum_bytes.store(st.spectrum_bytes, std::memory_order_relaxed);
       served.fetch_add(items.size(), std::memory_order_relaxed);
       batches.fetch_add(1, std::memory_order_relaxed);
@@ -119,8 +142,6 @@ Server::Server(ServerConfig cfg) : cfg_(cfg) {
   shards_.reserve(cfg_.shards);
   for (std::size_t i = 0; i < cfg_.shards; ++i)
     shards_.push_back(std::make_unique<Shard>(cfg_));
-  for (auto& sp : shards_)
-    sp->worker = std::thread([this, s = sp.get()] { s->run(cfg_); });
 }
 
 Server::~Server() { stop(); }
@@ -129,10 +150,20 @@ void Server::stop() {
   for (auto& sp : shards_) {
     std::lock_guard<std::mutex> lock(sp->m);
     sp->stopping = true;
-    sp->cv.notify_all();
+    sp->cv.notify_all();  // cut any in-flight coalescing linger short
   }
-  for (auto& sp : shards_)
-    if (sp->worker.joinable()) sp->worker.join();
+  // Quiesce: an armed drain keeps popping until its queue is empty, then
+  // disarms — wait for that, item by shard. The pool guarantees at least
+  // one worker thread, so a scheduled drain task always executes.
+  for (auto& sp : shards_) {
+    for (;;) {
+      {
+        std::lock_guard<std::mutex> lock(sp->m);
+        if (sp->size == 0 && !sp->armed) break;
+      }
+      std::this_thread::yield();
+    }
+  }
 }
 
 std::size_t Server::shard_of(const PricingRequest& q) const noexcept {
@@ -175,6 +206,7 @@ void Server::submit(std::span<const PricingRequest> requests,
             ? s.ring.size()
             : std::min(cfg_.admit_queue_depth, s.ring.size());
     const char* why = nullptr;
+    bool needs_schedule = false;
     {
       std::lock_guard<std::mutex> lock(s.m);
       if (s.stopping) {
@@ -182,9 +214,9 @@ void Server::submit(std::span<const PricingRequest> requests,
       } else if (s.size >= depth_cap) {
         why = "shard queue full";
       } else if (cfg_.admit_scratch_bytes != 0 &&
-                 s.scratch_hwm.load(std::memory_order_relaxed) >
+                 s.scratch_bytes.load(std::memory_order_relaxed) >
                      cfg_.admit_scratch_bytes) {
-        why = "shard scratch high-water mark over ceiling";
+        why = "shard scratch footprint over ceiling";
       } else if (cfg_.admit_spectrum_bytes != 0 &&
                  s.spectrum_bytes.load(std::memory_order_relaxed) >
                      cfg_.admit_spectrum_bytes) {
@@ -194,11 +226,19 @@ void Server::submit(std::span<const PricingRequest> requests,
         if (tail >= s.ring.size()) tail -= s.ring.size();
         s.ring[tail] = Shard::Item{&requests[i], &out[i], &done};
         ++s.size;
-        s.cv.notify_one();
+        needs_schedule = !s.armed;
+        s.armed = true;
+        s.cv.notify_one();  // a lingering drain picks this item up
       }
     }
     if (why == nullptr) {
       s.accepted.fetch_add(1, std::memory_order_relaxed);
+      // First item into an idle shard: schedule its drain on the shared
+      // pool. If the pool's injection ring is momentarily full, drain on
+      // this thread instead — the item must not strand.
+      if (needs_schedule &&
+          !core::TaskPool::instance().submit_detached(&s.drain_task))
+        s.drain();
     } else {
       // Shed load instead of queueing: the item completes right here with
       // a retry hint. (This path allocates the message — rejection is not

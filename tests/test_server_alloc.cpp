@@ -14,6 +14,7 @@
 #include <thread>
 #include <vector>
 
+#include "amopt/common/parallel.hpp"
 #include "amopt/pricing/pricer.hpp"
 #include "amopt/service/server.hpp"
 #include "amopt/service/transport.hpp"
@@ -47,8 +48,12 @@ using namespace amopt::service;
 }
 
 TEST(ServerAlloc, SteadyStateSubmitPathIsAllocationFree) {
+  // Width 1 pins every shard drain to the pool's single housekeeping
+  // worker, so exactly one thread arena warms up and stays warm — the
+  // counter then measures the hot path, not scheduler placement.
+  ThreadScope width(1);
   ServerConfig cfg;
-  cfg.pricer.parallel = false;  // the shard thread serves items serially
+  cfg.pricer.parallel = false;  // the shard drain serves items serially
   cfg.coalesce_window_us = 0;
   Server server(cfg);
 
@@ -83,6 +88,7 @@ TEST(ServerAlloc, SteadyStateWireRoundTripIsAllocationFree) {
   // The full daemon loop over the loopback transport: encode on the
   // client, decode + coalesce + price + encode on the daemon, decode the
   // reply on the client — all through reused buffers on both sides.
+  ThreadScope width(1);  // one drain worker, one warm arena (see above)
   ServerConfig cfg;
   cfg.pricer.parallel = false;
   cfg.coalesce_window_us = 0;

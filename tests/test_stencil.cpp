@@ -10,6 +10,7 @@
 #include <random>
 #include <vector>
 
+#include "amopt/core/task_pool.hpp"
 #include "amopt/fft/convolution.hpp"
 #include "amopt/poly/poly_power.hpp"
 #include "amopt/stencil/kernel_cache.hpp"
@@ -80,14 +81,13 @@ TEST(KernelCache, ReturnsStableSpans) {
 TEST(KernelCache, ConcurrentRequestsAgree) {
   stencil::KernelCache cache({{0.2, 0.5, 0.29}, 0});
   std::atomic<int> mismatches{0};
-#pragma omp parallel for
-  for (int t = 0; t < 64; ++t) {
+  core::TaskPool::instance().for_each(64, [&](std::size_t t) {
     const auto k = cache.power(static_cast<std::uint64_t>(16 + t % 4));
     const auto ref = poly::power(std::vector<double>{0.2, 0.5, 0.29},
                                  static_cast<std::uint64_t>(16 + t % 4));
     for (std::size_t i = 0; i < ref.size(); ++i)
       if (std::abs(k[i] - ref[i]) > 1e-12) mismatches.fetch_add(1);
-  }
+  });
   EXPECT_EQ(mismatches.load(), 0);
 }
 
