@@ -18,6 +18,9 @@
 //                      (decode -> coalesce -> price -> encode) of a
 //                      boundary-engine chain over the loopback transport;
 //                      the service plane pins this at exactly zero.
+//   shed-p99-us      — p99 latency of an admission-SHED submit (the
+//                      overload defense of DESIGN.md §11): reject, fill
+//                      the fixed hint, complete — no pricing, no heap.
 //
 // The coalesced results are verified bit-identical against a direct
 // `Pricer::price_many` of the same merged batch before timing counts —
@@ -192,6 +195,46 @@ struct Latency {
   return ms;
 }
 
+/// p99 latency of a SHED request (the failure plane, DESIGN.md §11): with
+/// the scratch admission ceiling set below any real footprint, every
+/// submit after the first is rejected at admission with `overloaded` and a
+/// fixed hint literal. Shedding is the daemon's defense under overload —
+/// it must stay orders of magnitude cheaper than pricing, and CI holds its
+/// p99 under a fixed budget (check_bench --latency-budget).
+[[nodiscard]] double measure_shed_p99(std::int64_t T, int samples) {
+  ServerConfig cfg;
+  cfg.coalesce_window_us = 0;
+  cfg.admit_scratch_bytes = 1;  // below any published footprint: all shed
+  Server server(cfg);
+  PricingRequest q;
+  q.spec = paper_spec();
+  q.T = T;
+  PricingResult out;
+  Server::Batch done;
+  // The first submit is admitted (the ceiling compares against the shard's
+  // last-published snapshot, initially zero) and publishes a real scratch
+  // figure; everything after is rejected before it touches a queue.
+  server.submit({&q, 1}, &out, done);
+  done.wait();
+  for (int i = 0; i < 8; ++i) {  // warm the rejection path
+    server.submit({&q, 1}, &out, done);
+    done.wait();
+  }
+  if (out.status != Status::overloaded) {
+    std::fprintf(stderr, "micro_server: shed warm-up was not rejected\n");
+    std::exit(1);
+  }
+  std::vector<double> us(static_cast<std::size_t>(samples));
+  for (int i = 0; i < samples; ++i) {
+    WallTimer t;
+    server.submit({&q, 1}, &out, done);
+    done.wait();
+    us[static_cast<std::size_t>(i)] = t.seconds() * 1e6;
+  }
+  std::sort(us.begin(), us.end());
+  return us[us.size() - 1 - us.size() / 100];
+}
+
 /// Heap allocations of one steady-state wire round trip (boundary-engine
 /// chain over the loopback): mirrors tests/test_server_alloc.cpp so CI can
 /// guard allocs-steady=0 from the bench artifact too.
@@ -263,7 +306,7 @@ int main() {
       "(ms/tick), and heap allocations per steady wire round trip",
       "microseconds / quotes-per-second / ms / allocations",
       {"p50-us", "p99-us", "qps-1shard", "qps-4shard", "coalesce-off",
-       "coalesce-on", "coalesce-x", "allocs-steady"});
+       "coalesce-on", "coalesce-x", "allocs-steady", "shed-p99-us"});
 
   std::vector<std::int64_t> ts;
   std::vector<std::vector<double>> rows;
@@ -275,9 +318,10 @@ int main() {
     const double off_ms = measure_tick_ms(T, /*coalesce=*/false, ticks, tick);
     const double on_ms = measure_tick_ms(T, /*coalesce=*/true, ticks, tick);
     const double allocs = measure_allocs_steady();
+    const double shed_p99 = measure_shed_p99(T, samples);
     ts.push_back(T);
     rows.push_back({lat.p50_us, lat.p99_us, qps1, qps4, off_ms, on_ms,
-                    off_ms / on_ms, allocs});
+                    off_ms / on_ms, allocs, shed_p99});
     bench::print_row(T, rows.back());
   }
 
@@ -287,7 +331,7 @@ int main() {
                       "us/qps/ms/allocs (see series)",
                       {"p50-us", "p99-us", "qps-1shard", "qps-4shard",
                        "coalesce-off", "coalesce-on", "coalesce-x",
-                       "allocs-steady"},
+                       "allocs-steady", "shed-p99-us"},
                       ts, rows);
   }
   return 0;

@@ -1,14 +1,13 @@
-// A minimal daemon client: talk to an in-process pricing `Server` over
-// the loopback `Transport` pair using the versioned wire format — the
-// exact code an out-of-process client would run against the TCP
-// transport, with only `loopback_pair()` swapped for `tcp_connect()`.
-//
-// The flow is the service plane end to end (DESIGN.md §8): encode a
-// request batch into a length-prefixed frame, write it, read the reply
-// stream until one complete result frame decodes, and fan the per-item
-// Status back out. A second round trip reuses every buffer — at steady
-// state neither side of the loopback allocates.
+// The daemon client done right: `service::Client` instead of hand-rolled
+// framing. The client owns the failure plane (DESIGN.md §11) — per-call
+// deadlines, bounded exponential backoff with jitter when the server says
+// `overloaded`, automatic reconnect with whole-frame resubmission — so
+// application code sees exactly one terminal Status per request and never
+// hangs. Swap the `connect` lambda for
+// `[&] { return tcp_connect("127.0.0.1", port); }` and the same code runs
+// against an out-of-process daemon.
 
+#include <chrono>
 #include <cstdio>
 #include <thread>
 #include <vector>
@@ -25,8 +24,24 @@ int main(int argc, char** argv) {
   ServerConfig cfg;
   cfg.shards = 2;
   Server server(cfg);
-  auto [client, daemon] = loopback_pair();
-  std::thread conn([&server, t = daemon.get()] { server.serve(*t); });
+  auto [client_end, daemon_end] = loopback_pair();
+  std::thread conn([&server, t = daemon_end.get()] { server.serve(*t); });
+
+  // The retry knobs, spelled out. `connect` is called once up front and
+  // again after any transport failure; attempts bound how often a frame
+  // is (re)sent; the backoff pair bounds how long overloaded items wait
+  // between tries; the deadline makes every call terminal.
+  ClientConfig ccfg;
+  auto endpoint = std::make_shared<std::unique_ptr<Transport>>(
+      std::move(client_end));
+  ccfg.connect = [endpoint] {
+    return std::move(*endpoint);  // loopback: the one pre-connected endpoint
+  };
+  ccfg.max_attempts = 4;
+  ccfg.backoff_initial = std::chrono::microseconds(500);
+  ccfg.backoff_max = std::chrono::milliseconds(100);
+  ccfg.default_deadline = std::chrono::seconds(30);
+  Client client(std::move(ccfg));
 
   // An 8-strike put chain plus one deliberately unsupported request: the
   // daemon answers it with a per-item Status, never a dropped connection.
@@ -48,32 +63,9 @@ int main(int argc, char** argv) {
     chain.push_back(bad);
   }
 
-  std::vector<std::byte> frame;
-  std::vector<std::byte> inbuf(std::size_t{1} << 16);
   std::vector<PricingResult> results;
-  const auto round_trip = [&] {
-    frame.clear();
-    wire::encode_request_batch(chain, frame);
-    if (!client->write_all(frame)) return false;
-    std::size_t have = 0;
-    for (;;) {
-      std::size_t consumed = 0;
-      const wire::DecodeError e =
-          wire::decode_result_batch({inbuf.data(), have}, results, consumed);
-      if (e == wire::DecodeError::ok) return true;
-      if (e != wire::DecodeError::need_more) return false;
-      const std::size_t n =
-          client->read_some({inbuf.data() + have, inbuf.size() - have});
-      if (n == 0) return false;
-      have += n;
-    }
-  };
-
   amopt::WallTimer timer;
-  if (!round_trip()) {
-    std::fprintf(stderr, "quote_client: round trip failed\n");
-    return 1;
-  }
+  client.price_many(chain, results);
   const double cold = timer.seconds();
 
   std::printf("American put chain over the wire (T=%lld steps/contract)\n",
@@ -90,20 +82,22 @@ int main(int argc, char** argv) {
   }
 
   timer.reset();
-  if (!round_trip()) {
-    std::fprintf(stderr, "quote_client: warm round trip failed\n");
-    return 1;
-  }
+  client.price_many(chain, results);  // warm: every buffer reused
   const double warm = timer.seconds();
 
+  const CallStats& cs = client.last_call();
   const Server::Stats st = server.stats();
   std::printf("cold round trip %.3f ms, warm %.3f ms "
-              "(%llu quote(s) over %llu batch(es) across %zu shard(s))\n",
+              "(%llu quote(s) over %llu batch(es) across %zu shard(s); "
+              "%llu attempt(s), %llu reconnect(s), %llu us backing off)\n",
               cold * 1e3, warm * 1e3,
               static_cast<unsigned long long>(st.completed),
-              static_cast<unsigned long long>(st.batches), st.shard.size());
+              static_cast<unsigned long long>(st.batches), st.shard.size(),
+              static_cast<unsigned long long>(cs.attempts),
+              static_cast<unsigned long long>(cs.reconnects),
+              static_cast<unsigned long long>(cs.backoff_total_us));
 
-  client->close();
+  client.disconnect();
   conn.join();
   return 0;
 }

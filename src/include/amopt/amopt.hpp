@@ -32,6 +32,8 @@
 #include "amopt/pricing/request.hpp"
 #include "amopt/pricing/topm.hpp"
 #include "amopt/baselines/baselines.hpp"
+#include "amopt/service/client.hpp"
+#include "amopt/service/fault.hpp"
 #include "amopt/service/server.hpp"
 #include "amopt/service/transport.hpp"
 #include "amopt/service/wire.hpp"

@@ -36,6 +36,10 @@ enum class Status {
   overloaded,          ///< the service plane's admission control rejected the
                        ///< item instead of queueing it unboundedly; `message`
                        ///< carries a retry hint (see service/server.hpp)
+  deadline_exceeded,   ///< the request's deadline passed before it was priced
+                       ///< (shed by the server's coalescing drain, or given up
+                       ///< on by the client) — a stale quote is worse than no
+                       ///< quote, so nothing was computed
 };
 
 [[nodiscard]] std::string_view to_string(Status s);

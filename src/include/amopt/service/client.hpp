@@ -1,0 +1,122 @@
+#pragma once
+// W6: the retrying pricing client (DESIGN.md §11).
+//
+// `Client` is the caller-side half of the failure plane: it speaks the
+// framed wire format over any `Transport` factory and turns a flaky
+// connection into per-item TERMINAL outcomes. The contract:
+//
+//  * **Callers never hang.** Every `price_many` call accepts a deadline
+//    (per call, or the config default); reads are bounded by the remaining
+//    budget via `Transport::read_some_for`, and when the budget is gone
+//    every unresolved item completes with `Status::deadline_exceeded`.
+//  * **Every item ends exactly once**, with one of: `ok` (or a per-item
+//    pricing status from the server — `error`, `unsupported`,
+//    `failed_to_converge`), `overloaded` (the server's retry hints were
+//    honored and still exhausted), `deadline_exceeded`, or `error` with a
+//    transport diagnostic when the connection could not be made to work.
+//  * **Retries honor the server's hints.** `overloaded` items are re-sent
+//    after bounded exponential backoff with deterministic jitter
+//    (splitmix64 off `jitter_seed` — reproducible in tests); other
+//    statuses are never retried (pricing is deterministic: resubmitting a
+//    `Status::error` request would return the same error).
+//  * **Reconnect resubmits whole frames.** On any transport failure,
+//    timeout, or decode error the connection is DROPPED (a late reply to
+//    an abandoned frame must never be mistaken for the answer to a new
+//    one) and the still-pending items are re-encoded as a fresh v2 frame
+//    with a bumped `attempt` header. Pricing is idempotent — a request
+//    the server already priced before the connection died is simply
+//    priced again — so resubmission needs no sequence numbers.
+//
+// Frames go out as wire v2: each item carries its remaining deadline
+// budget (microseconds, relative — no clock sync with the server) so the
+// server's coalescing drain can shed items that went stale in its queue.
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "amopt/pricing/request.hpp"
+#include "amopt/service/transport.hpp"
+
+namespace amopt::service {
+
+namespace detail {
+/// Backoff before resubmission `attempt` (1-based): min(max_us,
+/// initial_us << (attempt-1)), jittered to [50%, 100%] of that by one
+/// splitmix64 draw from `prng_state`. Exposed for direct unit testing.
+[[nodiscard]] std::uint64_t backoff_us(std::uint64_t initial_us,
+                                       std::uint64_t max_us, unsigned attempt,
+                                       std::uint64_t& prng_state);
+}  // namespace detail
+
+struct ClientConfig {
+  /// Returns a fresh connected transport, or null on failure (the client
+  /// backs off and tries again within the attempt/deadline budget). E.g.
+  /// `[&] { return tcp_connect("127.0.0.1", port); }`.
+  std::function<std::unique_ptr<Transport>()> connect;
+  /// Total frame transmissions per call, first try included. Attempts are
+  /// spent by overloaded-retries and by reconnects alike.
+  unsigned max_attempts = 4;
+  std::chrono::microseconds backoff_initial{500};
+  std::chrono::microseconds backoff_max{100000};
+  std::uint64_t jitter_seed = 1;
+  /// Applied when `price_many` is called without an explicit deadline;
+  /// zero means no deadline (the call may block until the server answers
+  /// or the transport fails).
+  std::chrono::microseconds default_deadline{0};
+};
+
+/// What the last `price_many` call did (observability + test assertions).
+struct CallStats {
+  std::uint64_t attempts = 0;       ///< frames transmitted
+  std::uint64_t reconnects = 0;     ///< fresh transports dialed after the first
+  std::uint64_t retried_items = 0;  ///< item transmissions beyond the first
+  std::uint64_t backoff_total_us = 0;  ///< time slept between attempts
+};
+
+/// One connection at a time, reused across calls while it stays healthy.
+/// Not thread-safe: one `Client` per calling thread (cheap — state is a
+/// transport and some reused buffers).
+class Client {
+ public:
+  explicit Client(ClientConfig cfg);
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Price `requests`, resizing `out` (capacity reused across calls) so
+  /// `out[i]` is requests[i]'s terminal outcome. Never throws on
+  /// transport trouble — failures land in per-item statuses. Returns true
+  /// iff every item ended `ok`.
+  bool price_many(std::span<const pricing::PricingRequest> requests,
+                  std::vector<pricing::PricingResult>& out);
+  bool price_many(std::span<const pricing::PricingRequest> requests,
+                  std::vector<pricing::PricingResult>& out,
+                  std::chrono::microseconds deadline);
+
+  [[nodiscard]] const CallStats& last_call() const noexcept { return stats_; }
+
+  /// Drop the current connection (the next call dials a fresh one).
+  void disconnect();
+
+ private:
+  [[nodiscard]] bool ensure_connected();
+
+  ClientConfig cfg_;
+  std::uint64_t prng_state_;
+  std::unique_ptr<Transport> conn_;
+  CallStats stats_;
+  // Reused per-call buffers (steady-state calls allocate only for result
+  // messages, matching the daemon-side discipline).
+  std::vector<std::byte> out_buf_;
+  std::vector<std::byte> in_buf_;
+  std::vector<pricing::PricingRequest> frame_reqs_;
+  std::vector<std::uint64_t> frame_deadlines_;
+  std::vector<pricing::PricingResult> frame_results_;
+  std::vector<std::size_t> pending_;
+};
+
+}  // namespace amopt::service

@@ -1,0 +1,89 @@
+#pragma once
+// W5: deterministic fault injection for the failure plane (DESIGN.md §11).
+//
+// `FaultInjectingTransport` decorates any `Transport` (loopback or TCP)
+// and injects the failure modes a pricing daemon actually meets in the
+// wild — corrupted bytes, truncated frames, writes shredded into short
+// reads, delivery delays, and hard mid-message closes — on a schedule
+// driven ONLY by a seeded splitmix64 PRNG. The same seed over the same
+// operation sequence reproduces the same faults on every run and every
+// machine; nothing consults the clock to decide WHETHER to misbehave
+// (delays change timing, never the fault schedule), which is what lets
+// the chaos soak (tests/test_chaos.cpp) assert exact outcomes under TSan.
+//
+// The decorator models the NETWORK, not the peer: a corrupted byte is
+// what a broken middlebox or flipped bit produces, a truncate+close is a
+// peer dying mid-send, shredded writes are TCP segmentation. The layers
+// above must cope — the wire decoders by returning a `DecodeError`, the
+// server's serve() loop by answering a diagnostic and dropping the
+// connection, the client by reconnecting and resubmitting.
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "amopt/service/transport.hpp"
+
+namespace amopt::service {
+
+/// Per-operation fault probabilities, each in [0, 1]. All default to 0, so
+/// a default FaultConfig is a transparent pass-through decorator.
+struct FaultConfig {
+  std::uint64_t seed = 1;     ///< PRNG seed; same seed => same schedule
+  double corrupt_byte = 0.0;  ///< per write: flip one payload byte
+  double truncate_write = 0.0;  ///< per write: deliver a prefix, hard-close
+  double shred_write = 0.0;   ///< per write: split into tiny segments so
+                              ///< the peer sees many short reads
+  double drop_close = 0.0;    ///< per read: hard-close instead of reading
+  double delay = 0.0;         ///< per read/write: sleep `delay_us` first
+  std::chrono::microseconds delay_us{200};
+};
+
+/// Counts of faults actually injected (for test assertions and for
+/// logging what a soak run did).
+struct FaultCounters {
+  std::uint64_t writes = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t corrupted = 0;
+  std::uint64_t truncated = 0;
+  std::uint64_t shredded = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t delayed = 0;
+};
+
+/// Not thread-safe across concurrent read/write (one PRNG stream feeds
+/// both): drive each decorated end from a single thread at a time, which
+/// is how the daemon and the client use transports anyway.
+class FaultInjectingTransport final : public Transport {
+ public:
+  FaultInjectingTransport(std::unique_ptr<Transport> inner, FaultConfig cfg);
+  ~FaultInjectingTransport() override;
+
+  [[nodiscard]] std::size_t read_some(std::span<std::byte> dst) override;
+  [[nodiscard]] std::size_t read_some_for(std::span<std::byte> dst,
+                                          std::chrono::microseconds timeout,
+                                          bool& timed_out) override;
+  [[nodiscard]] bool write_all(std::span<const std::byte> src) override;
+  void close() override;
+
+  [[nodiscard]] const FaultCounters& counters() const noexcept {
+    return counters_;
+  }
+
+ private:
+  [[nodiscard]] double next_unit();  ///< uniform in [0, 1)
+  [[nodiscard]] std::uint64_t next_u64();
+  void maybe_delay();
+  /// Draws the write-fault plan (in fixed PRNG order) and applies it.
+  [[nodiscard]] bool write_with_faults(std::span<const std::byte> src);
+
+  std::unique_ptr<Transport> inner_;
+  FaultConfig cfg_;
+  std::uint64_t state_;
+  FaultCounters counters_;
+  bool dead_ = false;  ///< a hard-close fault was injected
+};
+
+}  // namespace amopt::service

@@ -40,6 +40,8 @@
 // immediately with `Status::overloaded` and a retry hint in `message` —
 // the caller sheds load; the daemon never grows without bound.
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
@@ -120,6 +122,17 @@ class Server {
   void submit(std::span<const pricing::PricingRequest> requests,
               pricing::PricingResult* out, Batch& done);
 
+  /// Deadline-aware submit (the failure plane, DESIGN.md §11):
+  /// `deadlines[i]` is requests[i]'s absolute cutoff (`time_point::max()`
+  /// = none; `deadlines` may be null = all unbounded). An item whose
+  /// deadline passes while it sits in a shard queue is SHED by the drain
+  /// before pricing — it completes with `Status::deadline_exceeded` and
+  /// counts toward `Stats::deadline_shed`. Stale quotes are worse than no
+  /// quotes: the cycles go to requests someone still wants.
+  void submit(std::span<const pricing::PricingRequest> requests,
+              const std::chrono::steady_clock::time_point* deadlines,
+              pricing::PricingResult* out, Batch& done);
+
   /// Synchronous submit: resizes `out` (capacity reused) and waits.
   void price_into(std::span<const pricing::PricingRequest> requests,
                   std::vector<pricing::PricingResult>& out);
@@ -135,6 +148,15 @@ class Server {
   [[nodiscard]] std::size_t shard_of(
       const pricing::PricingRequest& request) const noexcept;
 
+  /// Per-shard failure/admission counters (the failure plane's
+  /// observability surface — what the chaos soak asserts against).
+  struct ShardCounters {
+    std::uint64_t accepted = 0;
+    std::uint64_t rejected = 0;       ///< admission-control sheds
+    std::uint64_t deadline_shed = 0;  ///< expired in queue, shed pre-pricing
+    std::uint64_t drain_shed = 0;     ///< shed by stop(grace) after the grace
+  };
+
   struct Stats {
     std::uint64_t submitted = 0;  ///< items accepted into a shard queue
     std::uint64_t rejected = 0;   ///< items refused by admission control
@@ -142,7 +164,15 @@ class Server {
     /// served them; `completed / batches` is the realized merge factor.
     std::uint64_t completed = 0;
     std::uint64_t batches = 0;
+    std::uint64_t deadline_shed = 0;  ///< sum of ShardCounters::deadline_shed
+    std::uint64_t drain_shed = 0;     ///< sum of ShardCounters::drain_shed
+    /// Connection-level counters from `serve()`: malformed frames
+    /// answered-and-dropped, and request frames that arrived with a
+    /// nonzero v2 `attempt` header (a client retrying).
+    std::uint64_t decode_errors = 0;
+    std::uint64_t retries_observed = 0;
     std::vector<pricing::Pricer::Stats> shard;  ///< per-shard sessions
+    std::vector<ShardCounters> shard_counters;  ///< per-shard failure plane
   };
   [[nodiscard]] Stats stats() const;
 
@@ -150,11 +180,23 @@ class Server {
   /// shard's drain task has disarmed. Idempotent; the destructor calls it.
   void stop();
 
+  /// Bounded-grace stop: like stop(), but if the shards are not quiet
+  /// once `grace` elapses, the remaining QUEUED items are shed with
+  /// `Status::overloaded` (counted as `drain_shed`) instead of priced.
+  /// A `price_many` already in flight always completes — the bound is on
+  /// queue drain, not on interrupting compute. Every submitted item still
+  /// reaches exactly one terminal status before this returns.
+  void stop(std::chrono::microseconds grace);
+
   [[nodiscard]] const ServerConfig& config() const noexcept { return cfg_; }
 
  private:
+  void stop_impl(const std::chrono::microseconds* grace);
+
   ServerConfig cfg_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::uint64_t> decode_errors_{0};
+  std::atomic<std::uint64_t> retries_observed_{0};
 };
 
 }  // namespace amopt::service

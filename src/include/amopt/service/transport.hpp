@@ -9,6 +9,8 @@
 // drive exactly like a socket; `TcpListener`/`tcp_connect` provide the
 // plain-TCP production transport over the same interface.
 
+#include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -30,6 +32,21 @@ class Transport {
   /// (clean EOF) — a transport error reads as EOF too, the framing layer
   /// treats both as end-of-stream.
   [[nodiscard]] virtual std::size_t read_some(std::span<std::byte> dst) = 0;
+
+  /// read_some with an upper bound on the wait: returns 0 with
+  /// `timed_out == true` when `timeout` elapses before any byte arrives
+  /// (the stream is still usable), otherwise behaves exactly like
+  /// read_some with `timed_out == false`. The retrying client uses this to
+  /// honor per-call deadlines instead of hanging on a silent peer. The
+  /// base implementation ignores the timeout (plain blocking read) so
+  /// decorators without a native timeout remain correct, merely unbounded.
+  [[nodiscard]] virtual std::size_t read_some_for(
+      std::span<std::byte> dst, std::chrono::microseconds timeout,
+      bool& timed_out) {
+    (void)timeout;
+    timed_out = false;
+    return read_some(dst);
+  }
 
   /// Write the whole span (blocking). False when the peer is gone.
   [[nodiscard]] virtual bool write_all(std::span<const std::byte> src) = 0;
@@ -67,7 +84,9 @@ class TcpListener {
   void close();
 
  private:
-  int fd_ = -1;
+  // Atomic: close() runs on a controller thread while accept() blocks on
+  // an acceptor thread (the shutdown() call is what unblocks it).
+  std::atomic<int> fd_{-1};
   std::uint16_t port_ = 0;
 };
 

@@ -25,6 +25,7 @@ std::string_view to_string(Status s) {
     case Status::failed_to_converge: return "failed-to-converge";
     case Status::error: return "error";
     case Status::overloaded: return "overloaded";
+    case Status::deadline_exceeded: return "deadline-exceeded";
   }
   return "?";
 }
@@ -268,6 +269,20 @@ namespace {
   if ((compute &
        ~(Compute::price | Compute::greeks | Compute::implied_vol)) != 0u)
     return "amopt: unknown bits in the compute mask";
+  // Finiteness first: a NaN or Inf in ANY numeric field must become a
+  // per-item error here, at the session boundary, instead of propagating
+  // through exp/log into the solvers and coming back out as a NaN price
+  // with Status::ok. The positivity comparisons below reject NaN too, but
+  // only for the fields they cover — R and Y are sign-free, so without an
+  // explicit finiteness check a NaN rate flows straight into the lattice
+  // drift.
+  if (!std::isfinite(req.spec.S)) return "amopt: non-finite spot S";
+  if (!std::isfinite(req.spec.K)) return "amopt: non-finite strike K";
+  if (!std::isfinite(req.spec.R)) return "amopt: non-finite rate R";
+  if (!std::isfinite(req.spec.V)) return "amopt: non-finite volatility V";
+  if (!std::isfinite(req.spec.Y)) return "amopt: non-finite yield Y";
+  if (!std::isfinite(req.spec.expiry_years))
+    return "amopt: non-finite expiry_years";
   if (!(req.spec.S > 0.0) || !(req.spec.K > 0.0) || !(req.spec.V > 0.0) ||
       !(req.spec.expiry_years > 0.0))
     return "amopt: invalid option spec (need S, K, V, expiry_years > 0)";
@@ -280,8 +295,12 @@ namespace {
     return "amopt: greeks need T >= 2";
   if ((compute & Compute::implied_vol) != 0u) {
     if (req.T < 1) return "amopt: implied vol needs T >= 1";
+    if (!std::isfinite(req.target_price))
+      return "amopt: non-finite implied-vol target price";
     // Mirrors the free functions' AMOPT_EXPECTS on the bracket; NaNs fail.
-    if (!(req.iv.vol_lo > 0.0) || !(req.iv.vol_hi > req.iv.vol_lo))
+    // Infinite vol_hi would feed Inf trial vols into the pricers.
+    if (!(req.iv.vol_lo > 0.0) || !(req.iv.vol_hi > req.iv.vol_lo) ||
+        !std::isfinite(req.iv.vol_hi))
       return "amopt: invalid implied-vol bracket (need 0 < vol_lo < vol_hi)";
   }
   return {};

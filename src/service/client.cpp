@@ -1,0 +1,218 @@
+#include "amopt/service/client.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <string_view>
+#include <thread>
+#include <utility>
+
+#include "amopt/service/wire.hpp"
+
+namespace amopt::service {
+
+namespace detail {
+
+namespace {
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+std::uint64_t backoff_us(std::uint64_t initial_us, std::uint64_t max_us,
+                         unsigned attempt, std::uint64_t& prng_state) {
+  if (initial_us == 0 || attempt == 0) return 0;
+  // Saturating doubling: initial << (attempt-1), capped at max_us.
+  std::uint64_t base = initial_us;
+  for (unsigned i = 1; i < attempt && base < max_us; ++i) base *= 2;
+  base = std::min(base, max_us);
+  // Jitter to [50%, 100%]: desynchronizes a fleet of clients retrying
+  // against the same overloaded shard without ever collapsing to zero.
+  const double u =
+      static_cast<double>(splitmix64(prng_state) >> 11) * 0x1.0p-53;
+  return static_cast<std::uint64_t>(static_cast<double>(base) *
+                                    (0.5 + 0.5 * u));
+}
+
+}  // namespace detail
+
+namespace {
+
+using pricing::PricingRequest;
+using pricing::PricingResult;
+using pricing::Status;
+
+// Static terminal diagnostics: the failure paths must not mint strings.
+constexpr std::string_view kMsgTransport =
+    "amopt: client: transport failed and retry budget is exhausted";
+constexpr std::string_view kMsgDeadline =
+    "amopt: client: deadline expired before a terminal reply";
+
+// Terminal fill that reuses the result's message capacity (never
+// `r = PricingResult{}`, which would free it).
+void fill_terminal(PricingResult& r, Status s, std::string_view msg) {
+  r.status = s;
+  r.message.assign(msg.data(), msg.size());
+  r.price = std::numeric_limits<double>::quiet_NaN();
+  r.greeks = {};
+  r.implied_vol = {};
+  r.error = nullptr;
+}
+
+}  // namespace
+
+Client::Client(ClientConfig cfg)
+    : cfg_(std::move(cfg)), prng_state_(cfg_.jitter_seed) {}
+
+Client::~Client() { disconnect(); }
+
+void Client::disconnect() {
+  if (conn_) {
+    conn_->close();
+    conn_.reset();
+  }
+}
+
+bool Client::ensure_connected() {
+  if (conn_) return true;
+  if (!cfg_.connect) return false;
+  conn_ = cfg_.connect();
+  return conn_ != nullptr;
+}
+
+bool Client::price_many(std::span<const PricingRequest> requests,
+                        std::vector<PricingResult>& out) {
+  return price_many(requests, out, cfg_.default_deadline);
+}
+
+bool Client::price_many(std::span<const PricingRequest> requests,
+                        std::vector<PricingResult>& out,
+                        std::chrono::microseconds deadline) {
+  using clock = std::chrono::steady_clock;
+  stats_ = CallStats{};
+  out.resize(requests.size());
+  if (requests.empty()) return true;
+
+  const bool bounded = deadline.count() > 0;
+  const clock::time_point cutoff = clock::now() + deadline;
+  // Remaining budget in microseconds; huge when unbounded, 0 once spent.
+  const auto remaining_us = [&]() -> std::uint64_t {
+    if (!bounded) return 0;  // wire encoding: 0 = no deadline
+    const auto left = std::chrono::duration_cast<std::chrono::microseconds>(
+        cutoff - clock::now());
+    return left.count() > 0 ? static_cast<std::uint64_t>(left.count()) : 0;
+  };
+  const auto expired = [&] { return bounded && clock::now() >= cutoff; };
+
+  // Until an item is answered it wears the transport diagnostic, so every
+  // exit path leaves a terminal status behind.
+  for (PricingResult& r : out) fill_terminal(r, Status::error, kMsgTransport);
+
+  pending_.resize(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) pending_[i] = i;
+
+  for (unsigned attempt = 0; !pending_.empty(); ++attempt) {
+    if (expired()) break;
+    if (attempt >= cfg_.max_attempts) break;
+    if (attempt > 0) {
+      std::uint64_t nap = detail::backoff_us(
+          static_cast<std::uint64_t>(cfg_.backoff_initial.count()),
+          static_cast<std::uint64_t>(cfg_.backoff_max.count()), attempt,
+          prng_state_);
+      if (bounded) nap = std::min(nap, remaining_us());
+      if (nap > 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(nap));
+        stats_.backoff_total_us += nap;
+      }
+      if (expired()) break;
+    }
+
+    if (!ensure_connected()) {
+      ++stats_.reconnects;
+      continue;  // connect failure spends an attempt via the loop counter
+    }
+
+    // One v2 frame carrying exactly the still-pending items, each with
+    // its remaining budget so the server can shed stale ones pre-pricing.
+    frame_reqs_.clear();
+    frame_deadlines_.clear();
+    const std::uint64_t budget = remaining_us();
+    for (const std::size_t i : pending_) {
+      frame_reqs_.push_back(requests[i]);
+      frame_deadlines_.push_back(budget);
+    }
+    out_buf_.clear();
+    wire::encode_request_batch_v2(
+        frame_reqs_, frame_deadlines_,
+        static_cast<std::uint8_t>(std::min(attempt, 255u)), out_buf_);
+    ++stats_.attempts;
+    if (attempt > 0) stats_.retried_items += pending_.size();
+
+    if (!conn_->write_all(out_buf_)) {
+      disconnect();  // never read a stale reply off a broken stream
+      ++stats_.reconnects;
+      continue;
+    }
+
+    // Read until one whole result frame decodes (or the stream fails).
+    in_buf_.clear();
+    std::size_t have = 0;
+    bool frame_ok = false;
+    for (;;) {
+      std::size_t consumed = 0;
+      const wire::DecodeError e = wire::decode_result_batch(
+          std::span<const std::byte>(in_buf_.data(), have), frame_results_,
+          consumed);
+      if (e == wire::DecodeError::ok) {
+        frame_ok = frame_results_.size() == frame_reqs_.size();
+        break;  // a count mismatch is protocol corruption: reconnect
+      }
+      if (e != wire::DecodeError::need_more) break;  // corrupt reply
+      if (expired()) break;
+      if (in_buf_.size() < have + 4096) in_buf_.resize(have + 4096);
+      const std::span<std::byte> dst(in_buf_.data() + have,
+                                     in_buf_.size() - have);
+      std::size_t n = 0;
+      if (bounded) {
+        bool timed_out = false;
+        n = conn_->read_some_for(
+            dst, std::chrono::microseconds(remaining_us()), timed_out);
+        if (timed_out) break;  // expired() turns true on the next check
+      } else {
+        n = conn_->read_some(dst);
+      }
+      if (n == 0) break;  // EOF / transport error
+      have += n;
+    }
+    if (!frame_ok) {
+      disconnect();
+      ++stats_.reconnects;
+      continue;
+    }
+
+    // Scatter the replies; only `overloaded` items stay pending (the
+    // server's explicit try-again-later — everything else is terminal).
+    std::size_t kept = 0;
+    for (std::size_t j = 0; j < pending_.size(); ++j) {
+      const std::size_t i = pending_[j];
+      out[i] = std::move(frame_results_[j]);
+      if (out[i].status == Status::overloaded) pending_[kept++] = i;
+    }
+    pending_.resize(kept);
+  }
+
+  // Whatever is still pending gets its terminal status now: the deadline
+  // if it ran out, otherwise the server's own overloaded verdict (kept as
+  // scattered), otherwise the transport placeholder already in place.
+  if (!pending_.empty() && expired())
+    for (const std::size_t i : pending_)
+      fill_terminal(out[i], Status::deadline_exceeded, kMsgDeadline);
+
+  pending_.clear();
+  return std::all_of(out.begin(), out.end(),
+                     [](const PricingResult& r) { return r.ok(); });
+}
+
+}  // namespace amopt::service

@@ -1,0 +1,137 @@
+#include "amopt/service/fault.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+namespace amopt::service {
+
+namespace {
+
+// splitmix64 (Steele/Lea/Flood): tiny, fast, and — unlike std::mt19937 —
+// bit-identical across standard libraries, which the fixed-seed soak
+// assertions depend on.
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+FaultInjectingTransport::FaultInjectingTransport(
+    std::unique_ptr<Transport> inner, FaultConfig cfg)
+    : inner_(std::move(inner)), cfg_(cfg), state_(cfg.seed) {}
+
+FaultInjectingTransport::~FaultInjectingTransport() { close(); }
+
+std::uint64_t FaultInjectingTransport::next_u64() {
+  return splitmix64(state_);
+}
+
+double FaultInjectingTransport::next_unit() {
+  // 53 random bits -> [0, 1): every double in the range is reachable and
+  // the mapping is the same on every platform.
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+void FaultInjectingTransport::maybe_delay() {
+  // The PRNG draw happens unconditionally so the fault schedule depends
+  // only on the operation sequence, never on whether delays are enabled.
+  const bool fire = next_unit() < cfg_.delay;
+  if (fire && cfg_.delay_us.count() > 0) {
+    ++counters_.delayed;
+    std::this_thread::sleep_for(cfg_.delay_us);
+  }
+}
+
+std::size_t FaultInjectingTransport::read_some(std::span<std::byte> dst) {
+  ++counters_.reads;
+  if (dead_) return 0;
+  // Fixed draw order per read: drop?, delay?.
+  const bool drop = next_unit() < cfg_.drop_close;
+  maybe_delay();
+  if (drop) {
+    ++counters_.dropped;
+    close();
+    return 0;
+  }
+  return inner_->read_some(dst);
+}
+
+std::size_t FaultInjectingTransport::read_some_for(
+    std::span<std::byte> dst, std::chrono::microseconds timeout,
+    bool& timed_out) {
+  timed_out = false;
+  ++counters_.reads;
+  if (dead_) return 0;
+  const bool drop = next_unit() < cfg_.drop_close;
+  maybe_delay();
+  if (drop) {
+    ++counters_.dropped;
+    close();
+    return 0;
+  }
+  return inner_->read_some_for(dst, timeout, timed_out);
+}
+
+bool FaultInjectingTransport::write_all(std::span<const std::byte> src) {
+  ++counters_.writes;
+  if (dead_) return false;
+  return write_with_faults(src);
+}
+
+bool FaultInjectingTransport::write_with_faults(
+    std::span<const std::byte> src) {
+  // Fixed draw order per write: corrupt?, truncate?, shred?, delay?, then
+  // any fault-parameter draws. Drawing everything up front keeps the
+  // schedule a pure function of (seed, op index).
+  const bool corrupt = next_unit() < cfg_.corrupt_byte && !src.empty();
+  const bool truncate = next_unit() < cfg_.truncate_write && !src.empty();
+  const bool shred = next_unit() < cfg_.shred_write && src.size() > 1;
+  maybe_delay();
+
+  std::vector<std::byte> scratch;
+  std::span<const std::byte> payload = src;
+  if (corrupt) {
+    ++counters_.corrupted;
+    scratch.assign(src.begin(), src.end());
+    const std::size_t at = next_u64() % scratch.size();
+    // XOR with a nonzero byte guarantees the value actually changes.
+    const auto flip = static_cast<unsigned char>(1 + next_u64() % 255);
+    scratch[at] = static_cast<std::byte>(
+        static_cast<unsigned char>(scratch[at]) ^ flip);
+    payload = scratch;
+  }
+  if (truncate) {
+    ++counters_.truncated;
+    // Deliver a strict prefix (possibly empty), then die mid-message.
+    const std::size_t keep = next_u64() % payload.size();
+    const bool sent = keep == 0 || inner_->write_all(payload.first(keep));
+    (void)sent;  // the peer is getting a broken stream either way
+    close();
+    return false;
+  }
+  if (!shred) return inner_->write_all(payload);
+
+  ++counters_.shredded;
+  // Segment sizes 1..7 bytes: the peer's framing layer must reassemble a
+  // header/record from many short reads.
+  std::size_t off = 0;
+  while (off < payload.size()) {
+    const std::size_t n =
+        std::min<std::size_t>(1 + next_u64() % 7, payload.size() - off);
+    if (!inner_->write_all(payload.subspan(off, n))) return false;
+    off += n;
+  }
+  return true;
+}
+
+void FaultInjectingTransport::close() {
+  dead_ = true;
+  if (inner_) inner_->close();
+}
+
+}  // namespace amopt::service

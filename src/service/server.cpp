@@ -4,7 +4,9 @@
 #include <bit>
 #include <chrono>
 #include <cstring>
+#include <limits>
 #include <string>
+#include <string_view>
 #include <thread>
 
 #include "amopt/core/task_pool.hpp"
@@ -14,6 +16,38 @@ namespace amopt::service {
 
 using pricing::PricingRequest;
 using pricing::PricingResult;
+
+namespace {
+
+// Static shed diagnostics: load shedding is exactly when the daemon must
+// not mint strings, so every message on these paths is a fixed literal and
+// the fill below reuses the result's message capacity. (The legacy
+// `out[i] = PricingResult{};` idiom would free that capacity and put an
+// allocation back on the path — tests/test_server_alloc.cpp pins this.)
+constexpr std::string_view kShedStopping =
+    "overloaded: server stopping; retry after a backoff";
+constexpr std::string_view kShedQueueFull =
+    "overloaded: shard queue full; retry after a backoff";
+constexpr std::string_view kShedScratch =
+    "overloaded: shard scratch footprint over ceiling; retry after a backoff";
+constexpr std::string_view kShedSpectrum =
+    "overloaded: shard spectrum bytes over ceiling; retry after a backoff";
+constexpr std::string_view kShedDrain =
+    "overloaded: server draining; retry against another instance";
+constexpr std::string_view kShedDeadline =
+    "deadline exceeded: request went stale in the shard queue; "
+    "nothing was computed";
+
+void fill_shed(PricingResult& r, pricing::Status s, std::string_view msg) {
+  r.status = s;
+  r.message.assign(msg.data(), msg.size());
+  r.price = std::numeric_limits<double>::quiet_NaN();
+  r.greeks = {};
+  r.implied_vol = {};
+  r.error = nullptr;
+}
+
+}  // namespace
 
 /// One shard: a bounded MPSC item ring, a long-lived Pricer session, and
 /// the reusable buffers that keep the hot loop allocation-free. Since the
@@ -25,6 +59,10 @@ struct Server::Shard {
     const PricingRequest* req = nullptr;
     PricingResult* out = nullptr;
     Batch* done = nullptr;
+    /// Absolute cutoff; max() = no deadline. Checked by the drain right
+    /// before the item would join a pricing batch.
+    std::chrono::steady_clock::time_point deadline =
+        std::chrono::steady_clock::time_point::max();
   };
 
   explicit Shard(const ServerConfig& c)
@@ -50,10 +88,14 @@ struct Server::Shard {
   bool stopping = false;
   bool armed = false;
   core::TaskPool::Task drain_task;  ///< reusable: re-pushed on each arm
+  /// stop(grace) sets this once the grace expires: the drain stops
+  /// pricing queued items and sheds them with `overloaded` instead.
+  std::atomic<bool> shed_pending{false};
 
   // Drain-owned, reused across batches (capacities converge, then stay).
   // Exclusive ownership follows from the `armed` protocol above.
   std::vector<Item> items;
+  std::vector<std::size_t> live;  ///< indices of items that survive shedding
   std::vector<PricingRequest> batch;
   std::vector<PricingResult> results;
   pricing::Pricer::BatchScratch scratch;
@@ -68,6 +110,8 @@ struct Server::Shard {
   std::atomic<std::uint64_t> rejected{0};
   std::atomic<std::uint64_t> served{0};
   std::atomic<std::uint64_t> batches{0};
+  std::atomic<std::uint64_t> deadline_shed{0};
+  std::atomic<std::uint64_t> drain_shed{0};
 
   static void drain_entry(void* p) { static_cast<Shard*>(p)->drain(); }
 
@@ -102,20 +146,49 @@ struct Server::Shard {
         size -= n;
       }
 
+      // Shed BEFORE pricing: a bounded-grace drain sheds everything still
+      // queued, and an expired deadline means nobody wants the quote any
+      // more — either way the pricing batch is built only from items
+      // someone is still waiting on. Shed fills are static-message and
+      // capacity-reusing, so shedding under overload is allocation-free.
+      const bool shed_all = shed_pending.load(std::memory_order_relaxed);
+      const auto now = std::chrono::steady_clock::now();
       batch.clear();
-      for (const Item& it : items) batch.push_back(*it.req);
-      pricer.price_many_into(batch, results, scratch);
-      for (std::size_t i = 0; i < items.size(); ++i)
-        *items[i].out = std::move(results[i]);
+      live.clear();
+      std::uint64_t n_deadline = 0, n_drain = 0;
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        if (shed_all) {
+          fill_shed(*items[i].out, pricing::Status::overloaded, kShedDrain);
+          ++n_drain;
+        } else if (items[i].deadline <= now) {
+          fill_shed(*items[i].out, pricing::Status::deadline_exceeded,
+                    kShedDeadline);
+          ++n_deadline;
+        } else {
+          live.push_back(i);
+          batch.push_back(*items[i].req);
+        }
+      }
+      if (!batch.empty()) {
+        pricer.price_many_into(batch, results, scratch);
+        for (std::size_t k = 0; k < live.size(); ++k)
+          *items[live[k]].out = std::move(results[k]);
+      }
 
       // Publish the admission/stats snapshot BEFORE signalling completion,
       // so a caller that waits on its batch and then submits again is
       // admitted against figures at least as fresh as its own work.
-      const pricing::Pricer::Stats st = pricer.stats();
-      scratch_bytes.store(st.scratch_total_bytes, std::memory_order_relaxed);
-      spectrum_bytes.store(st.spectrum_bytes, std::memory_order_relaxed);
-      served.fetch_add(items.size(), std::memory_order_relaxed);
-      batches.fetch_add(1, std::memory_order_relaxed);
+      if (!batch.empty()) {
+        const pricing::Pricer::Stats st = pricer.stats();
+        scratch_bytes.store(st.scratch_total_bytes, std::memory_order_relaxed);
+        spectrum_bytes.store(st.spectrum_bytes, std::memory_order_relaxed);
+        served.fetch_add(batch.size(), std::memory_order_relaxed);
+        batches.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (n_deadline != 0)
+        deadline_shed.fetch_add(n_deadline, std::memory_order_relaxed);
+      if (n_drain != 0)
+        drain_shed.fetch_add(n_drain, std::memory_order_relaxed);
 
       // Complete each run of items sharing a Batch handle with one lock.
       // The handle's mutex also sequences the result writes above before
@@ -146,7 +219,11 @@ Server::Server(ServerConfig cfg) : cfg_(cfg) {
 
 Server::~Server() { stop(); }
 
-void Server::stop() {
+void Server::stop() { stop_impl(nullptr); }
+
+void Server::stop(std::chrono::microseconds grace) { stop_impl(&grace); }
+
+void Server::stop_impl(const std::chrono::microseconds* grace) {
   for (auto& sp : shards_) {
     std::lock_guard<std::mutex> lock(sp->m);
     sp->stopping = true;
@@ -155,11 +232,27 @@ void Server::stop() {
   // Quiesce: an armed drain keeps popping until its queue is empty, then
   // disarms — wait for that, item by shard. The pool guarantees at least
   // one worker thread, so a scheduled drain task always executes.
+  const auto cutoff = grace == nullptr
+                          ? std::chrono::steady_clock::time_point::max()
+                          : std::chrono::steady_clock::now() + *grace;
+  bool shedding = false;
   for (auto& sp : shards_) {
     for (;;) {
       {
         std::lock_guard<std::mutex> lock(sp->m);
         if (sp->size == 0 && !sp->armed) break;
+      }
+      if (!shedding && std::chrono::steady_clock::now() >= cutoff) {
+        // Grace expired: flip every shard to shed mode. The drains finish
+        // whatever price_many is in flight, then complete the rest of
+        // their queues with `overloaded` — bounded by compute already
+        // started, not by queue depth.
+        shedding = true;
+        for (auto& other : shards_) {
+          other->shed_pending.store(true, std::memory_order_relaxed);
+          std::lock_guard<std::mutex> lock(other->m);
+          other->cv.notify_all();
+        }
       }
       std::this_thread::yield();
     }
@@ -191,6 +284,12 @@ std::size_t Server::shard_of(const PricingRequest& q) const noexcept {
 
 void Server::submit(std::span<const PricingRequest> requests,
                     PricingResult* out, Batch& done) {
+  submit(requests, nullptr, out, done);
+}
+
+void Server::submit(std::span<const PricingRequest> requests,
+                    const std::chrono::steady_clock::time_point* deadlines,
+                    PricingResult* out, Batch& done) {
   if (requests.empty()) return;
   {
     // The full count goes pending before any item is enqueued, so `done`
@@ -205,33 +304,39 @@ void Server::submit(std::span<const PricingRequest> requests,
         cfg_.admit_queue_depth == 0
             ? s.ring.size()
             : std::min(cfg_.admit_queue_depth, s.ring.size());
-    const char* why = nullptr;
+    // Whole hint messages are fixed literals (not assembled per item), so
+    // shedding under overload stays off the heap — see fill_shed above.
+    std::string_view why{};
     bool needs_schedule = false;
     {
       std::lock_guard<std::mutex> lock(s.m);
       if (s.stopping) {
-        why = "server stopping";
+        why = kShedStopping;
       } else if (s.size >= depth_cap) {
-        why = "shard queue full";
+        why = kShedQueueFull;
       } else if (cfg_.admit_scratch_bytes != 0 &&
                  s.scratch_bytes.load(std::memory_order_relaxed) >
                      cfg_.admit_scratch_bytes) {
-        why = "shard scratch footprint over ceiling";
+        why = kShedScratch;
       } else if (cfg_.admit_spectrum_bytes != 0 &&
                  s.spectrum_bytes.load(std::memory_order_relaxed) >
                      cfg_.admit_spectrum_bytes) {
-        why = "shard spectrum bytes over ceiling";
+        why = kShedSpectrum;
       } else {
         std::size_t tail = s.head + s.size;
         if (tail >= s.ring.size()) tail -= s.ring.size();
-        s.ring[tail] = Shard::Item{&requests[i], &out[i], &done};
+        s.ring[tail] = Shard::Item{
+            &requests[i], &out[i], &done,
+            deadlines == nullptr
+                ? std::chrono::steady_clock::time_point::max()
+                : deadlines[i]};
         ++s.size;
         needs_schedule = !s.armed;
         s.armed = true;
         s.cv.notify_one();  // a lingering drain picks this item up
       }
     }
-    if (why == nullptr) {
+    if (why.empty()) {
       s.accepted.fetch_add(1, std::memory_order_relaxed);
       // First item into an idle shard: schedule its drain on the shared
       // pool. If the pool's injection ring is momentarily full, drain on
@@ -241,12 +346,9 @@ void Server::submit(std::span<const PricingRequest> requests,
         s.drain();
     } else {
       // Shed load instead of queueing: the item completes right here with
-      // a retry hint. (This path allocates the message — rejection is not
-      // the steady state the zero-allocation guard covers.)
-      out[i] = PricingResult{};
-      out[i].status = pricing::Status::overloaded;
-      out[i].message =
-          std::string("overloaded: ") + why + "; retry after a backoff";
+      // a retry hint, allocation-free (overload is exactly when the
+      // daemon must not grow the heap).
+      fill_shed(out[i], pricing::Status::overloaded, why);
       s.rejected.fetch_add(1, std::memory_order_relaxed);
       std::lock_guard<std::mutex> lock(done.m_);
       if (--done.pending_ == 0) done.cv_.notify_all();
@@ -275,6 +377,8 @@ void Server::serve(Transport& transport) {
   std::vector<std::byte> in(std::size_t{1} << 16);
   std::vector<std::byte> reply;
   std::vector<PricingRequest> requests;
+  std::vector<std::uint64_t> deadline_us;
+  std::vector<std::chrono::steady_clock::time_point> deadlines;
   std::vector<PricingResult> results;
   Batch done;
   std::size_t have = 0;
@@ -282,27 +386,48 @@ void Server::serve(Transport& transport) {
     // Drain every complete frame already buffered.
     for (;;) {
       std::size_t consumed = 0;
+      wire::FrameHeader hdr;
       const wire::DecodeError e = wire::decode_request_batch(
-          std::span<const std::byte>(in.data(), have), requests, consumed);
+          std::span<const std::byte>(in.data(), have), requests, deadline_us,
+          hdr, consumed);
       if (e == wire::DecodeError::need_more) break;
       if (e != wire::DecodeError::ok) {
         // Malformed frame: the stream is desynchronized, so answer with a
         // one-record diagnostic and hang up rather than guess at resync.
+        // The diagnostic goes out as v1 — `error` is legal in both
+        // versions, and a header too corrupt to parse has no version to
+        // mirror.
+        decode_errors_.fetch_add(1, std::memory_order_relaxed);
         std::vector<PricingResult> diag(1);
         diag[0].status = pricing::Status::error;
         diag[0].message =
             std::string("decode: ") + std::string(wire::to_string(e));
         reply.clear();
-        wire::encode_result_batch(diag, reply);
+        wire::encode_result_batch(diag, reply, wire::kVersion1);
         (void)transport.write_all(reply);
         transport.close();
         return;
       }
+      if (hdr.attempt > 0)
+        retries_observed_.fetch_add(1, std::memory_order_relaxed);
+      // Relative wire budgets become absolute cutoffs NOW — queueing time
+      // inside the shard counts against the caller's budget, which is the
+      // point: the coalescing drain sheds what went stale waiting.
+      const auto now = std::chrono::steady_clock::now();
+      deadlines.resize(requests.size());
+      for (std::size_t i = 0; i < requests.size(); ++i)
+        deadlines[i] =
+            deadline_us[i] == 0
+                ? std::chrono::steady_clock::time_point::max()
+                : now + std::chrono::microseconds(deadline_us[i]);
       results.resize(requests.size());
-      submit(requests, results.data(), done);
+      submit(requests, deadlines.data(), results.data(), done);
       done.wait();
       reply.clear();
-      wire::encode_result_batch(results, reply);
+      // Answer in the version the frame arrived with: a v1 peer never
+      // sees a v2 status byte (and can never receive deadline_exceeded,
+      // because a v1 frame cannot carry a deadline).
+      wire::encode_result_batch(results, reply, hdr.version);
       if (!transport.write_all(reply)) return;
       std::memmove(in.data(), in.data() + consumed, have - consumed);
       have -= consumed;
@@ -324,13 +449,24 @@ void Server::serve(Transport& transport) {
 Server::Stats Server::stats() const {
   Stats out;
   out.shard.reserve(shards_.size());
+  out.shard_counters.reserve(shards_.size());
   for (const auto& sp : shards_) {
-    out.submitted += sp->accepted.load(std::memory_order_relaxed);
-    out.rejected += sp->rejected.load(std::memory_order_relaxed);
+    ShardCounters c;
+    c.accepted = sp->accepted.load(std::memory_order_relaxed);
+    c.rejected = sp->rejected.load(std::memory_order_relaxed);
+    c.deadline_shed = sp->deadline_shed.load(std::memory_order_relaxed);
+    c.drain_shed = sp->drain_shed.load(std::memory_order_relaxed);
+    out.submitted += c.accepted;
+    out.rejected += c.rejected;
+    out.deadline_shed += c.deadline_shed;
+    out.drain_shed += c.drain_shed;
     out.completed += sp->served.load(std::memory_order_relaxed);
     out.batches += sp->batches.load(std::memory_order_relaxed);
     out.shard.push_back(sp->pricer.stats());
+    out.shard_counters.push_back(c);
   }
+  out.decode_errors = decode_errors_.load(std::memory_order_relaxed);
+  out.retries_observed = retries_observed_.load(std::memory_order_relaxed);
   return out;
 }
 

@@ -3,6 +3,7 @@
 #include "amopt/service/wire.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <cstring>
 #include <mutex>
@@ -15,6 +16,7 @@
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 #else
@@ -37,17 +39,18 @@ class Ring {
   std::size_t read_some(std::span<std::byte> dst) {
     std::unique_lock<std::mutex> lock(m_);
     cv_readable_.wait(lock, [&] { return size_ > 0 || closed_; });
-    if (size_ == 0) return 0;  // closed and drained: clean EOF
-    const std::size_t n = std::min(dst.size(), size_);
-    for (std::size_t i = 0; i < n; ++i) {
-      dst[i] = buf_[head_];
-      head_ = head_ + 1 == buf_.size() ? 0 : head_ + 1;
-    }
-    size_ -= n;
-    cv_writable_.notify_one();
-    return n;
+    return drain_locked(dst);
   }
 
+  std::size_t read_some_for(std::span<std::byte> dst,
+                            std::chrono::microseconds timeout,
+                            bool& timed_out) {
+    std::unique_lock<std::mutex> lock(m_);
+    timed_out = !cv_readable_.wait_for(lock, timeout,
+                                       [&] { return size_ > 0 || closed_; });
+    if (timed_out) return 0;
+    return drain_locked(dst);
+  }
   bool write_all(std::span<const std::byte> src) {
     std::size_t off = 0;
     while (off < src.size()) {
@@ -77,6 +80,20 @@ class Ring {
   }
 
  private:
+  // Copies out up to dst.size() buffered bytes; caller holds m_ and has
+  // already waited for data-or-close.
+  std::size_t drain_locked(std::span<std::byte> dst) {
+    if (size_ == 0) return 0;  // closed and drained: clean EOF
+    const std::size_t n = std::min(dst.size(), size_);
+    for (std::size_t i = 0; i < n; ++i) {
+      dst[i] = buf_[head_];
+      head_ = head_ + 1 == buf_.size() ? 0 : head_ + 1;
+    }
+    size_ -= n;
+    cv_writable_.notify_one();
+    return n;
+  }
+
   std::mutex m_;
   std::condition_variable cv_readable_;
   std::condition_variable cv_writable_;
@@ -103,6 +120,12 @@ class LoopbackTransport final : public Transport {
   std::size_t read_some(std::span<std::byte> dst) override {
     return (is_a_ ? st_->b_to_a : st_->a_to_b).read_some(dst);
   }
+  std::size_t read_some_for(std::span<std::byte> dst,
+                            std::chrono::microseconds timeout,
+                            bool& timed_out) override {
+    return (is_a_ ? st_->b_to_a : st_->a_to_b)
+        .read_some_for(dst, timeout, timed_out);
+  }
   bool write_all(std::span<const std::byte> src) override {
     return (is_a_ ? st_->a_to_b : st_->b_to_a).write_all(src);
   }
@@ -125,6 +148,12 @@ class TcpTransport final : public Transport {
     // coalescing just adds latency to every quote.
     int one = 1;
     ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+#if defined(__APPLE__)
+    // macOS has no MSG_NOSIGNAL; suppress SIGPIPE at the socket instead so
+    // a write to a dead peer fails with EPIPE rather than killing the
+    // daemon.
+    ::setsockopt(fd_, SOL_SOCKET, SO_NOSIGPIPE, &one, sizeof(one));
+#endif
   }
   ~TcpTransport() override { close(); }
 
@@ -137,11 +166,43 @@ class TcpTransport final : public Transport {
     }
   }
 
+  std::size_t read_some_for(std::span<std::byte> dst,
+                            std::chrono::microseconds timeout,
+                            bool& timed_out) override {
+    timed_out = false;
+    auto deadline = std::chrono::steady_clock::now() + timeout;
+    for (;;) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - std::chrono::steady_clock::now());
+      // Round up so a sub-millisecond budget still polls once rather than
+      // spinning with timeout 0.
+      const int ms = left.count() <= 0 ? 0
+                                       : static_cast<int>(std::min<long long>(
+                                             left.count() + 1, 1 << 30));
+      pollfd pfd{fd_, POLLIN, 0};
+      const int rc = ::poll(&pfd, 1, ms);
+      if (rc < 0) {
+        if (errno == EINTR) continue;  // re-derive the remaining budget
+        return 0;                      // hard poll failure reads as EOF
+      }
+      if (rc == 0) {
+        timed_out = true;
+        return 0;
+      }
+      return read_some(dst);  // readable (or HUP/ERR: recv reports EOF)
+    }
+  }
+
   bool write_all(std::span<const std::byte> src) override {
     std::size_t off = 0;
     while (off < src.size()) {
+#if defined(MSG_NOSIGNAL)
+      constexpr int kSendFlags = MSG_NOSIGNAL;
+#else
+      constexpr int kSendFlags = 0;  // Apple: SO_NOSIGPIPE set in the ctor
+#endif
       const ssize_t n =
-          ::send(fd_, src.data() + off, src.size() - off, MSG_NOSIGNAL);
+          ::send(fd_, src.data() + off, src.size() - off, kSendFlags);
       if (n < 0) {
         if (errno == EINTR) continue;
         return false;
@@ -199,20 +260,25 @@ TcpListener::TcpListener(std::uint16_t port, bool any_interface) {
 TcpListener::~TcpListener() { close(); }
 
 std::unique_ptr<Transport> TcpListener::accept() {
-  if (fd_ < 0) return nullptr;
+  const int fd = fd_.load(std::memory_order_acquire);
+  if (fd < 0) return nullptr;
   for (;;) {
-    const int client = ::accept(fd_, nullptr, nullptr);
+    const int client = ::accept(fd, nullptr, nullptr);
     if (client >= 0) return std::make_unique<TcpTransport>(client);
-    if (errno == EINTR) continue;
+    // EINTR: a signal; ECONNABORTED: the peer hung up while queued —
+    // neither says anything about the NEXT connection, so keep accepting.
+    if (errno == EINTR || errno == ECONNABORTED) continue;
     return nullptr;  // closed under us, or a hard accept failure
   }
 }
 
 void TcpListener::close() {
-  if (fd_ >= 0) {
-    ::shutdown(fd_, SHUT_RDWR);
-    ::close(fd_);
-    fd_ = -1;
+  // exchange() makes close() idempotent under concurrency: exactly one
+  // caller wins the fd and shuts it down, which unblocks accept().
+  const int fd = fd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
   }
 }
 

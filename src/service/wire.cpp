@@ -35,6 +35,7 @@ static_assert(static_cast<int>(pricing::Right::put) == 1);
 static_assert(static_cast<int>(pricing::Style::european) == 1);
 static_assert(static_cast<int>(pricing::Engine::boundary) == 6);
 static_assert(static_cast<int>(pricing::Status::overloaded) == 4);
+static_assert(static_cast<int>(pricing::Status::deadline_exceeded) == 5);
 static_assert(static_cast<int>(core::BoundaryDrift::growing) == 1);
 static_assert(static_cast<int>(core::MemoryPlane::heap) == 1);
 static_assert(static_cast<int>(conv::Policy::Path::fft_packed) == 3);
@@ -85,14 +86,22 @@ void store_i32(std::byte* p, std::int32_t v) {
   return static_cast<std::int32_t>(load_le<std::uint32_t>(p));
 }
 
-void put_header(std::byte* p, Kind kind, std::uint32_t count,
+void put_header(std::byte* p, std::uint8_t version, Kind kind,
+                std::uint8_t attempt, std::uint32_t count,
                 std::uint32_t payload_bytes) {
   store_le<std::uint32_t>(p, kMagic);
-  p[4] = static_cast<std::byte>(kVersion);
+  p[4] = static_cast<std::byte>(version);
   p[5] = static_cast<std::byte>(kind);
-  store_le<std::uint16_t>(p + 6, 0);  // reserved
+  p[6] = static_cast<std::byte>(attempt);  // v1: reserved (0)
+  p[7] = std::byte{0};                     // reserved in both versions
   store_le<std::uint32_t>(p + 8, count);
   store_le<std::uint32_t>(p + 12, payload_bytes);
+}
+
+/// Per-version request-record stride (the only layout difference: v2
+/// appends a trailing u64 deadline_us at offset 144).
+[[nodiscard]] constexpr std::size_t request_stride(std::uint8_t version) {
+  return version >= 2 ? kRequestRecordBytesV2 : kRequestRecordBytes;
 }
 
 // ----------------------------------------------------------- request recs
@@ -233,13 +242,15 @@ void put_result(std::byte* p, const PricingResult& r) {
 }
 
 [[nodiscard]] DecodeError get_result(const std::byte* p, std::size_t avail,
-                                     PricingResult& r,
+                                     std::uint8_t version, PricingResult& r,
                                      std::size_t& record_bytes) {
   if (avail < kResultRecordBytes) return DecodeError::bad_length;
   const auto u8 = [&](std::size_t off) {
     return static_cast<std::uint8_t>(p[off]);
   };
-  if (u8(0) > 4 || u8(1) > 1) return DecodeError::bad_enum;
+  // v1 predates deadline_exceeded: its status byte tops out at overloaded.
+  const std::uint8_t status_max = version >= 2 ? 5 : 4;
+  if (u8(0) > status_max || u8(1) > 1) return DecodeError::bad_enum;
   if (load_le<std::uint16_t>(p + 2) != 0 ||
       load_le<std::uint32_t>(p + 76) != 0)
     return DecodeError::bad_reserved;
@@ -275,7 +286,7 @@ void encode_request_batch(std::span<const PricingRequest> requests,
     throw std::length_error("amopt: request batch exceeds wire frame limits");
   const std::size_t base = out.size();
   out.resize(base + kHeaderBytes + payload);
-  put_header(out.data() + base, Kind::request_batch,
+  put_header(out.data() + base, kVersion1, Kind::request_batch, 0,
              static_cast<std::uint32_t>(requests.size()),
              static_cast<std::uint32_t>(payload));
   std::byte* p = out.data() + base + kHeaderBytes;
@@ -285,16 +296,48 @@ void encode_request_batch(std::span<const PricingRequest> requests,
   }
 }
 
+void encode_request_batch_v2(std::span<const PricingRequest> requests,
+                             std::span<const std::uint64_t> deadline_us,
+                             std::uint8_t attempt,
+                             std::vector<std::byte>& out) {
+  if (!deadline_us.empty() && deadline_us.size() != requests.size())
+    throw std::length_error(
+        "amopt: deadline_us must be empty or match the request count");
+  const std::size_t payload = requests.size() * kRequestRecordBytesV2;
+  if (requests.size() > std::numeric_limits<std::uint32_t>::max() ||
+      kHeaderBytes + payload > kMaxFrameBytes)
+    throw std::length_error("amopt: request batch exceeds wire frame limits");
+  const std::size_t base = out.size();
+  out.resize(base + kHeaderBytes + payload);
+  put_header(out.data() + base, kVersion, Kind::request_batch, attempt,
+             static_cast<std::uint32_t>(requests.size()),
+             static_cast<std::uint32_t>(payload));
+  std::byte* p = out.data() + base + kHeaderBytes;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    put_request(p, requests[i]);
+    store_le<std::uint64_t>(p + kRequestRecordBytes,
+                            deadline_us.empty() ? 0 : deadline_us[i]);
+    p += kRequestRecordBytesV2;
+  }
+}
+
 void encode_result_batch(std::span<const PricingResult> results,
-                         std::vector<std::byte>& out) {
+                         std::vector<std::byte>& out, std::uint8_t version) {
+  if (version != kVersion1 && version != kVersion)
+    throw std::length_error("amopt: unknown result frame version");
   std::size_t payload = results.size() * kResultRecordBytes;
-  for (const PricingResult& r : results) payload += r.message.size();
+  for (const PricingResult& r : results) {
+    if (version < 2 && r.status == pricing::Status::deadline_exceeded)
+      throw std::length_error(
+          "amopt: deadline_exceeded cannot travel in a v1 result frame");
+    payload += r.message.size();
+  }
   if (results.size() > std::numeric_limits<std::uint32_t>::max() ||
       kHeaderBytes + payload > kMaxFrameBytes)
     throw std::length_error("amopt: result batch exceeds wire frame limits");
   const std::size_t base = out.size();
   out.resize(base + kHeaderBytes + payload);
-  put_header(out.data() + base, Kind::result_batch,
+  put_header(out.data() + base, version, Kind::result_batch, 0,
              static_cast<std::uint32_t>(results.size()),
              static_cast<std::uint32_t>(payload));
   std::byte* p = out.data() + base + kHeaderBytes;
@@ -310,13 +353,20 @@ DecodeError peek_header(std::span<const std::byte> buf, FrameHeader& hdr) {
   if (buf.size() < kHeaderBytes) return DecodeError::need_more;
   const std::byte* p = buf.data();
   if (load_le<std::uint32_t>(p) != kMagic) return DecodeError::bad_magic;
-  if (static_cast<std::uint8_t>(p[4]) != kVersion)
+  const std::uint8_t version = static_cast<std::uint8_t>(p[4]);
+  if (version != kVersion1 && version != kVersion)
     return DecodeError::bad_version;
   const std::uint8_t kind = static_cast<std::uint8_t>(p[5]);
   if (kind != static_cast<std::uint8_t>(Kind::request_batch) &&
       kind != static_cast<std::uint8_t>(Kind::result_batch))
     return DecodeError::bad_kind;
-  if (load_le<std::uint16_t>(p + 6) != 0) return DecodeError::bad_reserved;
+  // Byte 6 is reserved-zero in v1, the attempt counter in v2; byte 7 is
+  // reserved-zero in both.
+  if (version < 2 && static_cast<std::uint8_t>(p[6]) != 0)
+    return DecodeError::bad_reserved;
+  if (static_cast<std::uint8_t>(p[7]) != 0) return DecodeError::bad_reserved;
+  hdr.version = version;
+  hdr.attempt = version >= 2 ? static_cast<std::uint8_t>(p[6]) : 0;
   hdr.kind = static_cast<Kind>(kind);
   hdr.count = load_le<std::uint32_t>(p + 8);
   hdr.payload_bytes = load_le<std::uint32_t>(p + 12);
@@ -326,27 +376,54 @@ DecodeError peek_header(std::span<const std::byte> buf, FrameHeader& hdr) {
   return DecodeError::ok;
 }
 
-DecodeError decode_request_batch(std::span<const std::byte> buf,
-                                 std::vector<PricingRequest>& out,
-                                 std::size_t& consumed) {
+namespace {
+
+// Shared body of both decode_request_batch overloads: `deadline_us` and
+// `hdr_out` may be null (the deadline-free overload drops them).
+[[nodiscard]] DecodeError decode_request_impl(
+    std::span<const std::byte> buf, std::vector<PricingRequest>& out,
+    std::vector<std::uint64_t>* deadline_us, FrameHeader* hdr_out,
+    std::size_t& consumed) {
   consumed = 0;
   FrameHeader hdr;
   if (const DecodeError e = peek_header(buf, hdr); e != DecodeError::ok)
     return e;
   if (hdr.kind != Kind::request_batch) return DecodeError::bad_kind;
+  const std::size_t stride = request_stride(hdr.version);
   if (static_cast<std::size_t>(hdr.payload_bytes) !=
-      static_cast<std::size_t>(hdr.count) * kRequestRecordBytes)
+      static_cast<std::size_t>(hdr.count) * stride)
     return DecodeError::bad_length;
   if (buf.size() < frame_bytes(hdr)) return DecodeError::need_more;
   out.resize(hdr.count);
+  if (deadline_us != nullptr) deadline_us->resize(hdr.count);
   const std::byte* p = buf.data() + kHeaderBytes;
   for (std::uint32_t i = 0; i < hdr.count; ++i) {
     if (const DecodeError e = get_request(p, out[i]); e != DecodeError::ok)
       return e;
-    p += kRequestRecordBytes;
+    if (deadline_us != nullptr)
+      (*deadline_us)[i] = hdr.version >= 2
+                              ? load_le<std::uint64_t>(p + kRequestRecordBytes)
+                              : 0;
+    p += stride;
   }
+  if (hdr_out != nullptr) *hdr_out = hdr;
   consumed = frame_bytes(hdr);
   return DecodeError::ok;
+}
+
+}  // namespace
+
+DecodeError decode_request_batch(std::span<const std::byte> buf,
+                                 std::vector<PricingRequest>& out,
+                                 std::size_t& consumed) {
+  return decode_request_impl(buf, out, nullptr, nullptr, consumed);
+}
+
+DecodeError decode_request_batch(std::span<const std::byte> buf,
+                                 std::vector<PricingRequest>& out,
+                                 std::vector<std::uint64_t>& deadline_us,
+                                 FrameHeader& hdr, std::size_t& consumed) {
+  return decode_request_impl(buf, out, &deadline_us, &hdr, consumed);
 }
 
 DecodeError decode_result_batch(std::span<const std::byte> buf,
@@ -363,7 +440,8 @@ DecodeError decode_result_batch(std::span<const std::byte> buf,
   std::size_t remaining = hdr.payload_bytes;
   for (std::uint32_t i = 0; i < hdr.count; ++i) {
     std::size_t record_bytes = 0;
-    if (const DecodeError e = get_result(p, remaining, out[i], record_bytes);
+    if (const DecodeError e =
+            get_result(p, remaining, hdr.version, out[i], record_bytes);
         e != DecodeError::ok)
       return e;
     p += record_bytes;

@@ -173,6 +173,80 @@ TEST(Pricer, InvalidSpecInChainBecomesPerItemErrorNotAbort) {
                std::invalid_argument);
 }
 
+TEST(Pricer, NonFiniteFieldsBecomePerItemErrorsAcrossEngines) {
+  // NaN/Inf in ANY quote field must stop at the session boundary with a
+  // field-naming Status::error — never flow into a solver as lattice
+  // drift or a boundary node. Every field, both non-finite flavors, across
+  // a lattice engine, the vanilla reference, and the boundary engine.
+  struct FieldCase {
+    const char* name;
+    void (*poison)(OptionSpec&, double);
+  };
+  const FieldCase kFields[] = {
+      {"S", [](OptionSpec& s, double v) { s.S = v; }},
+      {"K", [](OptionSpec& s, double v) { s.K = v; }},
+      {"R", [](OptionSpec& s, double v) { s.R = v; }},
+      {"V", [](OptionSpec& s, double v) { s.V = v; }},
+      {"Y", [](OptionSpec& s, double v) { s.Y = v; }},
+      {"expiry_years", [](OptionSpec& s, double v) { s.expiry_years = v; }},
+  };
+  const double kPoisons[] = {std::numeric_limits<double>::quiet_NaN(),
+                             std::numeric_limits<double>::infinity(),
+                             -std::numeric_limits<double>::infinity()};
+
+  Pricer session;
+  for (int eng = 0; eng < 3; ++eng) {
+    PricingRequest base;
+    base.spec = paper_spec();
+    base.T = 64;
+    if (eng == 1) base.engine = Engine::vanilla;
+    if (eng == 2) {
+      base.model = Model::bsm;
+      base.right = Right::put;
+      base.engine = Engine::boundary;
+    }
+    for (const FieldCase& f : kFields) {
+      for (double poison : kPoisons) {
+        // The poisoned item rides next to a healthy one: the error is
+        // per-item, the chain keeps pricing.
+        std::vector<PricingRequest> reqs(2, base);
+        f.poison(reqs[1].spec, poison);
+        std::vector<PricingResult> res;
+        ASSERT_NO_THROW(res = session.price_many(reqs))
+            << "engine " << eng << " field " << f.name;
+        EXPECT_EQ(res[0].status, Status::ok)
+            << "engine " << eng << " field " << f.name;
+        EXPECT_EQ(res[1].status, Status::error)
+            << "engine " << eng << " field " << f.name << " = " << poison;
+        EXPECT_NE(res[1].message.find("non-finite"), std::string::npos);
+        EXPECT_NE(res[1].message.find(f.name), std::string::npos)
+            << "the diagnostic must name the bad field: " << res[1].message;
+      }
+    }
+  }
+}
+
+TEST(Pricer, NonFiniteImpliedVolInputsAreRejectedAtTheBoundary) {
+  // The IV inversion has its own inputs: a NaN quote or a non-finite
+  // bracket edge must be a per-item error, not a Newton iteration on NaN.
+  PricingRequest q;
+  q.spec = paper_spec();
+  q.T = 64;
+  q.compute = Compute::implied_vol;
+  q.target_price = std::numeric_limits<double>::quiet_NaN();
+  q.iv.vol_lo = 0.05;
+  q.iv.vol_hi = 2.0;
+  Pricer session;
+  std::vector<PricingResult> res = session.price_many({&q, 1});
+  EXPECT_EQ(res.at(0).status, Status::error);
+  EXPECT_NE(res[0].message.find("non-finite"), std::string::npos);
+
+  q.target_price = 6.0;
+  q.iv.vol_hi = std::numeric_limits<double>::infinity();
+  res = session.price_many({&q, 1});
+  EXPECT_EQ(res.at(0).status, Status::error);
+}
+
 TEST(Pricer, BadQuoteInChainFailsAloneNotTheBatch) {
   // A vol too small for a valid CRR lattice (risk-neutral probability
   // outside (0,1)) makes derive_bopm throw during the tap-grouping phase;

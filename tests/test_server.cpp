@@ -8,6 +8,8 @@
 #include <gtest/gtest.h>
 
 #include <bit>
+#include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <cstring>
 #include <set>
@@ -291,6 +293,179 @@ TEST(Server, MalformedFrameGetsADiagnosticReplyThenClose) {
   std::byte b;
   EXPECT_EQ(client->read_some({&b, 1}), 0u);
   conn.join();
+}
+
+// ---------------------------------------------------------- failure plane
+
+TEST(Server, DeadlineShedHappensBeforePricingNotAfter) {
+  // Items sit in a long coalescing linger; the ones whose deadline passes
+  // while queued must be shed with deadline_exceeded BEFORE pricing, the
+  // unbounded ones priced normally.
+  ServerConfig cfg;
+  cfg.coalesce_window_us = 20000;  // 20 ms linger: deadlines expire in queue
+  Server server(cfg);
+
+  std::vector<PricingRequest> reqs(4);
+  for (auto& r : reqs) {
+    r.spec = paper_spec();
+    r.T = 64;
+  }
+  const auto now = std::chrono::steady_clock::now();
+  const std::chrono::steady_clock::time_point deadlines[] = {
+      now + std::chrono::microseconds(1),  // expires during the linger
+      std::chrono::steady_clock::time_point::max(),
+      now + std::chrono::microseconds(1),
+      std::chrono::steady_clock::time_point::max(),
+  };
+  std::vector<PricingResult> out(reqs.size());
+  Server::Batch done;
+  server.submit(reqs, deadlines, out.data(), done);
+  done.wait();
+
+  EXPECT_EQ(out[0].status, Status::deadline_exceeded);
+  EXPECT_EQ(out[2].status, Status::deadline_exceeded);
+  EXPECT_NE(out[0].message.find("stale"), std::string::npos);
+  EXPECT_TRUE(std::isnan(out[0].price));  // nothing was computed
+  EXPECT_EQ(out[1].status, Status::ok);
+  EXPECT_EQ(out[3].status, Status::ok);
+
+  const Server::Stats st = server.stats();
+  EXPECT_EQ(st.deadline_shed, 2u);
+  EXPECT_EQ(st.completed, 2u);  // only the live items were priced
+  // Per-shard counters fold up to the totals.
+  std::uint64_t shard_sum = 0;
+  for (const Server::ShardCounters& c : st.shard_counters)
+    shard_sum += c.deadline_shed;
+  EXPECT_EQ(shard_sum, st.deadline_shed);
+}
+
+TEST(Server, StopWithGraceShedsQueuedItemsInsteadOfPricingThem) {
+  ServerConfig cfg;
+  cfg.coalesce_window_us = 0;
+  cfg.max_coalesced_items = 1;  // one slow item per drain iteration
+  Server server(cfg);
+
+  std::vector<PricingRequest> reqs(6);
+  for (auto& r : reqs) {
+    r.spec = paper_spec();
+    r.T = 16384;  // slow enough that the queue outlives the grace
+  }
+  std::vector<PricingResult> out(reqs.size());
+  Server::Batch done;
+  server.submit(reqs, out.data(), done);
+  server.stop(std::chrono::microseconds(100));
+
+  // Every item reached exactly one terminal status before stop returned:
+  // whatever was already pricing completed, the rest shed as overloaded.
+  EXPECT_TRUE(done.done());
+  std::uint64_t n_ok = 0, n_shed = 0;
+  for (const PricingResult& r : out) {
+    ASSERT_TRUE(r.status == Status::ok || r.status == Status::overloaded)
+        << to_string(r.status);
+    if (r.status == Status::ok)
+      ++n_ok;
+    else {
+      ++n_shed;
+      EXPECT_NE(r.message.find("draining"), std::string::npos);
+    }
+  }
+  EXPECT_EQ(n_ok + n_shed, reqs.size());
+  const Server::Stats st = server.stats();
+  EXPECT_EQ(st.drain_shed, n_shed);
+  // At most one item can have been mid-price when the grace expired.
+  EXPECT_GE(st.drain_shed, reqs.size() - 1);
+}
+
+TEST(Server, ServeSpeaksV2DeadlinesAndCountsRetriesAndDecodeErrors) {
+  ServerConfig cfg;
+  cfg.coalesce_window_us = 20000;  // linger past the 1 us budgets below
+  Server server(cfg);
+  auto [client, daemon] = loopback_pair();
+  std::thread conn([&server, t = daemon.get()] { server.serve(*t); });
+
+  std::vector<PricingRequest> reqs(2);
+  for (auto& r : reqs) {
+    r.spec = paper_spec();
+    r.T = 64;
+  }
+  // A v2 frame with already-hopeless budgets and a retry marker.
+  const std::uint64_t budgets[] = {1, 1};
+  std::vector<std::byte> frame;
+  wire::encode_request_batch_v2(reqs, budgets, /*attempt=*/1, frame);
+  ASSERT_TRUE(client->write_all(frame));
+  std::vector<PricingResult> got;
+  ASSERT_EQ(read_result_frame(*client, got), wire::DecodeError::ok);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].status, Status::deadline_exceeded);
+  EXPECT_EQ(got[1].status, Status::deadline_exceeded);
+
+  // The same connection keeps serving v1 afterwards — replies mirror the
+  // request's version, so this result frame is plain v1.
+  frame.clear();
+  wire::encode_request_batch({&reqs[0], 1}, frame);
+  ASSERT_TRUE(client->write_all(frame));
+  ASSERT_EQ(read_result_frame(*client, got), wire::DecodeError::ok);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].status, Status::ok);
+  client->close();
+  conn.join();
+
+  // A second connection feeding junk bumps decode_errors.
+  auto [client2, daemon2] = loopback_pair();
+  std::thread conn2([&server, t = daemon2.get()] { server.serve(*t); });
+  const char junk[] = "\x01\x02\x03 definitely not a frame";
+  ASSERT_TRUE(client2->write_all(
+      std::as_bytes(std::span<const char>{junk, sizeof(junk)})));
+  std::vector<PricingResult> diag;
+  ASSERT_EQ(read_result_frame(*client2, diag), wire::DecodeError::ok);
+  conn2.join();
+
+  const Server::Stats st = server.stats();
+  EXPECT_EQ(st.deadline_shed, 2u);
+  EXPECT_EQ(st.retries_observed, 1u);
+  EXPECT_EQ(st.decode_errors, 1u);
+}
+
+TEST(Server, TcpHardCloseMidFrameLeavesServerServingNextConnection) {
+  // A client dying mid-frame must cost exactly its own connection: the
+  // serve() call returns cleanly (no SIGPIPE, no wedged shard) and the
+  // daemon accepts and serves the next connection as if nothing happened.
+  Server server;
+  TcpListener listener(0);
+  ASSERT_NE(listener.port(), 0);
+  std::thread acceptor([&] {
+    for (int i = 0; i < 2; ++i)
+      if (auto t = listener.accept()) server.serve(*t);
+  });
+
+  {
+    auto dying = tcp_connect("127.0.0.1", listener.port());
+    ASSERT_NE(dying, nullptr);
+    PricingRequest q;
+    q.spec = paper_spec();
+    std::vector<std::byte> frame;
+    wire::encode_request_batch({&q, 1}, frame);
+    // Header plus a few record bytes, then a hard close mid-frame.
+    ASSERT_TRUE(dying->write_all({frame.data(), wire::kHeaderBytes + 5}));
+    dying->close();
+  }
+
+  auto client = tcp_connect("127.0.0.1", listener.port());
+  ASSERT_NE(client, nullptr);
+  PricingRequest q;
+  q.spec = paper_spec();
+  q.T = 96;
+  std::vector<std::byte> frame;
+  wire::encode_request_batch({&q, 1}, frame);
+  ASSERT_TRUE(client->write_all(frame));
+  std::vector<PricingResult> got;
+  ASSERT_EQ(read_result_frame(*client, got), wire::DecodeError::ok);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].status, Status::ok);
+
+  client->close();
+  acceptor.join();
+  listener.close();
 }
 
 TEST(Server, TcpTransportCarriesTheSameProtocol) {

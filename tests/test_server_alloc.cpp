@@ -84,6 +84,45 @@ TEST(ServerAlloc, SteadyStateSubmitPathIsAllocationFree) {
   EXPECT_EQ(mismatches, 0);
 }
 
+TEST(ServerAlloc, AdmissionRejectionPathIsAllocationFree) {
+  // Shedding load is exactly when the daemon must not grow the heap: the
+  // rejection path uses fixed hint literals and reuses each result's
+  // message capacity, so after one warm-up round it is 0-allocation.
+  ThreadScope width(1);
+  ServerConfig cfg;
+  cfg.pricer.parallel = false;
+  cfg.coalesce_window_us = 0;
+  cfg.admit_scratch_bytes = 1;  // any real pricing overshoots this ceiling
+  Server server(cfg);
+
+  const std::vector<PricingRequest> reqs = boundary_chain();
+  std::vector<PricingResult> out(reqs.size());
+  Server::Batch done;
+
+  // First round is admitted (the ceiling compares against the shard's
+  // last-published snapshot, which starts at zero) and publishes a real
+  // scratch figure; every round after that is rejected at admission.
+  server.submit(reqs, out.data(), done);
+  done.wait();
+  for (const PricingResult& r : out) ASSERT_EQ(r.status, Status::ok);
+  server.submit(reqs, out.data(), done);  // warm the rejection capacities
+  done.wait();
+  for (const PricingResult& r : out) ASSERT_EQ(r.status, Status::overloaded);
+
+  const std::uint64_t before = allocs();
+  for (int rep = 0; rep < 64; ++rep) {
+    server.submit(reqs, out.data(), done);
+    done.wait();
+  }
+  const std::uint64_t after = allocs();
+  EXPECT_EQ(after - before, 0u)
+      << "shedding under overload must itself be allocation-free";
+  for (const PricingResult& r : out) {
+    EXPECT_EQ(r.status, Status::overloaded);
+    EXPECT_NE(r.message.find("retry"), std::string::npos);
+  }
+}
+
 TEST(ServerAlloc, SteadyStateWireRoundTripIsAllocationFree) {
   // The full daemon loop over the loopback transport: encode on the
   // client, decode + coalesce + price + encode on the daemon, decode the

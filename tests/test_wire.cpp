@@ -380,6 +380,247 @@ TEST(Wire, StreamDecodingConsumesExactlyOneFrame) {
             wire::DecodeError::need_more);
 }
 
+// ------------------------------------------------------------- wire v2
+// The deadline extension (DESIGN.md §11): v2 request records carry a
+// trailing u64 remaining-budget field, the header's byte 6 becomes the
+// client's attempt counter, and result frames may carry
+// `deadline_exceeded` — while every v1 frame keeps decoding bit-exactly.
+
+TEST(WireV2, RequestBatchRoundTripsDeadlinesAndAttempt) {
+  std::vector<PricingRequest> reqs = exhaustive_requests();
+  std::vector<std::uint64_t> deadlines(reqs.size());
+  for (std::size_t i = 0; i < deadlines.size(); ++i)
+    deadlines[i] = i % 3 == 0 ? 0 : 1000 + 77 * i;  // 0 = no deadline
+
+  std::vector<std::byte> buf;
+  wire::encode_request_batch_v2(reqs, deadlines, /*attempt=*/3, buf);
+  EXPECT_EQ(buf.size(),
+            wire::kHeaderBytes + reqs.size() * wire::kRequestRecordBytesV2);
+
+  std::vector<PricingRequest> back;
+  std::vector<std::uint64_t> back_deadlines;
+  wire::FrameHeader hdr;
+  std::size_t consumed = 0;
+  ASSERT_EQ(
+      wire::decode_request_batch(buf, back, back_deadlines, hdr, consumed),
+      wire::DecodeError::ok);
+  EXPECT_EQ(consumed, buf.size());
+  EXPECT_EQ(hdr.version, 2);
+  EXPECT_EQ(hdr.attempt, 3);
+  ASSERT_EQ(back.size(), reqs.size());
+  ASSERT_EQ(back_deadlines.size(), deadlines.size());
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    expect_bitwise_equal(reqs[i], back[i]);
+    EXPECT_EQ(back_deadlines[i], deadlines[i]);
+  }
+}
+
+TEST(WireV2, CrossVersionDecoding) {
+  // v1 frame through the deadline-aware decoder: zero deadlines, attempt 0.
+  std::vector<PricingRequest> reqs(2);
+  reqs[0].T = 333;
+  std::vector<std::byte> v1;
+  wire::encode_request_batch(reqs, v1);
+  std::vector<PricingRequest> out;
+  std::vector<std::uint64_t> dl{99u, 99u};  // stale values must be overwritten
+  wire::FrameHeader hdr;
+  std::size_t consumed = 0;
+  ASSERT_EQ(wire::decode_request_batch(v1, out, dl, hdr, consumed),
+            wire::DecodeError::ok);
+  EXPECT_EQ(hdr.version, 1);
+  EXPECT_EQ(hdr.attempt, 0);
+  EXPECT_EQ(dl, (std::vector<std::uint64_t>{0, 0}));
+  EXPECT_EQ(out.at(0).T, 333);
+
+  // v2 frame through the legacy deadline-free decoder: deadlines dropped,
+  // requests intact.
+  std::vector<std::byte> v2;
+  const std::uint64_t budgets[] = {500, 0};
+  wire::encode_request_batch_v2(reqs, budgets, /*attempt=*/1, v2);
+  ASSERT_EQ(wire::decode_request_batch(v2, out, consumed),
+            wire::DecodeError::ok);
+  EXPECT_EQ(consumed, v2.size());
+  ASSERT_EQ(out.size(), 2u);
+  expect_bitwise_equal(reqs[0], out[0]);
+}
+
+TEST(WireV2, EveryTruncationIsNeedMoreAtEveryNewOffset) {
+  std::vector<PricingRequest> reqs(3);
+  const std::uint64_t budgets[] = {1, 2, 3};
+  std::vector<std::byte> buf;
+  wire::encode_request_batch_v2(reqs, budgets, /*attempt=*/0, buf);
+  std::vector<PricingRequest> out;
+  std::vector<std::uint64_t> dl;
+  wire::FrameHeader hdr;
+  for (std::size_t len = 0; len < buf.size(); ++len) {
+    std::size_t consumed = ~std::size_t{0};
+    EXPECT_EQ(wire::decode_request_batch({buf.data(), len}, out, dl, hdr,
+                                         consumed),
+              wire::DecodeError::need_more)
+        << "prefix length " << len;
+    EXPECT_EQ(consumed, 0u);
+  }
+}
+
+TEST(WireV2, HeaderValidationPerVersion) {
+  PricingRequest q;
+  std::vector<std::byte> v2;
+  wire::encode_request_batch_v2({&q, 1}, {}, /*attempt=*/7, v2);
+  std::vector<PricingRequest> out;
+  std::size_t consumed = 0;
+
+  // A nonzero byte 6 is the attempt counter in v2 (not bad_reserved)...
+  ASSERT_EQ(wire::decode_request_batch(v2, out, consumed),
+            wire::DecodeError::ok);
+  // ...byte 7 stays reserved-zero in both versions...
+  {
+    std::vector<std::byte> bad = v2;
+    bad[7] = std::byte{1};
+    EXPECT_EQ(wire::decode_request_batch(bad, out, consumed),
+              wire::DecodeError::bad_reserved);
+  }
+  // ...and a version this decoder does not speak is still rejected.
+  {
+    std::vector<std::byte> bad = v2;
+    bad[4] = std::byte{3};
+    EXPECT_EQ(wire::decode_request_batch(bad, out, consumed),
+              wire::DecodeError::bad_version);
+  }
+  // Re-labeling the v2 frame as v1 fails at its first v1 violation: with
+  // the attempt byte set it is bad_reserved (v1 keeps byte 6 zero); with
+  // attempt 0 the 152-byte stride mismatches v1's 144 and it is
+  // bad_length. The version byte decides the stride, no guessing.
+  {
+    std::vector<std::byte> bad = v2;
+    bad[4] = std::byte{1};
+    EXPECT_EQ(wire::decode_request_batch(bad, out, consumed),
+              wire::DecodeError::bad_reserved);
+  }
+  {
+    std::vector<std::byte> relabeled;
+    wire::encode_request_batch_v2({&q, 1}, {}, /*attempt=*/0, relabeled);
+    relabeled[4] = std::byte{1};
+    EXPECT_EQ(wire::decode_request_batch(relabeled, out, consumed),
+              wire::DecodeError::bad_length);
+  }
+}
+
+TEST(WireV2, DeadlineExceededTravelsOnlyInV2Frames) {
+  std::vector<PricingResult> results(1);
+  results[0].status = Status::deadline_exceeded;
+  results[0].message = "deadline exceeded: request went stale";
+
+  // v2: round trips.
+  std::vector<std::byte> buf;
+  wire::encode_result_batch(results, buf, /*version=*/2);
+  std::vector<PricingResult> back;
+  std::size_t consumed = 0;
+  ASSERT_EQ(wire::decode_result_batch(buf, back, consumed),
+            wire::DecodeError::ok);
+  EXPECT_EQ(back.at(0).status, Status::deadline_exceeded);
+
+  // Encoding it into a v1 frame is a caller bug, not silent corruption.
+  std::vector<std::byte> v1;
+  EXPECT_THROW(wire::encode_result_batch(results, v1, /*version=*/1),
+               std::length_error);
+
+  // A hand-patched v1 frame claiming status 5 is rejected on decode: v1
+  // peers never see a status byte they do not speak.
+  results[0].status = Status::ok;
+  results[0].message.clear();
+  std::vector<std::byte> patched;
+  wire::encode_result_batch(results, patched, /*version=*/1);
+  patched[wire::kHeaderBytes] = std::byte{5};
+  EXPECT_EQ(wire::decode_result_batch(patched, back, consumed),
+            wire::DecodeError::bad_enum);
+  // And out-of-range even for v2 is still bad_enum.
+  std::vector<std::byte> patched2;
+  wire::encode_result_batch(results, patched2, /*version=*/2);
+  patched2[wire::kHeaderBytes] = std::byte{6};
+  EXPECT_EQ(wire::decode_result_batch(patched2, back, consumed),
+            wire::DecodeError::bad_enum);
+}
+
+TEST(WireV2, MixedVersionMultiFrameStreamWithInjectedFaults) {
+  // A stream of v1 and v2 frames back to back, decoded the way serve()
+  // does — then the same stream with faults injected between and inside
+  // frames. The decoder must peel clean frames exactly and convert every
+  // fault into a DecodeError at the frame it corrupts, never before.
+  std::vector<PricingRequest> a(2), b(1), c(3);
+  a[0].T = 11;
+  b[0].T = 22;
+  c[0].T = 33;
+  const std::uint64_t budgets_b[] = {1234};
+  std::vector<std::byte> stream;
+  wire::encode_request_batch(a, stream);
+  const std::size_t a_end = stream.size();
+  wire::encode_request_batch_v2(b, budgets_b, /*attempt=*/2, stream);
+  const std::size_t b_end = stream.size();
+  wire::encode_request_batch(c, stream);
+
+  const auto drain = [](std::span<const std::byte> cursor,
+                        std::vector<std::size_t>& counts) {
+    std::vector<PricingRequest> out;
+    std::vector<std::uint64_t> dl;
+    wire::FrameHeader hdr;
+    for (;;) {
+      std::size_t consumed = 0;
+      const wire::DecodeError e =
+          wire::decode_request_batch(cursor, out, dl, hdr, consumed);
+      if (e != wire::DecodeError::ok) return e;
+      counts.push_back(out.size());
+      cursor = cursor.subspan(consumed);
+      if (cursor.empty()) return wire::DecodeError::ok;
+    }
+  };
+
+  {  // clean stream: three frames, exact counts
+    std::vector<std::size_t> counts;
+    EXPECT_EQ(drain(stream, counts), wire::DecodeError::ok);
+    EXPECT_EQ(counts, (std::vector<std::size_t>{2, 1, 3}));
+  }
+  {  // truncation on a frame boundary: the tail frame reports need_more
+    std::vector<std::size_t> counts;
+    EXPECT_EQ(drain({stream.data(), b_end + 7}, counts),
+              wire::DecodeError::need_more);
+    EXPECT_EQ(counts, (std::vector<std::size_t>{2, 1}));
+  }
+  {  // a fault INSIDE the middle frame: first frame still decodes, the
+     // corrupted one errors (version byte of frame b)
+    std::vector<std::byte> bad(stream.begin(), stream.end());
+    bad[a_end + 4] = std::byte{9};
+    std::vector<std::size_t> counts;
+    EXPECT_EQ(drain(bad, counts), wire::DecodeError::bad_version);
+    EXPECT_EQ(counts, (std::vector<std::size_t>{2}));
+  }
+  {  // a flipped bit BETWEEN frames (b's magic): desync diagnosed at b
+    std::vector<std::byte> bad(stream.begin(), stream.end());
+    bad[a_end] = std::byte{0x7e};
+    std::vector<std::size_t> counts;
+    EXPECT_EQ(drain(bad, counts), wire::DecodeError::bad_magic);
+    EXPECT_EQ(counts, (std::vector<std::size_t>{2}));
+  }
+  {  // single-byte fuzz across the whole mixed stream: never a crash
+    std::vector<PricingRequest> out;
+    std::vector<std::uint64_t> dl;
+    wire::FrameHeader hdr;
+    for (std::size_t off = 0; off < stream.size(); ++off) {
+      std::vector<std::byte> bad(stream.begin(), stream.end());
+      bad[off] = static_cast<std::byte>(static_cast<std::uint8_t>(bad[off]) ^
+                                        0xa5u);
+      std::span<const std::byte> cursor{bad};
+      for (;;) {
+        std::size_t consumed = 0;
+        if (wire::decode_request_batch(cursor, out, dl, hdr, consumed) !=
+            wire::DecodeError::ok)
+          break;
+        cursor = cursor.subspan(consumed);
+        if (cursor.empty()) break;
+      }
+    }
+  }
+}
+
 TEST(Wire, EncodeAppendsSoFramesPackIntoOneWrite) {
   PricingRequest q;
   std::vector<std::byte> buf;
