@@ -34,6 +34,7 @@
 #include "amopt/fft/convolution.hpp"
 #include "amopt/fft/fft.hpp"
 #include "amopt/poly/poly_power.hpp"
+#include "amopt/pricing/pricer.hpp"
 #include "amopt/simd/simd.hpp"
 #include "amopt/stencil/kernel_cache.hpp"
 
@@ -353,6 +354,64 @@ void BM_PolyPowerFftTwoTransformPath(benchmark::State& state,
   for (auto _ : state) run();
 }
 
+// pad-x numerator: the SAME spectral correlation as BM_CorrelateSpectral,
+// but with the kernel spectrum built at the pre-PR-10 double-padded size
+// next_pow2(out + 2*(klen-1)) — every linear bin alias-free, including the
+// bins no correlation reads. The spectral overload accepts any n above the
+// overlap-save minimum, so the legacy sizing stays reproducible for this
+// in-run comparison: check_bench holds
+// BM_CorrelateSpectralWidePad / BM_CorrelateSpectral >= 1.25x at n >= 2^12.
+void BM_CorrelateSpectralWidePadPath(benchmark::State& state,
+                                     amopt::simd::Level lvl) {
+  const LevelScope scope(lvl);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto in = random_real(2 * n);
+  const auto kernel = random_real(n);
+  std::vector<double> out(n + 1);
+  amopt::conv::Workspace ws;
+  const std::size_t wide =
+      amopt::next_pow2(out.size() + 2 * (kernel.size() - 1));
+  const amopt::fft::RealSpectrum kspec =
+      amopt::conv::kernel_spectrum(kernel, wide, /*reversed=*/true, ws);
+  amopt::conv::correlate_valid(in, kspec, out, ws);  // warm-up
+  for (auto _ : state) {
+    amopt::conv::correlate_valid(in, kspec, out, ws);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+
+// share-quantum-x: a drifting-vol 5-leg batch (one expiry, each leg's vol a
+// few e-5 off its neighbours — recalibration-tick traffic) priced by a FRESH
+// session per iteration, so the timing is dominated by kernel construction
+// (European fft legs are a single kernel power apply; the ladder IS the
+// solve). Off: sharing enabled but quantum 0 (exact keys — the drift defeats
+// every merge, five kernel ladders). On: share_quantum covers the drift, the
+// batch collapses to ONE ladder with no dt rescaling (equal expiries).
+// check_bench holds Off/On >= 1.2x.
+void BM_ShareQuantumChainPath(benchmark::State& state, amopt::simd::Level lvl,
+                              double quantum) {
+  const LevelScope scope(lvl);
+  const std::int64_t T = state.range(0);
+  std::vector<amopt::pricing::PricingRequest> chain;
+  for (int i = 0; i < 5; ++i) {
+    amopt::pricing::PricingRequest q;
+    q.spec = amopt::pricing::paper_spec();
+    q.spec.V *= 1.0 + i * 1e-4;
+    q.T = T;
+    q.style = amopt::pricing::Style::european;
+    chain.push_back(q);
+  }
+  amopt::pricing::PricerConfig cfg;
+  cfg.share_kernels_across_expiries = true;
+  cfg.share_quantum = quantum;
+  for (auto _ : state) {
+    amopt::pricing::Pricer session(cfg);
+    auto res = session.price_many(chain);
+    benchmark::DoNotOptimize(res.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 5);
+}
+
 // Kernel-ladder micro: one descent-like height set (h, h/2, ..., 1) served
 // by a fresh KernelCache (rungs shared across heights) vs the same heights
 // each rebuilt from the raw taps.
@@ -410,6 +469,18 @@ void register_per_path_benches() {
                                  BM_CorrelateSpectralPath, lvl)
         ->RangeMultiplier(4)
         ->Range(1 << 10, 1 << 16);
+    benchmark::RegisterBenchmark(("BM_CorrelateSpectralWidePad" + tag).c_str(),
+                                 BM_CorrelateSpectralWidePadPath, lvl)
+        ->RangeMultiplier(4)
+        ->Range(1 << 10, 1 << 16);
+    benchmark::RegisterBenchmark(("BM_ShareQuantumOff" + tag).c_str(),
+                                 BM_ShareQuantumChainPath, lvl, 0.0)
+        ->Arg(1 << 13)
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark(("BM_ShareQuantumOn" + tag).c_str(),
+                                 BM_ShareQuantumChainPath, lvl, 1e-3)
+        ->Arg(1 << 13)
+        ->Unit(benchmark::kMillisecond);
     benchmark::RegisterBenchmark(("BM_PolyPowerFft" + tag).c_str(),
                                  BM_PolyPowerFftPath, lvl)
         ->RangeMultiplier(4)

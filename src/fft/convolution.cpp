@@ -18,6 +18,18 @@ using fft::cplx;
 // bench/micro_fft on the build machine; the exact value is uncritical).
 constexpr std::size_t kDirectCostThreshold = 1u << 14;
 
+// Break-even multiplier for the size-aware crossover below: the direct
+// sweep costs ~k*n fused multiply-adds, the (kernel-spectrum-warm) FFT
+// path ~2 half-size transforms of m = next_pow2(n) plus the spectrum
+// product, i.e. O(m log m) with this constant folding in the transform's
+// real cost per point. Calibrated on the build box against warm-spectrum
+// correlate_valid at out in [240, 9700] and klen in [9, 1025]: measured
+// break-even klen tracks 3*m*log2(m)/out within ~25% across that whole
+// range (PR 10; before that the flat kDirectCostThreshold product sent
+// wide-row/short-kernel correlations — out ~ 10^4, klen <= 129, the top
+// of every FDM descent — down an FFT path costing 5-12x the direct sweep).
+constexpr std::size_t kFftCostPerPointLog = 3;
+
 [[nodiscard]] bool use_direct(std::size_t na, std::size_t nb, Policy policy) {
   switch (policy.path) {
     case Policy::Path::direct:
@@ -30,7 +42,10 @@ constexpr std::size_t kDirectCostThreshold = 1u << 14;
   }
   const std::size_t k = std::min(na, nb);
   const std::size_t n = std::max(na, nb);
-  return k * n <= kDirectCostThreshold || k <= 8;
+  if (k * n <= kDirectCostThreshold || k <= 8) return true;
+  const std::size_t m = next_pow2(n);
+  const auto logm = static_cast<std::size_t>(std::bit_width(m) - 1);
+  return k * n <= kFftCostPerPointLog * m * logm;
 }
 
 void count_fft_ops(std::size_t n, std::uint64_t transforms_of_half,
@@ -48,17 +63,37 @@ void count_fft_ops(std::size_t n, std::uint64_t transforms_of_half,
                      sizeof(cplx) * logm);
 }
 
+/// Minimal cyclic transform size for reading window [skip, skip + out_len)
+/// of the full linear convolution (length `full`) of operands of length
+/// `na` and `nb`. Cyclic convolution at size n < full aliases linear bin
+/// j + n onto bin j, corrupting exactly the cyclic bins [0, full - 1 - n];
+/// the window survives iff skip >= full - n (overlap-save: the wrapped tail
+/// lands strictly below the first bin we read). The window and both
+/// operands must also fit in the buffer, so
+///   n = next_pow2(max(full - skip, skip + out_len, na, nb)).
+/// For a trimmed correlation (na = out_len + klen - 1, skip = klen - 1) the
+/// first three terms coincide at out_len + klen - 1 — the rule
+/// correlate_fft_size() exposes; for a full convolution (skip = 0,
+/// out_len = full) it degenerates to next_pow2(full), the classical sizing.
+[[nodiscard]] std::size_t cyclic_size(std::size_t na, std::size_t nb,
+                                      std::size_t skip, std::size_t out_len) {
+  const std::size_t full = na + nb - 1;
+  AMOPT_EXPECTS(skip + out_len <= full);
+  return next_pow2(std::max({full - skip, skip + out_len, na, nb}));
+}
+
 /// Real-input cyclic convolution via R2C/C2R: both operands are zero-padded
-/// into size-n real buffers (n a power of two >= the full linear length),
-/// transformed with two half-size complex FFTs, multiplied over the n/2+1
-/// non-redundant bins, and brought back with one C2R. Writes
-/// out[j] = c[skip + j] for j in [0, out.size()), where c is the full
-/// convolution — `skip` folds the correlation shift into the copy-out.
-/// `reverse_b` packs b back-to-front (correlation = convolution with the
-/// reversed kernel) without materializing a reversed copy. The first
-/// operand is the logical concatenation of `a` and `a_tail` (the solvers'
-/// green-extension cells) — staging both pieces here yields the same
-/// padded buffer, hence the same bits, as a concatenated call.
+/// into size-n real buffers (n the minimal power of two that keeps the
+/// requested window alias-free, see cyclic_size()), transformed with two
+/// half-size complex FFTs, multiplied over the n/2+1 non-redundant bins,
+/// and brought back with one C2R. Writes out[j] = c[skip + j] for j in
+/// [0, out.size()), where c is the full convolution — `skip` folds the
+/// correlation shift into the copy-out. `reverse_b` packs b back-to-front
+/// (correlation = convolution with the reversed kernel) without
+/// materializing a reversed copy. The first operand is the logical
+/// concatenation of `a` and `a_tail` (the solvers' green-extension cells) —
+/// staging both pieces here yields the same padded buffer, hence the same
+/// bits, as a concatenated call.
 void real_convolve_into(std::span<const double> a,
                         std::span<const double> a_tail,
                         std::span<const double> b, bool reverse_b,
@@ -66,7 +101,7 @@ void real_convolve_into(std::span<const double> a,
                         Workspace& ws) {
   const std::size_t na = a.size() + a_tail.size();
   const std::size_t full = na + b.size() - 1;
-  const std::size_t n = next_pow2(full);
+  const std::size_t n = cyclic_size(na, b.size(), skip, out.size());
   const fft::RealPlan& plan = fft::real_plan_for(n);
   const std::size_t nspec = plan.spectrum_size();
 
@@ -127,7 +162,11 @@ void real_convolve_spec_into(std::span<const double> a,
   const std::size_t na = a.size() + a_tail.size();
   const std::size_t full = na + kspec.klen - 1;
   const std::size_t n = kspec.n;
-  AMOPT_EXPECTS(n >= full);
+  // The spectrum's size is the caller's choice; any n that keeps the read
+  // window alias-free is accepted (n >= full remains valid over-padding).
+  AMOPT_EXPECTS(n >= na && n >= kspec.klen);
+  AMOPT_EXPECTS(skip + out.size() <= n);
+  AMOPT_EXPECTS(full <= n + skip);
   const fft::RealPlan& plan = fft::real_plan_for(n);
   const std::size_t nspec = plan.spectrum_size();
   AMOPT_EXPECTS(kspec.bins.size() >= nspec);
@@ -159,7 +198,7 @@ void packed_convolve_into(std::span<const double> a,
                           Workspace& ws) {
   const std::size_t na = a.size() + a_tail.size();
   const std::size_t full = na + b.size() - 1;
-  const std::size_t n = next_pow2(full);
+  const std::size_t n = cyclic_size(na, b.size(), skip, out.size());
   std::span<cplx> z = ws.spec_a(n);
   std::fill(z.begin(), z.end(), cplx{0.0, 0.0});
   for (std::size_t i = 0; i < a.size(); ++i) z[i].real(a[i]);
@@ -358,9 +397,16 @@ bool correlate_prefers_fft(std::size_t out_len, std::size_t kernel_len,
 }
 
 std::size_t correlate_fft_size(std::size_t out_len, std::size_t kernel_len) {
-  // The trimmed input prefix is out_len + kernel_len - 1; its full linear
-  // convolution with the kernel has length out_len + 2*(kernel_len - 1).
-  return next_pow2(out_len + 2 * (kernel_len - 1));
+  // Overlap-save minimal size: the trimmed input prefix is
+  // out_len + kernel_len - 1 and the correlation reads full-convolution
+  // bins [kernel_len - 1, kernel_len - 1 + out_len). A cyclic transform of
+  // size n wraps only the top full - 1 - n linear bins onto [0, full-1-n],
+  // i.e. strictly below that window whenever n >= out_len + kernel_len - 1
+  // — so the transform only needs to cover the INPUT, not the full linear
+  // convolution length out_len + 2*(kernel_len - 1) used before the
+  // re-baselining (that double padding kept every linear bin alias-free,
+  // including bins no correlation ever reads).
+  return next_pow2(out_len + kernel_len - 1);
 }
 
 fft::RealSpectrum kernel_spectrum(std::span<const double> kernel,

@@ -161,7 +161,17 @@ void correlate_valid(std::span<const double> main, std::span<const double> tail,
                                          Policy policy);
 
 /// The padded transform size the FFT correlation path uses for these
-/// lengths — the `n` to build a reusable kernel spectrum at.
+/// lengths — the `n` to build a reusable kernel spectrum at:
+/// next_pow2(out_len + kernel_len - 1), the overlap-save minimum. A cyclic
+/// transform of that size wraps the top linear bins onto cyclic bins
+/// strictly below the correlation's read window [kernel_len - 1,
+/// kernel_len - 1 + out_len), so the window is alias-free even though the
+/// transform is smaller than the full linear length
+/// out_len + 2*(kernel_len - 1). (The library padded to that full length
+/// before the PR-10 re-baselining, which kept EVERY linear bin alias-free
+/// — including bins no correlation reads — at up to 2x the transform
+/// size; the smaller size perturbs FFT rounding, covered by the DESIGN.md
+/// accuracy contract.)
 [[nodiscard]] std::size_t correlate_fft_size(std::size_t out_len,
                                              std::size_t kernel_len);
 
@@ -174,9 +184,10 @@ void correlate_valid(std::span<const double> main, std::span<const double> tail,
 
 /// Valid correlation against a precomputed kernel spectrum (`kspec` built
 /// with reversed = true). Requires in.size() >= out.size() + kspec.klen - 1
-/// and kspec.n >= out.size() + 2*(kspec.klen - 1) (i.e. at least
-/// correlate_fft_size of the lengths; larger sizes just carry more padding).
-/// Always the FFT path — callers gate on `correlate_prefers_fft`.
+/// and kspec.n >= out.size() + kspec.klen - 1 (i.e. at least
+/// correlate_fft_size of the lengths; larger sizes just carry more padding
+/// — and different sizes produce differently-rounded, not different,
+/// results). Always the FFT path — callers gate on `correlate_prefers_fft`.
 void correlate_valid(std::span<const double> in,
                      const fft::RealSpectrum& kspec, std::span<double> out,
                      Workspace& ws);

@@ -106,6 +106,23 @@ struct PricerConfig {
   /// discretization error; see DESIGN.md §5. Items whose renormalized T
   /// would exceed 8x the requested T keep their own discretization.
   bool share_kernels_across_expiries = false;
+  /// Relative tolerance widening the sharing group key above from exact
+  /// (R, V, Y) equality to quantized equality. 0 (default) keeps the exact
+  /// byte-key grouping — byte-for-byte the pre-quantization behavior. A
+  /// positive quantum buckets each of R, V, Y by
+  /// floor(log|x| / log1p(quantum)) (sign-separated; 0 only matches 0), so
+  /// legs land in one group only when every field agrees within a factor of
+  /// (1 + quantum); each >= 2-member group then snaps its (R, V, Y) onto
+  /// the group's lexicographically smallest member tuple before the dt
+  /// renormalization, moving any field by at most `quantum` relative —
+  /// that is what makes near-identical vol legs (recalibration-tick drift)
+  /// derive bit-equal taps and hit ONE warm kernel group. Bucketing is
+  /// conservative: legs straddling a bucket boundary never share, even if
+  /// pairwise closer than the quantum. Price perturbation is bounded by the
+  /// field snap (first-order: vega * quantum * V etc.) on top of the
+  /// sharing refinement below; covered by the DESIGN.md §12 accuracy
+  /// contract. Ignored while share_kernels_across_expiries is false.
+  double share_quantum = 0.0;
   /// Opt-in scratch-arena high-water-mark decay: after each batch, every
   /// thread that served items trims its ScratchStack down to at most this
   /// many bytes (core::ScratchStack::trim), so a long-lived session mixing
@@ -251,7 +268,12 @@ class Pricer {
 
   /// The cross-expiry dt normalization behind
   /// `PricerConfig::share_kernels_across_expiries` (see its comment).
-  static void normalize_expiries(std::vector<PricingRequest>& reqs);
+  /// `quantum` is `PricerConfig::share_quantum`: 0 groups on exact (R, V, Y)
+  /// bytes; > 0 groups on quantized buckets and snaps each >= 2-member
+  /// group's (R, V, Y) onto its lexicographically smallest member tuple
+  /// before the dt renormalization.
+  static void normalize_expiries(std::vector<PricingRequest>& reqs,
+                                 double quantum = 0.0);
 
   /// Serve one validated item; throws on pricer failure (caught by the
   /// batch loop and converted to Status::error).

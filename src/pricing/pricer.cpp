@@ -1,6 +1,7 @@
 #include "amopt/pricing/pricer.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <exception>
 #include <limits>
@@ -500,20 +501,48 @@ namespace {
 
 constexpr std::int64_t kMaxNormalizedT = std::int64_t{1} << 21;
 
+/// Logarithmic bucket id for one sharing-key field at relative tolerance
+/// `quantum`: values share a bucket only when their ratio is below
+/// (1 + quantum), sign-separated, with 0 matching only exact 0. floor()
+/// semantics make the bucketing conservative — two values straddling a
+/// bucket boundary never share even if pairwise closer than the quantum —
+/// and order-independent (no pairwise clustering, so the grouping cannot
+/// depend on batch order).
+[[nodiscard]] std::int64_t quantize_field(double x, double quantum) {
+  if (x == 0.0) return std::numeric_limits<std::int64_t>::min();
+  const std::int64_t bucket = static_cast<std::int64_t>(
+      std::floor(std::log(std::abs(x)) / std::log1p(quantum)));
+  // Fold the sign in without colliding adjacent buckets: the bucket index
+  // of any finite double is far below 2^61 in magnitude.
+  return x > 0.0 ? bucket : (std::int64_t{1} << 62) + bucket;
+}
+
 }  // namespace
 
-void Pricer::normalize_expiries(std::vector<PricingRequest>& reqs) {
+void Pricer::normalize_expiries(std::vector<PricingRequest>& reqs,
+                                double quantum) {
   // Group by everything that shapes the derived taps except the time step:
   // model/right/style (the lattice family) and the spec's rate, vol, and
   // yield. Strike and spot never enter the taps, so an ordinary
   // strikes-by-expiries chain collapses into one group per (model, vol).
+  // quantum == 0 keys on the exact field bytes (the historical grouping,
+  // byte for byte); quantum > 0 keys on logarithmic buckets so
+  // near-identical legs (recalibration-tick vol drift) group together.
   std::unordered_map<std::string, std::vector<std::size_t>> groups;
   for (std::size_t i = 0; i < reqs.size(); ++i) {
     const PricingRequest& q = reqs[i];
     if (q.engine != Engine::fft || q.T < 1) continue;
     if (!(q.spec.expiry_years > 0.0) || !(q.spec.V > 0.0)) continue;
-    const double fields[] = {q.spec.R, q.spec.V, q.spec.Y};
-    std::string key(reinterpret_cast<const char*>(fields), sizeof(fields));
+    std::string key;
+    if (quantum > 0.0) {
+      const std::int64_t buckets[] = {quantize_field(q.spec.R, quantum),
+                                      quantize_field(q.spec.V, quantum),
+                                      quantize_field(q.spec.Y, quantum)};
+      key.assign(reinterpret_cast<const char*>(buckets), sizeof(buckets));
+    } else {
+      const double fields[] = {q.spec.R, q.spec.V, q.spec.Y};
+      key.assign(reinterpret_cast<const char*>(fields), sizeof(fields));
+    }
     const std::int64_t tags[] = {static_cast<std::int64_t>(q.model),
                                  static_cast<std::int64_t>(q.right),
                                  static_cast<std::int64_t>(q.style)};
@@ -522,6 +551,28 @@ void Pricer::normalize_expiries(std::vector<PricingRequest>& reqs) {
   }
   for (auto& [key, members] : groups) {
     if (members.size() < 2) continue;
+    if (quantum > 0.0) {
+      // Snap the group's (R, V, Y) onto one representative so the derived
+      // taps coincide bit for bit — sharing a kernel cache entry requires
+      // equal taps, not merely close ones. The representative is the
+      // lexicographically smallest member tuple: order-independent, and an
+      // actually-requested spec (no synthesized midpoint). Each field moves
+      // by at most `quantum` relative (the bucket width); a group of
+      // identical tuples snaps onto itself, changing nothing.
+      const auto tuple_of = [&reqs](std::size_t i) {
+        return std::array<double, 3>{reqs[i].spec.R, reqs[i].spec.V,
+                                     reqs[i].spec.Y};
+      };
+      std::size_t rep = members.front();
+      for (const std::size_t i : members)
+        if (tuple_of(i) < tuple_of(rep)) rep = i;
+      const std::array<double, 3> snap = tuple_of(rep);
+      for (const std::size_t i : members) {
+        reqs[i].spec.R = snap[0];
+        reqs[i].spec.V = snap[1];
+        reqs[i].spec.Y = snap[2];
+      }
+    }
     // The group's finest step: normalization only ever refines (T never
     // decreases), so no item gets a coarser price than it asked for. The
     // 32-bit truncation makes dt* * T exact below kMaxNormalizedT.
@@ -570,7 +621,7 @@ void Pricer::price_many_into(std::span<const PricingRequest> requests,
   // lands them in ONE registry entry (see PricerConfig).
   if (cfg_.share_kernels_across_expiries) {
     scratch.normalized.assign(requests.begin(), requests.end());
-    normalize_expiries(scratch.normalized);
+    normalize_expiries(scratch.normalized, cfg_.share_quantum);
     requests = scratch.normalized;
   }
 

@@ -243,8 +243,66 @@ TEST(Convolution, CorrelatePrefersFftMirrorsPolicyCrossover) {
   EXPECT_FALSE(
       conv::correlate_prefers_fft(4096, 513, {conv::Policy::Path::fft_packed}));
   EXPECT_FALSE(conv::correlate_prefers_fft(0, 4, {}));
-  // The padded size covers the trimmed input's full linear convolution.
-  EXPECT_EQ(conv::correlate_fft_size(4096, 513), 8192u);
+  // The size-aware crossover: a wide row under a short kernel (the top of
+  // an FDM descent) beats the FFT with the direct SIMD sweep even though
+  // its k*n product is far past the flat threshold, while a balanced
+  // out ~ klen window of the same row width stays spectral.
+  EXPECT_FALSE(conv::correlate_prefers_fft(9000, 65, {}));
+  EXPECT_TRUE(conv::correlate_prefers_fft(9000, 4097, {}));
+  // Overlap-save minimal sizing: the transform covers only the trimmed
+  // INPUT (out + klen - 1), not its full linear convolution — half the
+  // transform wherever the old out + 2*(klen - 1) rule crossed a power of
+  // two that the input itself does not.
+  EXPECT_EQ(conv::correlate_fft_size(4096, 513), 8192u);   // input 4608
+  EXPECT_EQ(conv::correlate_fft_size(3584, 513), 4096u);   // was 8192 pre-PR-10
+  EXPECT_EQ(conv::correlate_fft_size(2048, 2049), 4096u);  // was 8192 pre-PR-10
+  EXPECT_EQ(conv::correlate_fft_size(1, 1), 1u);
+}
+
+TEST(Convolution, MinimalPaddingWindowIsAliasFree) {
+  // The re-baselined sizing lets cyclic wraparound corrupt full-convolution
+  // bins below the correlation's read window. Check against the direct
+  // oracle at sizes where the cyclic length is strictly smaller than the
+  // full linear length, on both FFT pipelines and through a spectrum built
+  // at exactly correlate_fft_size — and confirm an over-padded spectrum
+  // (the pre-PR-10 size) agrees to round-off, not bits (different n,
+  // different rounding).
+  conv::Workspace ws;
+  for (const auto& [n_out, n_k] :
+       {std::pair<std::size_t, std::size_t>{3584, 513},
+        {2048, 2049},
+        {1000, 1000}}) {
+    const auto in = random_vec(n_out + n_k - 1, 11);
+    const auto kernel = random_vec(n_k, 12);
+    const std::size_t n_min = conv::correlate_fft_size(n_out, n_k);
+    ASSERT_LT(n_min, amopt::next_pow2(n_out + 2 * (n_k - 1)))
+        << "premise: these sizes actually shrink";
+    std::vector<double> oracle(n_out), got(n_out);
+    conv::correlate_valid_direct(in, kernel, oracle);
+    double scale = 0.0;
+    for (const double v : oracle) scale = std::max(scale, std::abs(v));
+    const double tol = 1e-11 * std::max(scale, 1.0);
+
+    conv::correlate_valid(in, kernel, got, ws, {conv::Policy::Path::fft});
+    for (std::size_t i = 0; i < n_out; ++i)
+      ASSERT_NEAR(got[i], oracle[i], tol) << "fft i=" << i;
+    conv::correlate_valid(in, kernel, got, ws,
+                          {conv::Policy::Path::fft_packed});
+    for (std::size_t i = 0; i < n_out; ++i)
+      ASSERT_NEAR(got[i], oracle[i], tol) << "packed i=" << i;
+
+    const auto kspec = conv::kernel_spectrum(kernel, n_min, true, ws);
+    conv::correlate_valid(in, kspec, got, ws);
+    for (std::size_t i = 0; i < n_out; ++i)
+      ASSERT_NEAR(got[i], oracle[i], tol) << "spectral i=" << i;
+
+    // Any larger power of two remains a valid spectrum size.
+    const auto kspec_wide = conv::kernel_spectrum(kernel, 2 * n_min, true, ws);
+    std::vector<double> wide(n_out);
+    conv::correlate_valid(in, kspec_wide, wide, ws);
+    for (std::size_t i = 0; i < n_out; ++i)
+      ASSERT_NEAR(wide[i], oracle[i], tol) << "over-padded i=" << i;
+  }
 }
 
 TEST(Correlation, SplitOperandMatchesConcatenatedBitForBit) {

@@ -688,6 +688,132 @@ TEST(Pricer, CrossExpirySharingOffByDefault) {
   EXPECT_EQ(session.stats().base_kernel_caches, 2u);  // no forced share
 }
 
+// ---- quantized sharing (PricerConfig::share_quantum) --------------------
+
+// The implementation's bucket function, replicated so the tests can derive
+// values guaranteed inside / astride one bucket instead of guessing.
+[[nodiscard]] std::int64_t vol_bucket(double v, double quantum) {
+  return static_cast<std::int64_t>(
+      std::floor(std::log(v) / std::log1p(quantum)));
+}
+
+[[nodiscard]] std::vector<PricingRequest> drifting_vol_chain(
+    const std::vector<double>& vols) {
+  const double expiries[] = {0.26, 0.51, 0.77, 1.03, 1.28};
+  std::vector<PricingRequest> chain;
+  for (std::size_t i = 0; i < vols.size(); ++i) {
+    PricingRequest q;
+    q.spec = paper_spec();
+    q.spec.expiry_years = expiries[i % 5];
+    q.spec.V = vols[i];
+    q.T = 512;
+    chain.push_back(q);
+  }
+  return chain;
+}
+
+TEST(Pricer, ShareQuantumZeroReproducesExactGroupingBitIdentically) {
+  // Distinct-by-ulps vols under quantum = 0: the exact byte key sees five
+  // different (R, V, Y) tuples, so no group forms, normalization is a
+  // no-op, and every price is bit-identical to a sharing-off session.
+  std::vector<double> vols;
+  for (int i = 0; i < 5; ++i) vols.push_back(0.25 * (1.0 + i * 1e-9));
+  const std::vector<PricingRequest> chain = drifting_vol_chain(vols);
+
+  Pricer plain;
+  const auto off = plain.price_many(chain);
+  PricerConfig cfg;
+  cfg.share_kernels_across_expiries = true;
+  ASSERT_EQ(cfg.share_quantum, 0.0);  // the documented default
+  Pricer sharing(cfg);
+  const auto on = sharing.price_many(chain);
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    ASSERT_EQ(on[i].status, Status::ok);
+    EXPECT_EQ(on[i].price, off[i].price) << "leg " << i;
+  }
+  EXPECT_EQ(sharing.stats().base_kernel_caches, 5u);  // no quantized merge
+}
+
+TEST(Pricer, ShareQuantumLegsStraddlingBucketBoundaryNeverShare) {
+  // Two vols a factor (1 + quantum/500) apart — far inside the tolerance —
+  // but placed astride a bucket boundary: the conservative floor bucketing
+  // must keep them in separate groups (documented in pricer.hpp).
+  const double quantum = 1e-3;
+  const std::int64_t b = vol_bucket(0.25, quantum);
+  const double lo = std::exp(static_cast<double>(b) * std::log1p(quantum));
+  const double v_below = lo * (1.0 - quantum / 1000.0);
+  const double v_above = lo * (1.0 + quantum / 1000.0);
+  ASSERT_NE(vol_bucket(v_below, quantum), vol_bucket(v_above, quantum));
+  ASSERT_LT(v_above / v_below - 1.0, quantum);
+
+  PricerConfig cfg;
+  cfg.share_kernels_across_expiries = true;
+  cfg.share_quantum = quantum;
+  Pricer session(cfg);
+  const auto res = session.price_many(drifting_vol_chain({v_below, v_above}));
+  for (const auto& r : res) ASSERT_EQ(r.status, Status::ok);
+  EXPECT_EQ(session.stats().base_kernel_caches, 2u);
+}
+
+TEST(Pricer, ShareQuantumCollapsesDriftingVolChainToOneGroup) {
+  // Five expiries whose vols drift inside ONE bucket (derived from the
+  // bucket's own bounds, so the collapse is guaranteed, not probabilistic):
+  // the whole chain must land in a single kernel group, with every price
+  // inside the documented contract of its unshared counterpart. The
+  // representative tuple is the lexicographically smallest member, so each
+  // vol moves by < quantum relative.
+  const double quantum = 1e-3;
+  const std::int64_t b = vol_bucket(0.25, quantum);
+  const double lo = std::exp(static_cast<double>(b) * std::log1p(quantum));
+  std::vector<double> vols;
+  for (int i = 0; i < 5; ++i)
+    vols.push_back(lo * (1.0 + (i + 1) * quantum / 8.0));
+  for (const double v : vols)
+    ASSERT_EQ(vol_bucket(v, quantum), b) << "test premise: one bucket";
+
+  const std::vector<PricingRequest> chain = drifting_vol_chain(vols);
+  Pricer plain;
+  const auto off = plain.price_many(chain);
+  EXPECT_EQ(plain.stats().base_kernel_caches, 5u);
+
+  PricerConfig cfg;
+  cfg.share_kernels_across_expiries = true;
+  cfg.share_quantum = quantum;
+  Pricer sharing(cfg);
+  const auto on = sharing.price_many(chain);
+  EXPECT_EQ(sharing.stats().base_kernel_caches, 1u);
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    ASSERT_EQ(on[i].status, Status::ok);
+    // Contract bound: the vol snap moves prices first-order by
+    // vega * dV (dV/V < quantum) plus the sharing refinement's O(1/T)
+    // band — both far inside 1% relative at these parameters.
+    EXPECT_NEAR(on[i].price, off[i].price, 0.01 * off[i].price)
+        << "leg " << i;
+  }
+}
+
+TEST(Pricer, ShareQuantumGroupingIsBatchOrderIndependent) {
+  // The representative is the lexicographically smallest tuple, not the
+  // first-seen member: reversing the batch must produce the same prices
+  // leg for leg.
+  const double quantum = 1e-3;
+  const std::int64_t b = vol_bucket(0.25, quantum);
+  const double lo = std::exp(static_cast<double>(b) * std::log1p(quantum));
+  std::vector<double> vols;
+  for (int i = 0; i < 5; ++i)
+    vols.push_back(lo * (1.0 + (i + 1) * quantum / 8.0));
+  std::vector<PricingRequest> fwd = drifting_vol_chain(vols);
+  std::vector<PricingRequest> rev(fwd.rbegin(), fwd.rend());
+
+  PricerConfig cfg;
+  cfg.share_kernels_across_expiries = true;
+  cfg.share_quantum = quantum;
+  const auto a = Pricer(cfg).price_many(fwd);
+  const auto z = Pricer(cfg).price_many(rev);
+  for (std::size_t i = 0; i < fwd.size(); ++i)
+    EXPECT_EQ(a[i].price, z[fwd.size() - 1 - i].price) << "leg " << i;
+}
+
 TEST(Pricer, GreeksWarmStartReplaysBumpedLegsExactly) {
   // Tick 1 prices every finite-difference leg; tick 2 re-requests the same
   // contracts and must serve the legs from the bumped-price store with
@@ -737,8 +863,9 @@ TEST(Pricer, SpectrumBudgetCapsRegistryBytes) {
   // only forgets warm state.
   PricerConfig tiny;
   // Holds a handful of spectra, comfortably above the largest single entry
-  // these T produce (~64 KiB) but far below their ~300 KiB total.
-  tiny.max_spectrum_bytes = 200 << 10;
+  // these T produce (~32 KiB at overlap-save minimal padding) but far below
+  // their total footprint.
+  tiny.max_spectrum_bytes = 100 << 10;
   Pricer session(tiny);
   std::vector<PricingRequest> reqs;
   for (const std::int64_t T : {1024LL, 2048LL, 3000LL}) {

@@ -50,6 +50,15 @@ every row — the daemon's p50/p99 round-trip columns from
 bench/micro_server.cpp. Budgets are absolute per-row ceilings, so CI sets
 them generously (they catch a coalescing window accidentally left in the
 latency path, not scheduler jitter).
+
+With --tolerance-report, --fresh is an accuracy report produced by
+tests/test_accuracy (AMOPT_ACCURACY_REPORT=path) and --baseline is the
+committed ACCURACY.json. For every case the fresh measured max price
+deviation is printed alongside the committed contract value and the
+headroom factor (contract / measured), so CI logs show the headroom
+shrinking BEFORE a breach; the check fails on any measured deviation above
+its contract, and flags (without failing) cases whose headroom has dropped
+below 2x. --kind is not needed in this mode.
 """
 
 import argparse
@@ -264,11 +273,54 @@ def check_pair_speedup(times, spec):
               f"n >= {min_n} — pair-speedup check skipped")
 
 
+def accuracy_cases(doc, path):
+    if "cases" not in doc or not isinstance(doc["cases"], list):
+        fail(f"{path}: missing 'cases' array (not a test_accuracy report?)")
+    out = {}
+    for c in doc["cases"]:
+        for key in ("name", "contract", "measured"):
+            if key not in c:
+                fail(f"{path}: case without '{key}': {c}")
+        out[c["name"]] = (float(c["contract"]), float(c["measured"]))
+    if not out:
+        fail(f"{path}: no cases recorded")
+    return out
+
+
+def check_tolerance_report(fresh, base, fresh_path, base_path):
+    compared = 0
+    for name, (contract, committed) in sorted(base.items()):
+        if name not in fresh:
+            fail(f"tolerance-report: case '{name}' missing from {fresh_path}")
+        fresh_contract, measured = fresh[name]
+        if fresh_contract != contract:
+            fail(f"tolerance-report {name}: contract changed "
+                 f"({fresh_contract:.3g} vs committed {contract:.3g}) — "
+                 f"re-bless {base_path} deliberately, not by drift")
+        compared += 1
+        headroom = contract / measured if measured > 0 else float("inf")
+        note = "" if headroom >= 2.0 else "  << headroom below 2x"
+        print(f"check_bench: tolerance {name}: measured {measured:.3g} "
+              f"(committed {committed:.3g}) vs contract {contract:.3g} "
+              f"— headroom {headroom:.1f}x{note}")
+        if measured > contract:
+            fail(f"{name}: measured deviation {measured:.3g} breaches the "
+                 f"contract {contract:.3g}")
+    for name in sorted(set(fresh) - set(base)):
+        print(f"check_bench: tolerance {name}: new case (not in {base_path})")
+    if compared == 0:
+        fail("tolerance-report: no shared cases")
+    print(f"check_bench: {compared} tolerance case(s) inside contract")
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("--fresh", required=True)
     ap.add_argument("--baseline", required=True)
-    ap.add_argument("--kind", choices=["gbench", "rows"], required=True)
+    ap.add_argument("--kind", choices=["gbench", "rows"])
+    ap.add_argument("--tolerance-report", action="store_true",
+                    help="treat --fresh/--baseline as test_accuracy reports "
+                         "and print measured deviation vs contract headroom")
     ap.add_argument("--factor", type=float, default=2.0)
     ap.add_argument("--row-series", nargs="*", default=None,
                     help="rows kind: series names to threshold-compare "
@@ -301,6 +353,14 @@ def main():
 
     fresh_doc = load(args.fresh)
     base_doc = load(args.baseline)
+    if args.tolerance_report:
+        check_tolerance_report(accuracy_cases(fresh_doc, args.fresh),
+                               accuracy_cases(base_doc, args.baseline),
+                               args.fresh, args.baseline)
+        print("check_bench: PASS")
+        return
+    if args.kind is None:
+        ap.error("--kind is required unless --tolerance-report is given")
     if args.kind == "gbench":
         fresh = gbench_times(fresh_doc, args.fresh)
         base = gbench_times(base_doc, args.baseline)
